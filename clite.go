@@ -1,0 +1,214 @@
+// Package clite is a from-scratch Go reproduction of CLITE (Patel &
+// Tiwari, HPCA 2020): a Bayesian-Optimization-based multi-resource
+// partitioning controller that co-locates multiple latency-critical
+// (LC) jobs with throughput-oriented background (BG) jobs on one
+// server, meeting every LC job's p95 QoS target while maximizing BG
+// performance.
+//
+// Because the paper's testbed (Intel CAT/MBA, Tailbench, PARSEC) is
+// hardware, this module ships a faithful simulated substrate: a
+// chip-multiprocessor machine with five partitionable resources,
+// analytic workload models that reproduce the paper's
+// resource-equivalence-class behaviour, queueing-based tail latency
+// with measurement noise, and simulated isolation actuators. The CLITE
+// controller, the baselines it is evaluated against (PARTIES,
+// Heracles, RAND+, GENETIC, ORACLE), and a harness that regenerates
+// every table and figure of the paper's evaluation all run on top.
+//
+// Quick start:
+//
+//	m := clite.NewMachine(42)
+//	m.AddLC("memcached", 0.3) // 30% of its calibrated max load
+//	m.AddLC("img-dnn", 0.2)
+//	m.AddBG("streamcluster")
+//	ctrl := clite.NewController(m, clite.Options{})
+//	res, err := ctrl.Run()
+//
+// See examples/ for runnable scenarios and cmd/experiments for the
+// paper reproduction.
+package clite
+
+import (
+	"clite/internal/bo"
+	"clite/internal/cluster"
+	"clite/internal/core"
+	"clite/internal/doe"
+	"clite/internal/harness"
+	"clite/internal/policies"
+	"clite/internal/qos"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/workload"
+)
+
+// Machine is the simulated CMP server hosting co-located jobs.
+type Machine = server.Machine
+
+// Spec describes the simulated hardware (the paper's Table 2).
+type Spec = server.Spec
+
+// Observation is one observation window's per-job measurements.
+type Observation = server.Observation
+
+// Job is one co-located job instance.
+type Job = server.Job
+
+// Topology is the machine's set of partitionable resources.
+type Topology = resource.Topology
+
+// Config is a complete resource partition (one allocation per job).
+type Config = resource.Config
+
+// Controller is the CLITE controller bound to a machine.
+type Controller = core.Controller
+
+// Result is the outcome of a CLITE invocation.
+type Result = core.Result
+
+// Options configures the controller; the zero value reproduces the
+// paper's setup.
+type Options = core.Options
+
+// BOOptions tunes the underlying Bayesian-optimization engine.
+type BOOptions = bo.Options
+
+// Policy is a co-location scheduling scheme (CLITE or a baseline).
+type Policy = policies.Policy
+
+// PolicyResult is the uniform outcome of running any policy.
+type PolicyResult = policies.Result
+
+// Calibration is an LC workload's isolation profile (knee-derived QoS
+// target and maximum load, Fig. 6).
+type Calibration = qos.Calibration
+
+// NewMachine returns a simulated machine with the paper's Table 2
+// configuration. The seed drives measurement noise; the same seed
+// reproduces identical experiments.
+func NewMachine(seed int64) *Machine {
+	return server.New(resource.Default(), server.DefaultSpec(), seed)
+}
+
+// NewCustomMachine builds a machine over a custom topology and spec.
+func NewCustomMachine(topo Topology, spec Spec, seed int64) *Machine {
+	return server.New(topo, spec, seed)
+}
+
+// DefaultTopology returns the paper's five partitionable resources
+// (cores, LLC ways, memory bandwidth, memory capacity, disk bandwidth)
+// at testbed granularity.
+func DefaultTopology() Topology { return resource.Default() }
+
+// DefaultSpec returns the Table 2 hardware description.
+func DefaultSpec() Spec { return server.DefaultSpec() }
+
+// NewController binds a CLITE controller to a machine.
+func NewController(m *Machine, opts Options) *Controller {
+	return core.New(m, opts)
+}
+
+// Score evaluates the paper's Eq. 3 objective for an observation over
+// the given jobs.
+func Score(jobs []Job, obs Observation) float64 {
+	return core.ScoreObservation(jobs, obs)
+}
+
+// Calibrate profiles an LC workload in isolation and returns its
+// QPS-vs-p95 curve, knee QoS target, and maximum load.
+func Calibrate(workloadName string) (Calibration, error) {
+	p, err := workload.ByName(workloadName)
+	if err != nil {
+		return Calibration{}, err
+	}
+	return qos.Calibrate(p, resource.Default())
+}
+
+// LCWorkloads lists the latency-critical workload names (Table 3).
+func LCWorkloads() []string {
+	var names []string
+	for _, p := range workload.LC() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// BGWorkloads lists the background workload names (Table 3).
+func BGWorkloads() []string {
+	var names []string
+	for _, p := range workload.BG() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// CLITEPolicy returns CLITE wrapped as a Policy for side-by-side
+// comparison with the baselines.
+func CLITEPolicy(seed int64) Policy {
+	return policies.CLITE{BO: bo.Options{Seed: seed}}
+}
+
+// Baselines returns the paper's comparison policies: PARTIES,
+// Heracles, RAND+, GENETIC, and the offline ORACLE.
+func Baselines(seed int64) []Policy {
+	return []Policy{
+		policies.PARTIES{},
+		policies.Heracles{},
+		policies.RandPlus{Seed: seed},
+		policies.Genetic{Seed: seed},
+		policies.Oracle{},
+	}
+}
+
+// PolicyByName resolves a policy by its display name ("CLITE",
+// "PARTIES", "Heracles", "RAND+", "GENETIC", "ORACLE").
+func PolicyByName(name string, seed int64) (Policy, bool) {
+	all := append([]Policy{CLITEPolicy(seed)}, Baselines(seed)...)
+	for _, p := range all {
+		if p.Name() == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Scheduler places a stream of job requests across a pool of
+// simulated nodes, using per-node CLITE runs for admission control
+// (the warehouse-scale layer of the paper's motivation).
+type Scheduler = cluster.Scheduler
+
+// SchedulerOptions sizes and seeds a cluster scheduler.
+type SchedulerOptions = cluster.Options
+
+// JobRequest asks the scheduler to place one job.
+type JobRequest = cluster.Request
+
+// NodePlacement reports where a request landed.
+type NodePlacement = cluster.Placement
+
+// ErrUnplaceable is returned when no node can host a request within
+// QoS; the job belongs on another rack.
+var ErrUnplaceable = cluster.ErrUnplaceable
+
+// NewScheduler builds a multi-node scheduler.
+func NewScheduler(opts SchedulerOptions) *Scheduler { return cluster.New(opts) }
+
+// DesignSpacePolicies returns the Sec. 5.2 design-space-exploration
+// comparators (FFD and RSM) as policies.
+func DesignSpacePolicies(seed int64) []Policy {
+	return []Policy{doe.FFD{Seed: seed}, doe.RSM{Seed: seed}}
+}
+
+// Experiment is one reproducible table/figure from the paper.
+type Experiment = harness.Experiment
+
+// ExperimentConfig scales experiment grids (Coarse for quick runs).
+type ExperimentConfig = harness.Config
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = harness.Table
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment { return harness.Experiments() }
+
+// LookupExperiment finds an experiment by id ("fig7", "table1", ...).
+func LookupExperiment(id string) (Experiment, error) { return harness.Lookup(id) }

@@ -1,0 +1,107 @@
+package clite_test
+
+import (
+	"testing"
+
+	"clite"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow
+// end to end through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	m := clite.NewMachine(42)
+	if _, err := m.AddLC("memcached", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddLC("img-dnn", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBG("streamcluster"); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := clite.NewController(m, clite.Options{BO: clite.BOOptions{Seed: 42, MaxIterations: 20}})
+	res, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesUsed == 0 || res.Best.NumJobs() != 3 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if err := res.Best.Validate(m.Topology()); err != nil {
+		t.Fatal(err)
+	}
+	if got := clite.Score(m.Jobs(), res.BestObs); got != res.BestScore {
+		t.Errorf("Score facade disagrees: %v vs %v", got, res.BestScore)
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	lc := clite.LCWorkloads()
+	bg := clite.BGWorkloads()
+	if len(lc) != 5 || len(bg) != 6 {
+		t.Fatalf("catalog: %d LC, %d BG; want 5 and 6 (Table 3)", len(lc), len(bg))
+	}
+	cal, err := clite.Calibrate(lc[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.MaxQPS <= 0 || cal.QoSTarget <= 0 {
+		t.Fatalf("bad calibration: %+v", cal)
+	}
+	if _, err := clite.Calibrate("swaptions"); err == nil {
+		t.Error("calibrating a BG workload should fail")
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	if len(clite.Baselines(1)) != 5 {
+		t.Error("expected 5 baseline policies")
+	}
+	for _, name := range []string{"CLITE", "PARTIES", "Heracles", "RAND+", "GENETIC", "ORACLE"} {
+		if _, ok := clite.PolicyByName(name, 1); !ok {
+			t.Errorf("policy %q not resolvable", name)
+		}
+	}
+	if _, ok := clite.PolicyByName("bogus", 1); ok {
+		t.Error("unknown policy should not resolve")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := clite.Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(exps))
+	}
+	if _, err := clite.LookupExperiment("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := clite.LookupExperiment("fig99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	// The static tables render instantly; check end to end.
+	for _, id := range []string{"table1", "table2", "table3"} {
+		e, err := clite.LookupExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables, err := e.Run(clite.ExperimentConfig{Seed: 1, Coarse: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Errorf("%s rendered empty", id)
+		}
+	}
+}
+
+func TestDefaultTopologyAndSpecAgree(t *testing.T) {
+	topo := clite.DefaultTopology()
+	spec := clite.DefaultSpec()
+	if topo[0].Units != spec.LogicalCores {
+		t.Errorf("core units %d != spec logical cores %d", topo[0].Units, spec.LogicalCores)
+	}
+	m := clite.NewCustomMachine(topo, spec, 7)
+	if m.Spec().L3Ways != 11 {
+		t.Error("custom machine should carry the spec")
+	}
+}

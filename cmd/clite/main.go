@@ -1,0 +1,126 @@
+// Command clite runs one co-location scenario under a chosen policy on
+// the simulated testbed and prints the outcome: the partition found,
+// per-job QoS status and performance, and the search cost.
+//
+// Usage:
+//
+//	clite -lc memcached:0.3 -lc img-dnn:0.2 -bg streamcluster -policy CLITE -seed 42
+//
+// Policies: CLITE (default), PARTIES, Heracles, RAND+, GENETIC, ORACLE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"clite"
+)
+
+// jobList collects repeated -lc / -bg flags.
+type jobList []string
+
+func (l *jobList) String() string { return strings.Join(*l, ",") }
+
+func (l *jobList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "clite:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var lcFlags, bgFlags jobList
+	flag.Var(&lcFlags, "lc", "latency-critical job as name:load (repeatable), e.g. memcached:0.3")
+	flag.Var(&bgFlags, "bg", "background job name (repeatable), e.g. streamcluster")
+	policyName := flag.String("policy", "CLITE", "policy: CLITE, PARTIES, Heracles, RAND+, GENETIC, ORACLE")
+	seed := flag.Int64("seed", 1, "random seed (measurement noise and search)")
+	list := flag.Bool("workloads", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("latency-critical:", strings.Join(clite.LCWorkloads(), ", "))
+		fmt.Println("background:      ", strings.Join(clite.BGWorkloads(), ", "))
+		return nil
+	}
+	if len(lcFlags) == 0 {
+		return fmt.Errorf("need at least one -lc job (try -workloads to list them)")
+	}
+
+	m := clite.NewMachine(*seed)
+	var names []string
+	for _, spec := range lcFlags {
+		name, load, err := parseLC(spec)
+		if err != nil {
+			return err
+		}
+		if _, err := m.AddLC(name, load); err != nil {
+			return err
+		}
+		names = append(names, fmt.Sprintf("%s@%.0f%%", name, load*100))
+	}
+	for _, name := range bgFlags {
+		if _, err := m.AddBG(name); err != nil {
+			return err
+		}
+		names = append(names, name)
+	}
+
+	policy, ok := clite.PolicyByName(*policyName, *seed)
+	if !ok {
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	fmt.Printf("co-locating %s under %s...\n", strings.Join(names, " + "), policy.Name())
+	res, err := policy.Run(m)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nsamples evaluated: %d (%.0f s of observation windows)\n",
+		res.SamplesUsed, float64(m.Observations())*m.Window())
+	fmt.Printf("all QoS met:       %v\n", res.QoSMeetable)
+	fmt.Printf("objective score:   %.3f (Eq. 3; >0.5 means every LC job inside QoS)\n\n", res.BestScore)
+
+	topo := m.Topology()
+	fmt.Printf("%-14s", "job")
+	for _, spec := range topo {
+		fmt.Printf("  %8s", spec.Kind)
+	}
+	fmt.Printf("  %12s  %s\n", "p95 / thr", "status")
+	for i, job := range m.Jobs() {
+		fmt.Printf("%-14s", job.Workload.Name)
+		for r := range topo {
+			fmt.Printf("  %8d", res.Best.Jobs[i][r])
+		}
+		if job.IsLC() {
+			status := "QoS MET"
+			if !res.BestObs.QoSMet[i] {
+				status = "VIOLATED"
+			}
+			fmt.Printf("  %10.2fms  %s (target %.2fms)\n", res.BestObs.P95[i]*1000, status, job.QoS*1000)
+		} else {
+			fmt.Printf("  %9.0fop/s  %.0f%% of isolation\n", res.BestObs.Throughput[i], res.BestObs.NormPerf[i]*100)
+		}
+	}
+	return nil
+}
+
+func parseLC(spec string) (string, float64, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("bad -lc %q, want name:load", spec)
+	}
+	load, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad load in -lc %q: %v", spec, err)
+	}
+	return parts[0], load, nil
+}

@@ -1,0 +1,70 @@
+// Command experiments regenerates the tables and figures of the CLITE
+// paper's evaluation (Sec. 5) on the simulated testbed.
+//
+// Usage:
+//
+//	experiments -experiment fig7          # one experiment
+//	experiments -experiment all           # everything (minutes)
+//	experiments -experiment fig7 -full    # paper-resolution grids
+//	experiments -list                     # show the experiment index
+//
+// Output goes to stdout; redirect to capture (the EXPERIMENTS.md
+// numbers were produced this way).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clite"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.String("experiment", "", "experiment id (see -list), or 'all'")
+	full := flag.Bool("full", false, "paper-resolution grids instead of the quick coarse ones")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("experiments (use -experiment <id>):")
+		for _, e := range clite.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Brief)
+		}
+		return nil
+	}
+
+	cfg := clite.ExperimentConfig{Seed: *seed, Coarse: !*full}
+	var exps []clite.Experiment
+	if *id == "all" {
+		exps = clite.Experiments()
+	} else {
+		e, err := clite.LookupExperiment(*id)
+		if err != nil {
+			return err
+		}
+		exps = []clite.Experiment{e}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}

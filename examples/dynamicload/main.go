@@ -1,0 +1,64 @@
+// Dynamicload: the paper's Fig. 16 scenario as a runnable program —
+// memcached's diurnal load ramps 10% → 20% → 30%; CLITE monitors the
+// converged partition, detects each violation, and re-partitions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clite"
+)
+
+func main() {
+	m := clite.NewMachine(3)
+	if _, err := m.AddLC("img-dnn", 0.10); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.AddLC("masstree", 0.10); err != nil {
+		log.Fatal(err)
+	}
+	memcached, err := m.AddLC("memcached", 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.AddBG("fluidanimate"); err != nil {
+		log.Fatal(err)
+	}
+
+	ctrl := clite.NewController(m, clite.Options{BO: clite.BOOptions{Seed: 3}})
+	res, err := ctrl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(phase string, load float64) {
+		fmt.Printf("%-28s load=%2.0f%%  samples=%3d  QoS met=%-5v  memcached cores=%d  batch=%2.0f%%\n",
+			phase, load*100, res.SamplesUsed, res.BestObs.AllQoSMet,
+			res.Best.Jobs[memcached][0], res.BestObs.NormPerf[3]*100)
+	}
+	report("initial convergence", 0.10)
+
+	for _, load := range []float64{0.20, 0.30} {
+		if err := m.SetLoad(memcached, load); err != nil {
+			log.Fatal(err)
+		}
+		// Post-convergence monitoring (Sec. 4): watch the current
+		// partition; re-invoke on sustained violation.
+		reinvoke, err := ctrl.Monitor(res.Best, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !reinvoke {
+			fmt.Printf("%-28s load=%2.0f%%  old partition still meets QoS\n", "monitor: no action", load*100)
+			continue
+		}
+		fmt.Printf("%-28s load=%2.0f%%  violation detected, re-partitioning...\n", "monitor: re-invoke", load*100)
+		res, err = ctrl.Rerun(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("re-converged", load)
+	}
+	fmt.Println("\nsimulated wall time:", m.Clock(), "seconds of observation windows;",
+		"actuation overhead:", m.ActuationCost())
+}

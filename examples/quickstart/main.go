@@ -1,0 +1,51 @@
+// Quickstart: co-locate two latency-critical jobs with one background
+// job and let CLITE find a partition that meets both QoS targets while
+// keeping the background job fast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clite"
+)
+
+func main() {
+	// A simulated Xeon with 20 cores, an 11-way LLC, and 10-unit
+	// memory-bandwidth / memory-capacity / disk-bandwidth knobs.
+	m := clite.NewMachine(42)
+
+	// Loads are fractions of each workload's calibrated maximum
+	// (the knee of its isolation QPS-vs-p95 curve).
+	if _, err := m.AddLC("memcached", 0.30); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.AddLC("img-dnn", 0.20); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.AddBG("streamcluster"); err != nil {
+		log.Fatal(err)
+	}
+
+	ctrl := clite.NewController(m, clite.Options{BO: clite.BOOptions{Seed: 42}})
+	res, err := ctrl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged after %d sampled configurations\n", res.SamplesUsed)
+	fmt.Printf("every QoS met: %v  (objective score %.3f)\n\n", res.QoSMeetable, res.BestScore)
+
+	topo := m.Topology()
+	for i, job := range m.Jobs() {
+		fmt.Printf("%-14s gets ", job.Workload.Name)
+		for r, spec := range topo {
+			fmt.Printf("%d %s  ", res.Best.Jobs[i][r], spec.Kind)
+		}
+		if job.IsLC() {
+			fmt.Printf("→ p95 %.2fms (target %.2fms)\n", res.BestObs.P95[i]*1000, job.QoS*1000)
+		} else {
+			fmt.Printf("→ %.0f%% of isolation throughput\n", res.BestObs.NormPerf[i]*100)
+		}
+	}
+}

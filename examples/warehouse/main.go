@@ -1,0 +1,54 @@
+// Warehouse: the paper's motivating context — a rack of nodes
+// receiving a stream of latency-critical and batch job requests. Each
+// node runs CLITE for admission control and partitioning; jobs no node
+// can host within QoS are rejected ("scheduled elsewhere", Sec. 4).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"clite"
+)
+
+func main() {
+	sched := clite.NewScheduler(clite.SchedulerOptions{Nodes: 3, Seed: 9})
+
+	stream := []clite.JobRequest{
+		{Workload: "memcached", Load: 0.30},
+		{Workload: "swaptions"},
+		{Workload: "img-dnn", Load: 0.20},
+		{Workload: "xapian", Load: 0.20},
+		{Workload: "streamcluster"},
+		{Workload: "masstree", Load: 0.20},
+		{Workload: "memcached", Load: 1.40}, // hopeless: past the knee even alone
+		{Workload: "specjbb", Load: 0.20},
+	}
+
+	for _, req := range stream {
+		label := req.Workload
+		if req.IsLC() {
+			label = fmt.Sprintf("%s@%.0f%%", req.Workload, req.Load*100)
+		}
+		placement, err := sched.Place(req)
+		switch {
+		case errors.Is(err, clite.ErrUnplaceable):
+			fmt.Printf("%-16s REJECTED — no node can host it within QoS\n", label)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			fmt.Printf("%-16s → node %d  (QoS met: %v, %d samples to decide)\n",
+				label, placement.Node, placement.Result.QoSMeetable, placement.Result.SamplesUsed)
+		}
+	}
+
+	fmt.Println("\ncluster state:")
+	for _, n := range sched.Snapshot() {
+		fmt.Printf("  node %d: %v", n.ID, n.Jobs)
+		if n.BGPerf > 0 {
+			fmt.Printf("  (batch at %.0f%% of isolation)", n.BGPerf*100)
+		}
+		fmt.Println()
+	}
+}

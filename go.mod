@@ -1,0 +1,3 @@
+module clite
+
+go 1.22

@@ -1,0 +1,728 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+
+	"clite/internal/gp"
+	"clite/internal/optimize"
+	"clite/internal/resource"
+	"clite/internal/stats"
+)
+
+// Evaluation is what evaluating one configuration on the live system
+// returns to the engine: the scalar objective score (Eq. 3), plus the
+// per-job normalized performance the dropout-copy heuristic needs to
+// decide which job is "performing the best so far".
+type Evaluation struct {
+	Score   float64
+	JobPerf []float64
+}
+
+// EvalFunc runs the system under a configuration for one observation
+// window and scores it.
+type EvalFunc func(resource.Config) (Evaluation, error)
+
+// Sample is one evaluated configuration.
+type Sample struct {
+	Config resource.Config
+	Eval   Evaluation
+}
+
+// Options tunes the engine. The zero value reproduces the paper's
+// configuration; the Disable*/Random* switches exist for the ablation
+// benchmarks.
+type Options struct {
+	// Acquisition defaults to EI with ζ = 0.01 (Sec. 4).
+	Acquisition Acquisition
+	// KernelFamily defaults to "matern52" (Sec. 4); "rbf" for ablation.
+	KernelFamily string
+	// MaxIterations bounds post-bootstrap samples (default 64).
+	MaxIterations int
+	// TerminationEI is the relative expected-improvement drop
+	// threshold (default 0.01 — "can be as low as 1%"). It is scaled
+	// down with the number of co-located jobs, since "the curve of
+	// drop in the expected improvement is slower as the number of
+	// co-located jobs increase" (Sec. 4).
+	TerminationEI float64
+	// TerminationPatience is how many consecutive below-threshold
+	// iterations end the search (default 2).
+	TerminationPatience int
+	// MinIterations is how many acquisition steps must run before the
+	// termination rules may fire (default 2·Njobs+4): with only the
+	// bootstrap samples conditioned, the surrogate's expected
+	// improvement is not yet a trustworthy convergence signal.
+	MinIterations int
+	// StagnationWindow terminates the run when the incumbent has not
+	// improved by at least 1% of the observed score range for this
+	// many consecutive iterations (default 10). Measurement noise puts
+	// a floor under the surrogate's expected improvement, so the
+	// EI-drop rule alone can fail to fire on a noisy system; the
+	// stagnation guard bounds the overhead in that regime. Set
+	// negative to disable (ablation).
+	StagnationWindow int
+	// DisableDropout turns dropout-copy off (ablation).
+	DisableDropout bool
+	// RandomDropout freezes a uniformly random job instead of the
+	// best-performing one (the generic dropout-copy of Li et al.,
+	// kept as an ablation of CLITE's refinement).
+	RandomDropout bool
+	// RandomBootstrap replaces the engineered bootstrap set (equal
+	// split + per-job extrema) with random samples (ablation).
+	RandomBootstrap bool
+	// RandomBootstrapExtra adds this many random configurations on top
+	// of the engineered bootstrap (default 3; negative disables). The
+	// engineered samples bracket the space's extremes but all sit on
+	// its boundary; a few uniform draws give the surrogate interior
+	// coverage and often land a balanced feasible starting basin.
+	RandomBootstrapExtra int
+	// ExploitEvery interleaves a pure posterior-mean maximization
+	// every N-th iteration (default 3; negative disables).
+	ExploitEvery int
+	// ExtraBootstrap configurations are evaluated alongside the
+	// engineered bootstrap set. Re-invocations after a load change pass
+	// the previously converged partition here, so the search starts
+	// from the old operating point instead of from scratch (Fig. 16).
+	ExtraBootstrap []resource.Config
+	// RandomNeighborFallback uses a random unseen neighbour instead of
+	// the objective-ranked one when integer rounding collapses onto an
+	// already-sampled configuration (ablation).
+	RandomNeighborFallback bool
+	// Seed drives all stochastic choices.
+	Seed int64
+}
+
+func (o Options) acquisition() Acquisition {
+	if o.Acquisition != nil {
+		return o.Acquisition
+	}
+	return EI{Zeta: 0.01}
+}
+
+func (o Options) kernelFamily() string {
+	if o.KernelFamily != "" {
+		return o.KernelFamily
+	}
+	return "matern52"
+}
+
+func (o Options) maxIterations() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 80
+}
+
+func (o Options) terminationEI() float64 {
+	if o.TerminationEI > 0 {
+		return o.TerminationEI
+	}
+	return 0.01
+}
+
+func (o Options) terminationPatience() int {
+	if o.TerminationPatience > 0 {
+		return o.TerminationPatience
+	}
+	return 2
+}
+
+func (o Options) exploitEvery() int {
+	if o.ExploitEvery != 0 {
+		return o.ExploitEvery
+	}
+	return 3
+}
+
+func (o Options) stagnationWindow() int {
+	if o.StagnationWindow != 0 {
+		return o.StagnationWindow
+	}
+	return 24
+}
+
+func (o Options) minIterations(nJobs int) int {
+	if o.MinIterations > 0 {
+		return o.MinIterations
+	}
+	// The paper's EI curves drop more slowly with more co-located
+	// jobs; scale the floor accordingly.
+	return 2*nJobs + 4
+}
+
+// Result is the outcome of one BO run.
+type Result struct {
+	Best       Sample
+	Samples    []Sample // in evaluation order, bootstrap included
+	Iterations int      // post-bootstrap acquisition steps taken
+	Converged  bool     // true if the EI-drop rule fired (vs. iteration cap)
+	EITrace    []float64
+}
+
+// dropoutKeepBestProb is the probability that dropout-copy freezes the
+// best-performing job rather than a random one — the "small
+// probabilistic factor" the paper credits for CLITE's small residual
+// run-to-run variability (Sec. 5.2, Fig. 11).
+const dropoutKeepBestProb = 0.85
+
+// Run executes Algorithm 1 over the feasible partition space.
+func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result, error) {
+	if nJobs < 1 {
+		return Result{}, fmt.Errorf("bo: need at least one job, got %d", nJobs)
+	}
+	for _, spec := range topo {
+		if spec.Units < nJobs {
+			return Result{}, fmt.Errorf("bo: resource %s has %d units for %d jobs", spec.Kind, spec.Units, nJobs)
+		}
+	}
+	rng := stats.NewRNG(opts.Seed)
+	acq := opts.acquisition()
+
+	e := &engine{topo: topo, nJobs: nJobs, seen: map[string]bool{}}
+
+	// Bootstrap (Sec. 4): equal division plus each job's extremum —
+	// Njobs+1 samples ("the number of initial samples is chosen to the
+	// number of colocated jobs + 1").
+	var boot []resource.Config
+	if opts.RandomBootstrap {
+		for len(boot) < nJobs+1 {
+			boot = append(boot, resource.Random(topo, nJobs, rng))
+		}
+	} else {
+		boot = append(boot, resource.EqualSplit(topo, nJobs))
+		for j := 0; j < nJobs; j++ {
+			boot = append(boot, resource.Extremum(topo, nJobs, j))
+		}
+		extra := opts.RandomBootstrapExtra
+		if extra == 0 {
+			extra = 3
+		}
+		for i := 0; i < extra; i++ {
+			boot = append(boot, resource.Random(topo, nJobs, rng))
+		}
+	}
+	for _, cfg := range opts.ExtraBootstrap {
+		if err := cfg.Validate(topo); err != nil {
+			return Result{}, fmt.Errorf("bo: extra bootstrap: %w", err)
+		}
+		boot = append(boot, cfg.Clone())
+	}
+	for _, cfg := range boot {
+		if e.seen[cfg.Key()] {
+			continue
+		}
+		if err := e.evaluate(cfg, eval); err != nil {
+			return Result{}, err
+		}
+	}
+
+	threshold := opts.terminationEI() / float64(nJobs)
+	patience := 0
+	stagnant := 0
+	prevBest := math.Inf(-1)
+	result := Result{}
+	for iter := 0; iter < opts.maxIterations(); iter++ {
+		model, err := e.fit(opts.kernelFamily())
+		if err != nil {
+			return Result{}, err
+		}
+		// With noisy observations the raw best sample is biased high
+		// (it is partly a lucky draw); the incumbent for both the
+		// acquisition and the stagnation guard is therefore the best
+		// posterior mean over the sampled points.
+		_, bestMean := e.bestByPosterior(model)
+
+		// Stagnation bookkeeping happens up front so that every kind of
+		// sample — acquisition, exploitation, reshuffle probe — counts:
+		// a probe that lifted the incumbent resets the counter through
+		// the refitted posterior.
+		scale := math.Max(e.best().Eval.Score-e.worst().Eval.Score, 0.01)
+		if bestMean > prevBest+0.002*scale {
+			prevBest = bestMean
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+
+		frozenJob := -1
+		var frozenAlloc resource.Allocation
+		// Dropout-copy needs at least three jobs: with two, the sum
+		// constraint makes freezing one job pin the other completely.
+		if !opts.DisableDropout && nJobs > 2 {
+			frozenJob, frozenAlloc = e.chooseDropout(rng, opts.RandomDropout)
+		}
+
+		eiObjective := func(x []float64) float64 {
+			mean, std, err := model.Predict(e.normalize(x))
+			if err != nil {
+				return math.Inf(-1)
+			}
+			return acq.Value(mean, std, bestMean)
+		}
+
+		// Once a QoS-meeting configuration exists, every third step is
+		// a direct reshuffle probe: move units from the job doing best
+		// to the job doing worst, across all resources at once ("CLITE
+		// does not stop after meeting QoS targets, it reshuffles
+		// resources to improve every job's performance", Sec. 5.2).
+		// The GP cannot see across the QoS cliff until such a point is
+		// sampled, so this structured exploration is what lets the
+		// engine keep converting LC slack into BG throughput.
+		probed := false
+		if e.best().Eval.Score > 0.5 && iter%3 == 1 {
+			if cand, ok := e.reshuffleProbe(rng); ok {
+				result.EITrace = append(result.EITrace, eiObjective(cand.Vector()))
+				if err := e.evaluate(cand, eval); err != nil {
+					return Result{}, err
+				}
+				result.Iterations++
+				probed = true
+			}
+		}
+		if probed {
+			// Probe samples do not inform the EI-drop rule (the rule is
+			// about the acquisition surface, which the probe bypassed);
+			// termination is evaluated on the next regular iteration.
+			continue
+		}
+		// Every third step is pure exploitation — climb the posterior
+		// mean itself. EI alone dithers near its noise floor once the
+		// model is decent; interleaving mean-climbing steps converts
+		// model knowledge into score steadily without giving up the
+		// exploration the other two thirds provide.
+		objective := eiObjective
+		if ee := opts.exploitEvery(); ee > 0 && iter%ee == ee-1 {
+			objective = func(x []float64) float64 {
+				mean, _, err := model.Predict(e.normalize(x))
+				if err != nil {
+					return math.Inf(-1)
+				}
+				return mean
+			}
+		}
+		starts := e.warmStarts()
+		starts = append(starts, e.rebalanceStarts(e.best())...)
+		problem := optimize.Problem{
+			Topo: topo, NJobs: nJobs,
+			Objective:   objective,
+			FrozenJob:   frozenJob,
+			FrozenAlloc: frozenAlloc,
+			Starts:      starts,
+			RNG:         rng,
+		}
+		xStar := optimize.Maximize(problem)
+		// The trace and the termination rule are always in EI units,
+		// whichever objective picked the candidate.
+		eiStar := eiObjective(xStar)
+		result.EITrace = append(result.EITrace, eiStar)
+
+		cfg := resource.RoundFeasible(topo, nJobs, xStar)
+		if e.seen[cfg.Key()] {
+			// Integer rounding collapsed onto an already-sampled
+			// configuration; probe an unseen neighbour instead so the
+			// window is not wasted re-measuring a known point.
+			if opts.RandomNeighborFallback {
+				cfg = e.perturb(cfg, rng)
+			} else {
+				cfg = e.bestUnseenNeighbor(cfg, objective, rng)
+			}
+		}
+		if err := e.evaluate(cfg, eval); err != nil {
+			return Result{}, err
+		}
+		result.Iterations++
+
+		// Termination: the expected-improvement drop rule. EI is in
+		// score units, so the threshold is scaled by the observed
+		// score range — before any configuration meets QoS the whole
+		// surface lives in a thin slice near zero and an absolute
+		// threshold would fire instantly.
+		// Neither rule may fire while no sampled configuration has met
+		// every QoS target (score ≤ 0.5 in the Eq. 3 convention):
+		// while the engine is still hunting for feasibility it gets
+		// the whole iteration budget — giving up early on barely-
+		// co-locatable mixes is exactly the PARTIES failure mode
+		// CLITE exists to avoid (Fig. 9b).
+		feasibilityFound := e.best().Eval.Score > 0.5
+		// The EI-drop rule additionally requires a few flat iterations:
+		// a low acquisition maximum right after a reshuffle probe
+		// improved the incumbent is the model catching up, not
+		// convergence.
+		if feasibilityFound && result.Iterations >= opts.minIterations(nJobs) &&
+			eiStar < threshold*scale && stagnant >= 4 {
+			patience++
+			if patience >= opts.terminationPatience() {
+				result.Converged = true
+				break
+			}
+		} else {
+			patience = 0
+		}
+		// Stagnation guard: measurement noise keeps EI bounded away
+		// from zero, so also stop once the incumbent has been flat
+		// (the counter is maintained at the top of the loop).
+		if w := opts.stagnationWindow(); w > 0 && feasibilityFound &&
+			result.Iterations >= opts.minIterations(nJobs) && stagnant >= w {
+			result.Converged = true
+			break
+		}
+	}
+	result.Samples = e.samples
+	// Return the posterior-mean best under the final model: with
+	// measurement noise, the raw argmax sample is the luckiest draw,
+	// not the best configuration.
+	if model, err := e.fit(opts.kernelFamily()); err == nil {
+		idx, _ := e.bestByPosterior(model)
+		result.Best = e.samples[idx]
+	} else {
+		result.Best = e.best()
+	}
+	return result, nil
+}
+
+// engine holds the sample set and bookkeeping for one run.
+type engine struct {
+	topo    resource.Topology
+	nJobs   int
+	samples []Sample
+	seen    map[string]bool
+}
+
+func (e *engine) evaluate(cfg resource.Config, eval EvalFunc) error {
+	ev, err := eval(cfg)
+	if err != nil {
+		return fmt.Errorf("bo: evaluating %v: %w", cfg, err)
+	}
+	e.samples = append(e.samples, Sample{Config: cfg.Clone(), Eval: ev})
+	e.seen[cfg.Key()] = true
+	return nil
+}
+
+// normalize maps a job-major unit vector into [0,1] per dimension for
+// the GP.
+func (e *engine) normalize(x []float64) []float64 {
+	nres := len(e.topo)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v / float64(e.topo[i%nres].Units)
+	}
+	return out
+}
+
+// mleMinSamples is the sample count below which hyperparameters are
+// held at a fixed mid-range setting: marginal likelihood over a
+// handful of points reliably prefers the over-smooth explanation,
+// which collapses posterior variance and stalls exploration.
+const mleMinSamples = 10
+
+func (e *engine) fit(family string) (*gp.GP, error) {
+	xs := make([][]float64, len(e.samples))
+	ys := make([]float64, len(e.samples))
+	for i, s := range e.samples {
+		xs[i] = e.normalize(s.Config.Vector())
+		ys[i] = s.Eval.Score
+	}
+	if len(xs) < mleMinSamples {
+		kernel, err := gp.KernelByName(family, 0.25, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		model := gp.New(kernel, 1e-3)
+		if err := model.Fit(xs, ys); err != nil {
+			return nil, err
+		}
+		return model, nil
+	}
+	return gp.FitMLE(family, xs, ys)
+}
+
+func (e *engine) best() Sample {
+	best := e.samples[0]
+	for _, s := range e.samples[1:] {
+		if s.Eval.Score > best.Eval.Score {
+			best = s
+		}
+	}
+	return best
+}
+
+// bestByPosterior returns the sample index whose GP posterior mean is
+// highest, and that mean.
+func (e *engine) bestByPosterior(model *gp.GP) (int, float64) {
+	bestIdx, bestMean := 0, math.Inf(-1)
+	for i, s := range e.samples {
+		mean, _, err := model.Predict(e.normalize(s.Config.Vector()))
+		if err != nil {
+			continue
+		}
+		if mean > bestMean {
+			bestMean = mean
+			bestIdx = i
+		}
+	}
+	return bestIdx, bestMean
+}
+
+func (e *engine) worst() Sample {
+	worst := e.samples[0]
+	for _, s := range e.samples[1:] {
+		if s.Eval.Score < worst.Eval.Score {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// freezeRank orders samples for dropout-copy: a job "performed best"
+// in the sample where it came closest to (or met) its goal, and among
+// samples where it already met the goal, in the one with the highest
+// overall score — freezing the most over-provisioned allocation would
+// anchor the search on waste.
+func freezeRank(s Sample, job int) float64 {
+	perf := 0.0
+	if job < len(s.Eval.JobPerf) {
+		perf = s.Eval.JobPerf[job]
+	}
+	if perf > 1 {
+		perf = 1
+	}
+	return perf*1000 + s.Eval.Score
+}
+
+// chooseDropout implements the paper's refinement of dropout-copy:
+// usually freeze the job that has performed best so far (at the
+// allocation where it did), occasionally a random one.
+func (e *engine) chooseDropout(rng *stats.RNG, random bool) (int, resource.Allocation) {
+	job := rng.Intn(e.nJobs)
+	if !random && rng.Float64() < dropoutKeepBestProb {
+		bestPerf := math.Inf(-1)
+		for j := 0; j < e.nJobs; j++ {
+			for _, s := range e.samples {
+				if j < len(s.Eval.JobPerf) && s.Eval.JobPerf[j] > bestPerf {
+					bestPerf = s.Eval.JobPerf[j]
+					job = j
+				}
+			}
+		}
+	}
+	// Freeze at the allocation where the chosen job performed best.
+	bestRank := math.Inf(-1)
+	alloc := e.samples[0].Config.Jobs[job]
+	for _, s := range e.samples {
+		if r := freezeRank(s, job); r > bestRank {
+			bestRank = r
+			alloc = s.Config.Jobs[job]
+		}
+	}
+	// Freezing a near-maximal allocation (e.g. the job's bootstrap
+	// extremum) would leave the remaining jobs pinned at one unit each
+	// — no search space at all. Skip dropout in that case.
+	slack := 0
+	for r := range e.topo {
+		slack += e.topo[r].Units - alloc[r] - (e.nJobs - 1)
+	}
+	if slack < 2 {
+		return -1, nil
+	}
+	return job, alloc.Clone()
+}
+
+// reshuffleProbe builds an unseen configuration that moves k units of
+// ONE resource from a comfortably-performing job to the worst-
+// performing job of the best QoS-meeting sample. Single-resource jumps
+// compose across iterations into the coordinated reallocation the
+// paper describes, while never yanking a donor's entire resource mix
+// at once (which almost always breaks the donor's QoS).
+func (e *engine) reshuffleProbe(rng *stats.RNG) (resource.Config, bool) {
+	// Base on the best sample that meets QoS (score > 0.5).
+	var base *Sample
+	for i := range e.samples {
+		s := &e.samples[i]
+		if s.Eval.Score > 0.5 && (base == nil || s.Eval.Score > base.Eval.Score) {
+			base = s
+		}
+	}
+	if base == nil || e.nJobs < 2 || len(base.Eval.JobPerf) < e.nJobs {
+		return resource.Config{}, false
+	}
+	poor := 0
+	for j := 1; j < e.nJobs; j++ {
+		if base.Eval.JobPerf[j] < base.Eval.JobPerf[poor] {
+			poor = j
+		}
+	}
+	// Donors: jobs meeting their goal comfortably (perf ≥ 1 means an
+	// LC job inside its QoS target); fall back to everyone but poor.
+	isDonor := func(j int) bool { return j != poor && base.Eval.JobPerf[j] >= 1 }
+	anyDonor := false
+	for j := 0; j < e.nJobs; j++ {
+		if isDonor(j) {
+			anyDonor = true
+			break
+		}
+	}
+	if !anyDonor {
+		isDonor = func(j int) bool { return j != poor }
+	}
+	for _, r := range rng.Perm(len(e.topo)) {
+		// Donor for this resource: the meeting job holding most of it.
+		donor := -1
+		for j := 0; j < e.nJobs; j++ {
+			if isDonor(j) && base.Config.Jobs[j][r] > 1 &&
+				(donor < 0 || base.Config.Jobs[j][r] > base.Config.Jobs[donor][r]) {
+				donor = j
+			}
+		}
+		if donor < 0 {
+			continue
+		}
+		for _, k := range []int{3, 2, 1} {
+			n := k
+			if m := base.Config.Jobs[donor][r] - 1; n > m {
+				n = m
+			}
+			if n <= 0 {
+				continue
+			}
+			cand := base.Config.Clone()
+			if !cand.Transfer(r, donor, poor, n) {
+				continue
+			}
+			if !e.seen[cand.Key()] {
+				return cand, true
+			}
+		}
+	}
+	return resource.Config{}, false
+}
+
+// rebalanceStarts builds warm starts that move mass from the job
+// performing best in the incumbent toward the job performing worst,
+// across every resource at once. Single-unit neighbourhood moves are
+// axis steps — exactly the coordinate-descent myopia the paper
+// criticizes — so these coordinated multi-resource jumps give the
+// acquisition maximizer a line of sight across the QoS cliff.
+func (e *engine) rebalanceStarts(best Sample) [][]float64 {
+	if e.nJobs < 2 || len(best.Eval.JobPerf) < e.nJobs {
+		return nil
+	}
+	rich, poor := 0, 0
+	for j := 1; j < e.nJobs; j++ {
+		if best.Eval.JobPerf[j] > best.Eval.JobPerf[rich] {
+			rich = j
+		}
+		if best.Eval.JobPerf[j] < best.Eval.JobPerf[poor] {
+			poor = j
+		}
+	}
+	if rich == poor {
+		return nil
+	}
+	v := best.Config.Vector()
+	nres := len(e.topo)
+	var starts [][]float64
+	for _, frac := range []float64{0.25, 0.5} {
+		s := append([]float64(nil), v...)
+		for r := 0; r < nres; r++ {
+			give := frac * (s[rich*nres+r] - 1)
+			if give <= 0 {
+				continue
+			}
+			s[rich*nres+r] -= give
+			s[poor*nres+r] += give
+		}
+		starts = append(starts, s)
+	}
+	return starts
+}
+
+// warmStarts seeds the acquisition maximizer with the best few samples.
+func (e *engine) warmStarts() [][]float64 {
+	idx := make([]int, len(e.samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection of the top three by score.
+	for k := 0; k < len(idx) && k < 3; k++ {
+		for i := k + 1; i < len(idx); i++ {
+			if e.samples[idx[i]].Eval.Score > e.samples[idx[k]].Eval.Score {
+				idx[k], idx[i] = idx[i], idx[k]
+			}
+		}
+	}
+	n := 3
+	if len(idx) < n {
+		n = len(idx)
+	}
+	starts := make([][]float64, 0, 2*n)
+	for _, i := range idx[:n] {
+		v := e.samples[i].Config.Vector()
+		starts = append(starts, v)
+		// A smoothed copy nudged toward the equal split escapes the
+		// zero-EI plateau that sits exactly on a sampled point.
+		nres := len(e.topo)
+		blend := make([]float64, len(v))
+		for d := range v {
+			even := float64(e.topo[d%nres].Units) / float64(e.nJobs)
+			blend[d] = 0.7*v[d] + 0.3*even
+		}
+		starts = append(starts, blend)
+	}
+	return starts
+}
+
+// bestUnseenNeighbor scans the single-unit-transfer neighbourhood of
+// cfg and returns the unseen feasible neighbour the current objective
+// ranks highest, falling back to random perturbation when the whole
+// neighbourhood has been sampled.
+func (e *engine) bestUnseenNeighbor(cfg resource.Config, objective func([]float64) float64, rng *stats.RNG) resource.Config {
+	var best resource.Config
+	bestVal := math.Inf(-1)
+	for r := range e.topo {
+		for from := 0; from < e.nJobs; from++ {
+			for to := 0; to < e.nJobs; to++ {
+				cand := cfg.Clone()
+				if !cand.Transfer(r, from, to, 1) {
+					continue
+				}
+				if e.seen[cand.Key()] {
+					continue
+				}
+				if v := objective(cand.Vector()); v > bestVal {
+					bestVal = v
+					best = cand
+				}
+			}
+		}
+	}
+	if bestVal > math.Inf(-1) && best.NumJobs() > 0 {
+		return best
+	}
+	return e.perturb(cfg, rng)
+}
+
+// perturb returns an unseen configuration near cfg by moving single
+// units between random jobs; it falls back to a fully random
+// configuration if the neighbourhood is exhausted.
+func (e *engine) perturb(cfg resource.Config, rng *stats.RNG) resource.Config {
+	for attempt := 0; attempt < 64; attempt++ {
+		cand := cfg.Clone()
+		moves := 1 + rng.Intn(2)
+		for k := 0; k < moves; k++ {
+			r := rng.Intn(len(e.topo))
+			from := rng.Intn(e.nJobs)
+			to := rng.Intn(e.nJobs)
+			cand.Transfer(r, from, to, 1)
+		}
+		if !e.seen[cand.Key()] && cand.Validate(e.topo) == nil {
+			return cand
+		}
+	}
+	for attempt := 0; attempt < 256; attempt++ {
+		cand := resource.Random(e.topo, e.nJobs, rng)
+		if !e.seen[cand.Key()] {
+			return cand
+		}
+	}
+	return cfg
+}

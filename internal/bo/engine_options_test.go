@@ -1,0 +1,87 @@
+package bo
+
+import (
+	"testing"
+
+	"clite/internal/resource"
+)
+
+func TestExtraBootstrapIsEvaluatedFirst(t *testing.T) {
+	topo := resource.Small()
+	nJobs := 2
+	warm := resource.Config{Jobs: []resource.Allocation{{7, 2, 6}, {3, 8, 4}}}
+	var evaluated []string
+	eval := func(cfg resource.Config) (Evaluation, error) {
+		evaluated = append(evaluated, cfg.Key())
+		return Evaluation{Score: 0.6, JobPerf: []float64{1, 1}}, nil
+	}
+	_, err := Run(topo, nJobs, eval, Options{
+		Seed: 1, MaxIterations: 1,
+		ExtraBootstrap: []resource.Config{warm},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range evaluated {
+		if k == warm.Key() {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("warm-start configuration was never evaluated")
+	}
+}
+
+func TestExtraBootstrapValidated(t *testing.T) {
+	topo := resource.Small()
+	bad := resource.Config{Jobs: []resource.Allocation{{20, 2, 6}, {3, 8, 4}}} // breaks sums
+	_, err := Run(topo, 2, func(resource.Config) (Evaluation, error) {
+		return Evaluation{Score: 0.5, JobPerf: []float64{1, 1}}, nil
+	}, Options{Seed: 1, MaxIterations: 1, ExtraBootstrap: []resource.Config{bad}})
+	if err == nil {
+		t.Error("infeasible warm start should be rejected")
+	}
+}
+
+func TestRandomBootstrapExtraControlsSeedCount(t *testing.T) {
+	topo := resource.Small()
+	nJobs := 2
+	count := func(extra int) int {
+		n := 0
+		_, err := Run(topo, nJobs, func(resource.Config) (Evaluation, error) {
+			n++
+			return Evaluation{Score: 0.6, JobPerf: []float64{1, 1}}, nil
+		}, Options{Seed: 5, MaxIterations: 1, RandomBootstrapExtra: extra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	withDefault := count(0) // default: 3 random extras
+	withNone := count(-1)
+	if withDefault <= withNone {
+		t.Errorf("default random extras (%d evals) should exceed disabled (%d)", withDefault, withNone)
+	}
+	// Disabled: equal split + 2 extrema + 1 acquisition = 4 evals.
+	if withNone != nJobs+2 {
+		t.Errorf("disabled extras: %d evals, want %d", withNone, nJobs+2)
+	}
+}
+
+func TestStagnationWindowDisabled(t *testing.T) {
+	// With stagnation disabled and a flat objective the run should hit
+	// the iteration cap rather than converge early — but only after
+	// feasibility (score > 0.5) per the termination gating, so use a
+	// "feasible" flat score.
+	topo := resource.Small()
+	res, err := Run(topo, 2, func(resource.Config) (Evaluation, error) {
+		return Evaluation{Score: 0.7, JobPerf: []float64{1, 1}}, nil
+	}, Options{Seed: 7, MaxIterations: 12, StagnationWindow: -1, TerminationEI: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged && res.Iterations < 12 {
+		t.Errorf("flat run converged at %d iterations with stagnation disabled (EI rule?)", res.Iterations)
+	}
+}

@@ -1,0 +1,221 @@
+// Package cluster is the warehouse-scale layer above the single-node
+// controller: a small scheduler that places a stream of job requests
+// across multiple simulated nodes, running CLITE on each node to
+// decide whether a candidate co-location is QoS-feasible and, if so,
+// under what partition. It operationalizes the paper's Sec. 4 note
+// that jobs which cannot meet QoS on a node "can be immediately
+// scheduled elsewhere without wasting any BO cycles", and the
+// introduction's warehouse-scale motivation: higher utilization comes
+// from safely packing more LC and BG jobs per node.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"clite/internal/bo"
+	"clite/internal/core"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// Request asks the scheduler to place one job.
+type Request struct {
+	// Workload is a Table 3 workload name.
+	Workload string
+	// Load is the offered load for LC workloads (fraction of the
+	// calibrated maximum); it must be 0 for BG workloads.
+	Load float64
+}
+
+// IsLC reports whether the request is latency-critical (has a load).
+func (r Request) IsLC() bool { return r.Load > 0 }
+
+// Placement reports where a request landed and the partition found.
+type Placement struct {
+	Node   int
+	Result core.Result
+}
+
+// ErrUnplaceable is returned when no node can host the request while
+// keeping every co-located LC job inside its QoS target.
+var ErrUnplaceable = errors.New("cluster: no node can host the job within QoS")
+
+// Options configures the scheduler.
+type Options struct {
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// Seed drives all nodes' measurement noise and searches.
+	Seed int64
+	// ScreenIterations bounds the BO budget spent deciding whether a
+	// candidate co-location is feasible (default 24: enough for the
+	// bootstrap plus a focused feasibility hunt, cheap enough to try
+	// several nodes).
+	ScreenIterations int
+}
+
+func (o Options) nodes() int {
+	if o.Nodes > 0 {
+		return o.Nodes
+	}
+	return 4
+}
+
+func (o Options) screenIterations() int {
+	if o.ScreenIterations > 0 {
+		return o.ScreenIterations
+	}
+	return 24
+}
+
+// node tracks one machine's accepted jobs. Machines are rebuilt per
+// placement trial — simulated machines are cheap, and a fresh build is
+// the cleanest way to express "what if this job also ran here".
+type node struct {
+	id       int
+	requests []Request
+	last     core.Result
+	lastOK   bool
+}
+
+// Scheduler places jobs across a fixed pool of simulated nodes.
+type Scheduler struct {
+	opts  Options
+	nodes []*node
+}
+
+// New builds a scheduler over opts.Nodes empty nodes.
+func New(opts Options) *Scheduler {
+	s := &Scheduler{opts: opts}
+	for i := 0; i < opts.nodes(); i++ {
+		s.nodes = append(s.nodes, &node{id: i})
+	}
+	return s
+}
+
+// build constructs the machine hosting the node's jobs plus an
+// optional extra request.
+func (s *Scheduler) build(n *node, extra *Request) (*server.Machine, error) {
+	m := server.New(resource.Default(), server.DefaultSpec(), s.opts.Seed+int64(n.id)*1009)
+	reqs := n.requests
+	if extra != nil {
+		reqs = append(append([]Request(nil), reqs...), *extra)
+	}
+	for _, r := range reqs {
+		var err error
+		if r.IsLC() {
+			_, err = m.AddLC(r.Workload, r.Load)
+		} else {
+			_, err = m.AddBG(r.Workload)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// screen runs a budget-bounded CLITE invocation to decide feasibility.
+func (s *Scheduler) screen(n *node, extra Request) (core.Result, bool, error) {
+	m, err := s.build(n, &extra)
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	ctrl := core.New(m, core.Options{BO: bo.Options{
+		Seed:          s.opts.Seed + int64(n.id)*31 + int64(len(n.requests)),
+		MaxIterations: s.opts.screenIterations(),
+	}})
+	res, err := ctrl.Run()
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	// A BG-only node has no QoS gate; any partition is acceptable.
+	allBG := !extra.IsLC()
+	for _, r := range n.requests {
+		if r.IsLC() {
+			allBG = false
+		}
+	}
+	ok := res.QoSMeetable || (allBG && len(res.Infeasible) == 0)
+	return res, ok, nil
+}
+
+// Place finds a node for the request, preferring the least-loaded
+// nodes, and returns the partition CLITE found there. The request is
+// admitted onto the first node whose screening run meets every QoS
+// target; if none qualifies the request is rejected with
+// ErrUnplaceable (schedule it in the next rack).
+func (s *Scheduler) Place(req Request) (Placement, error) {
+	if req.Load < 0 || req.Load > 1.5 {
+		return Placement{}, fmt.Errorf("cluster: load %v out of range", req.Load)
+	}
+	order := make([]*node, len(s.nodes))
+	copy(order, s.nodes)
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(order[i].requests) < len(order[j].requests)
+	})
+	for _, n := range order {
+		res, ok, err := s.screen(n, req)
+		if err != nil {
+			return Placement{}, err
+		}
+		if !ok {
+			continue
+		}
+		n.requests = append(n.requests, req)
+		n.last = res
+		n.lastOK = true
+		return Placement{Node: n.id, Result: res}, nil
+	}
+	return Placement{}, ErrUnplaceable
+}
+
+// NodeInfo is a snapshot of one node's state.
+type NodeInfo struct {
+	ID     int
+	Jobs   []string
+	QoSMet bool
+	// BGPerf is the mean isolation-normalized BG throughput under the
+	// node's current partition (0 when the node hosts no BG job).
+	BGPerf float64
+}
+
+// Snapshot reports every node's jobs and health.
+func (s *Scheduler) Snapshot() []NodeInfo {
+	out := make([]NodeInfo, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		info := NodeInfo{ID: n.id, QoSMet: n.lastOK}
+		for _, r := range n.requests {
+			label := r.Workload
+			if r.IsLC() {
+				label = fmt.Sprintf("%s@%.0f%%", r.Workload, r.Load*100)
+			}
+			info.Jobs = append(info.Jobs, label)
+		}
+		if n.lastOK && n.last.BestObs.NormPerf != nil {
+			var sum float64
+			cnt := 0
+			for i, r := range n.requests {
+				if !r.IsLC() && i < len(n.last.BestObs.NormPerf) {
+					sum += n.last.BestObs.NormPerf[i]
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				info.BGPerf = sum / float64(cnt)
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Jobs returns the total number of placed jobs.
+func (s *Scheduler) Jobs() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += len(n.requests)
+	}
+	return total
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRequestClassification(t *testing.T) {
+	if !(Request{Workload: "memcached", Load: 0.2}).IsLC() {
+		t.Error("loaded request should be LC")
+	}
+	if (Request{Workload: "canneal"}).IsLC() {
+		t.Error("zero-load request should be BG")
+	}
+}
+
+func TestPlaceSpreadsAcrossNodes(t *testing.T) {
+	s := New(Options{Nodes: 3, Seed: 1})
+	var nodes []int
+	for i := 0; i < 3; i++ {
+		p, err := s.Place(Request{Workload: "memcached", Load: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, p.Node)
+	}
+	// Least-loaded placement must use all three nodes before doubling
+	// up anywhere.
+	seen := map[int]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			t.Fatalf("node %d reused before the cluster filled: %v", n, nodes)
+		}
+		seen[n] = true
+	}
+	if s.Jobs() != 3 {
+		t.Errorf("Jobs() = %d, want 3", s.Jobs())
+	}
+}
+
+func TestPlaceValidation(t *testing.T) {
+	s := New(Options{Nodes: 1, Seed: 2})
+	if _, err := s.Place(Request{Workload: "memcached", Load: -1}); err == nil {
+		t.Error("negative load should be rejected")
+	}
+	if _, err := s.Place(Request{Workload: "not-a-workload", Load: 0.2}); err == nil {
+		t.Error("unknown workload should be rejected")
+	}
+}
+
+func TestPlaceRejectsHopelessJob(t *testing.T) {
+	s := New(Options{Nodes: 2, Seed: 3})
+	// 140% of the knee cannot meet QoS anywhere, even alone.
+	_, err := s.Place(Request{Workload: "memcached", Load: 1.4})
+	if !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("expected ErrUnplaceable, got %v", err)
+	}
+	if s.Jobs() != 0 {
+		t.Error("rejected job must not occupy a node")
+	}
+}
+
+func TestPlaceBGJobsAlwaysAdmissible(t *testing.T) {
+	s := New(Options{Nodes: 1, Seed: 4})
+	for _, bg := range []string{"swaptions", "canneal"} {
+		if _, err := s.Place(Request{Workload: bg}); err != nil {
+			t.Fatalf("BG job %s should place: %v", bg, err)
+		}
+	}
+	snap := s.Snapshot()
+	if len(snap[0].Jobs) != 2 {
+		t.Fatalf("snapshot jobs = %v", snap[0].Jobs)
+	}
+}
+
+func TestClusterPacksUntilSaturation(t *testing.T) {
+	// One node, repeated heavy LC jobs: the first placements succeed,
+	// then the scheduler starts rejecting — the admission behaviour a
+	// warehouse scheduler builds on.
+	s := New(Options{Nodes: 1, Seed: 5, ScreenIterations: 16})
+	accepted := 0
+	for i := 0; i < 4; i++ {
+		_, err := s.Place(Request{Workload: "memcached", Load: 0.45})
+		if err == nil {
+			accepted++
+			continue
+		}
+		if !errors.Is(err, ErrUnplaceable) {
+			t.Fatal(err)
+		}
+		break
+	}
+	if accepted == 0 {
+		t.Error("a 45% memcached should fit on an empty node")
+	}
+	if accepted >= 4 {
+		t.Error("four 45% memcacheds cannot share one node; admission control failed")
+	}
+}
+
+func TestSnapshotReportsState(t *testing.T) {
+	s := New(Options{Nodes: 2, Seed: 6})
+	if _, err := s.Place(Request{Workload: "img-dnn", Load: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(Request{Workload: "streamcluster"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d nodes", len(snap))
+	}
+	labeled := 0
+	for _, n := range snap {
+		labeled += len(n.Jobs)
+		for _, j := range n.Jobs {
+			if j == "img-dnn@20%" || j == "streamcluster" {
+				continue
+			}
+			t.Errorf("unexpected job label %q", j)
+		}
+	}
+	if labeled != 2 {
+		t.Errorf("snapshot lists %d jobs, want 2", labeled)
+	}
+}

@@ -1,0 +1,279 @@
+// Package core implements the CLITE controller itself: the Eq. 3
+// score function over observation windows, infeasible-job detection
+// during bootstrapping, the observe→score→refit loop driven by the
+// internal/bo engine, and re-invocation on load changes (Sec. 4,
+// "Putting it all together", Fig. 5).
+//
+// CLITE runs as a background task next to the co-located jobs: it
+// proposes a resource partition, the machine enforces it with the
+// isolation tools and runs a two-second observation window, the
+// resulting per-job measurements are scored, and the Bayesian-
+// optimization engine picks the next partition until the expected
+// improvement dries up.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/stats"
+)
+
+// Options configures a CLITE run. The zero value is the paper's
+// configuration.
+type Options struct {
+	BO bo.Options
+}
+
+// Step pairs one evaluated configuration with the observation that
+// produced its score, preserving the full decision trace (Fig. 9b and
+// Fig. 15b are plots over this history).
+type Step struct {
+	Config resource.Config
+	Score  float64
+	Obs    server.Observation
+}
+
+// Result is the outcome of one CLITE invocation.
+type Result struct {
+	// Best is the highest-scoring partition found.
+	Best resource.Config
+	// BestScore is its Eq. 3 score.
+	BestScore float64
+	// BestObs is the observation that produced BestScore.
+	BestObs server.Observation
+	// SamplesUsed counts evaluated configurations, bootstrap included
+	// (the Fig. 15a overhead metric).
+	SamplesUsed int
+	// Converged reports whether the EI-drop termination rule fired.
+	Converged bool
+	// QoSMeetable reports whether the best configuration met every LC
+	// job's QoS target.
+	QoSMeetable bool
+	// Infeasible lists LC jobs that missed their QoS target even with
+	// the maximum possible allocation; such jobs should be scheduled
+	// on another node (Sec. 4) and the search stops early.
+	Infeasible []int
+	// History is the full evaluation trace.
+	History []Step
+	// EITrace is the acquisition maximum per iteration.
+	EITrace []float64
+}
+
+// Controller is a CLITE instance bound to one machine.
+type Controller struct {
+	machine *server.Machine
+	opts    Options
+}
+
+// New returns a controller for the machine.
+func New(machine *server.Machine, opts Options) *Controller {
+	return &Controller{machine: machine, opts: opts}
+}
+
+// Score implements Eq. 3 of the paper over one observation.
+//
+// If any LC job misses its QoS target, the score is at most 0.5:
+// half the geometric mean of the per-LC-job min(1, target/latency)
+// ratios. Once every LC job meets QoS, the score is 0.5 plus half the
+// geometric mean of the BG jobs' isolation-normalized performance —
+// or of the LC jobs' when no BG jobs are co-located ("NBG is simply
+// replaced by NLC in this scenario").
+//
+// The paper's Eq. 3 writes plain products; with the per-term 1/N
+// exponent (geometric mean) the score keeps the same ordering and
+// optima while staying in [0, 1] for any number of jobs, which is the
+// normalization property Sec. 4 asks of the score function. This
+// deviation is documented in DESIGN.md.
+func (c *Controller) Score(obs server.Observation) float64 {
+	return ScoreObservation(c.machine.Jobs(), obs)
+}
+
+// ScoreObservation is Score for explicit job metadata.
+func ScoreObservation(jobs []server.Job, obs server.Observation) float64 {
+	var lcRatios, bgPerf, lcPerf []float64
+	allMet := true
+	for i, job := range jobs {
+		if job.IsLC() {
+			ratio := 1.0
+			if obs.P95[i] > 0 {
+				ratio = job.QoS / obs.P95[i]
+			}
+			if ratio > 1 {
+				ratio = 1
+			}
+			lcRatios = append(lcRatios, ratio)
+			if !obs.QoSMet[i] {
+				allMet = false
+			}
+			lcPerf = append(lcPerf, stats.Clamp(obs.NormPerf[i], 0, 1))
+		} else {
+			bgPerf = append(bgPerf, stats.Clamp(obs.NormPerf[i], 0, 1))
+		}
+	}
+	if !allMet {
+		return 0.5 * stats.GeoMean(lcRatios)
+	}
+	perf := bgPerf
+	if len(perf) == 0 {
+		perf = lcPerf
+	}
+	if len(perf) == 0 {
+		// All-BG mixes have no QoS gate; score is pure performance.
+		return 1.0
+	}
+	return 0.5 + 0.5*stats.GeoMean(perf)
+}
+
+// jobPerf extracts the per-job "how well is this job doing" signal the
+// dropout-copy heuristic consumes: QoS headroom for LC jobs,
+// normalized throughput for BG jobs.
+func jobPerf(jobs []server.Job, obs server.Observation) []float64 {
+	out := make([]float64, len(jobs))
+	for i, job := range jobs {
+		if job.IsLC() {
+			if obs.P95[i] > 0 {
+				out[i] = stats.Clamp(job.QoS/obs.P95[i], 0, 2)
+			}
+		} else {
+			out[i] = stats.Clamp(obs.NormPerf[i], 0, 2)
+		}
+	}
+	return out
+}
+
+// infeasibleError aborts the BO loop as soon as the bootstrap proves a
+// job cannot meet QoS even with everything.
+type infeasibleError struct {
+	job int
+}
+
+func (e infeasibleError) Error() string {
+	return fmt.Sprintf("core: job %d misses QoS under maximum allocation", e.job)
+}
+
+// Rerun re-invokes the controller after a load or mix change, seeding
+// the search with the previously converged partition (Sec. 4: "if the
+// observed performance or the job mix changes, CLITE can be reinvoked
+// to determine new optimal resource partition"). Starting from the old
+// operating point lets the new search shift allocations incrementally
+// instead of rediscovering the feasible region.
+func (c *Controller) Rerun(prev Result) (Result, error) {
+	opts := c.opts
+	if prev.Best.NumJobs() == c.machine.NumJobs() {
+		boCopy := opts.BO
+		boCopy.ExtraBootstrap = append(append([]resource.Config(nil), boCopy.ExtraBootstrap...), prev.Best)
+		opts.BO = boCopy
+	}
+	replay := &Controller{machine: c.machine, opts: opts}
+	return replay.Run()
+}
+
+// Run executes one full CLITE invocation: bootstrap, BO search,
+// termination. The machine is left in whatever configuration was
+// sampled last; callers wanting the best partition enforced should
+// follow with ApplyBest.
+func (c *Controller) Run() (Result, error) {
+	m := c.machine
+	nJobs := m.NumJobs()
+	if nJobs == 0 {
+		return Result{}, errors.New("core: no jobs placed on the machine")
+	}
+	topo := m.Topology()
+	jobs := m.Jobs()
+
+	// Map each LC job to its bootstrap extremum configuration so the
+	// evaluation callback can detect "cannot meet QoS even under
+	// maximum allocation" (Sec. 4) and stop wasting BO cycles.
+	extremumKey := make(map[string]int, nJobs)
+	if !c.opts.BO.RandomBootstrap {
+		for j, job := range jobs {
+			if job.IsLC() {
+				extremumKey[resource.Extremum(topo, nJobs, j).Key()] = j
+			}
+		}
+	}
+
+	var history []Step
+	eval := func(cfg resource.Config) (bo.Evaluation, error) {
+		obs, err := m.Observe(cfg)
+		if err != nil {
+			return bo.Evaluation{}, err
+		}
+		score := ScoreObservation(jobs, obs)
+		history = append(history, Step{Config: cfg.Clone(), Score: score, Obs: obs})
+		if j, ok := extremumKey[cfg.Key()]; ok && !obs.QoSMet[j] {
+			return bo.Evaluation{}, infeasibleError{job: j}
+		}
+		return bo.Evaluation{Score: score, JobPerf: jobPerf(jobs, obs)}, nil
+	}
+
+	boRes, err := bo.Run(topo, nJobs, eval, c.opts.BO)
+	var infeasible infeasibleError
+	if errors.As(err, &infeasible) {
+		res := resultFromHistory(history)
+		res.Infeasible = []int{infeasible.job}
+		return res, nil
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res := resultFromHistory(history)
+	res.Converged = boRes.Converged
+	res.EITrace = boRes.EITrace
+	return res, nil
+}
+
+func resultFromHistory(history []Step) Result {
+	res := Result{History: history, SamplesUsed: len(history)}
+	bestIdx := -1
+	for i, s := range history {
+		if bestIdx < 0 || s.Score > history[bestIdx].Score {
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		res.Best = history[bestIdx].Config
+		res.BestScore = history[bestIdx].Score
+		res.BestObs = history[bestIdx].Obs
+		res.QoSMeetable = history[bestIdx].Obs.AllQoSMet
+	}
+	return res
+}
+
+// ApplyBest re-applies the result's best partition to the machine and
+// returns a fresh observation under it.
+func (c *Controller) ApplyBest(res Result) (server.Observation, error) {
+	if res.Best.NumJobs() == 0 {
+		return server.Observation{}, errors.New("core: result has no best configuration")
+	}
+	return c.machine.Observe(res.Best)
+}
+
+// Monitor watches the machine under a fixed partition for the given
+// number of observation windows (the Sec. 4 post-convergence phase).
+// It reports true — "re-invoke CLITE" — once two consecutive windows
+// show a QoS violation, which is what happens when the offered load
+// shifts (Fig. 16). Requiring two windows keeps a single noisy p95
+// estimate from triggering a full re-partitioning.
+func (c *Controller) Monitor(cfg resource.Config, windows int) (reinvoke bool, err error) {
+	violations := 0
+	for i := 0; i < windows; i++ {
+		obs, err := c.machine.Observe(cfg)
+		if err != nil {
+			return false, err
+		}
+		if !obs.AllQoSMet {
+			violations++
+			if violations >= 2 {
+				return true, nil
+			}
+		} else {
+			violations = 0
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"clite/internal/bo"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// TestRerunWarmStartsFromPreviousPartition checks the Fig. 16
+// re-invocation path: after a load change, Rerun must seed the search
+// with the previous best partition and still produce a valid result.
+func TestRerunWarmStartsFromPreviousPartition(t *testing.T) {
+	m := server.New(resource.Default(), server.DefaultSpec(), 3)
+	mustAddLC(t, m, "img-dnn", 0.1)
+	mustAddLC(t, m, "masstree", 0.1)
+	mcIdx := mustAddLC(t, m, "memcached", 0.1)
+	mustAddBG(t, m, "fluidanimate")
+
+	c := New(m, Options{BO: bo.Options{Seed: 3}})
+	first, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.QoSMeetable {
+		t.Skip("initial mix unexpectedly infeasible for this seed")
+	}
+	if err := m.SetLoad(mcIdx, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Rerun(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Best.Validate(m.Topology()); err != nil {
+		t.Fatal(err)
+	}
+	// The previous best must be among the evaluated configurations
+	// (it was injected as a bootstrap sample).
+	found := false
+	for _, step := range second.History {
+		if step.Config.Equal(first.Best) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("Rerun should have evaluated the previous best partition during bootstrap")
+	}
+	if !second.QoSMeetable {
+		t.Errorf("warm-started rerun should re-converge at the higher load (score %v)", second.BestScore)
+	}
+}
+
+// TestRerunToleratesJobCountChange ensures a stale previous result
+// (different job count) degrades to a cold start, not an error.
+func TestRerunToleratesJobCountChange(t *testing.T) {
+	m := server.New(resource.Default(), server.DefaultSpec(), 5)
+	mustAddLC(t, m, "memcached", 0.2)
+	mustAddBG(t, m, "swaptions")
+	c := New(m, Options{BO: bo.Options{Seed: 5, MaxIterations: 8}})
+	stale := Result{Best: resource.EqualSplit(m.Topology(), 4)}
+	res, err := c.Rerun(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesUsed == 0 {
+		t.Error("rerun with stale result should still run")
+	}
+}

@@ -1,0 +1,161 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"clite/internal/linalg"
+	"clite/internal/stats"
+)
+
+// GP is a Gaussian-process regressor. Targets are standardized
+// internally, so callers can fit raw objective scores directly.
+type GP struct {
+	kernel Kernel
+	noise  float64 // observation noise variance (in standardized units)
+
+	x          [][]float64
+	yStd       []float64 // standardized targets
+	meanY, sdY float64
+
+	chol  *linalg.Matrix
+	alpha []float64
+}
+
+// ErrNoData is returned by Predict before any Fit.
+var ErrNoData = errors.New("gp: model has no training data")
+
+// New returns a GP with the kernel and observation-noise variance.
+func New(kernel Kernel, noise float64) *GP {
+	if noise <= 0 {
+		noise = 1e-6
+	}
+	return &GP{kernel: kernel, noise: noise}
+}
+
+// Kernel returns the model's covariance function.
+func (g *GP) Kernel() Kernel { return g.kernel }
+
+// Fit conditions the GP on the samples (x[i], y[i]). It replaces any
+// previous data — CLITE refits after every observation window, and
+// with the paper's sample counts (tens) the O(n³) refit is microseconds.
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return fmt.Errorf("gp: bad training set: %d inputs, %d targets", len(x), len(y))
+	}
+	dim := len(x[0])
+	for i, xi := range x {
+		if len(xi) != dim {
+			return fmt.Errorf("gp: input %d has dimension %d, want %d", i, len(xi), dim)
+		}
+	}
+	g.meanY = stats.Mean(y)
+	g.sdY = stats.StdDev(y)
+	if g.sdY < 1e-9 {
+		g.sdY = 1
+	}
+	g.x = make([][]float64, len(x))
+	g.yStd = make([]float64, len(y))
+	for i := range x {
+		g.x[i] = append([]float64(nil), x[i]...)
+		g.yStd[i] = (y[i] - g.meanY) / g.sdY
+	}
+	n := len(x)
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.kernel.Eval(g.x[i], g.x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.noise)
+	}
+	chol, _, err := linalg.Cholesky(k, 1e-2)
+	if err != nil {
+		return fmt.Errorf("gp: kernel matrix: %w", err)
+	}
+	g.chol = chol
+	g.alpha = linalg.CholeskySolve(chol, g.yStd)
+	return nil
+}
+
+// N returns the number of conditioned samples.
+func (g *GP) N() int { return len(g.x) }
+
+// Predict returns the posterior mean and standard deviation at x, in
+// the original (unstandardized) target units.
+func (g *GP) Predict(x []float64) (mean, std float64, err error) {
+	if g.chol == nil {
+		return 0, 0, ErrNoData
+	}
+	n := len(g.x)
+	kStar := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kStar[i] = g.kernel.Eval(g.x[i], x)
+	}
+	muStd := linalg.Dot(kStar, g.alpha)
+	v := linalg.SolveLower(g.chol, kStar)
+	varStd := g.kernel.Eval(x, x) - linalg.Dot(v, v)
+	if varStd < 0 {
+		varStd = 0
+	}
+	return muStd*g.sdY + g.meanY, math.Sqrt(varStd) * g.sdY, nil
+}
+
+// LogMarginalLikelihood returns the log evidence of the conditioned
+// data under the model (standardized units), the criterion used for
+// hyperparameter selection.
+func (g *GP) LogMarginalLikelihood() (float64, error) {
+	if g.chol == nil {
+		return 0, ErrNoData
+	}
+	n := float64(len(g.yStd))
+	return -0.5*linalg.Dot(g.yStd, g.alpha) -
+		0.5*linalg.LogDetFromCholesky(g.chol) -
+		0.5*n*math.Log(2*math.Pi), nil
+}
+
+// FitMLE fits GPs across a small hyperparameter grid (length scale ×
+// noise) for the given kernel family and returns the model with the
+// highest log marginal likelihood. Inputs are assumed normalized to
+// [0,1] per dimension (the BO engine guarantees this), which is what
+// makes a fixed grid broadly applicable and keeps CLITE free of
+// per-job-mix tuning.
+func FitMLE(family string, x [][]float64, y []float64) (*GP, error) {
+	// The grid tops out at 0.6: with inputs normalized to [0,1] a unit
+	// length scale declares the whole space "as good as sampled",
+	// collapsing posterior variance and killing acquisition-driven
+	// exploration in the early iterations.
+	lengthScales := []float64{0.1, 0.2, 0.35, 0.6}
+	noises := []float64{1e-4, 1e-3, 1e-2}
+	var best *GP
+	bestLML := math.Inf(-1)
+	var lastErr error
+	for _, l := range lengthScales {
+		for _, nz := range noises {
+			kernel, err := KernelByName(family, l, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			model := New(kernel, nz)
+			if err := model.Fit(x, y); err != nil {
+				lastErr = err
+				continue
+			}
+			lml, err := model.LogMarginalLikelihood()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if lml > bestLML {
+				bestLML = lml
+				best = model
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gp: no hyperparameter setting fit the data: %w", lastErr)
+	}
+	return best, nil
+}

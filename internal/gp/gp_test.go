@@ -1,0 +1,264 @@
+package gp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clite/internal/stats"
+)
+
+func TestKernelByName(t *testing.T) {
+	m, err := KernelByName("matern52", 0.5, 1)
+	if err != nil || m.Name() != "matern52" {
+		t.Fatalf("matern52: %v %v", m, err)
+	}
+	r, err := KernelByName("rbf", 0.5, 1)
+	if err != nil || r.Name() != "rbf" {
+		t.Fatalf("rbf: %v %v", r, err)
+	}
+	d, err := KernelByName("", 0.5, 1)
+	if err != nil || d.Name() != "matern52" {
+		t.Fatal("default kernel should be matern52")
+	}
+	if _, err := KernelByName("linear", 0.5, 1); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	kernels := []Kernel{
+		Matern52{LengthScales: []float64{0.3}, Variance: 2},
+		RBF{LengthScales: []float64{0.3}, Variance: 2},
+	}
+	a := []float64{0.1, 0.9}
+	b := []float64{0.4, 0.2}
+	for _, k := range kernels {
+		if got := k.Eval(a, a); math.Abs(got-2) > 1e-12 {
+			t.Errorf("%s: k(a,a) = %v, want variance 2", k.Name(), got)
+		}
+		if k.Eval(a, b) != k.Eval(b, a) {
+			t.Errorf("%s: kernel not symmetric", k.Name())
+		}
+		if k.Eval(a, b) >= k.Eval(a, a) {
+			t.Errorf("%s: distinct points should have lower covariance", k.Name())
+		}
+		if k.Eval(a, b) <= 0 {
+			t.Errorf("%s: covariance should be positive", k.Name())
+		}
+	}
+}
+
+func TestKernelDecaysWithDistanceProperty(t *testing.T) {
+	k := Matern52{LengthScales: []float64{0.5}, Variance: 1}
+	f := func(x1, x2 uint8) bool {
+		d1 := float64(x1) / 255
+		d2 := float64(x2) / 255
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		near := k.Eval([]float64{0}, []float64{d1})
+		far := k.Eval([]float64{0}, []float64{d2})
+		return far <= near+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestARDLengthScales(t *testing.T) {
+	// A short length scale on dim 0 makes distance in dim 0 matter more.
+	k := Matern52{LengthScales: []float64{0.1, 10}, Variance: 1}
+	alongFirst := k.Eval([]float64{0, 0}, []float64{0.5, 0})
+	alongSecond := k.Eval([]float64{0, 0}, []float64{0, 0.5})
+	if alongFirst >= alongSecond {
+		t.Errorf("ARD: %v should be < %v", alongFirst, alongSecond)
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	g := New(Matern52{LengthScales: []float64{0.3}, Variance: 1}, 1e-4)
+	if _, _, err := g.Predict([]float64{0}); err != ErrNoData {
+		t.Errorf("expected ErrNoData, got %v", err)
+	}
+	if _, err := g.LogMarginalLikelihood(); err != ErrNoData {
+		t.Errorf("expected ErrNoData, got %v", err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	g := New(Matern52{LengthScales: []float64{0.3}, Variance: 1}, 1e-4)
+	if err := g.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if err := g.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := g.Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}); err == nil {
+		t.Error("ragged inputs should fail")
+	}
+}
+
+func TestInterpolatesTrainingPoints(t *testing.T) {
+	x := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	y := []float64{0, 2, 3, 2.5, 5}
+	g := New(Matern52{LengthScales: []float64{0.3}, Variance: 1}, 1e-6)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		mean, std, err := g.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-y[i]) > 0.05 {
+			t.Errorf("mean at train point %v = %v, want %v", x[i], mean, y[i])
+		}
+		if std > 0.1 {
+			t.Errorf("std at train point %v = %v, want ≈0", x[i], std)
+		}
+	}
+}
+
+func TestUncertaintyGrowsAwayFromData(t *testing.T) {
+	x := [][]float64{{0.4}, {0.5}, {0.6}}
+	y := []float64{1, 1.2, 1.1}
+	g := New(Matern52{LengthScales: []float64{0.15}, Variance: 1}, 1e-6)
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	_, stdNear, _ := g.Predict([]float64{0.5})
+	_, stdFar, _ := g.Predict([]float64{0.0})
+	if stdFar <= stdNear {
+		t.Errorf("uncertainty should grow away from data: near %v far %v", stdNear, stdFar)
+	}
+}
+
+func TestPredictRecoversSmoothFunction(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(4*x) + 0.5*x }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i <= 20; i++ {
+		x := float64(i) / 20
+		xs = append(xs, []float64{x})
+		ys = append(ys, f(x))
+	}
+	g, err := FitMLE("matern52", xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.13, 0.37, 0.61, 0.88} {
+		mean, _, err := g.Predict([]float64{x})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mean-f(x)) > 0.1 {
+			t.Errorf("prediction at %v = %v, want ≈%v", x, mean, f(x))
+		}
+	}
+}
+
+func TestFitMLEPrefersBetterLengthScale(t *testing.T) {
+	// Data drawn from a fast-varying function should select a shorter
+	// length scale than a constant function would need; we only check
+	// that the MLE pick predicts better than the worst grid point.
+	rng := stats.NewRNG(9)
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 25; i++ {
+		x := rng.Float64()
+		xs = append(xs, []float64{x})
+		ys = append(ys, math.Sin(12*x))
+	}
+	best, err := FitMLE("matern52", xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := New(Matern52{LengthScales: []float64{1.0}, Variance: 1}, 1e-2)
+	if err := long.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	bestLML, _ := best.LogMarginalLikelihood()
+	longLML, _ := long.LogMarginalLikelihood()
+	if bestLML < longLML {
+		t.Errorf("MLE pick (%v) should beat the long-scale model (%v)", bestLML, longLML)
+	}
+}
+
+func TestFitMLEWorksWithConstantTargets(t *testing.T) {
+	xs := [][]float64{{0}, {0.5}, {1}}
+	ys := []float64{2, 2, 2}
+	g, err := FitMLE("matern52", xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, err := g.Predict([]float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-2) > 0.2 {
+		t.Errorf("constant data should predict the constant: %v", mean)
+	}
+}
+
+func TestMultiDimensionalFit(t *testing.T) {
+	// f(x) = −‖x − 0.5‖²: a smooth bowl in 6 dimensions (the paper's
+	// smallest real spaces are 10+ dimensional).
+	rng := stats.NewRNG(11)
+	f := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			d := v - 0.5
+			s -= d * d
+		}
+		return s
+	}
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := make([]float64, 6)
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	g, err := FitMLE("matern52", xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	corner := []float64{0, 0, 0, 0, 0, 0}
+	mc, _, _ := g.Predict(center)
+	mcorner, _, _ := g.Predict(corner)
+	if mc <= mcorner {
+		t.Errorf("GP should rank the bowl center above a corner: %v vs %v", mc, mcorner)
+	}
+}
+
+func TestNReportsSampleCount(t *testing.T) {
+	g := New(Matern52{LengthScales: []float64{0.3}, Variance: 1}, 1e-4)
+	if g.N() != 0 {
+		t.Error("fresh GP should have 0 samples")
+	}
+	if err := g.Fit([][]float64{{0}, {1}}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Errorf("N = %d, want 2", g.N())
+	}
+}
+
+func TestDuplicatePointsDoNotBreakFit(t *testing.T) {
+	// Clustered/duplicate samples are routine in BO; jitter must cope.
+	xs := [][]float64{{0.5}, {0.5}, {0.5}, {0.51}}
+	ys := []float64{1, 1.01, 0.99, 1.02}
+	g := New(Matern52{LengthScales: []float64{0.3}, Variance: 1}, 1e-6)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatalf("duplicate points should be survivable: %v", err)
+	}
+	mean, _, err := g.Predict([]float64{0.5})
+	if err != nil || math.Abs(mean-1) > 0.1 {
+		t.Errorf("prediction at duplicated point: %v, %v", mean, err)
+	}
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/policies"
+)
+
+// Ablation quantifies the Sec. 4 design choices the paper calls out:
+// acquisition function, covariance kernel, bootstrap construction, and
+// the dropout-copy policy. Each variant runs the same mix and reports
+// score and samples; the paper's claim is that CLITE's benefits are
+// robust to reasonable parameter choices while the structural pieces
+// (engineered bootstrap, EI, dropout) each earn their keep.
+func Ablation(cfg Config) (Table, error) {
+	mix := Mix{
+		LC: []LCJob{{Name: "memcached", Load: 0.1}, {Name: "img-dnn", Load: 0.1}, {Name: "masstree", Load: 0.1}},
+		BG: []string{"streamcluster"},
+	}
+	variants := []struct {
+		name string
+		opts bo.Options
+	}{
+		{"paper config (EI ζ=0.01, Matérn 5/2)", bo.Options{}},
+		{"acquisition: PI", bo.Options{Acquisition: bo.PI{Zeta: 0.01}}},
+		{"acquisition: UCB β=2", bo.Options{Acquisition: bo.UCB{Beta: 2}}},
+		{"acquisition: EI ζ=0.1", bo.Options{Acquisition: bo.EI{Zeta: 0.1}}},
+		{"kernel: RBF", bo.Options{KernelFamily: "rbf"}},
+		{"bootstrap: random", bo.Options{RandomBootstrap: true}},
+		{"dropout: off", bo.Options{DisableDropout: true}},
+		{"dropout: random job", bo.Options{RandomDropout: true}},
+	}
+	repeats := 3
+	if cfg.Coarse {
+		repeats = 1
+		variants = variants[:4]
+	}
+	t := Table{
+		ID:     "ablation",
+		Title:  "CLITE design-choice ablation on " + mix.Describe(),
+		Header: []string{"variant", "avg score", "QoS-met runs", "avg samples"},
+	}
+	for _, v := range variants {
+		var score float64
+		var samples int
+		met := 0
+		for rep := 0; rep < repeats; rep++ {
+			opts := v.opts
+			opts.Seed = cfg.Seed + int64(rep)*31
+			res, err := runPolicy(policies.CLITE{BO: opts}, mix, opts.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			score += res.BestScore / float64(repeats)
+			samples += res.SamplesUsed / repeats
+			if res.QoSMeetable {
+				met++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, f3(score), fmt.Sprintf("%d/%d", met, repeats), fmt.Sprintf("%d", samples),
+		})
+	}
+	t.Notes = "paper Sec. 5.2: CLITE performs within ~2% under reasonably-chosen parameters, no per-mix tuning"
+	return t, nil
+}

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/policies"
+	"clite/internal/resource"
+)
+
+// fig9Mix is the Sec. 5.2 deep-dive mix: three LC jobs plus
+// streamcluster (9a) / blackscholes (9b).
+func fig9aMix() Mix {
+	// 10% loads: this four-job mix has real slack here, so the policies
+	// differentiate on how much of it they convert into BG throughput
+	// (memory capacity makes the mix infeasible beyond ~15%; DESIGN.md).
+	return Mix{
+		LC: []LCJob{
+			{Name: "img-dnn", Load: 0.1},
+			{Name: "memcached", Load: 0.1},
+			{Name: "masstree", Load: 0.1},
+		},
+		BG: []string{"streamcluster"},
+	}
+}
+
+// Fig9a compares the resource allocations PARTIES and CLITE settle on
+// for the same mix, plus the BG job's performance relative to ORACLE —
+// the paper's "89% vs 39% of ORACLE" observation.
+func Fig9a(cfg Config) (Table, error) {
+	mix := fig9aMix()
+	topo := resource.Default()
+	t := Table{
+		ID:     "fig9a",
+		Title:  "resource allocation snapshot: " + mix.Describe(),
+		Header: []string{"job", "policy"},
+	}
+	for _, spec := range topo {
+		t.Header = append(t.Header, spec.Kind.String()+"(%)")
+	}
+
+	oracleRes, err := runPolicy(policies.Oracle{}, mix, cfg.Seed)
+	if err != nil {
+		return Table{}, err
+	}
+	names := []string{"img-dnn", "memcached", "masstree", "streamcluster"}
+	pols := []policies.Policy{
+		policies.PARTIES{},
+		policies.CLITE{BO: bo.Options{Seed: cfg.Seed}},
+		policies.Oracle{},
+	}
+	var bgNote string
+	for _, p := range pols {
+		res, err := runPolicy(p, mix, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		for j, name := range names {
+			row := []string{name, p.Name()}
+			for r, spec := range topo {
+				row = append(row, fmt.Sprintf("%.0f", 100*float64(res.Best.Jobs[j][r])/float64(spec.Units)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		bgPerf := res.BestObs.NormPerf[3]
+		bgNote += fmt.Sprintf("%s: streamcluster at %.0f%% of ORACLE; ", p.Name(),
+			100*ratioOrZero(bgPerf, oracleRes.BestObs.NormPerf[3]))
+	}
+	t.Notes = bgNote
+	return t, nil
+}
+
+// Fig9b traces the per-sample search behaviour of PARTIES vs CLITE on
+// a mix PARTIES struggles with: whether each scheme reaches (and
+// keeps) a QoS-meeting configuration as samples accrue.
+func Fig9b(cfg Config) (Table, error) {
+	// Loads picked from the Fig. 8 frontier: the mix is co-locatable
+	// (ORACLE and CLITE succeed) but beyond what PARTIES' coordinate
+	// descent reaches before its budget runs out.
+	mix := Mix{
+		LC: []LCJob{
+			{Name: "img-dnn", Load: 0.1},
+			{Name: "memcached", Load: 0.3},
+			{Name: "masstree", Load: 0.1},
+		},
+		BG: []string{"blackscholes"},
+	}
+	t := Table{
+		ID:     "fig9b",
+		Title:  "search trace: " + mix.Describe(),
+		Header: []string{"policy", "sample", "score", "all-QoS-met", "cores img/mc/mt/bs"},
+	}
+	pols := []policies.Policy{
+		policies.PARTIES{},
+		policies.CLITE{BO: bo.Options{Seed: cfg.Seed}},
+	}
+	stride := 5
+	if cfg.Coarse {
+		stride = 10
+	}
+	for _, p := range pols {
+		res, err := runPolicy(p, mix, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		firstMet := -1
+		for i, step := range res.History {
+			if step.Obs.AllQoSMet && firstMet < 0 {
+				firstMet = i
+			}
+			if i%stride != 0 && i != len(res.History)-1 {
+				continue
+			}
+			cores := ""
+			for j := range step.Config.Jobs {
+				if j > 0 {
+					cores += "/"
+				}
+				cores += fmt.Sprintf("%d", step.Config.Jobs[j][0])
+			}
+			t.Rows = append(t.Rows, []string{
+				p.Name(), fmt.Sprintf("%d", i), f3(step.Score),
+				fmt.Sprintf("%v", step.Obs.AllQoSMet), cores,
+			})
+		}
+		summary := "never meets all QoS"
+		if firstMet >= 0 {
+			summary = fmt.Sprintf("first meets all QoS at sample %d", firstMet)
+		}
+		t.Rows = append(t.Rows, []string{p.Name(), "summary", f3(res.BestScore),
+			fmt.Sprintf("%v", res.QoSMeetable), summary})
+	}
+	return t, nil
+}

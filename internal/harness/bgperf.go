@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"clite/internal/bo"
+	"clite/internal/policies"
+	"clite/internal/workload"
+)
+
+// Fig12 reproduces the BG-performance heatmap: streamcluster's
+// isolation-normalized throughput when co-located with memcached and
+// xapian across a load grid, for PARTIES, CLITE, and ORACLE.
+func Fig12(cfg Config) ([]Table, error) {
+	loads := []float64{0.2, 0.4, 0.6, 0.8}
+	if cfg.Coarse {
+		loads = []float64{0.3, 0.6}
+	}
+	pols := []policies.Policy{
+		policies.PARTIES{},
+		policies.CLITE{BO: bo.Options{Seed: cfg.Seed}},
+		policies.Oracle{},
+	}
+	var out []Table
+	for _, p := range pols {
+		t := Table{
+			ID:     "fig12",
+			Title:  "streamcluster perf (normalized to isolation) vs memcached × xapian loads — " + p.Name(),
+			Header: []string{"memcached \\ xapian"},
+		}
+		for _, l := range loads {
+			t.Header = append(t.Header, pct(l))
+		}
+		for _, mcLoad := range loads {
+			row := []string{pct(mcLoad)}
+			for _, xpLoad := range loads {
+				mix := Mix{
+					LC: []LCJob{{Name: "memcached", Load: mcLoad}, {Name: "xapian", Load: xpLoad}},
+					BG: []string{"streamcluster"},
+				}
+				res, err := runPolicy(p, mix, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				cell := "X"
+				if res.QoSMeetable {
+					cell = pct(res.BestObs.NormPerf[2])
+				}
+				row = append(row, cell)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = "QoS of both LC jobs met wherever a percentage is shown; X = not co-locatable"
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig13 reproduces the BG-job performance comparison across 3-LC
+// mixes: each BG job's throughput relative to what ORACLE achieves for
+// it in the same mix.
+func Fig13(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig13",
+		Title:  "BG-job performance relative to ORACLE (3 LC + 1 BG)",
+		Header: []string{"mix", "CLITE", "PARTIES", "RAND+", "GENETIC"},
+	}
+	bgs := []string{"blackscholes", "fluidanimate", "streamcluster", "canneal"}
+	if cfg.Coarse {
+		bgs = bgs[:2]
+	}
+	for _, bg := range bgs {
+		mix := Mix{
+			LC: []LCJob{
+				{Name: "img-dnn", Load: 0.1},
+				{Name: "xapian", Load: 0.1},
+				{Name: "memcached", Load: 0.1},
+			},
+			BG: []string{bg},
+		}
+		oracleM, err := buildMachine(mix, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		oracleRes, err := policies.Oracle{}.Run(oracleM)
+		if err != nil {
+			return Table{}, err
+		}
+		oracleBG := meanBGPerf(oracleM, oracleRes.BestObs)
+		row := []string{mix.Describe()}
+		vals, err := bgPerfVsOracle(mix, oracleBG, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, v := range vals {
+			row = append(row, pct(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper: CLITE > 75% of ORACLE on average; competitors often < 30% (0 = LC QoS not met); " +
+		"cells average over repeated runs"
+	return t, nil
+}
+
+// bgPerfVsOracle runs each online policy a few times on the mix and
+// averages the BG-performance-vs-ORACLE ratio (a run that misses LC
+// QoS contributes 0, the paper's convention).
+func bgPerfVsOracle(mix Mix, oracleBG float64, cfg Config) ([]float64, error) {
+	repeats := 3
+	if cfg.Coarse {
+		repeats = 2
+	}
+	nPol := len(onlinePolicies(cfg.Seed))
+	vals := make([]float64, nPol)
+	for rep := 0; rep < repeats; rep++ {
+		seed := cfg.Seed + int64(rep)*271
+		for i, p := range onlinePolicies(seed) {
+			m, err := buildMachine(mix, seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err := p.Run(m)
+			if err != nil {
+				return nil, err
+			}
+			if res.QoSMeetable {
+				vals[i] += ratioOrZero(meanBGPerf(m, res.BestObs), oracleBG) / float64(repeats)
+			}
+		}
+	}
+	return vals, nil
+}
+
+// Fig14 reproduces the multiple-BG-job mixes: three BG jobs co-located
+// with two LC jobs; metric is the mean BG performance relative to
+// ORACLE's.
+func Fig14(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig14",
+		Title:  "mean BG performance relative to ORACLE (2 LC + 3 BG)",
+		Header: []string{"mix", "CLITE", "PARTIES", "RAND+", "GENETIC"},
+	}
+	bgMixes := [][]string{
+		{"blackscholes", "fluidanimate", "streamcluster"},
+		{"swaptions", "freqmine", "canneal"},
+	}
+	if cfg.Coarse {
+		bgMixes = bgMixes[:1]
+	}
+	for _, bgs := range bgMixes {
+		mix := Mix{
+			LC: []LCJob{{Name: "memcached", Load: 0.2}, {Name: "img-dnn", Load: 0.2}},
+			BG: bgs,
+		}
+		oracleM, err := buildMachine(mix, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		oracleRes, err := policies.Oracle{}.Run(oracleM)
+		if err != nil {
+			return Table{}, err
+		}
+		oracleBG := meanBGPerf(oracleM, oracleRes.BestObs)
+		label := ""
+		for i, bg := range bgs {
+			if i > 0 {
+				label += "+"
+			}
+			label += workload.Acronym(bg)
+		}
+		row := []string{"2LC+" + label}
+		vals, err := bgPerfVsOracle(mix, oracleBG, cfg)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, v := range vals {
+			row = append(row, pct(v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper: CLITE ≈88% of optimal on average; next best < 75%; cells average over repeated runs"
+	return t, nil
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/policies"
+)
+
+// heatmapLoads returns the grid of loads for the two fixed LC jobs.
+func heatmapLoads(cfg Config) []float64 {
+	if cfg.Coarse {
+		return []float64{0.1, 0.5, 0.9}
+	}
+	return []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+}
+
+// probeCandidates is the descending ladder of loads tried for the
+// probe job (memcached) in Fig. 7/8.
+func probeCandidates(cfg Config) []float64 {
+	if cfg.Coarse {
+		return []float64{1.0, 0.6, 0.3, 0.1}
+	}
+	return []float64{1.0, 0.8, 0.6, 0.4, 0.2, 0.1}
+}
+
+// colocationHeatmap runs one policy over the masstree × img-dnn load
+// grid and reports the maximum supported memcached load per cell.
+func colocationHeatmap(p policies.Policy, cfg Config, bg []string) (Table, error) {
+	loads := heatmapLoads(cfg)
+	t := Table{
+		Header: []string{"img-dnn \\ masstree"},
+	}
+	for _, l := range loads {
+		t.Header = append(t.Header, pct(l))
+	}
+	for _, imgLoad := range loads {
+		row := []string{pct(imgLoad)}
+		for _, mtLoad := range loads {
+			base := Mix{
+				LC: []LCJob{{Name: "masstree", Load: mtLoad}, {Name: "img-dnn", Load: imgLoad}},
+				BG: bg,
+			}
+			maxLoad, err := maxSupportedLoad(p, base, "memcached", probeCandidates(cfg), cfg.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			cell := "X"
+			if maxLoad > 0 {
+				cell = pct(maxLoad)
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig7 reproduces the three-LC co-location heatmaps: the maximum
+// memcached load supportable next to masstree and img-dnn at the given
+// loads, per policy ("X" = no load co-locatable).
+func Fig7(cfg Config) ([]Table, error) {
+	pols := []policies.Policy{
+		policies.Heracles{},
+		policies.PARTIES{},
+		policies.CLITE{BO: bo.Options{Seed: cfg.Seed}},
+		policies.Oracle{},
+	}
+	var out []Table
+	for _, p := range pols {
+		t, err := colocationHeatmap(p, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.ID = "fig7"
+		t.Title = fmt.Sprintf("max memcached load co-located with masstree × img-dnn — %s", p.Name())
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig8 is Fig7 with a blackscholes BG job added to the mix.
+func Fig8(cfg Config) ([]Table, error) {
+	pols := []policies.Policy{
+		policies.PARTIES{},
+		policies.CLITE{BO: bo.Options{Seed: cfg.Seed}},
+		policies.Oracle{},
+	}
+	var out []Table
+	for _, p := range pols {
+		t, err := colocationHeatmap(p, cfg, []string{"blackscholes"})
+		if err != nil {
+			return nil, err
+		}
+		t.ID = "fig8"
+		t.Title = fmt.Sprintf("max memcached load with masstree × img-dnn + blackscholes BG — %s", p.Name())
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/policies"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/stats"
+)
+
+// Config scales the experiments. Coarse mode shrinks grids and repeat
+// counts so benchmarks finish quickly; full mode matches the paper's
+// resolutions more closely.
+type Config struct {
+	// Seed drives every stochastic component; the same seed
+	// regenerates identical tables.
+	Seed int64
+	// Coarse selects the reduced grids (benchmark scale).
+	Coarse bool
+}
+
+// LCJob specifies one latency-critical job in a mix.
+type LCJob struct {
+	Name string
+	Load float64 // fraction of calibrated max load
+}
+
+// Mix is a co-location scenario: LC jobs at loads plus BG jobs.
+type Mix struct {
+	LC []LCJob
+	BG []string
+}
+
+// Describe renders the mix compactly, e.g. "memcached@20+img-dnn@10/streamcluster".
+func (m Mix) Describe() string {
+	s := ""
+	for i, j := range m.LC {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%s@%.0f", j.Name, j.Load*100)
+	}
+	for i, b := range m.BG {
+		if i == 0 {
+			s += "/"
+		} else {
+			s += "+"
+		}
+		s += b
+	}
+	return s
+}
+
+// buildMachine places the mix on a fresh simulated machine.
+func buildMachine(mix Mix, seed int64) (*server.Machine, error) {
+	m := server.New(resource.Default(), server.DefaultSpec(), seed)
+	for _, j := range mix.LC {
+		if _, err := m.AddLC(j.Name, j.Load); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range mix.BG {
+		if _, err := m.AddBG(b); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// runPolicy executes one policy on a fresh machine hosting the mix.
+func runPolicy(p policies.Policy, mix Mix, seed int64) (policies.Result, error) {
+	m, err := buildMachine(mix, seed)
+	if err != nil {
+		return policies.Result{}, err
+	}
+	return p.Run(m)
+}
+
+// onlinePolicies returns the online schemes in the paper's comparison
+// order, seeded deterministically.
+func onlinePolicies(seed int64) []policies.Policy {
+	return []policies.Policy{
+		policies.CLITE{BO: bo.Options{Seed: seed}},
+		policies.PARTIES{},
+		policies.RandPlus{Seed: seed},
+		policies.Genetic{Seed: seed},
+	}
+}
+
+// maxSupportedLoad finds the highest candidate load (descending order)
+// of the probe LC job at which the policy still meets every QoS
+// target; 0 means the probe cannot be co-located at all (the paper's
+// "X" cells in Fig. 7/8).
+func maxSupportedLoad(p policies.Policy, baseMix Mix, probe string, candidates []float64, seed int64) (float64, error) {
+	for _, load := range candidates {
+		mix := Mix{LC: append(append([]LCJob(nil), baseMix.LC...), LCJob{Name: probe, Load: load}), BG: baseMix.BG}
+		res, err := runPolicy(p, mix, seed)
+		if err != nil {
+			return 0, err
+		}
+		if res.QoSMeetable {
+			return load, nil
+		}
+	}
+	return 0, nil
+}
+
+// meanLCPerf averages the LC jobs' isolation-normalized performance in
+// an observation (the Fig. 10 metric).
+func meanLCPerf(m *server.Machine, obs server.Observation) float64 {
+	var vals []float64
+	for i, job := range m.Jobs() {
+		if job.IsLC() {
+			vals = append(vals, stats.Clamp(obs.NormPerf[i], 0, 1.5))
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// meanBGPerf averages the BG jobs' isolation-normalized performance
+// (the Fig. 12–14 metric).
+func meanBGPerf(m *server.Machine, obs server.Observation) float64 {
+	var vals []float64
+	for i, job := range m.Jobs() {
+		if !job.IsLC() {
+			vals = append(vals, stats.Clamp(obs.NormPerf[i], 0, 1.5))
+		}
+	}
+	return stats.Mean(vals)
+}
+
+// ratioOrZero guards normalization against a zero denominator.
+func ratioOrZero(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}

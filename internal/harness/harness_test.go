@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"clite/internal/policies"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "long-header", "c"},
+		Rows: [][]string{
+			{"1", "2", "3"},
+			{"wide-cell", "x", "y"},
+		},
+		Notes: "hello",
+	}
+	out := tab.String()
+	for _, want := range []string{"== t: demo ==", "long-header", "wide-cell", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every row line must be at least as wide as the
+	// first column's widest cell.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[3], "1        ") {
+		t.Errorf("column not padded: %q", lines[3])
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if got := pct(0.426); got != "43%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := f3(0.12345); got != "0.123" {
+		t.Errorf("f3 = %q", got)
+	}
+	if got := ms(0.00402); got != "4.02ms" {
+		t.Errorf("ms = %q", got)
+	}
+}
+
+func TestMixDescribe(t *testing.T) {
+	mix := Mix{
+		LC: []LCJob{{Name: "memcached", Load: 0.3}, {Name: "xapian", Load: 0.1}},
+		BG: []string{"canneal", "swaptions"},
+	}
+	if got := mix.Describe(); got != "memcached@30+xapian@10/canneal+swaptions" {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3",
+		"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "ablation", "doe",
+	}
+	exps := Experiments()
+	if len(exps) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(want))
+	}
+	for i, id := range want {
+		if exps[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s (paper order)", i, exps[i].ID, id)
+		}
+		if exps[i].Brief == "" || exps[i].Run == nil {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+	if _, err := Lookup("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown lookup should fail")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 5 {
+		t.Errorf("Table1 rows = %d, want 5 resources", len(t1.Rows))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 10 {
+		t.Errorf("Table2 rows = %d, want 10 components", len(t2.Rows))
+	}
+	t3 := Table3()
+	if len(t3.Rows) != 11 {
+		t.Errorf("Table3 rows = %d, want 11 workloads", len(t3.Rows))
+	}
+}
+
+func TestFig6ShapesAndKnees(t *testing.T) {
+	tab, err := Fig6(Config{Seed: 1, Coarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knees := 0
+	for _, row := range tab.Rows {
+		if row[1] == "knee" {
+			knees++
+		}
+	}
+	if knees != 5 {
+		t.Errorf("Fig6 should mark 5 knees, found %d", knees)
+	}
+}
+
+func TestBuildMachineRejectsUnknownJobs(t *testing.T) {
+	if _, err := buildMachine(Mix{LC: []LCJob{{Name: "nope", Load: 0.1}}}, 1); err == nil {
+		t.Error("expected error for unknown LC workload")
+	}
+	if _, err := buildMachine(Mix{BG: []string{"nope"}}, 1); err == nil {
+		t.Error("expected error for unknown BG workload")
+	}
+}
+
+func TestMaxSupportedLoadLadder(t *testing.T) {
+	// The oracle supports a light memcached probe next to light jobs,
+	// and reports 0 when the probe is hopeless even at the smallest
+	// candidate load.
+	base := Mix{LC: []LCJob{{Name: "img-dnn", Load: 0.1}}}
+	got, err := maxSupportedLoad(policies.Oracle{}, base, "memcached", []float64{0.4, 0.2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 {
+		t.Error("light mix should support some memcached load")
+	}
+	heavy := Mix{LC: []LCJob{
+		{Name: "img-dnn", Load: 0.9},
+		{Name: "masstree", Load: 0.9},
+		{Name: "specjbb", Load: 0.9},
+	}}
+	got, err = maxSupportedLoad(policies.Oracle{}, heavy, "memcached", []float64{1.0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("three 90%% jobs + memcached@100%% should be impossible, got %v", got)
+	}
+}
+
+func TestRatioOrZero(t *testing.T) {
+	if got := ratioOrZero(1, 0); got != 0 {
+		t.Errorf("zero denominator should yield 0, got %v", got)
+	}
+	if got := ratioOrZero(1, 2); got != 0.5 {
+		t.Errorf("ratio = %v", got)
+	}
+}

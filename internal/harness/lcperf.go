@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/policies"
+	"clite/internal/stats"
+)
+
+// fig10Mixes are the two three-LC sets of Fig. 10/11: the third job's
+// load sweeps while the other two sit at 10%.
+func fig10Mixes() []struct {
+	fixed [2]LCJob
+	sweep string
+} {
+	return []struct {
+		fixed [2]LCJob
+		sweep string
+	}{
+		{fixed: [2]LCJob{{Name: "img-dnn", Load: 0.1}, {Name: "xapian", Load: 0.1}}, sweep: "memcached"},
+		{fixed: [2]LCJob{{Name: "specjbb", Load: 0.1}, {Name: "masstree", Load: 0.1}}, sweep: "xapian"},
+	}
+}
+
+// Fig10 reproduces the mean LC performance comparison: the average
+// isolation-normalized performance of three co-located LC jobs (no BG
+// jobs), normalized to ORACLE, as the third job's load grows.
+func Fig10(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig10",
+		Title:  "mean LC-job performance normalized to ORACLE (3 LC jobs, no BG)",
+		Header: []string{"mix", "sweep-load", "CLITE", "PARTIES", "RAND+", "GENETIC"},
+	}
+	sweepLoads := []float64{0.2, 0.4, 0.6}
+	if cfg.Coarse {
+		sweepLoads = []float64{0.2, 0.5}
+	}
+	for _, mc := range fig10Mixes() {
+		for _, load := range sweepLoads {
+			mix := Mix{LC: []LCJob{mc.fixed[0], mc.fixed[1], {Name: mc.sweep, Load: load}}}
+			oracleM, err := buildMachine(mix, cfg.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			oracleRes, err := policies.Oracle{}.Run(oracleM)
+			if err != nil {
+				return Table{}, err
+			}
+			row := []string{mc.fixed[0].Name + "+" + mc.fixed[1].Name + "+" + mc.sweep, pct(load)}
+			if !oracleRes.QoSMeetable {
+				// The paper's Fig. 10 only spans co-locatable loads.
+				row = append(row, "mix not co-locatable", "", "", "")
+				t.Rows = append(t.Rows, row)
+				continue
+			}
+			oraclePerf := meanLCPerf(oracleM, oracleRes.BestObs)
+			for _, p := range onlinePolicies(cfg.Seed) {
+				m, err := buildMachine(mix, cfg.Seed)
+				if err != nil {
+					return Table{}, err
+				}
+				res, err := p.Run(m)
+				if err != nil {
+					return Table{}, err
+				}
+				// A run that misses QoS reports 0 (the paper's
+				// convention for failed co-locations).
+				val := 0.0
+				if res.QoSMeetable {
+					val = ratioOrZero(meanLCPerf(m, res.BestObs), oraclePerf)
+				}
+				row = append(row, pct(val))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = "paper: CLITE ≈96–98% of ORACLE; PARTIES 74–85%; RAND+/GENETIC < 80%"
+	return t, nil
+}
+
+// Fig11 reproduces the run-to-run variability comparison: the standard
+// deviation (as % of mean) of the chosen configuration's performance
+// across repeated runs of the same mix.
+func Fig11(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig11",
+		Title:  "variability of final performance across repeated runs (lower is better)",
+		Header: []string{"mix", "policy", "stddev % of mean"},
+	}
+	repeats := 5
+	if cfg.Coarse {
+		repeats = 3
+	}
+	mixes := []Mix{
+		{LC: []LCJob{{Name: "img-dnn", Load: 0.1}, {Name: "xapian", Load: 0.1}, {Name: "memcached", Load: 0.1}}},
+		{LC: []LCJob{{Name: "specjbb", Load: 0.1}, {Name: "masstree", Load: 0.1}, {Name: "xapian", Load: 0.1}}},
+	}
+	for _, mix := range mixes {
+		for _, kind := range []string{"CLITE", "PARTIES", "RAND+", "GENETIC"} {
+			var perfs []float64
+			for rep := 0; rep < repeats; rep++ {
+				seed := cfg.Seed + int64(rep)*101 + 7
+				var p policies.Policy
+				switch kind {
+				case "CLITE":
+					p = policies.CLITE{BO: bo.Options{Seed: seed}}
+				case "PARTIES":
+					p = policies.PARTIES{}
+				case "RAND+":
+					p = policies.RandPlus{Seed: seed}
+				case "GENETIC":
+					p = policies.Genetic{Seed: seed}
+				}
+				m, err := buildMachine(mix, seed)
+				if err != nil {
+					return Table{}, err
+				}
+				res, err := p.Run(m)
+				if err != nil {
+					return Table{}, err
+				}
+				perfs = append(perfs, meanLCPerf(m, res.BestObs))
+			}
+			t.Rows = append(t.Rows, []string{
+				mix.Describe(), kind,
+				fmt.Sprintf("%.1f%%", 100*stats.CoefficientOfVariation(perfs)),
+			})
+		}
+	}
+	t.Notes = "paper: CLITE < 7%; PARTIES/GENETIC/RAND+ often > 20%"
+	return t, nil
+}

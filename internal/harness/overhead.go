@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/policies"
+)
+
+// Fig15a reproduces the overhead comparison: configurations sampled by
+// each technique before settling, across mixes of growing size.
+func Fig15a(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig15a",
+		Title:  "sampling overhead: configurations evaluated before settling",
+		Header: []string{"mix", "CLITE", "PARTIES", "RAND+", "GENETIC", "ORACLE"},
+	}
+	mixes := []Mix{
+		{LC: []LCJob{{Name: "memcached", Load: 0.2}}, BG: []string{"swaptions"}},
+		{LC: []LCJob{{Name: "memcached", Load: 0.2}, {Name: "img-dnn", Load: 0.2}}, BG: []string{"swaptions"}},
+		{LC: []LCJob{{Name: "memcached", Load: 0.2}, {Name: "img-dnn", Load: 0.2}, {Name: "xapian", Load: 0.2}}, BG: []string{"swaptions"}},
+		{LC: []LCJob{{Name: "memcached", Load: 0.2}, {Name: "img-dnn", Load: 0.2}}, BG: []string{"swaptions", "freqmine"}},
+	}
+	if cfg.Coarse {
+		mixes = mixes[1:3]
+	}
+	pols := append(onlinePolicies(cfg.Seed), policies.Oracle{})
+	for _, mix := range mixes {
+		row := []string{fmt.Sprintf("%dLC+%dBG", len(mix.LC), len(mix.BG))}
+		for _, p := range pols {
+			res, err := runPolicy(p, mix, cfg.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, fmt.Sprintf("%d", res.SamplesUsed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = "paper: RAND+/GENETIC use fixed high budgets; CLITE slightly above PARTIES; ORACLE needs 1000s (offline)"
+	return t, nil
+}
+
+// Fig15b reproduces the quality-vs-samples trace: CLITE keeps
+// improving the BG job (fluidanimate) after meeting QoS, while PARTIES
+// stabilizes at whatever it first reaches.
+func Fig15b(cfg Config) (Table, error) {
+	mix := Mix{
+		LC: []LCJob{
+			{Name: "img-dnn", Load: 0.1},
+			{Name: "memcached", Load: 0.1},
+			{Name: "masstree", Load: 0.1},
+		},
+		BG: []string{"fluidanimate"},
+	}
+	t := Table{
+		ID:     "fig15b",
+		Title:  "best-so-far score and fluidanimate perf vs samples: " + mix.Describe(),
+		Header: []string{"policy", "sample", "best score so far", "fluidanimate perf", "all QoS met"},
+	}
+	stride := 5
+	if cfg.Coarse {
+		stride = 10
+	}
+	pols := []policies.Policy{
+		policies.CLITE{BO: bo.Options{Seed: cfg.Seed}},
+		policies.PARTIES{},
+	}
+	for _, p := range pols {
+		res, err := runPolicy(p, mix, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		bestSoFar, bestBG := 0.0, 0.0
+		met := false
+		for i, step := range res.History {
+			if step.Score > bestSoFar {
+				bestSoFar = step.Score
+				bestBG = step.Obs.NormPerf[3]
+			}
+			if step.Obs.AllQoSMet {
+				met = true
+			}
+			if i%stride == 0 || i == len(res.History)-1 {
+				t.Rows = append(t.Rows, []string{
+					p.Name(), fmt.Sprintf("%d", i), f3(bestSoFar), pct(bestBG), fmt.Sprintf("%v", met),
+				})
+			}
+		}
+	}
+	t.Notes = "paper: both meet QoS at similar times; only CLITE keeps improving the BG job afterwards"
+	return t, nil
+}

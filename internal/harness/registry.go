@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible table/figure of the paper.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func(Config) ([]Table, error)
+}
+
+func single(f func(Config) (Table, error)) func(Config) ([]Table, error) {
+	return func(cfg Config) ([]Table, error) {
+		t, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{t}, nil
+	}
+}
+
+func static(f func() Table) func(Config) ([]Table, error) {
+	return func(Config) ([]Table, error) { return []Table{f()}, nil }
+}
+
+// Experiments returns the full per-experiment index (DESIGN.md), in
+// paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "shared resources and isolation tools", static(Table1)},
+		{"table2", "testbed configuration", static(Table2)},
+		{"table3", "LC and BG workloads", static(Table3)},
+		{"fig6", "isolation QPS vs p95 knees (QoS targets)", single(Fig6)},
+		{"fig7", "max memcached load, 3 LC jobs, per policy", Fig7},
+		{"fig8", "max memcached load, 3 LC + blackscholes, per policy", Fig8},
+		{"fig9a", "allocation snapshot PARTIES vs CLITE vs ORACLE", single(Fig9a)},
+		{"fig9b", "search trace on a mix PARTIES struggles with", single(Fig9b)},
+		{"fig10", "mean LC perf normalized to ORACLE", single(Fig10)},
+		{"fig11", "run-to-run variability", single(Fig11)},
+		{"fig12", "BG perf heatmap (streamcluster)", Fig12},
+		{"fig13", "BG perf vs ORACLE across 3-LC mixes", single(Fig13)},
+		{"fig14", "multi-BG mixes vs ORACLE", single(Fig14)},
+		{"fig15a", "sampling overhead per technique", single(Fig15a)},
+		{"fig15b", "quality vs samples trace", single(Fig15b)},
+		{"fig16", "dynamic load adaptation", single(Fig16)},
+		{"ablation", "CLITE design-choice ablation", single(Ablation)},
+		{"doe", "FFD/RSM design-space-exploration comparison (Sec. 5.2)", single(DOE)},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}

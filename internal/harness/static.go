@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/isolation"
+	"clite/internal/qos"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/workload"
+)
+
+// Table1 reproduces the paper's Table 1: shared resources, allocation
+// methods and isolation tools.
+func Table1() Table {
+	t := Table{
+		ID:     "table1",
+		Title:  "Shared resources and isolation tools",
+		Header: []string{"Shared Resource", "Allocation Method", "Isolation Tool", "Units"},
+	}
+	for _, spec := range resource.Default() {
+		t.Rows = append(t.Rows, []string{
+			spec.Kind.String(),
+			spec.Kind.AllocationMethod(),
+			spec.Kind.IsolationTool(),
+			fmt.Sprintf("%d × %.2f %s", spec.Units, spec.UnitValue, spec.UnitLabel),
+		})
+	}
+	t.Notes = "simulated actuators; see internal/isolation — " +
+		"rendered tool settings pass the disjointness audit: " + firstLine(isolation.Table1(resource.Default()))
+	return t
+}
+
+func firstLine(s string) string {
+	for i, c := range s {
+		if c == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// Table2 reproduces the paper's Table 2: the testbed configuration.
+func Table2() Table {
+	spec := server.DefaultSpec()
+	t := Table{
+		ID:     "table2",
+		Title:  "Experimental testbed configuration (simulated)",
+		Header: []string{"Component", "Specification"},
+	}
+	rows := [][2]string{
+		{"CPU Model", spec.CPUModel},
+		{"Number of Sockets", fmt.Sprintf("%d", spec.Sockets)},
+		{"Processor Speed", fmt.Sprintf("%.2fGHz", spec.SpeedGHz)},
+		{"Logical Processor Cores", fmt.Sprintf("%d Cores (%d physical cores)", spec.LogicalCores, spec.PhysicalCores)},
+		{"Private L1 & L2 Cache Size", fmt.Sprintf("%dKB and %dKB", spec.L1KB, spec.L2KB)},
+		{"Shared L3 Cache Size", fmt.Sprintf("%d KB (%d-way set associative)", spec.L3KB, spec.L3Ways)},
+		{"Memory Capacity", fmt.Sprintf("%d GB", spec.MemoryGB)},
+		{"Operating System", spec.OS},
+		{"SSD Capacity", fmt.Sprintf("%d GB", spec.SSDGB)},
+		{"HDD Capacity", fmt.Sprintf("%d TB", spec.HDDTB)},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r[0], r[1]})
+	}
+	return t
+}
+
+// Table3 reproduces the paper's Table 3: the LC and BG workloads.
+func Table3() Table {
+	t := Table{
+		ID:     "table3",
+		Title:  "LC and BG workloads driving the evaluation",
+		Header: []string{"Workload", "Class", "Description"},
+	}
+	for _, p := range workload.All() {
+		name := p.Name
+		if p.Class == workload.Background {
+			name = fmt.Sprintf("%s (%s)", p.Name, workload.Acronym(p.Name))
+		}
+		t.Rows = append(t.Rows, []string{name, p.Class.String(), p.Desc})
+	}
+	return t
+}
+
+// Fig6 reproduces the isolation QPS-vs-p95 sweeps and the knee-derived
+// QoS targets (Fig. 6 methodology).
+func Fig6(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "fig6",
+		Title:  "QPS vs p95 tail latency in isolation; QoS = knee",
+		Header: []string{"workload", "load(frac of knee QPS)", "QPS", "p95", "at-knee"},
+	}
+	topo := resource.Default()
+	points := 12
+	if cfg.Coarse {
+		points = 6
+	}
+	for _, p := range workload.LC() {
+		cal, err := qos.Calibrate(p, topo)
+		if err != nil {
+			return Table{}, err
+		}
+		stride := len(cal.Curve) / points
+		if stride < 1 {
+			stride = 1
+		}
+		for i := 0; i < len(cal.Curve); i += stride {
+			pt := cal.Curve[i]
+			knee := ""
+			if pt.QPS == cal.MaxQPS {
+				knee = "<-- knee (QoS target)"
+			}
+			t.Rows = append(t.Rows, []string{
+				p.Name,
+				fmt.Sprintf("%.2f", pt.QPS/cal.MaxQPS),
+				fmt.Sprintf("%.0f", pt.QPS),
+				ms(pt.P95),
+				knee,
+			})
+		}
+		t.Rows = append(t.Rows, []string{
+			p.Name, "knee", fmt.Sprintf("%.0f", cal.MaxQPS), ms(cal.QoSTarget), "QoS target / max load",
+		})
+	}
+	t.Notes = "loads elsewhere in the evaluation are fractions of each workload's knee QPS"
+	return t, nil
+}

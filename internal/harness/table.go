@@ -1,0 +1,75 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Sec. 5) on the simulated testbed: it assembles job
+// mixes, runs the competing co-location policies, and formats the
+// results as the same rows and series the paper reports. The
+// per-experiment index in DESIGN.md maps each experiment to the
+// function here that reproduces it.
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: the textual analogue of one
+// paper table or figure.
+type Table struct {
+	ID     string // "fig7", "table1", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+func pct(x float64) string {
+	return fmt.Sprintf("%.0f%%", x*100)
+}
+
+func f3(x float64) string {
+	return fmt.Sprintf("%.3f", x)
+}
+
+func ms(x float64) string {
+	return fmt.Sprintf("%.2fms", x*1000)
+}

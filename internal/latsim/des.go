@@ -1,0 +1,91 @@
+package latsim
+
+import (
+	"container/heap"
+	"sort"
+
+	"clite/internal/stats"
+)
+
+// SimulateWindow runs a discrete-event simulation of an M/M/c FCFS
+// queue over a window of the given length (seconds) and returns the
+// per-request response times in completion order. It exists to
+// validate the closed-form distribution in this package and to provide
+// a ground-truth measurement mode for tests; the controller path uses
+// the much cheaper analytic MeasureP95.
+func SimulateWindow(q Queue, lambda, window float64, rng *stats.RNG) []float64 {
+	if q.Servers <= 0 || q.ServiceRate <= 0 || lambda <= 0 || window <= 0 {
+		return nil
+	}
+	type event struct {
+		at   float64
+		kind int // 0 = arrival, 1 = departure
+		id   int
+	}
+	var pq eventQueue
+	heap.Init(&pq)
+
+	// Pre-generate arrivals over the window.
+	arrivalAt := []float64{}
+	t := rng.Exponential(1 / lambda)
+	for t < window {
+		arrivalAt = append(arrivalAt, t)
+		t += rng.Exponential(1 / lambda)
+	}
+	for i, at := range arrivalAt {
+		heap.Push(&pq, eventItem{at: at, kind: 0, id: i})
+	}
+
+	busy := 0
+	var waiting []int // FIFO queue of request ids
+	start := make([]float64, len(arrivalAt))
+	var responses []float64
+
+	serve := func(id int, now float64) {
+		busy++
+		heap.Push(&pq, eventItem{at: now + rng.Exponential(1/q.ServiceRate), kind: 1, id: id})
+	}
+
+	for pq.Len() > 0 {
+		ev := heap.Pop(&pq).(eventItem)
+		switch ev.kind {
+		case 0: // arrival
+			start[ev.id] = ev.at
+			if busy < q.Servers {
+				serve(ev.id, ev.at)
+			} else {
+				waiting = append(waiting, ev.id)
+			}
+		case 1: // departure
+			busy--
+			responses = append(responses, ev.at-start[ev.id])
+			if len(waiting) > 0 {
+				next := waiting[0]
+				waiting = waiting[1:]
+				serve(next, ev.at)
+			}
+		}
+	}
+	sort.Float64s(responses)
+	return responses
+}
+
+type eventItem struct {
+	at   float64
+	kind int
+	id   int
+}
+
+type eventQueue []eventItem
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(eventItem)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}

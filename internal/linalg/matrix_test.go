@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clite/internal/stats"
+)
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Errorf("At(1,2) = %v, want 7", got)
+	}
+	if got := m.Row(1); got[2] != 7 {
+		t.Errorf("Row(1)[2] = %v, want 7", got[2])
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone should not alias the original")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MulVec([]float64{1, 0, -1})
+	if y[0] != -2 || y[1] != -2 {
+		t.Errorf("MulVec = %v, want [-2 -2]", y)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has the classic factor
+	// L = [[2,0,0],[6,1,0],[-8,5,3]].
+	a := NewMatrix(3, 3)
+	copy(a.Data, []float64{4, 12, -16, 12, 37, -43, -16, -43, 98})
+	l, jitter, err := Cholesky(a, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jitter != 0 {
+		t.Errorf("unexpected jitter %v", jitter)
+	}
+	want := []float64{2, 0, 0, 6, 1, 0, -8, 5, 3}
+	for i, w := range want {
+		if math.Abs(l.Data[i]-w) > 1e-9 {
+			t.Fatalf("L = %v, want %v", l.Data, want)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, _, err := Cholesky(a, 1e-8); err == nil {
+		t.Error("expected failure for indefinite matrix")
+	}
+}
+
+func TestCholeskyJitterRecoversSingular(t *testing.T) {
+	// Rank-1 matrix: needs jitter to factor.
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 1, 1, 1})
+	l, jitter, err := Cholesky(a, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jitter <= 0 {
+		t.Error("expected positive jitter")
+	}
+	if l.At(0, 0) <= 0 {
+		t.Error("invalid factor")
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, _, err := Cholesky(NewMatrix(2, 3), 1); err == nil {
+		t.Error("expected error for non-square input")
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	a := NewMatrix(3, 3)
+	copy(a.Data, []float64{4, 12, -16, 12, 37, -43, -16, -43, 98})
+	l, _, err := Cholesky(a, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, -2, 0.5}
+	b := a.MulVec(want)
+	got := CholeskySolve(l, b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("CholeskySolve = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLogDetFromCholesky(t *testing.T) {
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{2, 0, 0, 8}) // det = 16
+	l, _, err := Cholesky(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LogDetFromCholesky(l); math.Abs(got-math.Log(16)) > 1e-12 {
+		t.Errorf("LogDet = %v, want log 16", got)
+	}
+}
+
+// randomSPD builds A = Bᵀ·B + n·I, which is symmetric positive
+// definite for any B.
+func randomSPD(rng *stats.RNG, n int) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.Normal(0, 1)
+	}
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for k := 0; k < n; k++ {
+				sum += b.At(k, i) * b.At(k, j)
+			}
+			if i == j {
+				sum += float64(n)
+			}
+			a.Set(i, j, sum)
+		}
+	}
+	return a
+}
+
+func TestCholeskySolvePropertyRandomSPD(t *testing.T) {
+	rng := stats.NewRNG(99)
+	f := func(seedByte uint8, sizeByte uint8) bool {
+		n := 1 + int(sizeByte%12)
+		local := rng.Split(int64(seedByte)*13 + int64(sizeByte))
+		a := randomSPD(local, n)
+		l, _, err := Cholesky(a, 1e-4)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = local.Normal(0, 2)
+		}
+		b := a.MulVec(x)
+		got := CholeskySolve(l, b)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		// Reconstruction: L·Lᵀ ≈ A.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var sum float64
+				for k := 0; k <= min(i, j); k++ {
+					sum += l.At(i, k) * l.At(j, k)
+				}
+				if math.Abs(sum-a.At(i, j)) > 1e-6*(1+math.Abs(a.At(i, j))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangularSolves(t *testing.T) {
+	l := NewMatrix(3, 3)
+	copy(l.Data, []float64{2, 0, 0, 6, 1, 0, -8, 5, 3})
+	x := SolveLower(l, []float64{2, 7, 3})
+	// Forward substitution: x0=1, x1=7-6=1, x2=(3+8-5)/3=2.
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("SolveLower = %v, want %v", x, want)
+		}
+	}
+	// SolveUpperT then satisfies Lᵀ·y = b.
+	b := []float64{4, 5, 6}
+	y := SolveUpperT(l, b)
+	for i := 0; i < 3; i++ {
+		var sum float64
+		for k := 0; k < 3; k++ {
+			sum += l.At(k, i) * y[k]
+		}
+		if math.Abs(sum-b[i]) > 1e-9 {
+			t.Fatalf("SolveUpperT residual at %d: %v", i, sum-b[i])
+		}
+	}
+}

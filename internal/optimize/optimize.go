@@ -1,0 +1,215 @@
+// Package optimize maximizes acquisition functions over the feasible
+// partition polytope of Eq. 4–6 in the paper: for every resource r and
+// job j, 1 ≤ x(j,r) ≤ Nunits(r)−Njobs+1, and Σ_j x(j,r) = Nunits(r).
+//
+// The paper plugs SciPy's SLSQP in as an off-the-shelf local solver for
+// this constrained maximization. Here the same role is played by
+// multi-start projected gradient ascent: the feasible set is, per
+// resource, a box-bounded simplex, onto which exact Euclidean
+// projection is cheap (bisection on the dual shift). The substitution
+// is behaviour-preserving — both are local constrained maximizers over
+// the identical feasible set, restarted from multiple points.
+package optimize
+
+import (
+	"math"
+
+	"clite/internal/resource"
+	"clite/internal/stats"
+)
+
+// ProjectBoundedSimplex returns the Euclidean projection of v onto
+// {x : lo ≤ x_i ≤ hi, Σ x_i = total}. It bisects on the shift τ such
+// that Σ clamp(v_i − τ, lo, hi) = total, which is monotone in τ.
+// The feasible set must be non-empty: n·lo ≤ total ≤ n·hi.
+func ProjectBoundedSimplex(v []float64, lo, hi, total float64) []float64 {
+	n := len(v)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	sumAt := func(tau float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += stats.Clamp(x-tau, lo, hi)
+		}
+		return s
+	}
+	// Bracket τ: shifting by ±(max|v|+hi) saturates every coordinate.
+	span := hi - lo + 1
+	for _, x := range v {
+		if a := math.Abs(x); a > span {
+			span = a
+		}
+	}
+	tauLo, tauHi := -2*span-1, 2*span+1
+	for i := 0; i < 100; i++ {
+		mid := (tauLo + tauHi) / 2
+		if sumAt(mid) > total {
+			tauLo = mid
+		} else {
+			tauHi = mid
+		}
+	}
+	tau := (tauLo + tauHi) / 2
+	for i, x := range v {
+		out[i] = stats.Clamp(x-tau, lo, hi)
+	}
+	return out
+}
+
+// Problem specifies one acquisition-maximization instance.
+type Problem struct {
+	Topo  resource.Topology
+	NJobs int
+	// Objective is evaluated on job-major continuous unit vectors
+	// (resource.Config.Vector layout) and maximized.
+	Objective func(x []float64) float64
+	// FrozenJob, if ≥ 0, pins that job's allocation to FrozenAlloc —
+	// the paper's dropout-copy dimensionality reduction (Sec. 4).
+	FrozenJob   int
+	FrozenAlloc resource.Allocation
+	// Starts are optional warm-start vectors (e.g. the incumbent).
+	Starts [][]float64
+	// NumRandomStarts adds random feasible restarts (default 8).
+	NumRandomStarts int
+	// Iterations bounds gradient steps per start (default 60).
+	Iterations int
+	RNG        *stats.RNG
+}
+
+func (p *Problem) iterations() int {
+	if p.Iterations > 0 {
+		return p.Iterations
+	}
+	return 60
+}
+
+func (p *Problem) randomStarts() int {
+	if p.NumRandomStarts > 0 {
+		return p.NumRandomStarts
+	}
+	return 8
+}
+
+// Maximize runs multi-start projected gradient ascent and returns the
+// best feasible continuous vector found (job-major units).
+func Maximize(p Problem) []float64 {
+	starts := make([][]float64, 0, len(p.Starts)+p.randomStarts())
+	for _, s := range p.Starts {
+		starts = append(starts, p.project(append([]float64(nil), s...)))
+	}
+	for i := 0; i < p.randomStarts(); i++ {
+		cfg := resource.Random(p.Topo, p.NJobs, p.RNG)
+		starts = append(starts, p.project(cfg.Vector()))
+	}
+	var best []float64
+	bestVal := math.Inf(-1)
+	for _, start := range starts {
+		x, val := p.ascend(start)
+		if val > bestVal {
+			bestVal = val
+			best = x
+		}
+	}
+	return best
+}
+
+// ascend performs projected gradient ascent from start with a
+// backtracking step size.
+func (p Problem) ascend(start []float64) ([]float64, float64) {
+	x := append([]float64(nil), start...)
+	fx := p.Objective(x)
+	step := 2.0 // units; the search space spans tens of units per axis
+	grad := make([]float64, len(x))
+	for iter := 0; iter < p.iterations(); iter++ {
+		p.gradient(x, grad)
+		cand := make([]float64, len(x))
+		improved := false
+		for tries := 0; tries < 6; tries++ {
+			for i := range x {
+				cand[i] = x[i] + step*grad[i]
+			}
+			cand = p.project(cand)
+			if fc := p.Objective(cand); fc > fx {
+				copy(x, cand)
+				fx = fc
+				improved = true
+				break
+			}
+			step /= 2
+			if step < 1e-3 {
+				return x, fx
+			}
+		}
+		if !improved {
+			return x, fx
+		}
+	}
+	return x, fx
+}
+
+// gradient fills g with a central-difference estimate of ∇Objective,
+// skipping frozen coordinates. Differences stay inside the feasible
+// set only approximately; the objective must tolerate slightly
+// infeasible probes (acquisition surfaces do).
+func (p Problem) gradient(x []float64, g []float64) {
+	const h = 0.25
+	nres := len(p.Topo)
+	norm := 0.0
+	for i := range x {
+		if p.FrozenJob >= 0 && i/nres == p.FrozenJob {
+			g[i] = 0
+			continue
+		}
+		x[i] += h
+		up := p.Objective(x)
+		x[i] -= 2 * h
+		down := p.Objective(x)
+		x[i] += h
+		g[i] = (up - down) / (2 * h)
+		norm += g[i] * g[i]
+	}
+	// Normalize so the step size is in units, not objective scale.
+	if norm = math.Sqrt(norm); norm > 1e-12 {
+		for i := range g {
+			g[i] /= norm
+		}
+	}
+}
+
+// project maps an arbitrary vector onto the feasible polytope,
+// resource by resource, honouring a frozen job.
+func (p Problem) project(x []float64) []float64 {
+	nres := len(p.Topo)
+	out := append([]float64(nil), x...)
+	for r := 0; r < nres; r++ {
+		total := float64(p.Topo[r].Units)
+		hi := float64(resource.MaxUnitsPerJob(p.Topo, p.NJobs, r))
+		// Collect the free coordinates of this resource.
+		free := make([]float64, 0, p.NJobs)
+		idx := make([]int, 0, p.NJobs)
+		for j := 0; j < p.NJobs; j++ {
+			i := j*nres + r
+			if j == p.FrozenJob {
+				out[i] = float64(p.FrozenAlloc[r])
+				total -= float64(p.FrozenAlloc[r])
+				continue
+			}
+			free = append(free, out[i])
+			idx = append(idx, i)
+		}
+		proj := ProjectBoundedSimplex(free, 1, hi, total)
+		for k, i := range idx {
+			out[i] = proj[k]
+		}
+	}
+	return out
+}
+
+// MaximizeToConfig is Maximize followed by sum-preserving integer
+// rounding, yielding a feasible partition configuration.
+func MaximizeToConfig(p Problem) resource.Config {
+	x := Maximize(p)
+	return resource.RoundFeasible(p.Topo, p.NJobs, x)
+}

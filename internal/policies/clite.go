@@ -1,0 +1,34 @@
+package policies
+
+import (
+	"clite/internal/bo"
+	"clite/internal/core"
+	"clite/internal/server"
+)
+
+// CLITE wraps the core controller behind the Policy interface.
+type CLITE struct {
+	// BO tunes the underlying Bayesian-optimization engine; the zero
+	// value is the paper's configuration.
+	BO bo.Options
+}
+
+// Name implements Policy.
+func (CLITE) Name() string { return "CLITE" }
+
+// Run implements Policy.
+func (p CLITE) Run(m *server.Machine) (Result, error) {
+	ctrl := core.New(m, core.Options{BO: p.BO})
+	res, err := ctrl.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := bestOf(res.History)
+	// A job that cannot meet QoS even with the whole machine makes
+	// the mix un-co-locatable regardless of what the best bootstrap
+	// sample scored.
+	if len(res.Infeasible) > 0 {
+		out.QoSMeetable = false
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package policies
+
+import (
+	"sort"
+
+	"clite/internal/core"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/stats"
+)
+
+// Genetic is the paper's GENETIC baseline: it keeps a population of
+// configurations, crosses over the two highest-scoring ones
+// (per-resource composition exchange keeps children feasible by
+// construction), applies unit-transfer mutations, and stops after a
+// pre-set sample budget.
+type Genetic struct {
+	// Population is the number of live configurations (default 8).
+	Population int
+	// Samples is the pre-set evaluation budget (default 80).
+	Samples int
+	// MutationRate is the probability a child receives each of up to
+	// three unit-transfer mutations (default 0.5).
+	MutationRate float64
+	// Seed drives all stochastic choices.
+	Seed int64
+}
+
+// Name implements Policy.
+func (Genetic) Name() string { return "GENETIC" }
+
+func (g Genetic) population() int {
+	if g.Population > 0 {
+		return g.Population
+	}
+	return 8
+}
+
+func (g Genetic) samples() int {
+	if g.Samples > 0 {
+		return g.Samples
+	}
+	return 120
+}
+
+func (g Genetic) mutationRate() float64 {
+	if g.MutationRate > 0 {
+		return g.MutationRate
+	}
+	return 0.5
+}
+
+type scoredConfig struct {
+	cfg   resource.Config
+	score float64
+}
+
+// Run implements Policy.
+func (g Genetic) Run(m *server.Machine) (Result, error) {
+	topo := m.Topology()
+	jobs := m.Jobs()
+	nJobs := len(jobs)
+	rng := stats.NewRNG(g.Seed)
+
+	var hist []core.Step
+	evaluate := func(cfg resource.Config) (float64, error) {
+		obs, err := m.Observe(cfg)
+		if err != nil {
+			return 0, err
+		}
+		var score float64
+		hist, score = recordStep(hist, jobs, cfg, obs)
+		return score, nil
+	}
+
+	// Seed population.
+	var pop []scoredConfig
+	for i := 0; i < g.population() && len(hist) < g.samples(); i++ {
+		cfg := resource.Random(topo, nJobs, rng)
+		score, err := evaluate(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		pop = append(pop, scoredConfig{cfg: cfg, score: score})
+	}
+
+	for len(hist) < g.samples() {
+		sort.Slice(pop, func(i, j int) bool { return pop[i].score > pop[j].score })
+		a, b := pop[0].cfg, pop[0].cfg
+		if len(pop) > 1 {
+			b = pop[1].cfg
+		}
+		child := g.crossover(topo, nJobs, a, b, rng)
+		g.mutate(topo, nJobs, child, rng)
+		score, err := evaluate(child)
+		if err != nil {
+			return Result{}, err
+		}
+		pop = append(pop, scoredConfig{cfg: child, score: score})
+		// Keep population bounded: drop the weakest.
+		if len(pop) > g.population() {
+			sort.Slice(pop, func(i, j int) bool { return pop[i].score > pop[j].score })
+			pop = pop[:g.population()]
+		}
+	}
+	return bestOf(hist), nil
+}
+
+// crossover builds a child by inheriting, per resource, the entire
+// composition (all jobs' shares of that resource) from one parent —
+// the exchange that keeps the unit-sum constraint intact.
+func (g Genetic) crossover(topo resource.Topology, nJobs int, a, b resource.Config, rng *stats.RNG) resource.Config {
+	child := resource.NewConfig(topo, nJobs)
+	for r := range topo {
+		src := a
+		if rng.Float64() < 0.5 {
+			src = b
+		}
+		for j := 0; j < nJobs; j++ {
+			child.Jobs[j][r] = src.Jobs[j][r]
+		}
+	}
+	return child
+}
+
+// mutate applies up to three random unit transfers ("increasing one
+// type of resource allocation of one job by one unit and decreasing
+// allocation of another job by one unit", Sec. 5.1).
+func (g Genetic) mutate(topo resource.Topology, nJobs int, cfg resource.Config, rng *stats.RNG) {
+	for k := 0; k < 3; k++ {
+		if rng.Float64() > g.mutationRate() {
+			continue
+		}
+		r := rng.Intn(len(topo))
+		from := rng.Intn(nJobs)
+		to := rng.Intn(nJobs)
+		cfg.Transfer(r, from, to, 1)
+	}
+}

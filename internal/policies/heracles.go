@@ -1,0 +1,168 @@
+package policies
+
+import (
+	"errors"
+
+	"clite/internal/core"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// Heracles reimplements the controller of Lo et al. (ISCA'15): it
+// guarantees the QoS of exactly one latency-critical job (the first LC
+// job placed on the machine) and treats everything else as best-effort
+// work that may grow only while the primary has latency slack. The
+// non-primary jobs are left *unpartitioned* among themselves — which
+// is why Heracles cannot co-locate a second LC job at any load
+// (Fig. 7a): the secondary LC job contends unmanaged inside the pool.
+type Heracles struct {
+	// MaxSamples bounds controller decision intervals (default 60).
+	MaxSamples int
+	// GrowSlack / ShrinkSlack are the primary-job slack thresholds for
+	// taking resources back from, or releasing them to, the pool
+	// (defaults 0.10 and 0.30).
+	GrowSlack   float64
+	ShrinkSlack float64
+}
+
+// Name implements Policy.
+func (Heracles) Name() string { return "Heracles" }
+
+func (h Heracles) maxSamples() int {
+	if h.MaxSamples > 0 {
+		return h.MaxSamples
+	}
+	return 60
+}
+
+func (h Heracles) growSlack() float64 {
+	if h.GrowSlack > 0 {
+		return h.GrowSlack
+	}
+	return 0.10
+}
+
+func (h Heracles) shrinkSlack() float64 {
+	if h.ShrinkSlack > 0 {
+		return h.ShrinkSlack
+	}
+	return 0.30
+}
+
+// Run implements Policy.
+func (h Heracles) Run(m *server.Machine) (Result, error) {
+	topo := m.Topology()
+	jobs := m.Jobs()
+	nJobs := len(jobs)
+	nres := len(topo)
+
+	primary := -1
+	for j, job := range jobs {
+		if job.IsLC() {
+			primary = j
+			break
+		}
+	}
+	if primary < 0 {
+		return Result{}, errors.New("policies: Heracles needs a latency-critical job")
+	}
+	shared := make([]bool, nJobs)
+	for j := range jobs {
+		shared[j] = j != primary
+	}
+	nPool := nJobs - 1
+
+	// Start with the primary holding everything beyond the pool's
+	// one-unit floors — Heracles grows best-effort work only when the
+	// primary demonstrably has slack.
+	primaryUnits := make([]int, nres)
+	for r, spec := range topo {
+		primaryUnits[r] = spec.Units - nPool
+	}
+
+	buildConfig := func() resource.Config {
+		cfg := resource.NewConfig(topo, nJobs)
+		for r, spec := range topo {
+			cfg.Jobs[primary][r] = primaryUnits[r]
+			remaining := spec.Units - primaryUnits[r]
+			// The pool's shares are nominal: the machine degrades them
+			// for unmanaged contention in ObserveShared.
+			base, rem := remaining/max(nPool, 1), remaining%max(nPool, 1)
+			i := 0
+			for j := range cfg.Jobs {
+				if j == primary {
+					continue
+				}
+				cfg.Jobs[j][r] = base
+				if i < rem {
+					cfg.Jobs[j][r]++
+				}
+				i++
+			}
+		}
+		return cfg
+	}
+
+	var hist []core.Step
+	fsmResource := 0
+	stable := 0
+	const stableWindows = 3
+
+	for sample := 0; sample < h.maxSamples(); sample++ {
+		cfg := buildConfig()
+		var obs server.Observation
+		var err error
+		if nPool > 0 {
+			obs, err = m.ObserveShared(cfg, shared)
+		} else {
+			obs, err = m.Observe(cfg)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		hist, _ = recordStep(hist, jobs, cfg, obs)
+
+		slack := (jobs[primary].QoS - obs.P95[primary]) / jobs[primary].QoS
+		switch {
+		case slack < h.growSlack():
+			// Throttle best-effort work: reclaim one unit of the FSM
+			// resource for the primary.
+			stable = 0
+			grown := false
+			for try := 0; try < nres && !grown; try++ {
+				r := fsmResource
+				if primaryUnits[r] < topo[r].Units-nPool {
+					primaryUnits[r]++
+					grown = true
+				} else {
+					fsmResource = (fsmResource + 1) % nres
+				}
+			}
+			if !grown {
+				// Primary already owns everything it can.
+				stable++
+			}
+		case slack > h.shrinkSlack() && nPool > 0:
+			// Release one unit of the FSM resource to the pool.
+			stable = 0
+			released := false
+			for try := 0; try < nres && !released; try++ {
+				r := fsmResource
+				if primaryUnits[r] > 1 {
+					primaryUnits[r]--
+					released = true
+				}
+				fsmResource = (fsmResource + 1) % nres
+			}
+			if !released {
+				stable++
+			}
+		default:
+			stable++
+		}
+		if stable >= stableWindows {
+			break
+		}
+	}
+	return finalOf(hist), nil
+}

@@ -1,0 +1,181 @@
+package policies
+
+import (
+	"math"
+
+	"clite/internal/core"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// Oracle is the paper's offline brute-force scheme: it scores
+// configurations exhaustively with noise-free measurements and returns
+// the best one. The paper notes it needs "typically 1000s of samples"
+// and is infeasible online; here it exists as the normalizing baseline
+// for every figure.
+//
+// Implementation note (documented in DESIGN.md): full enumeration of
+// the default space is ~10⁸–10⁹ configurations, so Oracle enumerates a
+// strided grid sized to Budget and then refines the winner by
+// steepest-ascent unit transfers. Because isolation makes per-job
+// performance a function of the job's own allocation only, per-job
+// measurements are memoized, which is what keeps the sweep tractable.
+type Oracle struct {
+	// Budget caps the number of grid configurations enumerated
+	// (default 200,000); the stride is chosen to fit it.
+	Budget int
+}
+
+// Name implements Policy.
+func (Oracle) Name() string { return "ORACLE" }
+
+func (o Oracle) budget() int {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	return 200000
+}
+
+// Run implements Policy.
+func (o Oracle) Run(m *server.Machine) (Result, error) {
+	topo := m.Topology()
+	jobs := m.Jobs()
+	nJobs := len(jobs)
+
+	// Per-job measurement cache: alloc key → measurement.
+	caches := make([]map[string]server.JobMeasurement, nJobs)
+	for j := range caches {
+		caches[j] = make(map[string]server.JobMeasurement)
+	}
+	var measureErr error
+	measure := func(j int, alloc resource.Allocation) server.JobMeasurement {
+		key := allocKey(alloc)
+		if v, ok := caches[j][key]; ok {
+			return v
+		}
+		v, err := m.MeasureJobIdeal(j, alloc)
+		if err != nil && measureErr == nil {
+			measureErr = err
+		}
+		caches[j][key] = v
+		return v
+	}
+
+	examined := 0
+	scoreOf := func(cfg resource.Config) (float64, server.Observation) {
+		obs := server.Observation{
+			Config:     cfg.Clone(),
+			P95:        make([]float64, nJobs),
+			Throughput: make([]float64, nJobs),
+			QoSMet:     make([]bool, nJobs),
+			NormPerf:   make([]float64, nJobs),
+			AllQoSMet:  true,
+		}
+		for j := 0; j < nJobs; j++ {
+			meas := measure(j, cfg.Jobs[j])
+			obs.P95[j] = meas.P95
+			obs.Throughput[j] = meas.Throughput
+			obs.QoSMet[j] = meas.QoSMet
+			obs.NormPerf[j] = meas.NormPerf
+			if !meas.QoSMet {
+				obs.AllQoSMet = false
+			}
+		}
+		examined++
+		return core.ScoreObservation(jobs, obs), obs
+	}
+
+	stride := o.chooseStride(topo, nJobs)
+	var best resource.Config
+	bestScore := math.Inf(-1)
+	resource.ForEachConfig(topo, nJobs, stride, func(cfg resource.Config) bool {
+		if s, _ := scoreOf(cfg); s > bestScore {
+			bestScore = s
+			best = cfg.Clone()
+		}
+		return true
+	})
+	if measureErr != nil {
+		return Result{}, measureErr
+	}
+
+	// Refine: steepest-ascent unit transfers from the grid winner and
+	// from the equal split (the grid can miss narrow ridges).
+	for _, start := range []resource.Config{best, resource.EqualSplit(topo, nJobs)} {
+		cfg, score := o.hillClimb(topo, nJobs, start, scoreOf)
+		if score > bestScore {
+			bestScore = score
+			best = cfg
+		}
+	}
+	if measureErr != nil {
+		return Result{}, measureErr
+	}
+
+	finalScore, finalObs := scoreOf(best)
+	return Result{
+		Best:        best,
+		BestScore:   finalScore,
+		BestObs:     finalObs,
+		SamplesUsed: examined,
+		QoSMeetable: finalObs.AllQoSMet,
+	}, nil
+}
+
+// chooseStride returns the smallest stride whose grid fits the budget.
+func (o Oracle) chooseStride(topo resource.Topology, nJobs int) int {
+	for stride := 1; stride < 8; stride++ {
+		total := 1.0
+		for _, spec := range topo {
+			count := 0
+			resource.ForEachComposition(spec.Units, nJobs, stride, func([]int) bool {
+				count++
+				return true
+			})
+			total *= float64(count)
+			if total > float64(o.budget()) {
+				break
+			}
+		}
+		if total <= float64(o.budget()) {
+			return stride
+		}
+	}
+	return 8
+}
+
+// hillClimb performs steepest-ascent over single-unit transfers.
+func (o Oracle) hillClimb(topo resource.Topology, nJobs int, start resource.Config,
+	scoreOf func(resource.Config) (float64, server.Observation)) (resource.Config, float64) {
+	best := start.Clone()
+	bestScore, _ := scoreOf(best)
+	for {
+		improved := false
+		for r := range topo {
+			for from := 0; from < nJobs; from++ {
+				for to := 0; to < nJobs; to++ {
+					cand := best.Clone()
+					if !cand.Transfer(r, from, to, 1) {
+						continue
+					}
+					if s, _ := scoreOf(cand); s > bestScore {
+						bestScore = s
+						best = cand
+						improved = true
+					}
+				}
+			}
+		}
+		if !improved {
+			return best, bestScore
+		}
+	}
+}
+
+func allocKey(a resource.Allocation) string {
+	buf := make([]byte, 0, len(a)*3)
+	for _, u := range a {
+		buf = append(buf, byte(u), ',')
+	}
+	return string(buf)
+}

@@ -1,0 +1,305 @@
+package policies
+
+import (
+	"testing"
+
+	"clite/internal/bo"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// easyMix is a comfortably co-locatable 2 LC + 1 BG mix.
+func easyMix(t *testing.T, seed int64) *server.Machine {
+	t.Helper()
+	m := server.New(resource.Default(), server.DefaultSpec(), seed)
+	if _, err := m.AddLC("memcached", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddLC("img-dnn", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBG("streamcluster"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// tightMix needs most of the machine for the LC jobs.
+func tightMix(t *testing.T, seed int64) *server.Machine {
+	t.Helper()
+	m := server.New(resource.Default(), server.DefaultSpec(), seed)
+	if _, err := m.AddLC("memcached", 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddLC("xapian", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBG("fluidanimate"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func allPolicies(seed int64) []Policy {
+	return []Policy{
+		Oracle{},
+		CLITE{},
+		PARTIES{},
+		Heracles{},
+		RandPlus{Seed: seed},
+		Genetic{Seed: seed},
+	}
+}
+
+func TestPolicyNamesAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range allPolicies(1) {
+		if p.Name() == "" || seen[p.Name()] {
+			t.Errorf("bad or duplicate policy name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+func TestEveryPolicyReturnsFeasibleConfig(t *testing.T) {
+	for _, p := range allPolicies(2) {
+		m := easyMix(t, 2)
+		res, err := p.Run(m)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if err := res.Best.Validate(m.Topology()); err != nil {
+			t.Errorf("%s: infeasible best config: %v", p.Name(), err)
+		}
+		if res.SamplesUsed <= 0 {
+			t.Errorf("%s: no samples recorded", p.Name())
+		}
+		if res.BestScore < 0 || res.BestScore > 1 {
+			t.Errorf("%s: score %v out of range", p.Name(), res.BestScore)
+		}
+	}
+}
+
+func TestOracleDominatesOnEasyMix(t *testing.T) {
+	oracleRes, err := Oracle{}.Run(easyMix(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracleRes.QoSMeetable {
+		t.Fatal("oracle must co-locate the easy mix")
+	}
+	for _, p := range []Policy{CLITE{}, PARTIES{}, RandPlus{Seed: 3}, Genetic{Seed: 3}} {
+		res, err := p.Run(easyMix(t, 3))
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		// Online policies score from noisy observations, so allow a
+		// small measurement-noise margin above the oracle.
+		if res.BestScore > oracleRes.BestScore*1.05 {
+			t.Errorf("%s score %v exceeds oracle %v beyond noise", p.Name(), res.BestScore, oracleRes.BestScore)
+		}
+	}
+}
+
+func TestCLITEWithinOracleBand(t *testing.T) {
+	// Paper headline: CLITE within ~5% of ORACLE; allow 15% across
+	// simulator seeds.
+	oracleRes, err := Oracle{}.Run(easyMix(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 3
+	for seed := int64(0); seed < n; seed++ {
+		res, err := CLITE{BO: bo.Options{Seed: 40 + seed}}.Run(easyMix(t, 40+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.QoSMeetable {
+			t.Fatalf("CLITE failed to co-locate the easy mix (seed %d)", seed)
+		}
+		sum += res.BestScore
+	}
+	if avg := sum / n; avg < 0.85*oracleRes.BestScore {
+		t.Errorf("CLITE avg score %v below 85%% of oracle %v", avg, oracleRes.BestScore)
+	}
+}
+
+func TestCLITEBeatsPARTIESOnBGPerformance(t *testing.T) {
+	// Fig. 9a / Fig. 13: CLITE keeps optimizing for BG jobs after QoS
+	// is met; PARTIES stops. Compare streamcluster's normalized perf.
+	var clite, parties float64
+	const n = 3
+	for seed := int64(0); seed < n; seed++ {
+		cRes, err := CLITE{BO: bo.Options{Seed: 50 + seed}}.Run(easyMix(t, 50+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pRes, err := PARTIES{}.Run(easyMix(t, 50+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		clite += cRes.BestObs.NormPerf[2] / n
+		parties += pRes.BestObs.NormPerf[2] / n
+	}
+	if clite <= parties {
+		t.Errorf("CLITE BG perf %v should beat PARTIES %v", clite, parties)
+	}
+}
+
+func TestHeraclesMeetsPrimaryOnlyQoS(t *testing.T) {
+	m := easyMix(t, 5)
+	res, err := Heracles{}.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The primary (memcached, job 0) must be protected...
+	if !res.BestObs.QoSMet[0] {
+		t.Errorf("Heracles failed its primary job: p95=%v target=%v", res.BestObs.P95[0], m.Jobs()[0].QoS)
+	}
+	// ...but Heracles cannot co-locate a second LC job (Fig. 7a).
+	if res.QoSMeetable {
+		t.Error("Heracles should not satisfy a second LC job's QoS")
+	}
+}
+
+func TestHeraclesRequiresLCJob(t *testing.T) {
+	m := server.New(resource.Default(), server.DefaultSpec(), 1)
+	if _, err := m.AddBG("swaptions"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Heracles{}.Run(m)); err == nil {
+		t.Error("Heracles without an LC job should error")
+	}
+}
+
+func TestPARTIESStabilizesQuicklyOnEasyMix(t *testing.T) {
+	res, err := PARTIES{}.Run(easyMix(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoSMeetable {
+		t.Fatal("PARTIES should co-locate the easy mix")
+	}
+	// Fig. 15a: PARTIES samples fewer configurations than CLITE — it
+	// stops at the first stable QoS-meeting configuration.
+	if res.SamplesUsed > 60 {
+		t.Errorf("PARTIES used %d samples; it should stop early", res.SamplesUsed)
+	}
+}
+
+func TestPARTIESRespectsSampleBudget(t *testing.T) {
+	res, err := PARTIES{MaxSamples: 25}.Run(tightMix(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesUsed > 25 {
+		t.Errorf("budget exceeded: %d > 25", res.SamplesUsed)
+	}
+}
+
+func TestRandPlusUsesExactBudgetAndDedups(t *testing.T) {
+	res, err := RandPlus{Samples: 30, Seed: 8}.Run(easyMix(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesUsed != 30 {
+		t.Errorf("RAND+ used %d samples, want 30", res.SamplesUsed)
+	}
+	// The de-dup filter should keep samples spread out: no two
+	// identical configurations.
+	seen := map[string]int{}
+	for _, s := range res.History {
+		seen[s.Config.Key()]++
+	}
+	for k, n := range seen {
+		if n > 2 {
+			t.Errorf("configuration %s sampled %d times despite dedup", k, n)
+		}
+	}
+}
+
+func TestGeneticImprovesOverItsOwnPopulationSeed(t *testing.T) {
+	res, err := Genetic{Samples: 60, Seed: 9}.Run(easyMix(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SamplesUsed != 60 {
+		t.Errorf("GENETIC used %d samples, want 60", res.SamplesUsed)
+	}
+	// Best score must beat the average of the initial population —
+	// otherwise crossover/mutation did nothing.
+	var popAvg float64
+	pop := 8
+	for _, s := range res.History[:pop] {
+		popAvg += s.Score / float64(pop)
+	}
+	if res.BestScore <= popAvg {
+		t.Errorf("GENETIC best %v should beat initial population average %v", res.BestScore, popAvg)
+	}
+}
+
+func TestOracleIsDeterministic(t *testing.T) {
+	a, err := Oracle{}.Run(easyMix(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Oracle{}.Run(easyMix(t, 11)) // different machine seed: ideal evals ignore noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Best.Equal(b.Best) || a.BestScore != b.BestScore {
+		t.Errorf("oracle should be deterministic: %v (%v) vs %v (%v)", a.Best, a.BestScore, b.Best, b.BestScore)
+	}
+}
+
+func TestOracleBudgetControlsStride(t *testing.T) {
+	small, err := Oracle{Budget: 2000}.Run(easyMix(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Oracle{Budget: 200000}.Run(easyMix(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SamplesUsed >= big.SamplesUsed {
+		t.Errorf("smaller budget should examine fewer configs: %d vs %d", small.SamplesUsed, big.SamplesUsed)
+	}
+	// The hill-climb refinement keeps even the small-budget oracle
+	// close to the large one.
+	if small.BestScore < 0.95*big.BestScore {
+		t.Errorf("coarse oracle %v too far below fine oracle %v", small.BestScore, big.BestScore)
+	}
+}
+
+func TestOracleUsesNoObservationWindows(t *testing.T) {
+	m := easyMix(t, 13)
+	if _, err := (Oracle{}.Run(m)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Observations() != 0 {
+		t.Errorf("oracle is offline; it must not consume observation windows (used %d)", m.Observations())
+	}
+}
+
+func TestTightMixHierarchy(t *testing.T) {
+	// On the tight mix the ordering ORACLE ≥ CLITE must hold and both
+	// must find QoS-meeting partitions.
+	oracleRes, err := Oracle{}.Run(tightMix(t, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oracleRes.QoSMeetable {
+		t.Fatal("oracle must co-locate the tight mix")
+	}
+	cliteRes, err := CLITE{BO: bo.Options{Seed: 14}}.Run(tightMix(t, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cliteRes.QoSMeetable {
+		t.Error("CLITE should co-locate the tight mix")
+	}
+	if cliteRes.BestScore > oracleRes.BestScore*1.05 {
+		t.Errorf("CLITE %v above oracle %v beyond noise", cliteRes.BestScore, oracleRes.BestScore)
+	}
+}

@@ -1,0 +1,83 @@
+// Package policies implements the co-location scheduling policies the
+// paper evaluates CLITE against (Sec. 5.1): PARTIES' finite-state-
+// machine coordinate descent, Heracles' single-LC controller, RAND+
+// de-duplicated random search, GENETIC crossover/mutation search, and
+// the offline ORACLE brute force — plus a Policy wrapper around CLITE
+// itself so the experiment harness can treat all schemes uniformly.
+//
+// Every policy consumes the same black-box machine interface and is
+// scored with the same Eq. 3 function, so the comparisons measure
+// search strategy, not instrumentation.
+package policies
+
+import (
+	"clite/internal/core"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// Result is the uniform outcome of running any policy on a machine.
+type Result struct {
+	// Best is the partition the policy settled on.
+	Best resource.Config
+	// BestScore is its Eq. 3 score (noise-free scores for ORACLE,
+	// measured scores for the online policies).
+	BestScore float64
+	// BestObs is the observation behind BestScore.
+	BestObs server.Observation
+	// SamplesUsed counts configurations evaluated (Fig. 15a).
+	SamplesUsed int
+	// QoSMeetable reports whether the best configuration met every LC
+	// job's QoS target.
+	QoSMeetable bool
+	// History is the evaluation trace in sample order.
+	History []core.Step
+}
+
+// Policy is a co-location scheduling scheme.
+type Policy interface {
+	// Name is the scheme's display name ("CLITE", "PARTIES", ...).
+	Name() string
+	// Run searches for a partition for the jobs currently placed on
+	// the machine.
+	Run(m *server.Machine) (Result, error)
+}
+
+// recordStep appends an observation to a history trace.
+func recordStep(history []core.Step, jobs []server.Job, cfg resource.Config, obs server.Observation) ([]core.Step, float64) {
+	score := core.ScoreObservation(jobs, obs)
+	return append(history, core.Step{Config: cfg.Clone(), Score: score, Obs: obs}), score
+}
+
+// finalOf builds a Result whose Best is the trace's LAST configuration
+// — for policies whose answer is whatever they stabilized on rather
+// than the best transient they visited.
+func finalOf(history []core.Step) Result {
+	res := Result{History: history, SamplesUsed: len(history)}
+	if n := len(history); n > 0 {
+		last := history[n-1]
+		res.Best = last.Config
+		res.BestScore = last.Score
+		res.BestObs = last.Obs
+		res.QoSMeetable = last.Obs.AllQoSMet
+	}
+	return res
+}
+
+// bestOf extracts the Result fields from a history trace.
+func bestOf(history []core.Step) Result {
+	res := Result{History: history, SamplesUsed: len(history)}
+	bestIdx := -1
+	for i, s := range history {
+		if bestIdx < 0 || s.Score > history[bestIdx].Score {
+			bestIdx = i
+		}
+	}
+	if bestIdx >= 0 {
+		res.Best = history[bestIdx].Config
+		res.BestScore = history[bestIdx].Score
+		res.BestObs = history[bestIdx].Obs
+		res.QoSMeetable = history[bestIdx].Obs.AllQoSMet
+	}
+	return res
+}

@@ -1,0 +1,73 @@
+package policies
+
+import (
+	"clite/internal/core"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/stats"
+)
+
+// RandPlus is the paper's RAND+ baseline: uniformly random
+// configurations with a Euclidean-distance de-duplication filter, a
+// pre-set sample budget ("set to be higher than the average number of
+// samples collected by CLITE"), and best-score selection.
+type RandPlus struct {
+	// Samples is the pre-set budget (default 80).
+	Samples int
+	// MinDistance discards candidates closer than this (in unit space)
+	// to any already-sampled configuration (default 2.0).
+	MinDistance float64
+	// Seed drives the sampling stream.
+	Seed int64
+}
+
+// Name implements Policy.
+func (RandPlus) Name() string { return "RAND+" }
+
+func (p RandPlus) samples() int {
+	if p.Samples > 0 {
+		return p.Samples
+	}
+	return 120
+}
+
+func (p RandPlus) minDistance() float64 {
+	if p.MinDistance > 0 {
+		return p.MinDistance
+	}
+	return 2.0
+}
+
+// Run implements Policy.
+func (p RandPlus) Run(m *server.Machine) (Result, error) {
+	topo := m.Topology()
+	jobs := m.Jobs()
+	nJobs := len(jobs)
+	rng := stats.NewRNG(p.Seed)
+
+	var hist []core.Step
+	var sampled []resource.Config
+	for len(hist) < p.samples() {
+		cfg := resource.Random(topo, nJobs, rng)
+		tooClose := false
+		// A candidate too close to a previous sample carries little
+		// new information; retry (bounded, so degenerate spaces with
+		// few distinct points still terminate).
+		for _, prev := range sampled {
+			if resource.Distance(cfg, prev) < p.minDistance() {
+				tooClose = true
+				break
+			}
+		}
+		if tooClose {
+			cfg = resource.Random(topo, nJobs, rng) // one retry, then accept
+		}
+		obs, err := m.Observe(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		hist, _ = recordStep(hist, jobs, cfg, obs)
+		sampled = append(sampled, cfg.Clone())
+	}
+	return bestOf(hist), nil
+}

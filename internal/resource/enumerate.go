@@ -1,0 +1,182 @@
+package resource
+
+import (
+	"sort"
+
+	"clite/internal/stats"
+)
+
+// ForEachComposition enumerates the ways to split `units` whole units
+// among `parts` jobs with every part ≥ 1, invoking fn for each. With
+// stride > 1 only every stride-th value is tried for the first
+// parts−1 shares (the last share absorbs the remainder), which is how
+// the ORACLE policy coarsens otherwise intractable spaces. fn returns
+// false to stop early; ForEachComposition reports whether enumeration
+// ran to completion. The slice passed to fn is reused across calls.
+func ForEachComposition(units, parts, stride int, fn func([]int) bool) bool {
+	if parts <= 0 || units < parts {
+		return true
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	shares := make([]int, parts)
+	var rec func(idx, remaining int) bool
+	rec = func(idx, remaining int) bool {
+		if idx == parts-1 {
+			shares[idx] = remaining
+			return fn(shares)
+		}
+		// Leave at least one unit for each remaining job.
+		maxHere := remaining - (parts - 1 - idx)
+		for v := 1; v <= maxHere; v += stride {
+			shares[idx] = v
+			if !rec(idx+1, remaining-v) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0, units)
+}
+
+// ForEachConfig enumerates the cross product of per-resource
+// compositions over the topology — every feasible Config when
+// stride == 1, a coarse grid otherwise. fn returns false to stop; the
+// Config passed to fn is reused, so clone it before retaining.
+// ForEachConfig reports whether enumeration completed.
+func ForEachConfig(t Topology, nJobs, stride int, fn func(Config) bool) bool {
+	if nJobs <= 0 {
+		return true
+	}
+	cfg := NewConfig(t, nJobs)
+	var rec func(r int) bool
+	rec = func(r int) bool {
+		if r == len(t) {
+			return fn(cfg)
+		}
+		return ForEachComposition(t[r].Units, nJobs, stride, func(shares []int) bool {
+			for j := 0; j < nJobs; j++ {
+				cfg.Jobs[j][r] = shares[j]
+			}
+			return rec(r + 1)
+		})
+	}
+	return rec(0)
+}
+
+// Random draws a partition configuration uniformly at random from the
+// space of feasible configs: per resource, a uniform composition of
+// Units into nJobs positive parts (via a random (nJobs−1)-subset of
+// cut positions).
+func Random(t Topology, nJobs int, rng *stats.RNG) Config {
+	c := NewConfig(t, nJobs)
+	for r, s := range t {
+		cuts := randomCuts(s.Units, nJobs, rng)
+		prev := 0
+		for j := 0; j < nJobs; j++ {
+			c.Jobs[j][r] = cuts[j] - prev
+			prev = cuts[j]
+		}
+	}
+	return c
+}
+
+// randomCuts returns nJobs ascending cut positions in (0, units] with
+// the last fixed at units, such that consecutive differences are ≥ 1.
+func randomCuts(units, nJobs int, rng *stats.RNG) []int {
+	// Choose nJobs−1 distinct values from 1..units−1.
+	chosen := make(map[int]bool, nJobs-1)
+	cuts := make([]int, 0, nJobs)
+	for len(cuts) < nJobs-1 {
+		v := 1 + rng.Intn(units-1)
+		if !chosen[v] {
+			chosen[v] = true
+			cuts = append(cuts, v)
+		}
+	}
+	cuts = append(cuts, units)
+	sort.Ints(cuts)
+	return cuts
+}
+
+// RoundFeasible converts a continuous job-major vector (as produced by
+// the acquisition optimizer) into a feasible integer Config: per
+// resource it rounds by largest remainder while enforcing the [1,
+// Units−Njobs+1] per-job bounds and the exact unit sum. This is the
+// integer-projection step that follows the paper's SLSQP-style
+// continuous maximization of Eq. 4–6.
+func RoundFeasible(t Topology, nJobs int, v []float64) Config {
+	c := NewConfig(t, nJobs)
+	nres := len(t)
+	for r, s := range t {
+		maxPer := MaxUnitsPerJob(t, nJobs, r)
+		// Start from clamped floors.
+		type rem struct {
+			job  int
+			frac float64
+		}
+		floors := make([]int, nJobs)
+		fracs := make([]rem, nJobs)
+		sum := 0
+		for j := 0; j < nJobs; j++ {
+			x := v[j*nres+r]
+			if x < 1 {
+				x = 1
+			}
+			if x > float64(maxPer) {
+				x = float64(maxPer)
+			}
+			f := int(x)
+			floors[j] = f
+			fracs[j] = rem{job: j, frac: x - float64(f)}
+			sum += f
+		}
+		// Distribute the deficit to the largest fractional parts
+		// (largest-remainder rounding), respecting the per-job cap.
+		deficit := s.Units - sum
+		sort.Slice(fracs, func(a, b int) bool { return fracs[a].frac > fracs[b].frac })
+		for i := 0; deficit > 0; i = (i + 1) % nJobs {
+			j := fracs[i].job
+			if floors[j] < maxPer {
+				floors[j]++
+				deficit--
+			} else if allAtCap(floors, maxPer) {
+				break
+			}
+		}
+		// If we overshot (floors summed above Units because of the
+		// ≥1 clamps), take units back from the largest shares.
+		for deficit < 0 {
+			j := argMaxInt(floors)
+			if floors[j] <= 1 {
+				break
+			}
+			floors[j]--
+			deficit++
+		}
+		for j := 0; j < nJobs; j++ {
+			c.Jobs[j][r] = floors[j]
+		}
+	}
+	return c
+}
+
+func allAtCap(xs []int, cap int) bool {
+	for _, x := range xs {
+		if x < cap {
+			return false
+		}
+	}
+	return true
+}
+
+func argMaxInt(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

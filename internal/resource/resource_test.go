@@ -1,0 +1,358 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clite/internal/stats"
+)
+
+func TestKindStringsAndTools(t *testing.T) {
+	cases := []struct {
+		k      Kind
+		name   string
+		tool   string
+		method string
+	}{
+		{Cores, "cores", "taskset", "core affinity"},
+		{LLCWays, "llc-ways", "Intel CAT", "way partitioning"},
+		{MemBandwidth, "mem-bw", "Intel MBA", "bandwidth limiting"},
+		{MemCapacity, "mem-cap", "memory cgroups", "capacity division"},
+		{DiskBandwidth, "disk-bw", "blkio cgroups", "I/O bandwidth limiting"},
+		{NetBandwidth, "net-bw", "qdisc", "network bandwidth limiting"},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.k.String(), c.name)
+		}
+		if c.k.IsolationTool() != c.tool {
+			t.Errorf("IsolationTool() = %q, want %q", c.k.IsolationTool(), c.tool)
+		}
+		if c.k.AllocationMethod() != c.method {
+			t.Errorf("AllocationMethod() = %q, want %q", c.k.AllocationMethod(), c.method)
+		}
+	}
+}
+
+func TestDefaultTopology(t *testing.T) {
+	topo := Default()
+	if len(topo) != 5 {
+		t.Fatalf("Default topology has %d resources, want 5", len(topo))
+	}
+	if topo[topo.Index(Cores)].Units != 20 {
+		t.Error("default cores should be 20 (Table 2: 20 logical cores)")
+	}
+	if topo[topo.Index(LLCWays)].Units != 11 {
+		t.Error("default LLC should have 11 ways (Table 2)")
+	}
+	if topo.Index(NetBandwidth) != -1 {
+		t.Error("network bandwidth should not be in the default topology")
+	}
+}
+
+func TestConfigCountMatchesPaperExample(t *testing.T) {
+	// Paper Sec. 2: four jobs, three resources with 10 units each →
+	// 592,704 configurations (= C(9,3)³ = 84³).
+	topo := Small()
+	if got := topo.ConfigCount(4); got != 592704 {
+		t.Errorf("ConfigCount(4) = %d, want 592704", got)
+	}
+	if got := topo.ConfigCount(1); got != 1 {
+		t.Errorf("ConfigCount(1) = %d, want 1", got)
+	}
+	if got := topo.ConfigCount(0); got != 0 {
+		t.Errorf("ConfigCount(0) = %d, want 0", got)
+	}
+	// More jobs than the smallest resource's units: infeasible.
+	if got := topo.ConfigCount(11); got != 0 {
+		t.Errorf("ConfigCount(11) = %d, want 0", got)
+	}
+}
+
+func TestDims(t *testing.T) {
+	// Paper: 3 resources × 4 jobs → 12-dimensional space.
+	if got := Small().Dims(4); got != 12 {
+		t.Errorf("Dims = %d, want 12", got)
+	}
+}
+
+func TestEqualSplit(t *testing.T) {
+	topo := Default()
+	cfg := EqualSplit(topo, 4)
+	if err := cfg.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	// 11 ways / 4 jobs: three jobs get 3 ways, one gets 2 (the paper's
+	// example: "3 set ways for all jobs except one in an 11-way cache").
+	wi := topo.Index(LLCWays)
+	threes, twos := 0, 0
+	for _, a := range cfg.Jobs {
+		switch a[wi] {
+		case 3:
+			threes++
+		case 2:
+			twos++
+		}
+	}
+	if threes != 3 || twos != 1 {
+		t.Errorf("LLC split = %v, want three 3s and one 2", cfg)
+	}
+}
+
+func TestExtremum(t *testing.T) {
+	topo := Default()
+	cfg := Extremum(topo, 3, 1)
+	if err := cfg.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	ci := topo.Index(Cores)
+	if cfg.Jobs[1][ci] != 18 || cfg.Jobs[0][ci] != 1 || cfg.Jobs[2][ci] != 1 {
+		t.Errorf("Extremum cores = %v", cfg)
+	}
+	if MaxUnitsPerJob(topo, 3, ci) != 18 {
+		t.Errorf("MaxUnitsPerJob = %d, want 18", MaxUnitsPerJob(topo, 3, ci))
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	topo := Small()
+	cfg := EqualSplit(topo, 2)
+	cfg.Jobs[0][0] = 0
+	cfg.Jobs[1][0] = 10
+	if err := cfg.Validate(topo); err == nil {
+		t.Error("expected error for zero allocation")
+	}
+	cfg = EqualSplit(topo, 2)
+	cfg.Jobs[0][1] = 9 // breaks sum
+	if err := cfg.Validate(topo); err == nil {
+		t.Error("expected error for broken sum")
+	}
+	bad := Config{Jobs: []Allocation{{1, 2}}}
+	if err := bad.Validate(topo); err == nil {
+		t.Error("expected error for wrong arity")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	topo := Small()
+	cfg := EqualSplit(topo, 3)
+	v := cfg.Vector()
+	if len(v) != 9 {
+		t.Fatalf("vector length = %d, want 9", len(v))
+	}
+	back, err := FromVector(topo, 3, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(cfg) {
+		t.Errorf("round trip mismatch: %v vs %v", back, cfg)
+	}
+	if _, err := FromVector(topo, 3, v[:5]); err == nil {
+		t.Error("expected error for short vector")
+	}
+}
+
+func TestKeyAndEqual(t *testing.T) {
+	topo := Small()
+	a := EqualSplit(topo, 2)
+	b := EqualSplit(topo, 2)
+	if a.Key() != b.Key() || !a.Equal(b) {
+		t.Error("identical configs should compare equal")
+	}
+	b.Jobs[0][0]++
+	b.Jobs[1][0]--
+	if a.Key() == b.Key() || a.Equal(b) {
+		t.Error("different configs should not compare equal")
+	}
+	if a.Equal(Config{}) {
+		t.Error("configs with different job counts should differ")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	topo := Small()
+	a := EqualSplit(topo, 2)
+	b := a.Clone()
+	b.Jobs[0][0] = 99
+	if a.Jobs[0][0] == 99 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	topo := Small()
+	cfg := EqualSplit(topo, 2) // 5/5 per resource
+	if !cfg.Transfer(0, 0, 1, 2) {
+		t.Fatal("transfer should succeed")
+	}
+	if cfg.Jobs[0][0] != 3 || cfg.Jobs[1][0] != 7 {
+		t.Errorf("after transfer: %v", cfg)
+	}
+	if err := cfg.Validate(topo); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Transfer(0, 0, 1, 3) {
+		t.Error("transfer below one unit must fail")
+	}
+	if cfg.Jobs[0][0] != 3 {
+		t.Error("failed transfer must not mutate")
+	}
+	if cfg.Transfer(0, 0, 0, 1) {
+		t.Error("self transfer must fail")
+	}
+	if cfg.Transfer(0, 1, 0, 0) {
+		t.Error("zero-unit transfer must fail")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	topo := Small()
+	a := EqualSplit(topo, 2)
+	if got := Distance(a, a); got != 0 {
+		t.Errorf("Distance(a,a) = %v", got)
+	}
+	b := a.Clone()
+	b.Transfer(0, 0, 1, 2) // changes two entries by 2 → distance √8
+	if got := Distance(a, b); got < 2.82 || got > 2.83 {
+		t.Errorf("Distance = %v, want √8", got)
+	}
+}
+
+func TestForEachCompositionCountsAndValidity(t *testing.T) {
+	count := 0
+	ForEachComposition(6, 3, 1, func(shares []int) bool {
+		sum := 0
+		for _, s := range shares {
+			if s < 1 {
+				t.Fatalf("share < 1: %v", shares)
+			}
+			sum += s
+		}
+		if sum != 6 {
+			t.Fatalf("bad sum: %v", shares)
+		}
+		count++
+		return true
+	})
+	// C(5,2) = 10 compositions of 6 into 3 positive parts.
+	if count != 10 {
+		t.Errorf("composition count = %d, want 10", count)
+	}
+}
+
+func TestForEachCompositionEarlyStop(t *testing.T) {
+	count := 0
+	done := ForEachComposition(6, 3, 1, func([]int) bool {
+		count++
+		return count < 3
+	})
+	if done || count != 3 {
+		t.Errorf("early stop: done=%v count=%d", done, count)
+	}
+}
+
+func TestForEachCompositionStrideCoarsens(t *testing.T) {
+	fine, coarse := 0, 0
+	ForEachComposition(10, 2, 1, func([]int) bool { fine++; return true })
+	ForEachComposition(10, 2, 3, func(shares []int) bool {
+		coarse++
+		if shares[0]+shares[1] != 10 {
+			t.Fatalf("bad sum with stride: %v", shares)
+		}
+		return true
+	})
+	if coarse >= fine {
+		t.Errorf("stride should reduce samples: %d vs %d", coarse, fine)
+	}
+	if coarse == 0 {
+		t.Error("stride enumeration produced nothing")
+	}
+}
+
+func TestForEachConfigMatchesConfigCount(t *testing.T) {
+	topo := Topology{
+		{Kind: Cores, Units: 5},
+		{Kind: LLCWays, Units: 4},
+	}
+	count := int64(0)
+	ForEachConfig(topo, 2, 1, func(c Config) bool {
+		if err := c.Validate(topo); err != nil {
+			t.Fatal(err)
+		}
+		count++
+		return true
+	})
+	if want := topo.ConfigCount(2); count != want {
+		t.Errorf("enumerated %d configs, formula says %d", count, want)
+	}
+}
+
+func TestForEachConfigReusesBuffer(t *testing.T) {
+	topo := Topology{{Kind: Cores, Units: 3}}
+	var first Config
+	i := 0
+	ForEachConfig(topo, 2, 1, func(c Config) bool {
+		if i == 0 {
+			first = c // intentionally NOT cloned
+		}
+		i++
+		return true
+	})
+	// Documented behaviour: the callback config is reused, so `first`
+	// now reflects the last enumerated config, not the first.
+	if i > 1 && first.Jobs[0][0] == 1 {
+		t.Error("expected the non-cloned config to have been overwritten (documented reuse)")
+	}
+}
+
+func TestRandomConfigAlwaysFeasible(t *testing.T) {
+	rng := stats.NewRNG(3)
+	topo := Default()
+	for i := 0; i < 500; i++ {
+		nJobs := 2 + rng.Intn(4)
+		cfg := Random(topo, nJobs, rng)
+		if err := cfg.Validate(topo); err != nil {
+			t.Fatalf("random config infeasible: %v (%v)", err, cfg)
+		}
+	}
+}
+
+func TestRandomConfigCoversSpace(t *testing.T) {
+	rng := stats.NewRNG(5)
+	topo := Topology{{Kind: Cores, Units: 4}}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		seen[Random(topo, 2, rng).Key()] = true
+	}
+	// Compositions of 4 into 2 parts: 1+3, 2+2, 3+1.
+	if len(seen) != 3 {
+		t.Errorf("random sampling found %d distinct configs, want 3", len(seen))
+	}
+}
+
+func TestRoundFeasibleProperty(t *testing.T) {
+	topo := Default()
+	rng := stats.NewRNG(17)
+	f := func(seed int64, jobsByte uint8) bool {
+		nJobs := 2 + int(jobsByte%4)
+		local := rng.Split(seed)
+		v := make([]float64, nJobs*len(topo))
+		for i := range v {
+			v[i] = local.Float64() * 25 // may exceed caps and violate sums
+		}
+		cfg := RoundFeasible(topo, nJobs, v)
+		return cfg.Validate(topo) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundFeasiblePreservesExactInput(t *testing.T) {
+	topo := Small()
+	cfg := EqualSplit(topo, 2)
+	got := RoundFeasible(topo, 2, cfg.Vector())
+	if !got.Equal(cfg) {
+		t.Errorf("RoundFeasible changed an already-feasible config: %v -> %v", cfg, got)
+	}
+}

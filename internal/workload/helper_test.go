@@ -1,0 +1,6 @@
+package workload
+
+import "clite/internal/stats"
+
+// rngFor gives tests a deterministic stream per seed.
+func rngFor(seed int64) *stats.RNG { return stats.NewRNG(seed) }

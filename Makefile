@@ -1,0 +1,21 @@
+# Tier-1 verification: everything must build, vet clean, and pass the
+# full test suite under the race detector (the concurrent cluster
+# reschedule path is exercised by TestRescheduleIsDeterministic).
+.PHONY: tier1 build vet test race bench
+
+tier1: build vet race
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$' .

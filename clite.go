@@ -33,6 +33,7 @@ import (
 	"clite/internal/cluster"
 	"clite/internal/core"
 	"clite/internal/doe"
+	"clite/internal/faults"
 	"clite/internal/harness"
 	"clite/internal/policies"
 	"clite/internal/qos"
@@ -102,8 +103,37 @@ func DefaultTopology() Topology { return resource.Default() }
 // DefaultSpec returns the Table 2 hardware description.
 func DefaultSpec() Spec { return server.DefaultSpec() }
 
-// NewController binds a CLITE controller to a machine.
-func NewController(m *Machine, opts Options) *Controller {
+// Observer is the observation contract the controller runs against: a
+// Machine directly, or a fault injector wrapping one.
+type Observer = server.Observer
+
+// Resilience tunes the controller's hardening against observation
+// failures, corrupted measurements, and node loss. The zero value
+// leaves hardening off (the baseline controller).
+type Resilience = core.Resilience
+
+// FaultPlan configures deterministic fault injection over a machine's
+// observation interface: transient window failures, corrupted-outlier
+// measurements, partial actuator enforcement, and whole-node failure
+// at a scheduled simulated time. The zero value injects nothing.
+type FaultPlan = faults.Plan
+
+// FaultInjector wraps a machine with a FaultPlan; it satisfies
+// Observer and counts what it injected.
+type FaultInjector = faults.Injector
+
+// FaultCounts tallies the faults an injector delivered.
+type FaultCounts = faults.Counts
+
+// InjectFaults wraps a machine in a fault injector. An empty plan
+// returns the machine itself, so the wrapper costs nothing when off.
+func InjectFaults(m *Machine, plan FaultPlan) Observer {
+	return faults.Wrap(m, plan)
+}
+
+// NewController binds a CLITE controller to an observation source — a
+// machine, or a fault injector around one.
+func NewController(m Observer, opts Options) *Controller {
 	return core.New(m, opts)
 }
 

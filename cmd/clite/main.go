@@ -7,6 +7,11 @@
 //	clite -lc memcached:0.3 -lc img-dnn:0.2 -bg streamcluster -policy CLITE -seed 42
 //
 // Policies: CLITE (default), PARTIES, Heracles, RAND+, GENETIC, ORACLE.
+//
+// Fault injection (CLITE only) degrades the observation substrate to
+// exercise the hardened controller:
+//
+//	clite -lc memcached:0.3 -bg swaptions -fault-transient 0.1 -fault-outlier 0.1 -resilient
 package main
 
 import (
@@ -43,6 +48,12 @@ func run() error {
 	policyName := flag.String("policy", "CLITE", "policy: CLITE, PARTIES, Heracles, RAND+, GENETIC, ORACLE")
 	seed := flag.Int64("seed", 1, "random seed (measurement noise and search)")
 	list := flag.Bool("workloads", false, "list available workloads and exit")
+	faultTransient := flag.Float64("fault-transient", 0, "probability a window fails transiently (counter-read error)")
+	faultOutlier := flag.Float64("fault-outlier", 0, "probability a window reports a corrupted latency spike")
+	faultActuation := flag.Float64("fault-actuation", 0, "probability a window runs under a degraded partition")
+	faultNodeFailAt := flag.Float64("fault-node-fail-at", 0, "simulated time (s) at which the node fails permanently (0 = never)")
+	faultSeed := flag.Int64("fault-seed", 0, "fault stream seed (defaults to -seed)")
+	resilient := flag.Bool("resilient", false, "harden the controller: retry, outlier re-measurement, fallback, guard pass")
 	flag.Parse()
 
 	if *list {
@@ -73,6 +84,20 @@ func run() error {
 		names = append(names, name)
 	}
 
+	plan := clite.FaultPlan{
+		Seed:             *faultSeed,
+		Transient:        *faultTransient,
+		Outlier:          *faultOutlier,
+		PartialActuation: *faultActuation,
+		NodeFailAt:       *faultNodeFailAt,
+	}
+	if plan.Seed == 0 {
+		plan.Seed = *seed
+	}
+	if plan.Enabled() || *resilient {
+		return runFaulted(m, names, *policyName, *seed, plan, *resilient)
+	}
+
 	policy, ok := clite.PolicyByName(*policyName, *seed)
 	if !ok {
 		return fmt.Errorf("unknown policy %q", *policyName)
@@ -83,11 +108,52 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	report(m, res.SamplesUsed, res.QoSMeetable, res.BestScore, res.Best, res.BestObs)
+	return nil
+}
 
+// runFaulted drives the CLITE controller through the fault injector —
+// the only policy with a hardened variant, so fault mode rejects the
+// baselines rather than silently running them unprotected.
+func runFaulted(m *clite.Machine, names []string, policyName string, seed int64, plan clite.FaultPlan, resilient bool) error {
+	if policyName != "CLITE" {
+		return fmt.Errorf("fault injection supports only the CLITE policy (got %q)", policyName)
+	}
+	mode := "baseline"
+	if resilient {
+		mode = "hardened"
+	}
+	fmt.Printf("co-locating %s under CLITE (%s) with faults %+v...\n", strings.Join(names, " + "), mode, plan)
+	obs := clite.InjectFaults(m, plan)
+	ctrl := clite.NewController(obs, clite.Options{
+		BO:         clite.BOOptions{Seed: seed},
+		Resilience: clite.Resilience{Enabled: resilient},
+	})
+	res, err := ctrl.Run()
+	if err != nil {
+		return err
+	}
+	if inj, ok := obs.(*clite.FaultInjector); ok {
+		fmt.Printf("\nfaults injected:   %s\n", inj.Counts())
+	}
+	fmt.Printf("windows attempted: %d (%d retries beyond first attempts)\n", res.Attempts, res.Retries)
+	if res.FellBack {
+		fmt.Println("search aborted:    returned the last known QoS-safe partition")
+	}
+	if len(res.Infeasible) > 0 {
+		fmt.Printf("infeasible jobs:   %v (cannot meet QoS even with the whole machine)\n", res.Infeasible)
+	}
+	report(m, res.SamplesUsed, res.QoSMeetable, res.BestScore, res.Best, res.BestObs)
+	return nil
+}
+
+// report prints the shared outcome block: search cost, QoS verdict,
+// and the per-job partition table.
+func report(m *clite.Machine, samples int, qosMet bool, score float64, best clite.Config, obs clite.Observation) {
 	fmt.Printf("\nsamples evaluated: %d (%.0f s of observation windows)\n",
-		res.SamplesUsed, float64(m.Observations())*m.Window())
-	fmt.Printf("all QoS met:       %v\n", res.QoSMeetable)
-	fmt.Printf("objective score:   %.3f (Eq. 3; >0.5 means every LC job inside QoS)\n\n", res.BestScore)
+		samples, float64(m.Observations())*m.Window())
+	fmt.Printf("all QoS met:       %v\n", qosMet)
+	fmt.Printf("objective score:   %.3f (Eq. 3; >0.5 means every LC job inside QoS)\n\n", score)
 
 	topo := m.Topology()
 	fmt.Printf("%-14s", "job")
@@ -98,19 +164,18 @@ func run() error {
 	for i, job := range m.Jobs() {
 		fmt.Printf("%-14s", job.Workload.Name)
 		for r := range topo {
-			fmt.Printf("  %8d", res.Best.Jobs[i][r])
+			fmt.Printf("  %8d", best.Jobs[i][r])
 		}
 		if job.IsLC() {
 			status := "QoS MET"
-			if !res.BestObs.QoSMet[i] {
+			if !obs.QoSMet[i] {
 				status = "VIOLATED"
 			}
-			fmt.Printf("  %10.2fms  %s (target %.2fms)\n", res.BestObs.P95[i]*1000, status, job.QoS*1000)
+			fmt.Printf("  %10.2fms  %s (target %.2fms)\n", obs.P95[i]*1000, status, job.QoS*1000)
 		} else {
-			fmt.Printf("  %9.0fop/s  %.0f%% of isolation\n", res.BestObs.Throughput[i], res.BestObs.NormPerf[i]*100)
+			fmt.Printf("  %9.0fop/s  %.0f%% of isolation\n", obs.Throughput[i], obs.NormPerf[i]*100)
 		}
 	}
-	return nil
 }
 
 func parseLC(spec string) (string, float64, error) {

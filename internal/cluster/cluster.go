@@ -13,9 +13,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"clite/internal/bo"
 	"clite/internal/core"
+	"clite/internal/faults"
 	"clite/internal/resource"
 	"clite/internal/server"
 )
@@ -53,6 +55,17 @@ type Options struct {
 	// bootstrap plus a focused feasibility hunt, cheap enough to try
 	// several nodes).
 	ScreenIterations int
+	// Faults optionally injects observation faults into every
+	// screening run — the warehouse's measurement plane is no more
+	// reliable than its nodes. When the plan is enabled, screening
+	// runs use the hardened controller (retry, outlier re-measurement,
+	// guard pass); when it is empty the screening path is byte-for-
+	// byte the unhardened one. Per-screen fault streams are derived
+	// deterministically from Plan.Seed, the node id, and the node's
+	// occupancy. NodeFailAt applies to each screening run's private
+	// clock; whole-node loss at the cluster level is expressed with
+	// FailNode instead.
+	Faults faults.Plan
 }
 
 func (o Options) nodes() int {
@@ -77,6 +90,7 @@ type node struct {
 	requests []Request
 	last     core.Result
 	lastOK   bool
+	failed   bool
 }
 
 // Scheduler places jobs across a fixed pool of simulated nodes.
@@ -116,18 +130,40 @@ func (s *Scheduler) build(n *node, extra *Request) (*server.Machine, error) {
 	return m, nil
 }
 
+// faultPlan derives the per-screen fault stream from the cluster-level
+// plan. The derivation depends only on the node id and its occupancy —
+// never on wall time or goroutine order — so concurrent screening
+// stays deterministic.
+func (s *Scheduler) faultPlan(n *node) faults.Plan {
+	p := s.opts.Faults
+	if !p.Enabled() {
+		return p
+	}
+	p.Seed += int64(n.id)*7919 + int64(len(n.requests))*104729
+	return p
+}
+
 // screen runs a budget-bounded CLITE invocation to decide feasibility.
 func (s *Scheduler) screen(n *node, extra Request) (core.Result, bool, error) {
 	m, err := s.build(n, &extra)
 	if err != nil {
 		return core.Result{}, false, err
 	}
-	ctrl := core.New(m, core.Options{BO: bo.Options{
-		Seed:          s.opts.Seed + int64(n.id)*31 + int64(len(n.requests)),
-		MaxIterations: s.opts.screenIterations(),
-	}})
+	ctrl := core.New(faults.Wrap(m, s.faultPlan(n)), core.Options{
+		BO: bo.Options{
+			Seed:          s.opts.Seed + int64(n.id)*31 + int64(len(n.requests)),
+			MaxIterations: s.opts.screenIterations(),
+		},
+		Resilience: core.Resilience{Enabled: s.opts.Faults.Enabled()},
+	})
 	res, err := ctrl.Run()
 	if err != nil {
+		// A screening run that dies on its observation substrate proves
+		// nothing about the co-location itself; treat the node as
+		// infeasible for this request rather than failing the placement.
+		if errors.Is(err, server.ErrObservationFailed) || errors.Is(err, server.ErrNodeFailed) {
+			return core.Result{}, false, nil
+		}
 		return core.Result{}, false, err
 	}
 	// A BG-only node has no QoS gate; any partition is acceptable.
@@ -150,8 +186,7 @@ func (s *Scheduler) Place(req Request) (Placement, error) {
 	if req.Load < 0 || req.Load > 1.5 {
 		return Placement{}, fmt.Errorf("cluster: load %v out of range", req.Load)
 	}
-	order := make([]*node, len(s.nodes))
-	copy(order, s.nodes)
+	order := s.live()
 	sort.SliceStable(order, func(i, j int) bool {
 		return len(order[i].requests) < len(order[j].requests)
 	})
@@ -171,11 +206,138 @@ func (s *Scheduler) Place(req Request) (Placement, error) {
 	return Placement{}, ErrUnplaceable
 }
 
+// live returns the non-failed nodes in id order.
+func (s *Scheduler) live() []*node {
+	out := make([]*node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		if !n.failed {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Outcome reports the fate of one job during the reschedule that
+// follows a node failure.
+type Outcome struct {
+	// Request is the drained job.
+	Request Request
+	// From is the failed node it was drained from.
+	From int
+	// Node is the surviving node that absorbed it (-1 when none could
+	// within QoS).
+	Node int
+	// Err is nil on success and ErrUnplaceable (or a screening error)
+	// when the job could not be rehomed.
+	Err error
+}
+
+// FailNode marks a node as permanently lost — the warehouse-scale
+// fault the single-node controller cannot absorb — drains its
+// placements, and reschedules them across the survivors. LC jobs are
+// rehomed first so they get first pick of the remaining headroom;
+// relative order is preserved within each class, keeping the
+// reschedule deterministic for a given seed. Each drained job gets an
+// Outcome whether or not it found a new home; jobs that fit nowhere
+// are reported with ErrUnplaceable rather than aborting the rest of
+// the reschedule (the paper's Sec. 4 ejection path: schedule them in
+// the next rack).
+func (s *Scheduler) FailNode(id int) ([]Outcome, error) {
+	if id < 0 || id >= len(s.nodes) {
+		return nil, fmt.Errorf("cluster: no node %d", id)
+	}
+	n := s.nodes[id]
+	if n.failed {
+		return nil, fmt.Errorf("cluster: node %d already failed", id)
+	}
+	n.failed = true
+	drained := n.requests
+	n.requests = nil
+	n.last = core.Result{}
+	n.lastOK = false
+
+	order := make([]Request, 0, len(drained))
+	for _, r := range drained {
+		if r.IsLC() {
+			order = append(order, r)
+		}
+	}
+	for _, r := range drained {
+		if !r.IsLC() {
+			order = append(order, r)
+		}
+	}
+	outcomes := make([]Outcome, 0, len(order))
+	for _, r := range order {
+		p, err := s.rehome(r)
+		if err != nil {
+			outcomes = append(outcomes, Outcome{Request: r, From: id, Node: -1, Err: err})
+			continue
+		}
+		outcomes = append(outcomes, Outcome{Request: r, From: id, Node: p.Node})
+	}
+	return outcomes, nil
+}
+
+// rehome finds a new node for one drained request. Unlike the
+// admission path, which screens nodes one at a time and stops at the
+// first fit, a reschedule is latency-sensitive — every drained LC job
+// is unserved until it lands — so all survivors are screened
+// concurrently. Each screening run builds its own machine and the
+// selection rule (least-loaded feasible node, ties to the lowest id)
+// is a pure function of the screen results, so the outcome does not
+// depend on goroutine interleaving.
+func (s *Scheduler) rehome(req Request) (Placement, error) {
+	live := s.live()
+	if len(live) == 0 {
+		return Placement{}, ErrUnplaceable
+	}
+	type screened struct {
+		res core.Result
+		ok  bool
+		err error
+	}
+	results := make([]screened, len(live))
+	var wg sync.WaitGroup
+	for i, n := range live {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			res, ok, err := s.screen(n, req)
+			results[i] = screened{res: res, ok: ok, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	pick := -1
+	for i, r := range results {
+		if r.err != nil {
+			return Placement{}, r.err
+		}
+		if !r.ok {
+			continue
+		}
+		if pick < 0 || len(live[i].requests) < len(live[pick].requests) {
+			pick = i
+		}
+	}
+	if pick < 0 {
+		return Placement{}, ErrUnplaceable
+	}
+	n := live[pick]
+	n.requests = append(n.requests, req)
+	n.last = results[pick].res
+	n.lastOK = true
+	return Placement{Node: n.id, Result: results[pick].res}, nil
+}
+
 // NodeInfo is a snapshot of one node's state.
 type NodeInfo struct {
 	ID     int
 	Jobs   []string
 	QoSMet bool
+	// Failed marks a node lost to FailNode; it hosts nothing and takes
+	// no further placements.
+	Failed bool
 	// BGPerf is the mean isolation-normalized BG throughput under the
 	// node's current partition (0 when the node hosts no BG job).
 	BGPerf float64
@@ -185,7 +347,7 @@ type NodeInfo struct {
 func (s *Scheduler) Snapshot() []NodeInfo {
 	out := make([]NodeInfo, 0, len(s.nodes))
 	for _, n := range s.nodes {
-		info := NodeInfo{ID: n.id, QoSMet: n.lastOK}
+		info := NodeInfo{ID: n.id, QoSMet: n.lastOK, Failed: n.failed}
 		for _, r := range n.requests {
 			label := r.Workload
 			if r.IsLC() {

@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"testing"
+
+	"clite/internal/faults"
 )
 
 func TestRequestClassification(t *testing.T) {
@@ -95,6 +98,164 @@ func TestClusterPacksUntilSaturation(t *testing.T) {
 	}
 	if accepted >= 4 {
 		t.Error("four 45% memcacheds cannot share one node; admission control failed")
+	}
+}
+
+func TestFailNodeReschedulesAcrossSurvivors(t *testing.T) {
+	s := New(Options{Nodes: 3, Seed: 11, ScreenIterations: 16})
+	var first Placement
+	for i := 0; i < 3; i++ {
+		p, err := s.Place(Request{Workload: "img-dnn", Load: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = p
+		}
+	}
+	outcomes, err := s.FailNode(first.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("drained %d jobs, want 1: %+v", len(outcomes), outcomes)
+	}
+	o := outcomes[0]
+	if o.Err != nil {
+		t.Fatalf("light LC job must rehome onto a survivor: %v", o.Err)
+	}
+	if o.From != first.Node || o.Node == first.Node || o.Node < 0 {
+		t.Errorf("outcome %+v: must move off the failed node", o)
+	}
+	if s.Jobs() != 3 {
+		t.Errorf("Jobs() = %d after reschedule, want 3", s.Jobs())
+	}
+	for _, info := range s.Snapshot() {
+		if info.ID == first.Node {
+			if !info.Failed || len(info.Jobs) != 0 {
+				t.Errorf("failed node snapshot %+v: want Failed and empty", info)
+			}
+		} else if info.Failed {
+			t.Errorf("survivor %d marked failed", info.ID)
+		}
+	}
+	// The failed node takes no further placements.
+	p, err := s.Place(Request{Workload: "swaptions"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Node == first.Node {
+		t.Error("Place landed a job on a failed node")
+	}
+}
+
+func TestFailNodeValidation(t *testing.T) {
+	s := New(Options{Nodes: 2, Seed: 12})
+	if _, err := s.FailNode(7); err == nil {
+		t.Error("unknown node id must be rejected")
+	}
+	if _, err := s.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FailNode(0); err == nil {
+		t.Error("double failure must be rejected")
+	}
+}
+
+func TestAllNodesFailedIsUnplaceable(t *testing.T) {
+	s := New(Options{Nodes: 2, Seed: 13})
+	for id := 0; id < 2; id++ {
+		if _, err := s.FailNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Place(Request{Workload: "swaptions"})
+	if !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("a fully failed cluster must reject everything, got %v", err)
+	}
+}
+
+func TestRescheduleReportsUnplaceableJobs(t *testing.T) {
+	// Two nodes, each saturated with a heavy LC job; when one node
+	// dies its job cannot squeeze next to the other heavy job, and the
+	// outcome must say so without erroring the whole reschedule.
+	s := New(Options{Nodes: 2, Seed: 14, ScreenIterations: 16})
+	for i := 0; i < 2; i++ {
+		if _, err := s.Place(Request{Workload: "memcached", Load: 0.6}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outcomes, err := s.FailNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("outcomes = %+v", outcomes)
+	}
+	if !errors.Is(outcomes[0].Err, ErrUnplaceable) {
+		t.Errorf("outcome error = %v, want ErrUnplaceable", outcomes[0].Err)
+	}
+	if outcomes[0].Node != -1 {
+		t.Errorf("unplaceable outcome must carry Node -1: %+v", outcomes[0])
+	}
+	if s.Jobs() != 1 {
+		t.Errorf("Jobs() = %d, want 1 (the survivor keeps its own job)", s.Jobs())
+	}
+}
+
+// clusterState flattens placements for comparison: per-node job labels
+// plus failure flags.
+func clusterState(s *Scheduler) string {
+	out := ""
+	for _, n := range s.Snapshot() {
+		out += fmt.Sprintf("%d failed=%v %v\n", n.ID, n.Failed, n.Jobs)
+	}
+	return out
+}
+
+func TestRescheduleIsDeterministic(t *testing.T) {
+	// Same seed ⇒ same placements, same reschedule outcomes, same final
+	// map — even though rehoming screens the survivors concurrently.
+	// This test is the race-detector workout for that fan-out.
+	run := func() (string, string) {
+		s := New(Options{Nodes: 3, Seed: 15, ScreenIterations: 12})
+		reqs := []Request{
+			{Workload: "img-dnn", Load: 0.2},
+			{Workload: "memcached", Load: 0.2},
+			{Workload: "swaptions"},
+			{Workload: "xapian", Load: 0.2},
+		}
+		for _, r := range reqs {
+			if _, err := s.Place(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		outcomes, err := s.FailNode(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", outcomes), clusterState(s)
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if o1 != o2 {
+		t.Errorf("reschedule outcomes diverge:\n%s\nvs\n%s", o1, o2)
+	}
+	if s1 != s2 {
+		t.Errorf("final placement map diverges:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+func TestScreeningUnderFaultsStillAdmits(t *testing.T) {
+	s := New(Options{Nodes: 2, Seed: 16, ScreenIterations: 16, Faults: faults.Plan{
+		Seed: 99, Transient: 0.10, Outlier: 0.10,
+	}})
+	p, err := s.Place(Request{Workload: "img-dnn", Load: 0.2})
+	if err != nil {
+		t.Fatalf("a light LC job must still screen through a 10%%/10%% fault mix: %v", err)
+	}
+	if !p.Result.QoSMeetable {
+		t.Error("admitted placement should carry a QoS-meeting screening result")
 	}
 }
 

@@ -26,16 +26,40 @@ import (
 // configuration.
 type Options struct {
 	BO bo.Options
+	// Resilience hardens the controller against observation failures,
+	// corrupted measurements, and node loss (see resilience.go). The
+	// zero value leaves hardening off, in which case the controller
+	// behaves byte-identically to the baseline implementation.
+	Resilience Resilience
 }
 
 // Step pairs one evaluated configuration with the observation that
 // produced its score, preserving the full decision trace (Fig. 9b and
-// Fig. 15b are plots over this history).
+// Fig. 15b are plots over this history). Failed and retried windows
+// appear in the trace too — a window that was paid for is never
+// silently dropped.
 type Step struct {
 	Config resource.Config
 	Score  float64
 	Obs    server.Observation
+	// Failed marks a window that returned an error instead of an
+	// observation: Score is 0, Obs is the zero value, and Err carries
+	// the message.
+	Failed bool
+	// Err is the observation error text of a failed window.
+	Err string
+	// Attempt is the retry ordinal of this window for its
+	// configuration measurement (0 = first try).
+	Attempt int
+	// Discarded marks an outlier window that a median-of-k
+	// re-measurement superseded; its observation stays visible here
+	// but is excluded from best-configuration selection.
+	Discarded bool
 }
+
+// Usable reports whether the step carries a measurement that may back
+// the returned best configuration.
+func (s Step) Usable() bool { return !s.Failed && !s.Discarded }
 
 // Result is the outcome of one CLITE invocation.
 type Result struct {
@@ -57,20 +81,35 @@ type Result struct {
 	// the maximum possible allocation; such jobs should be scheduled
 	// on another node (Sec. 4) and the search stops early.
 	Infeasible []int
-	// History is the full evaluation trace.
+	// History is the full evaluation trace, failed and discarded
+	// windows included.
 	History []Step
 	// EITrace is the acquisition maximum per iteration.
 	EITrace []float64
+	// Attempts counts every observation window attempted, retries,
+	// re-measurements and the guard pass included. Without resilience
+	// it equals SamplesUsed.
+	Attempts int
+	// Retries counts the windows beyond each measurement's first
+	// attempt: retry-after-failure, median-of-k re-measurements, and
+	// infeasibility confirmation. Always 0 without resilience.
+	Retries int
+	// FellBack reports that the observation retry budget was exhausted
+	// (or the node died) and Best is the last known QoS-safe partition
+	// rather than a converged answer.
+	FellBack bool
 }
 
-// Controller is a CLITE instance bound to one machine.
+// Controller is a CLITE instance bound to one machine — or to anything
+// else implementing the observation contract, such as a fault
+// injector wrapping a machine.
 type Controller struct {
-	machine *server.Machine
+	machine server.Observer
 	opts    Options
 }
 
-// New returns a controller for the machine.
-func New(machine *server.Machine, opts Options) *Controller {
+// New returns a controller for the machine (any server.Observer).
+func New(machine server.Observer, opts Options) *Controller {
 	return &Controller{machine: machine, opts: opts}
 }
 
@@ -161,6 +200,11 @@ func (e infeasibleError) Error() string {
 // to determine new optimal resource partition"). Starting from the old
 // operating point lets the new search shift allocations incrementally
 // instead of rediscovering the feasible region.
+//
+// The resilience policy — retry budget, backoff schedule, outlier
+// re-measurement, guard pass — carries over unchanged from the
+// original controller: a re-invocation runs under exactly the same
+// fault tolerances as the run it replaces.
 func (c *Controller) Rerun(prev Result) (Result, error) {
 	opts := c.opts
 	if prev.Best.NumJobs() == c.machine.NumJobs() {
@@ -197,40 +241,77 @@ func (c *Controller) Run() (Result, error) {
 		}
 	}
 
-	var history []Step
+	rt := &runtime{m: m, opts: c.opts.Resilience, jobs: jobs, topo: topo}
 	eval := func(cfg resource.Config) (bo.Evaluation, error) {
-		obs, err := m.Observe(cfg)
+		obs, score, err := rt.measure(cfg)
 		if err != nil {
 			return bo.Evaluation{}, err
 		}
-		score := ScoreObservation(jobs, obs)
-		history = append(history, Step{Config: cfg.Clone(), Score: score, Obs: obs})
 		if j, ok := extremumKey[cfg.Key()]; ok && !obs.QoSMet[j] {
-			return bo.Evaluation{}, infeasibleError{job: j}
+			confirmed, cObs, cScore := rt.confirmViolation(cfg, j, obs, score)
+			if confirmed {
+				return bo.Evaluation{}, infeasibleError{job: j}
+			}
+			obs, score = cObs, cScore
 		}
 		return bo.Evaluation{Score: score, JobPerf: jobPerf(jobs, obs)}, nil
 	}
 
-	boRes, err := bo.Run(topo, nJobs, eval, c.opts.BO)
-	var infeasible infeasibleError
-	if errors.As(err, &infeasible) {
-		res := resultFromHistory(history)
-		res.Infeasible = []int{infeasible.job}
-		return res, nil
+	boOpts := c.opts.BO
+	var boRes bo.Result
+	var err error
+	var eiTrace []float64
+	for restart := 0; ; restart++ {
+		boRes, err = bo.Run(topo, nJobs, eval, boOpts)
+		var infeasible infeasibleError
+		switch {
+		case errors.As(err, &infeasible):
+			res := rt.result()
+			res.Infeasible = []int{infeasible.job}
+			return res, nil
+		case err != nil && rt.canFallBack(err):
+			// The retry budget is exhausted (or the node died) but a
+			// QoS-meeting partition was seen: return it as the last
+			// known safe answer instead of erroring.
+			res := rt.result()
+			res.FellBack = true
+			return res, nil
+		case err != nil:
+			// A transient-failure streak with nothing to fall back on
+			// does not mean the node is gone; restart the search if the
+			// budget allows rather than give up.
+			if rt.resilient() && restart < salvageRestarts && errors.Is(err, server.ErrObservationFailed) {
+				boOpts.Seed = c.opts.BO.Seed + int64(restart+1)*0x9E3779B9
+				continue
+			}
+			return Result{}, err
+		}
+		eiTrace = append(eiTrace, boRes.EITrace...)
+		if !rt.resilient() || rt.hasFeasible() || restart >= salvageRestarts {
+			break
+		}
+		// Derailment recovery: a corrupted early window can steer the
+		// acquisition away from a thin feasible region for the whole
+		// budget. Restart the search from a derived seed; the spent
+		// windows stay in the accumulated history.
+		boOpts.Seed = c.opts.BO.Seed + int64(restart+1)*0x9E3779B9
 	}
-	if err != nil {
-		return Result{}, err
-	}
-	res := resultFromHistory(history)
+	res := rt.result()
 	res.Converged = boRes.Converged
-	res.EITrace = boRes.EITrace
+	res.EITrace = eiTrace
+	if rt.resilient() && !c.opts.Resilience.DisableGuard {
+		rt.guard(&res)
+	}
 	return res, nil
 }
 
 func resultFromHistory(history []Step) Result {
-	res := Result{History: history, SamplesUsed: len(history)}
+	res := Result{History: history, SamplesUsed: len(history), Attempts: len(history)}
 	bestIdx := -1
 	for i, s := range history {
+		if !s.Usable() {
+			continue
+		}
 		if bestIdx < 0 || s.Score > history[bestIdx].Score {
 			bestIdx = i
 		}
@@ -259,13 +340,27 @@ func (c *Controller) ApplyBest(res Result) (server.Observation, error) {
 // show a QoS violation, which is what happens when the offered load
 // shifts (Fig. 16). Requiring two windows keeps a single noisy p95
 // estimate from triggering a full re-partitioning.
+//
+// With resilience enabled, a transiently failed window carries no
+// signal: it neither counts as a violation nor resets the streak. Up
+// to MaxRetries consecutive failed windows are tolerated before the
+// error is surfaced; permanent node failure surfaces immediately.
 func (c *Controller) Monitor(cfg resource.Config, windows int) (reinvoke bool, err error) {
 	violations := 0
+	failStreak := 0
 	for i := 0; i < windows; i++ {
 		obs, err := c.machine.Observe(cfg)
 		if err != nil {
-			return false, err
+			if !c.opts.Resilience.Enabled || errors.Is(err, server.ErrNodeFailed) {
+				return false, err
+			}
+			failStreak++
+			if failStreak > c.opts.Resilience.maxRetries() {
+				return false, err
+			}
+			continue
 		}
+		failStreak = 0
 		if !obs.AllQoSMet {
 			violations++
 			if violations >= 2 {

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"clite/internal/bo"
+	"clite/internal/faults"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// flaky wraps a machine with a scripted failure pattern: the first
+// failFirst Observe calls fail transiently (the window is still
+// spent), and once the simulated clock reaches failAfterClock the node
+// is gone for good.
+type flaky struct {
+	*server.Machine
+	failFirst      int
+	failAfterClock float64
+	calls          int
+}
+
+func (f *flaky) Observe(cfg resource.Config) (server.Observation, error) {
+	f.calls++
+	if f.failAfterClock != 0 && f.Machine.Clock() >= f.failAfterClock {
+		return server.Observation{}, server.ErrNodeFailed
+	}
+	if f.calls <= f.failFirst {
+		if _, err := f.Machine.Observe(cfg); err != nil {
+			return server.Observation{}, err
+		}
+		return server.Observation{}, server.ErrObservationFailed
+	}
+	return f.Machine.Observe(cfg)
+}
+
+// spiky corrupts specific Observe calls (1-based) with a 20× latency
+// spike on job 0, mimicking the faults injector deterministically.
+type spiky struct {
+	*server.Machine
+	corrupt map[int]bool
+	calls   int
+}
+
+func (s *spiky) Observe(cfg resource.Config) (server.Observation, error) {
+	s.calls++
+	obs, err := s.Machine.Observe(cfg)
+	if err == nil && s.corrupt[s.calls] {
+		obs.P95[0] *= 20
+		obs.NormPerf[0] /= 20
+		obs.QoSMet[0] = false
+		obs.AllQoSMet = false
+	}
+	return obs, err
+}
+
+func resilientOpts(seed int64) Options {
+	return Options{BO: bo.Options{Seed: seed}, Resilience: Resilience{Enabled: true}}
+}
+
+func TestResilienceOffHasNoAccountingFootprint(t *testing.T) {
+	m := easyMachine(t, 21)
+	res, err := New(m, Options{BO: bo.Options{Seed: 21}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries != 0 || res.FellBack {
+		t.Errorf("baseline run must not retry or fall back: %+v", res)
+	}
+	if res.Attempts != res.SamplesUsed {
+		t.Errorf("Attempts %d != SamplesUsed %d without resilience", res.Attempts, res.SamplesUsed)
+	}
+	for _, s := range res.History {
+		if s.Failed || s.Discarded || s.Attempt != 0 {
+			t.Fatalf("baseline history must hold only clean first-attempt windows: %+v", s)
+		}
+	}
+}
+
+func TestRetryRecoversFromTransientFailures(t *testing.T) {
+	m := easyMachine(t, 22)
+	f := &flaky{Machine: m, failFirst: 2}
+	res, err := New(f, resilientOpts(22)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoSMeetable {
+		t.Error("easy mix should still meet QoS after transient failures")
+	}
+	if res.Retries < 2 {
+		t.Errorf("Retries = %d, want >= 2", res.Retries)
+	}
+	failed := 0
+	for _, s := range res.History {
+		if s.Failed {
+			failed++
+			if s.Err == "" {
+				t.Error("failed step must carry its error text")
+			}
+		}
+	}
+	if failed != 2 {
+		t.Errorf("history shows %d failed windows, want 2 (failures must stay visible)", failed)
+	}
+	if res.Attempts != len(res.History) {
+		t.Errorf("Attempts = %d, history has %d windows", res.Attempts, len(res.History))
+	}
+	// Backoff idles simulated time on top of the spent windows.
+	if m.Clock() <= float64(m.Observations())*m.Window() {
+		t.Error("retry backoff should advance the clock beyond the windows run")
+	}
+}
+
+func TestNodeFailureFallsBackToLastSafePartition(t *testing.T) {
+	m := easyMachine(t, 23)
+	// Enough healthy windows for the bootstrap to find a QoS-meeting
+	// partition, then the node dies mid-search.
+	f := &flaky{Machine: m, failAfterClock: 40}
+	res, err := New(f, resilientOpts(23)).Run()
+	if err != nil {
+		t.Fatalf("fallback should swallow the failure once a safe partition exists: %v", err)
+	}
+	if !res.FellBack {
+		t.Error("result should be marked as a fallback")
+	}
+	if !res.QoSMeetable || !res.BestObs.AllQoSMet {
+		t.Error("fallback must return a QoS-meeting partition")
+	}
+	truth, err := m.ObserveIdeal(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truth.AllQoSMet {
+		t.Error("last-known-safe partition should genuinely meet QoS")
+	}
+}
+
+func TestNodeFailureWithNoSafePartitionErrors(t *testing.T) {
+	m := easyMachine(t, 24)
+	f := &flaky{Machine: m, failAfterClock: -1} // dead on arrival
+	_, err := New(f, resilientOpts(24)).Run()
+	if err == nil {
+		t.Fatal("with no safe partition ever observed, Run must surface the failure")
+	}
+	if !errors.Is(err, server.ErrNodeFailed) {
+		t.Errorf("error should carry ErrNodeFailed: %v", err)
+	}
+}
+
+func TestOutlierRemeasuredToMedian(t *testing.T) {
+	m := easyMachine(t, 25)
+	sp := &spiky{Machine: m, corrupt: map[int]bool{2: true}}
+	rt := &runtime{m: sp, opts: Resilience{Enabled: true}, jobs: m.Jobs(), topo: m.Topology()}
+	cfg := resource.EqualSplit(m.Topology(), 3)
+	_, clean, err := rt.measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, score, err := rt.measure(cfg) // corrupted window → median-of-3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < clean-0.2 {
+		t.Errorf("median-of-k should recover a sane score: %v vs clean %v", score, clean)
+	}
+	if !obs.AllQoSMet {
+		t.Error("recovered observation should meet QoS like the clean ones")
+	}
+	discarded := 0
+	for _, s := range rt.history {
+		if s.Discarded {
+			discarded++
+		}
+	}
+	if discarded != 2 {
+		t.Errorf("median-of-3 keeps one window; %d discarded, want 2", discarded)
+	}
+	if rt.retries == 0 {
+		t.Error("re-measurements must count as retries")
+	}
+}
+
+func TestConfirmViolationOverrulesCorruptedExtremum(t *testing.T) {
+	m := easyMachine(t, 26)
+	sp := &spiky{Machine: m, corrupt: map[int]bool{1: true}}
+	rt := &runtime{m: sp, opts: Resilience{Enabled: true}, jobs: m.Jobs(), topo: m.Topology()}
+	cfg := resource.Extremum(m.Topology(), 3, 0) // everything to job 0
+	obs, score, err := rt.measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.QoSMet[0] {
+		t.Fatal("test setup: the corrupted window must show a violation")
+	}
+	confirmed, cObs, _ := rt.confirmViolation(cfg, 0, obs, score)
+	if confirmed {
+		t.Error("a 1-of-3 violation vote must not eject the job")
+	}
+	if !cObs.QoSMet[0] {
+		t.Error("the corrected observation should show the job meeting QoS")
+	}
+
+	// Without resilience the single window is trusted, as before.
+	rtPlain := &runtime{m: m, jobs: m.Jobs(), topo: m.Topology()}
+	confirmed, _, _ = rtPlain.confirmViolation(cfg, 0, obs, score)
+	if !confirmed {
+		t.Error("without resilience the verdict must stand on one window")
+	}
+}
+
+func TestHardenedControllerSurvivesFaultMix(t *testing.T) {
+	// The acceptance scenario: a 10% transient + 10% outlier (+5%
+	// partial actuation) fault mix on an easy co-location. The
+	// hardened controller must still hand back a partition that
+	// genuinely meets QoS (checked against noise-free ground truth).
+	for _, seed := range []int64{1, 2, 3} {
+		m := easyMachine(t, seed)
+		inj := faults.New(m, faults.Plan{
+			Seed: seed * 101, Transient: 0.10, Outlier: 0.10, PartialActuation: 0.05,
+		})
+		res, err := New(inj, resilientOpts(seed)).Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.QoSMeetable {
+			t.Errorf("seed %d: hardened run should find a QoS-meeting partition", seed)
+			continue
+		}
+		truth, err := m.ObserveIdeal(res.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !truth.AllQoSMet {
+			t.Errorf("seed %d: returned partition fails ground-truth QoS", seed)
+		}
+	}
+}
+
+func TestMonitorToleratesTransientFailures(t *testing.T) {
+	m := easyMachine(t, 27)
+	base, err := New(m, Options{BO: bo.Options{Seed: 27}}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flaky{Machine: m, failFirst: 2}
+	ctrl := New(f, resilientOpts(27))
+	reinvoke, err := ctrl.Monitor(base.Best, 6)
+	if err != nil {
+		t.Fatalf("resilient Monitor should ride out two failed windows: %v", err)
+	}
+	if reinvoke {
+		t.Error("healthy partition should not trigger re-invocation")
+	}
+
+	f2 := &flaky{Machine: m, failFirst: 1}
+	plain := New(f2, Options{})
+	if _, err := plain.Monitor(base.Best, 6); err == nil {
+		t.Error("without resilience a failed window must surface")
+	}
+}

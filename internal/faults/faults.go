@@ -1,0 +1,266 @@
+// Package faults is a deterministic, seeded fault-injection layer over
+// the simulated machine's observation path. The paper's testbed is a
+// perfectly instrumented lab node; a warehouse-scale deployment is not:
+// counter reads fail, latency samples come back corrupted, isolation
+// actuators occasionally apply a degraded partition, and whole nodes
+// die. The injector wraps a *server.Machine behind the server.Observer
+// interface and injects exactly those fault classes, with per-class
+// probabilities and a scheduled node-loss time, so the controller and
+// scheduler layers above can be hardened — and tested — against them.
+//
+// Determinism: the injector owns its own RNG stream derived from
+// Plan.Seed, independent of the machine's measurement-noise stream, so
+// the same plan over the same machine replays the same fault sequence.
+// Zero-cost when off: Wrap returns the machine itself for an empty
+// plan, so disabled fault injection cannot perturb any result.
+package faults
+
+import (
+	"fmt"
+
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/stats"
+)
+
+// Plan configures the injector: per-class probabilities (per
+// observation window) plus the node-loss schedule. The zero value
+// injects nothing.
+type Plan struct {
+	// Seed drives the injector's own fault stream (independent of the
+	// machine's measurement noise).
+	Seed int64
+	// Transient is the probability that a window's counters fail to
+	// read: the window is spent (time passes, the partition was
+	// applied) but the observation is lost and Observe returns an
+	// error matching server.ErrObservationFailed.
+	Transient float64
+	// Outlier is the probability that a window reports a corrupted
+	// measurement: one LC job's p95 comes back inflated by roughly
+	// OutlierScale (a latency spike far outside the noise model), or a
+	// BG job's throughput deflated when no LC job is present.
+	Outlier float64
+	// OutlierScale is the spike magnitude (default 8×); the actual
+	// factor is drawn uniformly in [0.5, 1.5]×OutlierScale.
+	OutlierScale float64
+	// PartialActuation is the probability that isolation applies a
+	// degraded partition for one window: a few units of one resource
+	// land on the wrong job while the observation still reports the
+	// requested configuration.
+	PartialActuation float64
+	// NodeFailAt is the simulated time (seconds) at which the node
+	// fails permanently; every later Observe returns an error matching
+	// server.ErrNodeFailed. Zero means the node never fails.
+	NodeFailAt float64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.Transient > 0 || p.Outlier > 0 || p.PartialActuation > 0 || p.NodeFailAt > 0
+}
+
+func (p Plan) outlierScale() float64 {
+	if p.OutlierScale > 0 {
+		return p.OutlierScale
+	}
+	return 8
+}
+
+// Counts tallies the faults injected so far, per class.
+type Counts struct {
+	Transient        int
+	Outlier          int
+	PartialActuation int
+	NodeFailed       bool
+	// Windows counts Observe calls that reached the injector.
+	Windows int
+}
+
+// String renders the tally compactly.
+func (c Counts) String() string {
+	s := fmt.Sprintf("windows=%d transient=%d outlier=%d partial-actuation=%d",
+		c.Windows, c.Transient, c.Outlier, c.PartialActuation)
+	if c.NodeFailed {
+		s += " node-failed"
+	}
+	return s
+}
+
+// Injector wraps a machine and injects the plan's faults into its
+// observation path. It implements server.Observer.
+type Injector struct {
+	m      *server.Machine
+	plan   Plan
+	rng    *stats.RNG
+	counts Counts
+}
+
+var _ server.Observer = (*Injector)(nil)
+
+// New returns an injector over the machine. Use Wrap to get the
+// zero-cost passthrough for empty plans.
+func New(m *server.Machine, plan Plan) *Injector {
+	return &Injector{m: m, plan: plan, rng: stats.NewRNG(plan.Seed)}
+}
+
+// Wrap returns the machine itself when the plan injects nothing — the
+// fault layer is strictly zero-cost when off — and an Injector
+// otherwise.
+func Wrap(m *server.Machine, plan Plan) server.Observer {
+	if !plan.Enabled() {
+		return m
+	}
+	return New(m, plan)
+}
+
+// Counts returns the per-class injection tally.
+func (f *Injector) Counts() Counts { return f.counts }
+
+// Plan returns the injector's configuration.
+func (f *Injector) Plan() Plan { return f.plan }
+
+// Machine exposes the wrapped machine (tests and harnesses use it for
+// ground-truth ObserveIdeal checks).
+func (f *Injector) Machine() *server.Machine { return f.m }
+
+// Delegated Observer surface.
+
+// Topology implements server.Observer.
+func (f *Injector) Topology() resource.Topology { return f.m.Topology() }
+
+// Jobs implements server.Observer.
+func (f *Injector) Jobs() []server.Job { return f.m.Jobs() }
+
+// NumJobs implements server.Observer.
+func (f *Injector) NumJobs() int { return f.m.NumJobs() }
+
+// Window implements server.Observer.
+func (f *Injector) Window() float64 { return f.m.Window() }
+
+// Clock implements server.Observer.
+func (f *Injector) Clock() float64 { return f.m.Clock() }
+
+// Observations implements server.Observer.
+func (f *Injector) Observations() int { return f.m.Observations() }
+
+// AdvanceClock implements server.Observer.
+func (f *Injector) AdvanceClock(seconds float64) { f.m.AdvanceClock(seconds) }
+
+// Observe implements server.Observer: it rolls the plan's fault die
+// once per window and either fails the window, degrades its actuation,
+// corrupts its measurement, or passes it through untouched. Fault
+// classes share a single uniform draw, checked in the order transient →
+// partial actuation → outlier, so their probabilities compose additively
+// (and are effectively capped at 1 in total).
+func (f *Injector) Observe(cfg resource.Config) (server.Observation, error) {
+	if f.plan.NodeFailAt > 0 && f.m.Clock() >= f.plan.NodeFailAt {
+		f.counts.NodeFailed = true
+		return server.Observation{}, fmt.Errorf(
+			"faults: node lost at t=%.1fs (scheduled %.1fs): %w",
+			f.m.Clock(), f.plan.NodeFailAt, server.ErrNodeFailed)
+	}
+	f.counts.Windows++
+	u := f.rng.Float64()
+	switch {
+	case u < f.plan.Transient:
+		// The window is spent — the partition was applied and time
+		// passed — but the counters never came back.
+		if _, err := f.m.Observe(cfg); err != nil {
+			return server.Observation{}, err
+		}
+		f.counts.Transient++
+		return server.Observation{}, fmt.Errorf(
+			"faults: counter read failed at t=%.1fs: %w", f.m.Clock(), server.ErrObservationFailed)
+	case u < f.plan.Transient+f.plan.PartialActuation:
+		degraded, changed := f.degrade(cfg)
+		obs, err := f.m.Observe(degraded)
+		if err != nil {
+			return obs, err
+		}
+		if changed {
+			f.counts.PartialActuation++
+			// The controller believes its request was applied.
+			obs.Config = cfg.Clone()
+		}
+		return obs, nil
+	case u < f.plan.Transient+f.plan.PartialActuation+f.plan.Outlier:
+		obs, err := f.m.Observe(cfg)
+		if err != nil {
+			return obs, err
+		}
+		f.corrupt(&obs)
+		return obs, nil
+	}
+	return f.m.Observe(cfg)
+}
+
+// degrade perturbs the partition the way a glitched actuator would:
+// a couple of units of one resource land on the wrong job for this
+// window. The result stays feasible (every job keeps at least one
+// unit). Reports false when no perturbation is possible (single job).
+func (f *Injector) degrade(cfg resource.Config) (resource.Config, bool) {
+	n := cfg.NumJobs()
+	if n < 2 {
+		return cfg, false
+	}
+	out := cfg.Clone()
+	topo := f.m.Topology()
+	for _, r := range f.rng.Perm(len(topo)) {
+		from := f.rng.Intn(n)
+		to := f.rng.Intn(n)
+		if to == from {
+			to = (to + 1) % n
+		}
+		units := 1 + f.rng.Intn(2)
+		if m := out.Jobs[from][r] - 1; units > m {
+			units = m
+		}
+		if units <= 0 {
+			continue
+		}
+		if out.Transfer(r, from, to, units) {
+			return out, true
+		}
+	}
+	return cfg, false
+}
+
+// corrupt turns the observation into a believable outlier: one LC
+// job's p95 spikes by ~OutlierScale (its normalized performance drops
+// accordingly and its QoS verdict is re-derived); with no LC job
+// present, one BG job's throughput collapses instead.
+func (f *Injector) corrupt(obs *server.Observation) {
+	jobs := f.m.Jobs()
+	var lc, bg []int
+	for i, j := range jobs {
+		if j.IsLC() {
+			lc = append(lc, i)
+		} else {
+			bg = append(bg, i)
+		}
+	}
+	scale := f.plan.outlierScale() * (0.5 + f.rng.Float64())
+	if scale < 2 {
+		scale = 2
+	}
+	switch {
+	case len(lc) > 0:
+		i := lc[f.rng.Intn(len(lc))]
+		obs.P95[i] *= scale
+		obs.NormPerf[i] /= scale
+		obs.QoSMet[i] = obs.P95[i] <= jobs[i].QoS
+	case len(bg) > 0:
+		i := bg[f.rng.Intn(len(bg))]
+		obs.Throughput[i] /= scale
+		obs.NormPerf[i] /= scale
+	default:
+		return
+	}
+	obs.AllQoSMet = true
+	for _, met := range obs.QoSMet {
+		if !met {
+			obs.AllQoSMet = false
+		}
+	}
+	f.counts.Outlier++
+}

@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+func newMachine(t *testing.T, seed int64) *server.Machine {
+	t.Helper()
+	m := server.New(resource.Default(), server.DefaultSpec(), seed)
+	if _, err := m.AddLC("memcached", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddLC("img-dnn", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBG("streamcluster"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWrapEmptyPlanIsPassthrough(t *testing.T) {
+	m := newMachine(t, 1)
+	obs := Wrap(m, Plan{})
+	if obs != server.Observer(m) {
+		t.Fatal("empty plan must return the machine itself (zero-cost when off)")
+	}
+	if (Plan{}).Enabled() {
+		t.Error("zero plan must be disabled")
+	}
+	for _, p := range []Plan{
+		{Transient: 0.1}, {Outlier: 0.1}, {PartialActuation: 0.1}, {NodeFailAt: 10},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v should be enabled", p)
+		}
+		if _, isInjector := Wrap(m, p).(*Injector); !isInjector {
+			t.Errorf("plan %+v should wrap", p)
+		}
+	}
+}
+
+func TestTransientFailureSpendsWindow(t *testing.T) {
+	m := newMachine(t, 2)
+	inj := New(m, Plan{Seed: 7, Transient: 1})
+	cfg := resource.EqualSplit(m.Topology(), 3)
+	_, err := inj.Observe(cfg)
+	if !errors.Is(err, server.ErrObservationFailed) {
+		t.Fatalf("want ErrObservationFailed, got %v", err)
+	}
+	if errors.Is(err, server.ErrNodeFailed) {
+		t.Error("transient failure must not look permanent")
+	}
+	if m.Clock() != server.DefaultWindow || m.Observations() != 1 {
+		t.Errorf("failed window must still spend time: clock=%v obs=%d", m.Clock(), m.Observations())
+	}
+	if c := inj.Counts(); c.Transient != 1 || c.Windows != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestOutlierCorruptsOneLCJob(t *testing.T) {
+	clean := newMachine(t, 3)
+	faulty := newMachine(t, 3)
+	cfg := resource.EqualSplit(clean.Topology(), 3)
+	want, err := clean.Observe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(faulty, Plan{Seed: 9, Outlier: 1, OutlierScale: 8})
+	got, err := inj.Observe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same machine seed ⇒ same underlying measurement; exactly one LC
+	// job's p95 must be inflated by at least 4× (half the scale).
+	spiked := 0
+	for i := 0; i < 2; i++ {
+		switch {
+		case got.P95[i] == want.P95[i]:
+		case got.P95[i] >= 4*want.P95[i]:
+			spiked++
+		default:
+			t.Errorf("job %d p95 %v vs clean %v: neither untouched nor spiked", i, got.P95[i], want.P95[i])
+		}
+	}
+	if spiked != 1 {
+		t.Errorf("want exactly one spiked LC job, got %d", spiked)
+	}
+	if got.Throughput[2] != want.Throughput[2] {
+		t.Error("BG job must be untouched when an LC job exists")
+	}
+	if inj.Counts().Outlier != 1 {
+		t.Errorf("counts = %+v", inj.Counts())
+	}
+}
+
+func TestPartialActuationReportsRequestedConfig(t *testing.T) {
+	m := newMachine(t, 4)
+	inj := New(m, Plan{Seed: 11, PartialActuation: 1})
+	cfg := resource.EqualSplit(m.Topology(), 3)
+	obs, err := inj.Observe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Config.Equal(cfg) {
+		t.Error("observation must report the requested partition, not the degraded one")
+	}
+	if inj.Counts().PartialActuation != 1 {
+		t.Errorf("counts = %+v", inj.Counts())
+	}
+	// Across several degraded windows, at least one perturbation must
+	// land on a resource the jobs are sensitive to and change the
+	// measurement relative to a clean machine with the same noise seed.
+	clean := newMachine(t, 4)
+	want, _ := clean.Observe(cfg)
+	same := obsEqual(obs, want)
+	for i := 0; i < 5 && same; i++ {
+		got, err := inj.Observe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := clean.Observe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same = obsEqual(got, ref)
+	}
+	if same {
+		t.Error("degraded actuation should change at least one measurement")
+	}
+}
+
+func obsEqual(a, b server.Observation) bool {
+	for i := range a.P95 {
+		if a.P95[i] != b.P95[i] || a.Throughput[i] != b.Throughput[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNodeFailureAtScheduledTime(t *testing.T) {
+	m := newMachine(t, 5)
+	inj := New(m, Plan{Seed: 13, NodeFailAt: 3})
+	cfg := resource.EqualSplit(m.Topology(), 3)
+	if _, err := inj.Observe(cfg); err != nil {
+		t.Fatalf("window before the failure time must succeed: %v", err)
+	}
+	if _, err := inj.Observe(cfg); err != nil {
+		t.Fatalf("second window (t=2s < 3s at entry): %v", err)
+	}
+	_, err := inj.Observe(cfg)
+	if !errors.Is(err, server.ErrNodeFailed) {
+		t.Fatalf("want ErrNodeFailed at t=%v, got %v", m.Clock(), err)
+	}
+	if !inj.Counts().NodeFailed {
+		t.Error("counts should record the node loss")
+	}
+	// Permanent: every later observe fails without spending windows.
+	before := m.Observations()
+	if _, err := inj.Observe(cfg); !errors.Is(err, server.ErrNodeFailed) {
+		t.Fatal("node failure must be permanent")
+	}
+	if m.Observations() != before {
+		t.Error("dead node must not run windows")
+	}
+}
+
+func TestInjectionIsDeterministic(t *testing.T) {
+	run := func() (Counts, []bool) {
+		m := newMachine(t, 6)
+		inj := New(m, Plan{Seed: 17, Transient: 0.3, Outlier: 0.2, PartialActuation: 0.2})
+		cfg := resource.EqualSplit(m.Topology(), 3)
+		var failed []bool
+		for i := 0; i < 40; i++ {
+			_, err := inj.Observe(cfg)
+			failed = append(failed, err != nil)
+		}
+		return inj.Counts(), failed
+	}
+	c1, f1 := run()
+	c2, f2 := run()
+	if c1 != c2 {
+		t.Fatalf("counts diverge: %+v vs %+v", c1, c2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("fault sequence diverges at window %d", i)
+		}
+	}
+	if c1.Transient == 0 || c1.Outlier == 0 || c1.PartialActuation == 0 {
+		t.Errorf("40 windows at these rates should hit every class: %+v", c1)
+	}
+}

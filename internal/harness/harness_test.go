@@ -54,11 +54,37 @@ func TestMixDescribe(t *testing.T) {
 	}
 }
 
+func TestFaultSweepReportsRetention(t *testing.T) {
+	tab, err := FaultSweep(Config{Seed: 1, Coarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "faultsweep" || len(tab.Rows) != 3 {
+		t.Fatalf("unexpected table: %+v", tab)
+	}
+	// Rate 0 is the unhardened baseline: full retention, zero retries,
+	// zero fallbacks.
+	base := tab.Rows[0]
+	if base[0] != "0%" || base[1] != "100%" || base[3] != "0.0" || base[4] != "0" {
+		t.Errorf("rate-0 row should be a clean baseline: %v", base)
+	}
+	// The hardened controller must hold full retention through the 10%
+	// fault mix (the acceptance criterion) and report its repair work.
+	faulted := tab.Rows[1]
+	if faulted[1] != "100%" {
+		t.Errorf("10%% fault mix should retain QoS on the default mixes: %v", faulted)
+	}
+	if faulted[3] == "0.0" {
+		t.Errorf("faulted sweep should show retries: %v", faulted)
+	}
+}
+
 func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3",
 		"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "ablation", "doe",
+		"faultsweep",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

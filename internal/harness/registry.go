@@ -48,6 +48,7 @@ func Experiments() []Experiment {
 		{"fig16", "dynamic load adaptation", single(Fig16)},
 		{"ablation", "CLITE design-choice ablation", single(Ablation)},
 		{"doe", "FFD/RSM design-space-exploration comparison (Sec. 5.2)", single(DOE)},
+		{"faultsweep", "QoS retention vs observation-fault rate (hardened controller)", single(FaultSweep)},
 	}
 }
 

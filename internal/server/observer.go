@@ -1,0 +1,62 @@
+package server
+
+import (
+	"errors"
+
+	"clite/internal/resource"
+)
+
+// Observer is the observation contract a co-location controller
+// consumes: propose a partition, pay an observation window, get back
+// noisy per-job performance. *Machine is the canonical, perfectly
+// reliable implementation; internal/faults wraps one to inject the
+// failures a warehouse-scale deployment actually sees (failed counter
+// reads, corrupted latency samples, degraded actuation, node loss).
+//
+// The interface is deliberately the *online* surface only: ObserveIdeal
+// and MeasureJobIdeal stay on *Machine because they are ground-truth
+// oracles no production controller could call.
+type Observer interface {
+	// Topology returns the machine's partitionable resources.
+	Topology() resource.Topology
+	// Jobs returns a snapshot of the co-located jobs.
+	Jobs() []Job
+	// NumJobs returns the number of co-located jobs.
+	NumJobs() int
+	// Window returns the observation window in seconds.
+	Window() float64
+	// Clock returns the simulated time in seconds.
+	Clock() float64
+	// Observations counts the noisy windows run so far.
+	Observations() int
+	// Observe applies the partition and runs one observation window.
+	// Errors matching ErrObservationFailed are transient (the window
+	// was spent but produced no usable counters); errors matching
+	// ErrNodeFailed are permanent.
+	Observe(cfg resource.Config) (Observation, error)
+	// AdvanceClock lets simulated time pass without running a window —
+	// a controller idling, e.g. backing off after a failed observation.
+	AdvanceClock(seconds float64)
+}
+
+var _ Observer = (*Machine)(nil)
+
+// ErrObservationFailed marks a transient observation failure: the
+// window elapsed but its measurements were lost (a failed performance-
+// counter read, a monitoring hiccup). Retrying the same configuration
+// is reasonable.
+var ErrObservationFailed = errors.New("server: observation window failed")
+
+// ErrNodeFailed marks a permanent failure: the node is gone and no
+// further window on it can succeed. Controllers should fall back to a
+// known-safe answer; schedulers should drain and reschedule.
+var ErrNodeFailed = errors.New("server: node failed")
+
+// AdvanceClock advances simulated time without running an observation
+// window. The resilient controller uses it to express retry backoff in
+// simulated — not wall — time.
+func (m *Machine) AdvanceClock(seconds float64) {
+	if seconds > 0 {
+		m.clock += seconds
+	}
+}

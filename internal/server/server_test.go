@@ -257,3 +257,105 @@ func TestSetWindow(t *testing.T) {
 		t.Error("SetWindow should ignore non-positive values")
 	}
 }
+
+// TestObserveErrorPaths table-drives the observation failure modes a
+// controller (or fault injector) must handle. A failed call must not
+// spend a window or advance the clock.
+func TestObserveErrorPaths(t *testing.T) {
+	overAlloc := func(m *Machine) resource.Config {
+		cfg := resource.EqualSplit(m.Topology(), 3)
+		cfg.Jobs[0][0] = m.Topology()[0].Units + 5 // more cores than exist
+		return cfg
+	}
+	cases := []struct {
+		name    string
+		place   bool // place the standard 3-job mix first
+		observe func(m *Machine) error
+		wantSub string
+	}{
+		{
+			name:  "no jobs placed",
+			place: false,
+			observe: func(m *Machine) error {
+				_, err := m.Observe(resource.Config{})
+				return err
+			},
+			wantSub: "no jobs",
+		},
+		{
+			name:  "config job count mismatch",
+			place: true,
+			observe: func(m *Machine) error {
+				_, err := m.Observe(resource.EqualSplit(m.Topology(), 2))
+				return err
+			},
+			wantSub: "config has 2 jobs, machine hosts 3",
+		},
+		{
+			name:  "infeasible allocation",
+			place: true,
+			observe: func(m *Machine) error {
+				_, err := m.Observe(overAlloc(m))
+				return err
+			},
+			wantSub: "",
+		},
+		{
+			name:  "shared mask length mismatch",
+			place: true,
+			observe: func(m *Machine) error {
+				_, err := m.ObserveShared(resource.EqualSplit(m.Topology(), 3), []bool{true})
+				return err
+			},
+			wantSub: "shared mask has 1 entries for 3 jobs",
+		},
+		{
+			name:  "ideal observation rejects mismatch too",
+			place: true,
+			observe: func(m *Machine) error {
+				_, err := m.ObserveIdeal(resource.EqualSplit(m.Topology(), 1))
+				return err
+			},
+			wantSub: "config has 1 jobs, machine hosts 3",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newTestMachine(t, 50)
+			if tc.place {
+				placeMix(t, m)
+			}
+			err := tc.observe(m)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			if tc.wantSub != "" && !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+			if m.Clock() != 0 || m.Observations() != 0 {
+				t.Errorf("failed observe must not spend a window: clock=%v obs=%d", m.Clock(), m.Observations())
+			}
+		})
+	}
+}
+
+func TestAdvanceClockIdlesSimulatedTime(t *testing.T) {
+	m := newTestMachine(t, 51)
+	placeMix(t, m)
+	if _, err := m.Observe(resource.EqualSplit(m.Topology(), 3)); err != nil {
+		t.Fatal(err)
+	}
+	was := m.Clock()
+	m.AdvanceClock(3 * m.Window())
+	if m.Clock() != was+3*m.Window() {
+		t.Errorf("clock = %v, want %v", m.Clock(), was+3*m.Window())
+	}
+	m.AdvanceClock(-5)
+	m.AdvanceClock(0)
+	if m.Clock() != was+3*m.Window() {
+		t.Error("non-positive advances must be ignored")
+	}
+	if m.Observations() != 1 {
+		t.Error("idling must not count as observation windows")
+	}
+}

@@ -1,9 +1,11 @@
-# Tier-1 verification: everything must build, vet clean, and pass the
-# full test suite under the race detector (the concurrent cluster
-# reschedule path is exercised by TestRescheduleIsDeterministic).
-.PHONY: tier1 build vet test race bench
+# Tier-1 verification: everything must build, vet clean, pass the full
+# test suite under the race detector (the concurrent cluster reschedule
+# path is exercised by TestRescheduleIsDeterministic; the parallel
+# optimization paths by the byte-identity tests), and keep the
+# benchmark harness runnable (benchsmoke).
+.PHONY: tier1 build vet test race bench benchsmoke benchfigs
 
-tier1: build vet race
+tier1: build vet race benchsmoke
 
 build:
 	go build ./...
@@ -17,5 +19,17 @@ test:
 race:
 	go test -race ./...
 
+# bench regenerates the before/after evidence files: baseline drives
+# the retained sequential/refit paths, after the incremental/parallel
+# ones. Compare with benchstat or diff the JSON.
 bench:
+	go run ./cmd/bench -legacy -o BENCH_baseline.json
+	go run ./cmd/bench -o BENCH_after.json
+
+# benchsmoke is the -short-guarded quick pass over the same suite.
+benchsmoke:
+	go test -short -run TestBenchSmoke .
+
+# benchfigs times regenerating every paper figure once.
+benchfigs:
 	go test -bench . -benchtime 1x -run '^$$' .

@@ -1,0 +1,40 @@
+package clite_test
+
+import (
+	"testing"
+
+	"clite/internal/benchmarks"
+)
+
+// TestBenchSmoke runs the quick form of the before/after benchmark
+// suite in both modes so the harness behind `make bench` cannot rot:
+// every measured path must execute and report sane numbers. Wired into
+// `make tier1` via the -short run (and exercised under -race with the
+// full suite).
+func TestBenchSmoke(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		cfg  benchmarks.Config
+	}{
+		{"baseline", benchmarks.Config{Legacy: true, Quick: true}},
+		{"after", benchmarks.Config{Quick: true}},
+	} {
+		results := benchmarks.Run(mode.cfg)
+		if len(results) == 0 {
+			t.Fatalf("%s: empty suite", mode.name)
+		}
+		seen := map[string]bool{}
+		for _, r := range results {
+			if r.Name == "" || seen[r.Name] {
+				t.Errorf("%s: bad or duplicate benchmark name %q", mode.name, r.Name)
+			}
+			seen[r.Name] = true
+			if r.NsPerOp <= 0 {
+				t.Errorf("%s/%s: non-positive ns/op %v", mode.name, r.Name, r.NsPerOp)
+			}
+			if r.GoBenchLine() == "" {
+				t.Errorf("%s/%s: empty bench line", mode.name, r.Name)
+			}
+		}
+	}
+}

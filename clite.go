@@ -242,3 +242,13 @@ func Experiments() []Experiment { return harness.Experiments() }
 
 // LookupExperiment finds an experiment by id ("fig7", "table1", ...).
 func LookupExperiment(id string) (Experiment, error) { return harness.Lookup(id) }
+
+// ExperimentResult is one experiment's outcome from RunExperiments.
+type ExperimentResult = harness.ExperimentResult
+
+// RunExperiments executes experiments across a bounded worker pool
+// (workers 0 means NumCPU, 1 sequential), returning results in input
+// order regardless of completion order.
+func RunExperiments(exps []Experiment, cfg ExperimentConfig, workers int) []ExperimentResult {
+	return harness.RunAll(exps, cfg, workers)
+}

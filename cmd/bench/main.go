@@ -1,0 +1,69 @@
+// Command bench runs the hot-path benchmark suite and serializes the
+// results as JSON, one file per mode:
+//
+//	bench -legacy -o BENCH_baseline.json   # sequential / from-scratch-refit paths
+//	bench -o BENCH_after.json              # incremental / pooled / parallel paths
+//
+// The classic `go test -bench` lines are printed to stdout as well, so
+// two runs can be diffed with benchstat. `make bench` produces both
+// files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"clite/internal/benchmarks"
+)
+
+type output struct {
+	Mode    string              `json:"mode"`
+	GoOS    string              `json:"goos"`
+	GoArch  string              `json:"goarch"`
+	NumCPU  int                 `json:"num_cpu"`
+	Results []benchmarks.Result `json:"results"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	legacy := flag.Bool("legacy", false, "drive the sequential/refit code paths (baseline mode)")
+	quick := flag.Bool("quick", false, "tiny problem sizes, fixed repetitions (smoke mode)")
+	out := flag.String("o", "", "write JSON results to this file (default stdout)")
+	flag.Parse()
+
+	mode := "after"
+	if *legacy {
+		mode = "baseline"
+	}
+	results := benchmarks.Run(benchmarks.Config{Legacy: *legacy, Quick: *quick})
+	for _, r := range results {
+		fmt.Println(r.GoBenchLine())
+	}
+
+	doc := output{
+		Mode:    mode,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		NumCPU:  runtime.NumCPU(),
+		Results: results,
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(*out, blob, 0o644)
+}

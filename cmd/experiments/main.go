@@ -33,6 +33,7 @@ func run() error {
 	full := flag.Bool("full", false, "paper-resolution grids instead of the quick coarse ones")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Int("parallel", 0, "experiment workers: 0 = NumCPU, 1 = sequential")
 	flag.Parse()
 
 	if *list || *id == "" {
@@ -55,16 +56,18 @@ func run() error {
 		exps = []clite.Experiment{e}
 	}
 
-	for _, e := range exps {
-		start := time.Now()
-		tables, err := e.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	// Experiments fan out over the worker pool; results print in the
+	// registry's paper order whatever the completion order.
+	start := time.Now()
+	for _, res := range clite.RunExperiments(exps, cfg, *parallel) {
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", res.ID, res.Err)
 		}
-		for _, t := range tables {
+		for _, t := range res.Tables {
 			fmt.Println(t)
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("[%s completed]\n\n", res.ID)
 	}
+	fmt.Printf("[%d experiment(s) in %.1fs]\n", len(exps), time.Since(start).Seconds())
 	return nil
 }

@@ -1,0 +1,311 @@
+// Package benchmarks is the repo's before/after benchmark harness: a
+// fixed suite of hot-path measurements (surrogate update, posterior
+// prediction, acquisition maximization, ORACLE sweep, one BO engine
+// turn) runnable in two modes. Legacy drives the retained sequential
+// and from-scratch-refit paths (FitMLEWorkers at one worker, the
+// DisableIncrementalFit engine, Oracle and Maximize pinned to one
+// worker); the default drives the incremental, pooled, parallel paths.
+// cmd/bench serializes the two runs to BENCH_baseline.json and
+// BENCH_after.json, and the tier-1 smoke test runs the quick form of
+// the same suite so the harness itself cannot rot.
+package benchmarks
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clite/internal/bo"
+	"clite/internal/gp"
+	"clite/internal/optimize"
+	"clite/internal/policies"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/stats"
+)
+
+// Config selects the suite variant.
+type Config struct {
+	// Legacy drives the sequential/refit code paths instead of the
+	// incremental/parallel ones.
+	Legacy bool
+	// Quick shrinks problem sizes and replaces testing.Benchmark with
+	// a fixed-repetition manual timing pass — the tier-1 smoke form.
+	Quick bool
+}
+
+// Result is one benchmark's outcome, in the units `go test -bench`
+// reports.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// GoBenchLine renders the result in the classic `go test -bench`
+// format, so files of them feed straight into benchstat.
+func (r Result) GoBenchLine() string {
+	return fmt.Sprintf("Benchmark%s 1 %.0f ns/op %d B/op %d allocs/op",
+		r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+}
+
+func (c Config) workers() int {
+	if c.Legacy {
+		return 1
+	}
+	return 0
+}
+
+// spec is one suite entry. make returns the timed operation, plus an
+// optional untimed maintenance step to run every `every` operations
+// (e.g. re-seeding the incremental window so steady state stays at the
+// intended sample count).
+type spec struct {
+	name string
+	make func(cfg Config) (op func(), reset func(), every int)
+}
+
+func suite() []spec {
+	return []spec{
+		{"GPFit", gpFit},
+		{"GPPredict", gpPredict},
+		{"AcquisitionMaximize", acquisitionMaximize},
+		{"OracleSweep", oracleSweep},
+		{"BOEngineIteration", boEngineIteration},
+	}
+}
+
+// Run executes the suite under cfg, in suite order.
+func Run(cfg Config) []Result {
+	var out []Result
+	for _, s := range suite() {
+		op, reset, every := s.make(cfg)
+		if cfg.Quick {
+			out = append(out, quickMeasure(s.name, op, reset, every))
+			continue
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if reset != nil && i > 0 && i%every == 0 {
+					b.StopTimer()
+					reset()
+					b.StartTimer()
+				}
+				op()
+			}
+		})
+		out = append(out, Result{
+			Name:        s.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}
+
+// quickMeasure times a handful of repetitions directly — enough to
+// prove the path runs and produce plausible magnitudes, cheap enough
+// for the tier-1 race run.
+func quickMeasure(name string, op func(), reset func(), every int) Result {
+	const reps = 3
+	allocs := int64(testing.AllocsPerRun(1, op))
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		if reset != nil && i > 0 && i%every == 0 {
+			reset()
+		}
+		start := time.Now()
+		op()
+		total += time.Since(start)
+	}
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(total.Nanoseconds()) / reps,
+		AllocsPerOp: allocs,
+	}
+}
+
+func gpData(n, dim int, seed int64) ([][]float64, []float64) {
+	rng := stats.NewRNG(seed)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, dim)
+		for d := range xs[i] {
+			xs[i][d] = rng.Float64()
+		}
+		ys[i] = rng.Float64()
+	}
+	return xs, ys
+}
+
+// gpFit measures one per-iteration surrogate update at n≈50 (quick:
+// n=16): legacy refits the whole hyperparameter grid from scratch,
+// the default extends every retained factor by one row and re-selects.
+func gpFit(cfg Config) (func(), func(), int) {
+	n, dim := 50, 15
+	if cfg.Quick {
+		n, dim = 16, 8
+	}
+	const window = 10
+	xs, ys := gpData(n+window, dim, 1)
+	if cfg.Legacy {
+		return func() {
+			if _, err := gp.FitMLEWorkers("matern52", xs[:n], ys[:n], 1); err != nil {
+				panic(err)
+			}
+		}, nil, 0
+	}
+	pool, err := gp.NewPool("matern52", cfg.workers())
+	if err != nil {
+		panic(err)
+	}
+	i := n
+	reset := func() {
+		if err := pool.Condition(xs[:n], ys[:n]); err != nil {
+			panic(err)
+		}
+		i = n
+	}
+	reset()
+	op := func() {
+		if i == n+window {
+			reset() // timed fallback; Run's cadence normally prevents it
+		}
+		if err := pool.Observe(xs[i], ys[i]); err != nil {
+			panic(err)
+		}
+		i++
+		if _, err := pool.Best(); err != nil {
+			panic(err)
+		}
+	}
+	return op, reset, window
+}
+
+// gpPredict measures one posterior evaluation: legacy through the
+// allocating Predict, the default through PredictWith and a reused
+// buffer.
+func gpPredict(cfg Config) (func(), func(), int) {
+	n, dim := 50, 15
+	if cfg.Quick {
+		n, dim = 16, 8
+	}
+	xs, ys := gpData(n, dim, 2)
+	model, err := gp.FitMLEWorkers("matern52", xs, ys, cfg.workers())
+	if err != nil {
+		panic(err)
+	}
+	probe := xs[0]
+	if cfg.Legacy {
+		return func() {
+			if _, _, err := model.Predict(probe); err != nil {
+				panic(err)
+			}
+		}, nil, 0
+	}
+	var buf gp.PredictBuf
+	return func() {
+		if _, _, err := model.PredictWith(&buf, probe); err != nil {
+			panic(err)
+		}
+	}, nil, 0
+}
+
+// acquisitionMaximize measures one constrained multi-start EI-shaped
+// maximization over the partition polytope, sequential in legacy mode
+// and pool-fanned otherwise.
+func acquisitionMaximize(cfg Config) (func(), func(), int) {
+	topo := resource.Default()
+	nJobs := 3
+	iters := 0
+	if cfg.Quick {
+		nJobs = 2
+		iters = 10
+	}
+	target := resource.EqualSplit(topo, nJobs).Vector()
+	objective := func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - target[i]
+			s -= d * d
+		}
+		return s
+	}
+	seed := int64(0)
+	return func() {
+		seed++
+		optimize.Maximize(optimize.Problem{
+			Topo: topo, NJobs: nJobs,
+			Objective:  objective,
+			FrozenJob:  -1,
+			Iterations: iters,
+			RNG:        stats.NewRNG(seed),
+			Workers:    cfg.workers(),
+		})
+	}, nil, 0
+}
+
+func benchMachine(seed int64) *server.Machine {
+	m := server.New(resource.Default(), server.DefaultSpec(), seed)
+	if _, err := m.AddLC("memcached", 0.2); err != nil {
+		panic(err)
+	}
+	if _, err := m.AddLC("img-dnn", 0.1); err != nil {
+		panic(err)
+	}
+	if _, err := m.AddBG("streamcluster"); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// oracleSweep measures the offline brute-force baseline, sharded
+// across workers unless legacy.
+func oracleSweep(cfg Config) (func(), func(), int) {
+	m := benchMachine(1)
+	budget := 0 // default 200k grid
+	if cfg.Quick {
+		budget = 2000
+	}
+	oracle := policies.Oracle{Budget: budget, Workers: cfg.workers()}
+	return func() {
+		if _, err := oracle.Run(m); err != nil {
+			panic(err)
+		}
+	}, nil, 0
+}
+
+// boEngineIteration measures short engine runs (fit + acquisition +
+// candidate selection per turn); legacy disables the incremental
+// surrogate and the worker pools.
+func boEngineIteration(cfg Config) (func(), func(), int) {
+	topo := resource.Small()
+	maxIter := 4
+	if cfg.Quick {
+		maxIter = 1
+	}
+	eval := func(c resource.Config) (bo.Evaluation, error) {
+		var s float64
+		for _, a := range c.Jobs {
+			s += float64(a[0])
+		}
+		return bo.Evaluation{Score: s / 20, JobPerf: []float64{1, 1}}, nil
+	}
+	seed := int64(0)
+	return func() {
+		seed++
+		if _, err := bo.Run(topo, 2, eval, bo.Options{
+			Seed:                  seed,
+			MaxIterations:         maxIter,
+			Workers:               cfg.workers(),
+			DisableIncrementalFit: cfg.Legacy,
+		}); err != nil {
+			panic(err)
+		}
+	}, nil, 0
+}

@@ -3,6 +3,7 @@ package bo
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"clite/internal/gp"
 	"clite/internal/optimize"
@@ -88,6 +89,18 @@ type Options struct {
 	// the objective-ranked one when integer rounding collapses onto an
 	// already-sampled configuration (ablation).
 	RandomNeighborFallback bool
+	// Workers bounds the worker pools inside the decision loop —
+	// surrogate conditioning across the hyperparameter grid and the
+	// acquisition multi-starts. 0 means NumCPU, 1 forces the
+	// sequential paths; results are byte-identical either way
+	// (DESIGN.md §8).
+	Workers int
+	// DisableIncrementalFit refits the surrogate from scratch every
+	// iteration (the pre-incremental O(n³) path) instead of extending
+	// the retained Cholesky factors by one row. Kept as an ablation
+	// and benchmarking switch; the incremental-conditioning tests pin
+	// the two paths to each other.
+	DisableIncrementalFit bool
 	// Seed drives all stochastic choices.
 	Seed int64
 }
@@ -178,7 +191,7 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 	rng := stats.NewRNG(opts.Seed)
 	acq := opts.acquisition()
 
-	e := &engine{topo: topo, nJobs: nJobs, seen: map[string]bool{}}
+	e := newEngine(topo, nJobs, opts)
 
 	// Bootstrap (Sec. 4): equal division plus each job's extremum —
 	// Njobs+1 samples ("the number of initial samples is chosen to the
@@ -253,7 +266,10 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 		}
 
 		eiObjective := func(x []float64) float64 {
-			mean, std, err := model.Predict(e.normalize(x))
+			s := e.scratch.Get().(*predictScratch)
+			s.norm = e.normalizeInto(s.norm, x)
+			mean, std, err := model.PredictWith(&s.buf, s.norm)
+			e.scratch.Put(s)
 			if err != nil {
 				return math.Inf(-1)
 			}
@@ -293,7 +309,10 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 		objective := eiObjective
 		if ee := opts.exploitEvery(); ee > 0 && iter%ee == ee-1 {
 			objective = func(x []float64) float64 {
-				mean, _, err := model.Predict(e.normalize(x))
+				s := e.scratch.Get().(*predictScratch)
+				s.norm = e.normalizeInto(s.norm, x)
+				mean, _, err := model.PredictWith(&s.buf, s.norm)
+				e.scratch.Put(s)
 				if err != nil {
 					return math.Inf(-1)
 				}
@@ -309,6 +328,7 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 			FrozenAlloc: frozenAlloc,
 			Starts:      starts,
 			RNG:         rng,
+			Workers:     opts.Workers,
 		}
 		xStar := optimize.Maximize(problem)
 		// The trace and the termination rule are always in EI units,
@@ -380,12 +400,56 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 	return result, nil
 }
 
-// engine holds the sample set and bookkeeping for one run.
+// engine holds the sample set and bookkeeping for one run, plus the
+// incremental surrogate state: normalized inputs are computed once per
+// evaluation (not once per refit), and the Cholesky factors of the
+// hyperparameter grid are retained and extended by one row per
+// observation instead of being rebuilt from scratch.
 type engine struct {
 	topo    resource.Topology
 	nJobs   int
+	opts    Options
 	samples []Sample
 	seen    map[string]bool
+
+	// normXs[i]/ys[i] cache the normalized input vector and score of
+	// samples[i]. The rows are allocated once in evaluate and never
+	// mutated, which is what lets the GPs reference them directly
+	// under the Fit ownership contract.
+	normXs [][]float64
+	ys     []float64
+
+	// fixed is the fixed-hyperparameter surrogate used below
+	// mleMinSamples; pool holds one incrementally-conditioned GP per
+	// hyperparameter grid point above it. fixedN/poolN track how many
+	// samples each has been conditioned on.
+	fixed  *gp.GP
+	fixedN int
+	pool   *gp.Pool
+	poolN  int
+
+	// scratch pools per-goroutine prediction buffers for the
+	// acquisition objectives: Maximize calls them from concurrent
+	// ascents, and each evaluation needs a normalized copy of the
+	// candidate plus GP solve vectors.
+	scratch sync.Pool
+
+	// means/stds/batchBuf serve bestByPosterior's bulk scoring of the
+	// sampled set.
+	means, stds []float64
+	batchBuf    gp.PredictBuf
+}
+
+func newEngine(topo resource.Topology, nJobs int, opts Options) *engine {
+	e := &engine{topo: topo, nJobs: nJobs, opts: opts, seen: map[string]bool{}}
+	e.scratch.New = func() any { return new(predictScratch) }
+	return e
+}
+
+// predictScratch is one goroutine's worth of objective scratch.
+type predictScratch struct {
+	norm []float64
+	buf  gp.PredictBuf
 }
 
 func (e *engine) evaluate(cfg resource.Config, eval EvalFunc) error {
@@ -393,20 +457,31 @@ func (e *engine) evaluate(cfg resource.Config, eval EvalFunc) error {
 	if err != nil {
 		return fmt.Errorf("bo: evaluating %v: %w", cfg, err)
 	}
-	e.samples = append(e.samples, Sample{Config: cfg.Clone(), Eval: ev})
+	cfg = cfg.Clone()
+	e.samples = append(e.samples, Sample{Config: cfg, Eval: ev})
 	e.seen[cfg.Key()] = true
+	e.normXs = append(e.normXs, e.normalizeInto(nil, cfg.Vector()))
+	e.ys = append(e.ys, ev.Score)
 	return nil
 }
 
-// normalize maps a job-major unit vector into [0,1] per dimension for
-// the GP.
-func (e *engine) normalize(x []float64) []float64 {
-	nres := len(e.topo)
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = v / float64(e.topo[i%nres].Units)
+// normalizeInto maps a job-major unit vector into [0,1] per dimension
+// for the GP, writing into dst (grown as needed) and returning it.
+func (e *engine) normalizeInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
 	}
-	return out
+	dst = dst[:len(x)]
+	nres := len(e.topo)
+	for i, v := range x {
+		dst[i] = v / float64(e.topo[i%nres].Units)
+	}
+	return dst
+}
+
+// normalize is normalizeInto with fresh storage.
+func (e *engine) normalize(x []float64) []float64 {
+	return e.normalizeInto(nil, x)
 }
 
 // mleMinSamples is the sample count below which hyperparameters are
@@ -415,25 +490,80 @@ func (e *engine) normalize(x []float64) []float64 {
 // which collapses posterior variance and stalls exploration.
 const mleMinSamples = 10
 
-func (e *engine) fit(family string) (*gp.GP, error) {
-	xs := make([][]float64, len(e.samples))
-	ys := make([]float64, len(e.samples))
-	for i, s := range e.samples {
-		xs[i] = e.normalize(s.Config.Vector())
-		ys[i] = s.Eval.Score
+// fixedHyperModel builds the below-mleMinSamples surrogate (mid-range
+// length scale, mid-range noise; deliberately not a grid point so the
+// regimes stay distinguishable in tests).
+func fixedHyperModel(family string) (*gp.GP, error) {
+	kernel, err := gp.KernelByName(family, 0.25, 1.0)
+	if err != nil {
+		return nil, err
 	}
-	if len(xs) < mleMinSamples {
-		kernel, err := gp.KernelByName(family, 0.25, 1.0)
+	return gp.New(kernel, 1e-3), nil
+}
+
+// fit returns the surrogate conditioned on every sample so far. The
+// default path is incremental: the retained Cholesky factors are
+// extended by one row per new observation (O(grid·n²) per iteration),
+// and model selection over the hyperparameter grid is recomputed from
+// the cached log marginal likelihoods. DisableIncrementalFit falls
+// back to refitting everything from scratch (O(grid·n³)); the two
+// paths select the same model — the equivalence test pins it.
+func (e *engine) fit(family string) (*gp.GP, error) {
+	n := len(e.samples)
+	if e.opts.DisableIncrementalFit {
+		if n < mleMinSamples {
+			model, err := fixedHyperModel(family)
+			if err != nil {
+				return nil, err
+			}
+			if err := model.Fit(e.normXs[:n], e.ys[:n]); err != nil {
+				return nil, err
+			}
+			return model, nil
+		}
+		return gp.FitMLEWorkers(family, e.normXs[:n], e.ys[:n], e.opts.Workers)
+	}
+	if n < mleMinSamples {
+		if e.fixed == nil {
+			model, err := fixedHyperModel(family)
+			if err != nil {
+				return nil, err
+			}
+			e.fixed = model
+		}
+		if e.fixedN == 0 {
+			if err := e.fixed.Fit(e.normXs[:n], e.ys[:n]); err != nil {
+				return nil, err
+			}
+		} else {
+			for i := e.fixedN; i < n; i++ {
+				if err := e.fixed.Append(e.normXs[i], e.ys[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		e.fixedN = n
+		return e.fixed, nil
+	}
+	if e.pool == nil {
+		pool, err := gp.NewPool(family, e.opts.Workers)
 		if err != nil {
 			return nil, err
 		}
-		model := gp.New(kernel, 1e-3)
-		if err := model.Fit(xs, ys); err != nil {
+		if err := pool.Condition(e.normXs[:n], e.ys[:n]); err != nil {
 			return nil, err
 		}
-		return model, nil
+		e.pool = pool
+		e.poolN = n
+	} else {
+		for i := e.poolN; i < n; i++ {
+			if err := e.pool.Observe(e.normXs[i], e.ys[i]); err != nil {
+				return nil, err
+			}
+		}
+		e.poolN = n
 	}
-	return gp.FitMLE(family, xs, ys)
+	return e.pool.Best()
 }
 
 func (e *engine) best() Sample {
@@ -447,14 +577,20 @@ func (e *engine) best() Sample {
 }
 
 // bestByPosterior returns the sample index whose GP posterior mean is
-// highest, and that mean.
+// highest, and that mean. It scores the whole sampled set through the
+// batched prediction path against the cached normalized inputs.
 func (e *engine) bestByPosterior(model *gp.GP) (int, float64) {
+	n := len(e.samples)
+	if cap(e.means) < n {
+		e.means = make([]float64, n)
+		e.stds = make([]float64, n)
+	}
+	e.means, e.stds = e.means[:n], e.stds[:n]
+	if err := model.PredictBatch(e.normXs[:n], e.means, e.stds, &e.batchBuf); err != nil {
+		return 0, math.Inf(-1)
+	}
 	bestIdx, bestMean := 0, math.Inf(-1)
-	for i, s := range e.samples {
-		mean, _, err := model.Predict(e.normalize(s.Config.Vector()))
-		if err != nil {
-			continue
-		}
+	for i, mean := range e.means {
 		if mean > bestMean {
 			bestMean = mean
 			bestIdx = i

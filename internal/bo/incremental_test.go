@@ -1,0 +1,91 @@
+package bo
+
+import (
+	"testing"
+
+	"clite/internal/resource"
+)
+
+// runTrace captures everything downstream code consumes from a Run.
+type runTrace struct {
+	keys      []string
+	scores    []float64
+	bestKey   string
+	bestScore float64
+	iters     int
+	converged bool
+}
+
+func traceOf(t *testing.T, topo resource.Topology, nJobs int, opts Options) runTrace {
+	t.Helper()
+	target := mustTarget(topo, nJobs, opts.Seed+100)
+	res, err := Run(topo, nJobs, bowlEval(topo, target), opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	tr := runTrace{
+		bestKey:   res.Best.Config.Key(),
+		bestScore: res.Best.Eval.Score,
+		iters:     res.Iterations,
+		converged: res.Converged,
+	}
+	for _, s := range res.Samples {
+		tr.keys = append(tr.keys, s.Config.Key())
+		tr.scores = append(tr.scores, s.Eval.Score)
+	}
+	return tr
+}
+
+func diffTraces(t *testing.T, label string, a, b runTrace) {
+	t.Helper()
+	if len(a.keys) != len(b.keys) {
+		t.Fatalf("%s: sample counts diverged: %d vs %d", label, len(a.keys), len(b.keys))
+	}
+	for i := range a.keys {
+		if a.keys[i] != b.keys[i] || a.scores[i] != b.scores[i] {
+			t.Fatalf("%s: sample %d diverged: %s (%v) vs %s (%v)",
+				label, i, a.keys[i], a.scores[i], b.keys[i], b.scores[i])
+		}
+	}
+	if a.bestKey != b.bestKey || a.bestScore != b.bestScore {
+		t.Fatalf("%s: best diverged: %s (%v) vs %s (%v)",
+			label, a.bestKey, a.bestScore, b.bestKey, b.bestScore)
+	}
+	if a.iters != b.iters || a.converged != b.converged {
+		t.Fatalf("%s: termination diverged: (%d,%v) vs (%d,%v)",
+			label, a.iters, a.converged, b.iters, b.converged)
+	}
+}
+
+// TestIncrementalFitMatchesRefit runs the engine with the incremental
+// surrogate path (rank-1 Cholesky appends against the retained grid of
+// models) and with DisableIncrementalFit (fresh O(n³) refits every
+// iteration) and demands the entire decision sequence — every sampled
+// configuration, every score, the termination point, and the returned
+// best — be identical. The surrogate posteriors agree to rounding
+// error, so any divergence means the incremental path changed an
+// argmax somewhere.
+func TestIncrementalFitMatchesRefit(t *testing.T) {
+	topo := resource.Small()
+	for seed := int64(1); seed <= 4; seed++ {
+		opts := Options{Seed: seed, MaxIterations: 20}
+		inc := traceOf(t, topo, 3, opts)
+		ref := opts
+		ref.DisableIncrementalFit = true
+		refit := traceOf(t, topo, 3, ref)
+		diffTraces(t, "incremental vs refit", inc, refit)
+	}
+}
+
+// TestParallelRunIsByteIdentical runs the engine sequentially
+// (Workers=1) and with a worker pool (Workers=8) and demands identical
+// traces: the parallel surrogate conditioning and acquisition search
+// must not leak goroutine scheduling into any decision.
+func TestParallelRunIsByteIdentical(t *testing.T) {
+	topo := resource.Small()
+	for seed := int64(1); seed <= 3; seed++ {
+		seq := traceOf(t, topo, 3, Options{Seed: seed, MaxIterations: 16, Workers: 1})
+		par := traceOf(t, topo, 3, Options{Seed: seed, MaxIterations: 16, Workers: 8})
+		diffTraces(t, "sequential vs parallel", seq, par)
+	}
+}

@@ -6,21 +6,31 @@ import (
 	"math"
 
 	"clite/internal/linalg"
+	"clite/internal/par"
 	"clite/internal/stats"
 )
 
 // GP is a Gaussian-process regressor. Targets are standardized
 // internally, so callers can fit raw objective scores directly.
+//
+// A model can be conditioned two ways: Fit replaces the training set
+// wholesale (O(n³)), Append folds in one more sample via a rank-1
+// Cholesky extension (O(n²)). The BO engine appends one observation
+// per iteration, which is what turns the per-window surrogate update
+// from the dominant cost into noise.
 type GP struct {
 	kernel Kernel
 	noise  float64 // observation noise variance (in standardized units)
 
-	x          [][]float64
-	yStd       []float64 // standardized targets
+	x          [][]float64 // training rows, shared with the caller (see Fit)
+	yRaw       []float64   // targets in original units
+	yStd       []float64   // standardized targets
 	meanY, sdY float64
+	jitter     float64 // diagonal jitter applied by the last factorization
 
-	chol  *linalg.Matrix
+	chol  *linalg.Chol
 	alpha []float64
+	kRow  []float64 // scratch for Append's covariance row
 }
 
 // ErrNoData is returned by Predict before any Fit.
@@ -37,9 +47,15 @@ func New(kernel Kernel, noise float64) *GP {
 // Kernel returns the model's covariance function.
 func (g *GP) Kernel() Kernel { return g.kernel }
 
-// Fit conditions the GP on the samples (x[i], y[i]). It replaces any
-// previous data — CLITE refits after every observation window, and
-// with the paper's sample counts (tens) the O(n³) refit is microseconds.
+// Fit conditions the GP on the samples (x[i], y[i]), replacing any
+// previous data.
+//
+// Ownership contract: the GP keeps references to the x rows instead of
+// deep-copying them (the BO engine refits every observation window,
+// and with the engine already holding stable normalized copies the
+// per-refit O(n·d) clone was pure churn). Callers must not mutate a
+// row after passing it in; the outer slice itself is copied, so
+// appending to the caller's slice is fine.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return fmt.Errorf("gp: bad training set: %d inputs, %d targets", len(x), len(y))
@@ -50,18 +66,15 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 			return fmt.Errorf("gp: input %d has dimension %d, want %d", i, len(xi), dim)
 		}
 	}
-	g.meanY = stats.Mean(y)
-	g.sdY = stats.StdDev(y)
-	if g.sdY < 1e-9 {
-		g.sdY = 1
-	}
-	g.x = make([][]float64, len(x))
-	g.yStd = make([]float64, len(y))
-	for i := range x {
-		g.x[i] = append([]float64(nil), x[i]...)
-		g.yStd[i] = (y[i] - g.meanY) / g.sdY
-	}
-	n := len(x)
+	g.x = append(g.x[:0], x...)
+	g.yRaw = append(g.yRaw[:0], y...)
+	return g.refit()
+}
+
+// refit rebuilds the factorization and weights from g.x/g.yRaw.
+func (g *GP) refit() error {
+	g.restandardize()
+	n := len(g.x)
 	k := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
@@ -71,36 +84,151 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 		}
 		k.Set(i, i, k.At(i, i)+g.noise)
 	}
-	chol, _, err := linalg.Cholesky(k, 1e-2)
+	chol, jitter, err := linalg.CholeskyPacked(k, 1e-2)
 	if err != nil {
+		g.chol = nil
 		return fmt.Errorf("gp: kernel matrix: %w", err)
 	}
 	g.chol = chol
-	g.alpha = linalg.CholeskySolve(chol, g.yStd)
+	g.jitter = jitter
+	g.solveAlpha()
+	return nil
+}
+
+// restandardize recomputes the target standardization over g.yRaw.
+func (g *GP) restandardize() {
+	g.meanY = stats.Mean(g.yRaw)
+	g.sdY = stats.StdDev(g.yRaw)
+	if g.sdY < 1e-9 {
+		g.sdY = 1
+	}
+	g.yStd = g.yStd[:0]
+	for _, y := range g.yRaw {
+		g.yStd = append(g.yStd, (y-g.meanY)/g.sdY)
+	}
+}
+
+// solveAlpha recomputes alpha = K⁻¹·yStd into the reused buffer.
+func (g *GP) solveAlpha() {
+	n := len(g.yStd)
+	if cap(g.alpha) < n {
+		g.alpha = make([]float64, n)
+	}
+	g.alpha = g.alpha[:n]
+	g.chol.SolveInto(g.yStd, g.alpha)
+}
+
+// Append conditions the model on one more sample without refitting:
+// the Cholesky factor grows by a rank-1 forward substitution (O(n²))
+// and the weights are re-solved against the retained factor. Target
+// standardization is recomputed over the extended set, so the
+// posterior is numerically the same one a fresh Fit on the extended
+// data would produce (byte-identical while the factorization needs no
+// new jitter; the incremental-conditioning test pins this).
+//
+// If the extended kernel matrix stops being positive definite under
+// the stored jitter, Append transparently falls back to a full refit
+// with a fresh jitter search. The same ownership contract as Fit
+// applies to x.
+func (g *GP) Append(x []float64, y float64) error {
+	if len(g.x) > 0 && len(x) != len(g.x[0]) {
+		return fmt.Errorf("gp: appended input has dimension %d, want %d", len(x), len(g.x[0]))
+	}
+	if g.chol == nil || g.chol.N() != len(g.x) || len(g.x) == 0 {
+		// No retained factor (first sample, or a previous fit failed):
+		// fall back to a full conditioning on the extended data.
+		g.x = append(g.x, x)
+		g.yRaw = append(g.yRaw, y)
+		return g.refit()
+	}
+	n := len(g.x)
+	if cap(g.kRow) < n {
+		g.kRow = make([]float64, 0, 2*n)
+	}
+	g.kRow = g.kRow[:n]
+	for i, xi := range g.x {
+		g.kRow[i] = g.kernel.Eval(xi, x)
+	}
+	diag := g.kernel.Eval(x, x) + g.noise + g.jitter
+	g.x = append(g.x, x)
+	g.yRaw = append(g.yRaw, y)
+	if err := g.chol.AppendRow(g.kRow, diag); err != nil {
+		// Sample clusters collapsed the pivot — refactor with a fresh
+		// jitter ladder, exactly as a from-scratch Fit would.
+		return g.refit()
+	}
+	g.restandardize()
+	g.solveAlpha()
 	return nil
 }
 
 // N returns the number of conditioned samples.
 func (g *GP) N() int { return len(g.x) }
 
+// PredictBuf holds the scratch vectors one posterior evaluation needs.
+// Reusing a buffer across calls makes Predict allocation-free — the
+// acquisition maximizer evaluates the posterior thousands of times per
+// BO iteration. A buffer must not be shared between goroutines; give
+// each worker its own (they are cheap and grow on demand).
+type PredictBuf struct {
+	kStar, v []float64
+}
+
+func (b *PredictBuf) grow(n int) {
+	if cap(b.kStar) < n {
+		b.kStar = make([]float64, n)
+		b.v = make([]float64, n)
+	}
+	b.kStar = b.kStar[:n]
+	b.v = b.v[:n]
+}
+
 // Predict returns the posterior mean and standard deviation at x, in
-// the original (unstandardized) target units.
+// the original (unstandardized) target units. It allocates its own
+// scratch and is safe for concurrent use; hot paths should hold a
+// PredictBuf and call PredictWith instead.
 func (g *GP) Predict(x []float64) (mean, std float64, err error) {
+	var buf PredictBuf
+	return g.PredictWith(&buf, x)
+}
+
+// PredictWith is Predict with caller-owned scratch: zero allocations
+// once the buffer has grown to the model's size.
+func (g *GP) PredictWith(buf *PredictBuf, x []float64) (mean, std float64, err error) {
 	if g.chol == nil {
 		return 0, 0, ErrNoData
 	}
 	n := len(g.x)
-	kStar := make([]float64, n)
+	buf.grow(n)
 	for i := 0; i < n; i++ {
-		kStar[i] = g.kernel.Eval(g.x[i], x)
+		buf.kStar[i] = g.kernel.Eval(g.x[i], x)
 	}
-	muStd := linalg.Dot(kStar, g.alpha)
-	v := linalg.SolveLower(g.chol, kStar)
-	varStd := g.kernel.Eval(x, x) - linalg.Dot(v, v)
+	muStd := linalg.Dot(buf.kStar, g.alpha)
+	g.chol.SolveLowerInto(buf.kStar, buf.v)
+	varStd := g.kernel.Eval(x, x) - linalg.Dot(buf.v, buf.v)
 	if varStd < 0 {
 		varStd = 0
 	}
 	return muStd*g.sdY + g.meanY, math.Sqrt(varStd) * g.sdY, nil
+}
+
+// PredictBatch evaluates the posterior at every xs[i], writing into
+// means[i] and stds[i] (both must have len(xs)) through one reused
+// buffer. It is the bulk form of PredictWith for callers that score
+// whole candidate sets — same results, one buffer's worth of scratch.
+func (g *GP) PredictBatch(xs [][]float64, means, stds []float64, buf *PredictBuf) error {
+	if len(means) != len(xs) || len(stds) != len(xs) {
+		return fmt.Errorf("gp: PredictBatch needs %d-slot outputs, got %d/%d", len(xs), len(means), len(stds))
+	}
+	for i, x := range xs {
+		m, s, err := g.PredictWith(buf, x)
+		if err != nil {
+			return err
+		}
+		means[i] = m
+		stds[i] = s
+	}
+	return nil
 }
 
 // LogMarginalLikelihood returns the log evidence of the conditioned
@@ -112,46 +240,82 @@ func (g *GP) LogMarginalLikelihood() (float64, error) {
 	}
 	n := float64(len(g.yStd))
 	return -0.5*linalg.Dot(g.yStd, g.alpha) -
-		0.5*linalg.LogDetFromCholesky(g.chol) -
+		0.5*g.chol.LogDet() -
 		0.5*n*math.Log(2*math.Pi), nil
 }
+
+// hyperGrid is the length-scale × noise grid FitMLE and Pool search.
+// The grid tops out at 0.6: with inputs normalized to [0,1] a unit
+// length scale declares the whole space "as good as sampled",
+// collapsing posterior variance and killing acquisition-driven
+// exploration in the early iterations.
+var hyperGrid = func() []struct{ LengthScale, Noise float64 } {
+	lengthScales := []float64{0.1, 0.2, 0.35, 0.6}
+	noises := []float64{1e-4, 1e-3, 1e-2}
+	grid := make([]struct{ LengthScale, Noise float64 }, 0, len(lengthScales)*len(noises))
+	for _, l := range lengthScales {
+		for _, nz := range noises {
+			grid = append(grid, struct{ LengthScale, Noise float64 }{l, nz})
+		}
+	}
+	return grid
+}()
 
 // FitMLE fits GPs across a small hyperparameter grid (length scale ×
 // noise) for the given kernel family and returns the model with the
 // highest log marginal likelihood. Inputs are assumed normalized to
 // [0,1] per dimension (the BO engine guarantees this), which is what
 // makes a fixed grid broadly applicable and keeps CLITE free of
-// per-job-mix tuning.
+// per-job-mix tuning. The grid points are fit concurrently across
+// NumCPU-bounded workers.
 func FitMLE(family string, x [][]float64, y []float64) (*GP, error) {
-	// The grid tops out at 0.6: with inputs normalized to [0,1] a unit
-	// length scale declares the whole space "as good as sampled",
-	// collapsing posterior variance and killing acquisition-driven
-	// exploration in the early iterations.
-	lengthScales := []float64{0.1, 0.2, 0.35, 0.6}
-	noises := []float64{1e-4, 1e-3, 1e-2}
+	return FitMLEWorkers(family, x, y, 0)
+}
+
+// FitMLEWorkers is FitMLE over an explicit worker count (0 means
+// NumCPU, 1 forces the sequential path). The selection is a grid-order
+// argmax over per-point results, so the returned model is
+// byte-identical whatever the worker count — ties and float compares
+// are resolved by grid position, never by goroutine arrival order.
+func FitMLEWorkers(family string, x [][]float64, y []float64, workers int) (*GP, error) {
+	if _, err := KernelByName(family, 1, 1); err != nil {
+		return nil, err
+	}
+	models := make([]*GP, len(hyperGrid))
+	lmls := make([]float64, len(hyperGrid))
+	errs := make([]error, len(hyperGrid))
+	par.ForEach(workers, len(hyperGrid), func(i int) {
+		kernel, err := KernelByName(family, hyperGrid[i].LengthScale, 1.0)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		model := New(kernel, hyperGrid[i].Noise)
+		if err := model.Fit(x, y); err != nil {
+			errs[i] = err
+			return
+		}
+		lml, err := model.LogMarginalLikelihood()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		models[i] = model
+		lmls[i] = lml
+	})
 	var best *GP
 	bestLML := math.Inf(-1)
 	var lastErr error
-	for _, l := range lengthScales {
-		for _, nz := range noises {
-			kernel, err := KernelByName(family, l, 1.0)
-			if err != nil {
-				return nil, err
+	for i, model := range models {
+		if model == nil {
+			if errs[i] != nil {
+				lastErr = errs[i]
 			}
-			model := New(kernel, nz)
-			if err := model.Fit(x, y); err != nil {
-				lastErr = err
-				continue
-			}
-			lml, err := model.LogMarginalLikelihood()
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			if lml > bestLML {
-				bestLML = lml
-				best = model
-			}
+			continue
+		}
+		if lmls[i] > bestLML {
+			bestLML = lmls[i]
+			best = model
 		}
 	}
 	if best == nil {

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"sort"
+
+	"clite/internal/par"
 )
 
 // Experiment is one reproducible table/figure of the paper.
@@ -50,6 +52,28 @@ func Experiments() []Experiment {
 		{"doe", "FFD/RSM design-space-exploration comparison (Sec. 5.2)", single(DOE)},
 		{"faultsweep", "QoS retention vs observation-fault rate (hardened controller)", single(FaultSweep)},
 	}
+}
+
+// ExperimentResult is one experiment's outcome from RunAll.
+type ExperimentResult struct {
+	ID     string
+	Tables []Table
+	Err    error
+}
+
+// RunAll executes the experiments over a bounded worker pool (workers
+// 0 means NumCPU, 1 forces the sequential path) and returns results in
+// input order. Every experiment seeds its own RNGs from cfg.Seed and
+// builds its own machines, so the runs share no mutable state; the
+// index-addressed result slots keep the output independent of
+// completion order (DESIGN.md §8).
+func RunAll(exps []Experiment, cfg Config, workers int) []ExperimentResult {
+	out := make([]ExperimentResult, len(exps))
+	par.ForEach(workers, len(exps), func(i int) {
+		tables, err := exps[i].Run(cfg)
+		out[i] = ExperimentResult{ID: exps[i].ID, Tables: tables, Err: err}
+	})
+	return out
 }
 
 // Lookup finds an experiment by ID.

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunAllParallelMatchesSequential runs a slice of the registry
+// with 1 and 4 workers and demands the rendered tables be identical:
+// every experiment seeds its own RNGs and machines from cfg.Seed, so
+// sharing a process with other experiments must not change a digit.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	ids := []string{"table1", "table2", "table3", "fig6", "doe"}
+	var exps []Experiment
+	for _, id := range ids {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, e)
+	}
+	cfg := Config{Seed: 3, Coarse: true}
+	render := func(results []ExperimentResult) []string {
+		var out []string
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.ID, r.Err)
+			}
+			s := r.ID
+			for _, tb := range r.Tables {
+				s += "\n" + fmt.Sprint(tb)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	seq := render(RunAll(exps, cfg, 1))
+	par := render(RunAll(exps, cfg, 4))
+	if len(seq) != len(par) {
+		t.Fatalf("result counts diverged: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("experiment %s output diverged under parallel RunAll", ids[i])
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chol is a growable lower-triangular Cholesky factor in packed
+// row-major storage: row i holds its i+1 entries at offset i·(i+1)/2.
+// Packing is what makes the factor growable — appending a row is a
+// single amortized slice append, so conditioning a GP on one more
+// sample costs the O(n²) forward substitution of AppendRow instead of
+// the O(n³) refactorization a dense refit pays.
+//
+// The arithmetic (loop order, operation order) deliberately mirrors
+// the dense Cholesky in matrix.go, so a factor grown row by row is
+// byte-identical to one factored from scratch with the same jitter.
+type Chol struct {
+	n    int
+	data []float64 // len == n·(n+1)/2
+}
+
+// NewChol returns an empty factor with capacity for an n×n matrix
+// preallocated (n may be 0).
+func NewChol(n int) *Chol {
+	return &Chol{data: make([]float64, 0, n*(n+1)/2)}
+}
+
+// N returns the factor's current dimension.
+func (c *Chol) N() int { return c.n }
+
+// Row returns a view of packed row i (i+1 entries).
+func (c *Chol) Row(i int) []float64 {
+	off := i * (i + 1) / 2
+	return c.data[off : off+i+1]
+}
+
+// At returns L(i, j) for j ≤ i.
+func (c *Chol) At(i, j int) float64 { return c.data[i*(i+1)/2+j] }
+
+// Clone returns a deep copy.
+func (c *Chol) Clone() *Chol {
+	return &Chol{n: c.n, data: append([]float64(nil), c.data...)}
+}
+
+// Reset empties the factor, keeping its storage for reuse.
+func (c *Chol) Reset() {
+	c.n = 0
+	c.data = c.data[:0]
+}
+
+// CholeskyPacked factors a symmetric positive-definite matrix into a
+// packed lower-triangular factor, retrying with progressively larger
+// diagonal jitter exactly like Cholesky. It returns the factor and
+// the jitter applied; callers that later AppendRow must add the same
+// jitter to appended diagonal entries to stay consistent.
+func CholeskyPacked(a *Matrix, maxJitter float64) (*Chol, float64, error) {
+	if a.Rows != a.Cols {
+		return nil, 0, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	c := NewChol(a.Rows)
+	jitter := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		if c.factorInto(a, jitter) {
+			return c, jitter, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10
+		} else {
+			jitter *= 100
+		}
+		if jitter > maxJitter {
+			break
+		}
+	}
+	return nil, jitter, ErrNotPositiveDefinite
+}
+
+// factorInto (re)factors a+jitter·I into c, reporting success. The
+// computation matches choleskyOnce term for term.
+func (c *Chol) factorInto(a *Matrix, jitter float64) bool {
+	n := a.Rows
+	c.Reset()
+	for i := 0; i < n; i++ {
+		for t := 0; t <= i; t++ {
+			c.data = append(c.data, 0)
+		}
+		li := c.Row(i)
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			if i == j {
+				sum += jitter
+			}
+			lj := c.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					c.Reset()
+					return false
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+		c.n++
+	}
+	return true
+}
+
+// AppendRow grows the factor from n to n+1: k is the new sample's
+// covariance against the n existing ones and diag its self-covariance
+// (noise and jitter already added by the caller). Appending the last
+// row of a Cholesky factorization *is* a forward substitution, so the
+// result is byte-identical to refactoring the extended matrix — when
+// the trailing pivot stays positive. A non-positive pivot leaves the
+// factor untouched and returns ErrNotPositiveDefinite; the caller
+// falls back to a full refactorization (which may pick fresh jitter).
+func (c *Chol) AppendRow(k []float64, diag float64) error {
+	if len(k) != c.n {
+		panic(fmt.Sprintf("linalg: AppendRow got %d covariances for dimension %d", len(k), c.n))
+	}
+	off := len(c.data)
+	c.data = append(c.data, k...)
+	c.data = append(c.data, 0)
+	row := c.data[off : off+c.n+1]
+	// w_j = (k_j − Σ_{t<j} L(j,t)·w_t) / L(j,j), computed in place.
+	for j := 0; j < c.n; j++ {
+		sum := row[j]
+		lj := c.Row(j)
+		for t := 0; t < j; t++ {
+			sum -= lj[t] * row[t]
+		}
+		row[j] = sum / lj[j]
+	}
+	d := diag
+	for t := 0; t < c.n; t++ {
+		d -= row[t] * row[t]
+	}
+	if d <= 0 || math.IsNaN(d) {
+		c.data = c.data[:off]
+		return ErrNotPositiveDefinite
+	}
+	row[c.n] = math.Sqrt(d)
+	c.n++
+	return nil
+}
+
+// SolveLowerInto solves L·x = b by forward substitution into x, which
+// must have length N. x may alias b (each b[i] is read before x[i] is
+// written).
+func (c *Chol) SolveLowerInto(b, x []float64) {
+	n := c.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("linalg: SolveLowerInto dimension mismatch %d/%d vs %d", len(b), len(x), n))
+	}
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := c.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= row[k] * x[k]
+		}
+		x[i] = sum / row[i]
+	}
+}
+
+// SolveUpperTInto solves Lᵀ·x = b by backward substitution into x
+// (the stored factor is L; its transpose is implied). x may alias b.
+func (c *Chol) SolveUpperTInto(b, x []float64) {
+	n := c.n
+	if len(b) != n || len(x) != n {
+		panic(fmt.Sprintf("linalg: SolveUpperTInto dimension mismatch %d/%d vs %d", len(b), len(x), n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= c.At(k, i) * x[k]
+		}
+		x[i] = sum / c.At(i, i)
+	}
+}
+
+// SolveInto solves A·x = b given this factor of A, into x. x may
+// alias b; no scratch is needed because both substitutions are
+// aliasing-safe.
+func (c *Chol) SolveInto(b, x []float64) {
+	c.SolveLowerInto(b, x)
+	c.SolveUpperTInto(x, x)
+}
+
+// LogDet returns log|A| = 2·Σ log L(i,i).
+func (c *Chol) LogDet() float64 {
+	var sum float64
+	for i := 0; i < c.n; i++ {
+		sum += math.Log(c.At(i, i))
+	}
+	return 2 * sum
+}

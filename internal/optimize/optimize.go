@@ -6,56 +6,88 @@
 // this constrained maximization. Here the same role is played by
 // multi-start projected gradient ascent: the feasible set is, per
 // resource, a box-bounded simplex, onto which exact Euclidean
-// projection is cheap (bisection on the dual shift). The substitution
-// is behaviour-preserving — both are local constrained maximizers over
-// the identical feasible set, restarted from multiple points.
+// projection is cheap (a breakpoint walk on the dual shift). The
+// substitution is behaviour-preserving — both are local constrained
+// maximizers over the identical feasible set, restarted from multiple
+// points.
+//
+// The multi-starts are independent, so Maximize fans them out over a
+// bounded worker pool and reduces the results in start order — the
+// winner is a pure function of the start list, never of goroutine
+// scheduling (DESIGN.md §8).
 package optimize
 
 import (
 	"math"
+	"sort"
+	"sync"
 
+	"clite/internal/par"
 	"clite/internal/resource"
 	"clite/internal/stats"
 )
 
 // ProjectBoundedSimplex returns the Euclidean projection of v onto
-// {x : lo ≤ x_i ≤ hi, Σ x_i = total}. It bisects on the shift τ such
-// that Σ clamp(v_i − τ, lo, hi) = total, which is monotone in τ.
-// The feasible set must be non-empty: n·lo ≤ total ≤ n·hi.
+// {x : lo ≤ x_i ≤ hi, Σ x_i = total}: the unique shift τ with
+// Σ clamp(v_i − τ, lo, hi) = total is found exactly by walking the
+// sorted breakpoints of that piecewise-linear sum. The feasible set
+// must be non-empty: n·lo ≤ total ≤ n·hi.
 func ProjectBoundedSimplex(v []float64, lo, hi, total float64) []float64 {
+	out := append([]float64(nil), v...)
+	var scratch []float64
+	projectBoundedSimplexInPlace(out, lo, hi, total, &scratch)
+	return out
+}
+
+// projectBoundedSimplexInPlace projects v in place. scratch is a
+// reusable breakpoint buffer (grown to 2·len(v)); passing the same
+// pointer across calls makes the projection allocation-free, which
+// matters because the ascent loop projects every candidate step.
+func projectBoundedSimplexInPlace(v []float64, lo, hi, total float64, scratch *[]float64) {
 	n := len(v)
-	out := make([]float64, n)
 	if n == 0 {
-		return out
+		return
 	}
-	sumAt := func(tau float64) float64 {
+	// g(τ) = Σ clamp(v_i − τ, lo, hi) is non-increasing and piecewise
+	// linear with breakpoints at v_i − hi (coordinate i leaves its hi
+	// cap) and v_i − lo (coordinate i hits its lo floor).
+	bp := (*scratch)[:0]
+	for _, x := range v {
+		bp = append(bp, x-hi, x-lo)
+	}
+	sort.Float64s(bp)
+	*scratch = bp
+	g := func(tau float64) float64 {
 		var s float64
 		for _, x := range v {
 			s += stats.Clamp(x-tau, lo, hi)
 		}
 		return s
 	}
-	// Bracket τ: shifting by ±(max|v|+hi) saturates every coordinate.
-	span := hi - lo + 1
-	for _, x := range v {
-		if a := math.Abs(x); a > span {
-			span = a
+	tau := bp[len(bp)-1]
+	if gFirst := g(bp[0]); gFirst <= total {
+		// total ≥ g everywhere right of the flat n·hi ray; the first
+		// breakpoint is the closest feasible shift.
+		tau = bp[0]
+	} else {
+		gPrev := gFirst
+		for k := 1; k < len(bp); k++ {
+			gk := g(bp[k])
+			if gk <= total {
+				// τ* lies on the linear segment [bp[k−1], bp[k]].
+				tau = bp[k-1]
+				if gPrev > gk {
+					tau += (gPrev - total) * (bp[k] - bp[k-1]) / (gPrev - gk)
+				}
+				break
+			}
+			gPrev = gk
+			tau = bp[k]
 		}
 	}
-	tauLo, tauHi := -2*span-1, 2*span+1
-	for i := 0; i < 100; i++ {
-		mid := (tauLo + tauHi) / 2
-		if sumAt(mid) > total {
-			tauLo = mid
-		} else {
-			tauHi = mid
-		}
-	}
-	tau := (tauLo + tauHi) / 2
 	for i, x := range v {
-		out[i] = stats.Clamp(x-tau, lo, hi)
+		v[i] = stats.Clamp(x-tau, lo, hi)
 	}
-	return out
 }
 
 // Problem specifies one acquisition-maximization instance.
@@ -63,7 +95,11 @@ type Problem struct {
 	Topo  resource.Topology
 	NJobs int
 	// Objective is evaluated on job-major continuous unit vectors
-	// (resource.Config.Vector layout) and maximized.
+	// (resource.Config.Vector layout) and maximized. With Workers ≠ 1
+	// it is called from multiple goroutines concurrently and must be
+	// safe for that — pure functions (GP posteriors, response
+	// surfaces) qualify; closures carrying mutable scratch must keep
+	// it per-goroutine (sync.Pool).
 	Objective func(x []float64) float64
 	// FrozenJob, if ≥ 0, pins that job's allocation to FrozenAlloc —
 	// the paper's dropout-copy dimensionality reduction (Sec. 4).
@@ -76,6 +112,12 @@ type Problem struct {
 	// Iterations bounds gradient steps per start (default 60).
 	Iterations int
 	RNG        *stats.RNG
+	// Workers bounds the concurrent multi-start ascents: 0 means
+	// runtime.NumCPU(), 1 forces the sequential path. The result is
+	// byte-identical for every setting — random starts are drawn from
+	// the RNG before the fan-out and the best ascent is selected by
+	// start order, so scheduling never leaks into the answer.
+	Workers int
 }
 
 func (p *Problem) iterations() int {
@@ -92,23 +134,49 @@ func (p *Problem) randomStarts() int {
 	return 8
 }
 
+// ascender owns the scratch one gradient ascent needs; pooling them
+// keeps the hot loop allocation-free without sharing state between
+// concurrent starts.
+type ascender struct {
+	cand, grad []float64
+	free       []float64
+	idx        []int
+	bp         []float64
+}
+
+var ascenderPool = sync.Pool{New: func() any { return new(ascender) }}
+
 // Maximize runs multi-start projected gradient ascent and returns the
 // best feasible continuous vector found (job-major units).
 func Maximize(p Problem) []float64 {
+	scratch := ascenderPool.Get().(*ascender)
 	starts := make([][]float64, 0, len(p.Starts)+p.randomStarts())
 	for _, s := range p.Starts {
-		starts = append(starts, p.project(append([]float64(nil), s...)))
+		cp := append([]float64(nil), s...)
+		p.projectInPlace(cp, scratch)
+		starts = append(starts, cp)
 	}
 	for i := 0; i < p.randomStarts(); i++ {
 		cfg := resource.Random(p.Topo, p.NJobs, p.RNG)
-		starts = append(starts, p.project(cfg.Vector()))
+		v := cfg.Vector()
+		p.projectInPlace(v, scratch)
+		starts = append(starts, v)
 	}
+	ascenderPool.Put(scratch)
+
+	xs := make([][]float64, len(starts))
+	vals := make([]float64, len(starts))
+	par.ForEach(p.Workers, len(starts), func(i int) {
+		a := ascenderPool.Get().(*ascender)
+		xs[i], vals[i] = p.ascend(starts[i], a)
+		ascenderPool.Put(a)
+	})
+
 	var best []float64
 	bestVal := math.Inf(-1)
-	for _, start := range starts {
-		x, val := p.ascend(start)
-		if val > bestVal {
-			bestVal = val
+	for i, x := range xs {
+		if vals[i] > bestVal {
+			bestVal = vals[i]
 			best = x
 		}
 	}
@@ -116,21 +184,26 @@ func Maximize(p Problem) []float64 {
 }
 
 // ascend performs projected gradient ascent from start with a
-// backtracking step size.
-func (p Problem) ascend(start []float64) ([]float64, float64) {
-	x := append([]float64(nil), start...)
+// backtracking step size, reusing the ascender's buffers. The start
+// slice is ascended in place and returned.
+func (p *Problem) ascend(start []float64, a *ascender) ([]float64, float64) {
+	x := start
 	fx := p.Objective(x)
 	step := 2.0 // units; the search space spans tens of units per axis
-	grad := make([]float64, len(x))
+	if cap(a.grad) < len(x) {
+		a.grad = make([]float64, len(x))
+		a.cand = make([]float64, len(x))
+	}
+	grad := a.grad[:len(x)]
+	cand := a.cand[:len(x)]
 	for iter := 0; iter < p.iterations(); iter++ {
 		p.gradient(x, grad)
-		cand := make([]float64, len(x))
 		improved := false
 		for tries := 0; tries < 6; tries++ {
 			for i := range x {
 				cand[i] = x[i] + step*grad[i]
 			}
-			cand = p.project(cand)
+			p.projectInPlace(cand, a)
 			if fc := p.Objective(cand); fc > fx {
 				copy(x, cand)
 				fx = fc
@@ -153,7 +226,7 @@ func (p Problem) ascend(start []float64) ([]float64, float64) {
 // skipping frozen coordinates. Differences stay inside the feasible
 // set only approximately; the objective must tolerate slightly
 // infeasible probes (acquisition surfaces do).
-func (p Problem) gradient(x []float64, g []float64) {
+func (p *Problem) gradient(x []float64, g []float64) {
 	const h = 0.25
 	nres := len(p.Topo)
 	norm := 0.0
@@ -178,33 +251,31 @@ func (p Problem) gradient(x []float64, g []float64) {
 	}
 }
 
-// project maps an arbitrary vector onto the feasible polytope,
-// resource by resource, honouring a frozen job.
-func (p Problem) project(x []float64) []float64 {
+// projectInPlace maps x onto the feasible polytope, resource by
+// resource, honouring a frozen job, with all scratch taken from a.
+func (p *Problem) projectInPlace(x []float64, a *ascender) {
 	nres := len(p.Topo)
-	out := append([]float64(nil), x...)
 	for r := 0; r < nres; r++ {
 		total := float64(p.Topo[r].Units)
 		hi := float64(resource.MaxUnitsPerJob(p.Topo, p.NJobs, r))
 		// Collect the free coordinates of this resource.
-		free := make([]float64, 0, p.NJobs)
-		idx := make([]int, 0, p.NJobs)
+		a.free = a.free[:0]
+		a.idx = a.idx[:0]
 		for j := 0; j < p.NJobs; j++ {
 			i := j*nres + r
 			if j == p.FrozenJob {
-				out[i] = float64(p.FrozenAlloc[r])
+				x[i] = float64(p.FrozenAlloc[r])
 				total -= float64(p.FrozenAlloc[r])
 				continue
 			}
-			free = append(free, out[i])
-			idx = append(idx, i)
+			a.free = append(a.free, x[i])
+			a.idx = append(a.idx, i)
 		}
-		proj := ProjectBoundedSimplex(free, 1, hi, total)
-		for k, i := range idx {
-			out[i] = proj[k]
+		projectBoundedSimplexInPlace(a.free, 1, hi, total, &a.bp)
+		for k, i := range a.idx {
+			x[i] = a.free[k]
 		}
 	}
-	return out
 }
 
 // MaximizeToConfig is Maximize followed by sum-preserving integer

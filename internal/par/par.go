@@ -1,0 +1,95 @@
+// Package par is the repo's one bounded worker pool. Every parallel
+// path in the controller (GP hyperparameter grid, acquisition
+// multi-starts, ORACLE sweep shards, the experiment registry) funnels
+// through it, and all of them follow the same determinism rules
+// (DESIGN.md §8):
+//
+//   - workers only write to index-addressed slots they own, never to
+//     shared accumulators;
+//   - every reduction over those slots happens after the pool drains,
+//     sequentially, in index order;
+//   - any randomness is drawn from per-shard RNGs seeded before the
+//     pool starts (stats.RNG.Split), never from a shared stream.
+//
+// Under those rules the output is byte-identical whatever the worker
+// count or goroutine schedule, so "go fast" and "stay reproducible"
+// stop being a trade-off.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Count resolves a requested worker count: 0 (or negative) means
+// runtime.NumCPU(), and the result is clamped to at least 1.
+func Count(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning the indices out
+// over min(workers, n) goroutines (workers ≤ 0 means NumCPU). Indices
+// are handed out dynamically, so uneven work items still balance; fn
+// must confine its writes to state owned by index i. With one worker
+// (or one item) everything runs inline on the caller's goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Count(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Go runs fn(0) … fn(k−1) concurrently, one goroutine per shard, and
+// waits for all of them. It is the static-sharding counterpart of
+// ForEach for callers that keep per-shard state (caches, RNGs) keyed
+// by the shard id. With k == 1 the shard runs inline.
+func Go(k int, fn func(shard int)) {
+	if k <= 0 {
+		return
+	}
+	if k == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for s := 0; s < k; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}

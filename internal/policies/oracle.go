@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"clite/internal/core"
+	"clite/internal/par"
 	"clite/internal/resource"
 	"clite/internal/server"
 )
@@ -20,10 +21,22 @@ import (
 // steepest-ascent unit transfers. Because isolation makes per-job
 // performance a function of the job's own allocation only, per-job
 // measurements are memoized, which is what keeps the sweep tractable.
+//
+// The grid sweep shards across workers by enumeration index (shard s
+// scores every configuration with index ≡ s mod W), each shard scoring
+// against its own measurement cache and scratch. The merge rule —
+// highest score, ties to the lowest enumeration index — reproduces the
+// sequential first-maximum semantics exactly, so the result is
+// byte-identical whatever the worker count (DESIGN.md §8). Each config
+// is scored allocation-free: no Observation is materialized and cache
+// keys are probed through a reused byte buffer.
 type Oracle struct {
 	// Budget caps the number of grid configurations enumerated
 	// (default 200,000); the stride is chosen to fit it.
 	Budget int
+	// Workers bounds the sweep's shard count: 0 means NumCPU, 1
+	// forces the sequential path.
+	Workers int
 }
 
 // Name implements Policy.
@@ -36,88 +49,179 @@ func (o Oracle) budget() int {
 	return 200000
 }
 
+// oracleSweep is one shard's worth of sweep state: per-job measurement
+// caches, reusable per-job measurement columns, scoring scratch, and
+// the shard-local winner.
+type oracleSweep struct {
+	m    *server.Machine
+	jobs []server.Job
+
+	caches  []map[string]server.JobMeasurement
+	keyBuf  []byte
+	p95     []float64
+	qosMet  []bool
+	norm    []float64
+	scratch core.ScoreScratch
+
+	examined int
+	err      error
+
+	best      resource.Config
+	bestScore float64
+	bestIdx   int
+}
+
+func newOracleSweep(m *server.Machine, jobs []server.Job) *oracleSweep {
+	nJobs := len(jobs)
+	sw := &oracleSweep{
+		m:         m,
+		jobs:      jobs,
+		caches:    make([]map[string]server.JobMeasurement, nJobs),
+		p95:       make([]float64, nJobs),
+		qosMet:    make([]bool, nJobs),
+		norm:      make([]float64, nJobs),
+		bestScore: math.Inf(-1),
+	}
+	for j := range sw.caches {
+		sw.caches[j] = make(map[string]server.JobMeasurement)
+	}
+	return sw
+}
+
+// measure returns job j's memoized ideal measurement under alloc. The
+// cache is probed through the reused key buffer — map lookups with a
+// string(buf) index do not allocate; only a miss materializes the key.
+func (sw *oracleSweep) measure(j int, alloc resource.Allocation) server.JobMeasurement {
+	sw.keyBuf = appendAllocKey(sw.keyBuf[:0], alloc)
+	if v, ok := sw.caches[j][string(sw.keyBuf)]; ok {
+		return v
+	}
+	v, err := sw.m.MeasureJobIdeal(j, alloc)
+	if err != nil && sw.err == nil {
+		sw.err = err
+	}
+	sw.caches[j][string(sw.keyBuf)] = v
+	return v
+}
+
+// score computes the Eq. 3 score of cfg without materializing an
+// Observation: per-job measurements land in the reused columns and
+// ScoreJobs runs against the reused scratch.
+func (sw *oracleSweep) score(cfg resource.Config) float64 {
+	for j := range sw.jobs {
+		meas := sw.measure(j, cfg.Jobs[j])
+		sw.p95[j] = meas.P95
+		sw.qosMet[j] = meas.QoSMet
+		sw.norm[j] = meas.NormPerf
+	}
+	sw.examined++
+	return core.ScoreJobs(sw.jobs, sw.p95, sw.qosMet, sw.norm, &sw.scratch)
+}
+
+// observe materializes the full Observation for cfg from the cache —
+// the one-per-run form the Result carries.
+func (sw *oracleSweep) observe(cfg resource.Config) server.Observation {
+	nJobs := len(sw.jobs)
+	obs := server.Observation{
+		Config:     cfg.Clone(),
+		P95:        make([]float64, nJobs),
+		Throughput: make([]float64, nJobs),
+		QoSMet:     make([]bool, nJobs),
+		NormPerf:   make([]float64, nJobs),
+		AllQoSMet:  true,
+	}
+	for j := 0; j < nJobs; j++ {
+		meas := sw.measure(j, cfg.Jobs[j])
+		obs.P95[j] = meas.P95
+		obs.Throughput[j] = meas.Throughput
+		obs.QoSMet[j] = meas.QoSMet
+		obs.NormPerf[j] = meas.NormPerf
+		if !meas.QoSMet {
+			obs.AllQoSMet = false
+		}
+	}
+	return obs
+}
+
 // Run implements Policy.
 func (o Oracle) Run(m *server.Machine) (Result, error) {
 	topo := m.Topology()
 	jobs := m.Jobs()
 	nJobs := len(jobs)
+	stride := o.chooseStride(topo, nJobs)
+	workers := par.Count(o.Workers)
 
-	// Per-job measurement cache: alloc key → measurement.
-	caches := make([]map[string]server.JobMeasurement, nJobs)
-	for j := range caches {
-		caches[j] = make(map[string]server.JobMeasurement)
-	}
-	var measureErr error
-	measure := func(j int, alloc resource.Allocation) server.JobMeasurement {
-		key := allocKey(alloc)
-		if v, ok := caches[j][key]; ok {
-			return v
-		}
-		v, err := m.MeasureJobIdeal(j, alloc)
-		if err != nil && measureErr == nil {
-			measureErr = err
-		}
-		caches[j][key] = v
-		return v
-	}
+	// Grid sweep: shard by enumeration index. Every shard walks the
+	// same deterministic enumeration and claims its residue class, so
+	// no coordination (and no scheduling sensitivity) exists between
+	// shards.
+	shards := make([]*oracleSweep, workers)
+	par.Go(workers, func(s int) {
+		sw := newOracleSweep(m, jobs)
+		shards[s] = sw
+		idx := 0
+		resource.ForEachConfig(topo, nJobs, stride, func(cfg resource.Config) bool {
+			if idx%workers == s {
+				if sc := sw.score(cfg); sc > sw.bestScore {
+					sw.bestScore = sc
+					sw.best = cfg.Clone()
+					sw.bestIdx = idx
+				}
+			}
+			idx++
+			return true
+		})
+	})
 
-	examined := 0
-	scoreOf := func(cfg resource.Config) (float64, server.Observation) {
-		obs := server.Observation{
-			Config:     cfg.Clone(),
-			P95:        make([]float64, nJobs),
-			Throughput: make([]float64, nJobs),
-			QoSMet:     make([]bool, nJobs),
-			NormPerf:   make([]float64, nJobs),
-			AllQoSMet:  true,
+	// Merge, in shard order: the winner is the highest score, ties
+	// resolved to the lowest enumeration index — exactly the "first
+	// maximum in enumeration order" a sequential sweep picks.
+	merged := shards[0]
+	var best resource.Config
+	bestScore, bestIdx := math.Inf(-1), math.MaxInt
+	var firstErr error
+	for _, sw := range shards {
+		if sw.err != nil && firstErr == nil {
+			firstErr = sw.err
 		}
-		for j := 0; j < nJobs; j++ {
-			meas := measure(j, cfg.Jobs[j])
-			obs.P95[j] = meas.P95
-			obs.Throughput[j] = meas.Throughput
-			obs.QoSMet[j] = meas.QoSMet
-			obs.NormPerf[j] = meas.NormPerf
-			if !meas.QoSMet {
-				obs.AllQoSMet = false
+		if sw.bestScore > bestScore || (sw.bestScore == bestScore && sw.bestIdx < bestIdx) {
+			bestScore, bestIdx, best = sw.bestScore, sw.bestIdx, sw.best
+		}
+		if sw == merged {
+			continue
+		}
+		merged.examined += sw.examined
+		for j := range merged.caches {
+			for k, v := range sw.caches[j] {
+				merged.caches[j][k] = v
 			}
 		}
-		examined++
-		return core.ScoreObservation(jobs, obs), obs
 	}
-
-	stride := o.chooseStride(topo, nJobs)
-	var best resource.Config
-	bestScore := math.Inf(-1)
-	resource.ForEachConfig(topo, nJobs, stride, func(cfg resource.Config) bool {
-		if s, _ := scoreOf(cfg); s > bestScore {
-			bestScore = s
-			best = cfg.Clone()
-		}
-		return true
-	})
-	if measureErr != nil {
-		return Result{}, measureErr
+	if firstErr != nil {
+		return Result{}, firstErr
 	}
 
 	// Refine: steepest-ascent unit transfers from the grid winner and
-	// from the equal split (the grid can miss narrow ridges).
+	// from the equal split (the grid can miss narrow ridges). The
+	// climbs run sequentially against the merged caches.
 	for _, start := range []resource.Config{best, resource.EqualSplit(topo, nJobs)} {
-		cfg, score := o.hillClimb(topo, nJobs, start, scoreOf)
+		cfg, score := o.hillClimb(topo, nJobs, start, merged.score)
 		if score > bestScore {
 			bestScore = score
 			best = cfg
 		}
 	}
-	if measureErr != nil {
-		return Result{}, measureErr
+	if merged.err != nil {
+		return Result{}, merged.err
 	}
 
-	finalScore, finalObs := scoreOf(best)
+	finalScore := merged.score(best)
+	finalObs := merged.observe(best)
 	return Result{
 		Best:        best,
 		BestScore:   finalScore,
 		BestObs:     finalObs,
-		SamplesUsed: examined,
+		SamplesUsed: merged.examined,
 		QoSMeetable: finalObs.AllQoSMet,
 	}, nil
 }
@@ -146,9 +250,9 @@ func (o Oracle) chooseStride(topo resource.Topology, nJobs int) int {
 
 // hillClimb performs steepest-ascent over single-unit transfers.
 func (o Oracle) hillClimb(topo resource.Topology, nJobs int, start resource.Config,
-	scoreOf func(resource.Config) (float64, server.Observation)) (resource.Config, float64) {
+	scoreOf func(resource.Config) float64) (resource.Config, float64) {
 	best := start.Clone()
-	bestScore, _ := scoreOf(best)
+	bestScore := scoreOf(best)
 	for {
 		improved := false
 		for r := range topo {
@@ -158,7 +262,7 @@ func (o Oracle) hillClimb(topo resource.Topology, nJobs int, start resource.Conf
 					if !cand.Transfer(r, from, to, 1) {
 						continue
 					}
-					if s, _ := scoreOf(cand); s > bestScore {
+					if s := scoreOf(cand); s > bestScore {
 						bestScore = s
 						best = cand
 						improved = true
@@ -172,10 +276,10 @@ func (o Oracle) hillClimb(topo resource.Topology, nJobs int, start resource.Conf
 	}
 }
 
-func allocKey(a resource.Allocation) string {
-	buf := make([]byte, 0, len(a)*3)
+// appendAllocKey appends a compact cache key for alloc to buf.
+func appendAllocKey(buf []byte, a resource.Allocation) []byte {
 	for _, u := range a {
-		buf = append(buf, byte(u), ',')
+		buf = append(buf, byte(u), byte(u>>8), ',')
 	}
-	return string(buf)
+	return buf
 }

@@ -1,0 +1,42 @@
+package policies
+
+import (
+	"testing"
+
+	"clite/internal/server"
+)
+
+// TestOracleParallelIsByteIdentical runs the sharded sweep with 1 and
+// 4 workers and demands identical results: same winning configuration,
+// bit-equal score, same sample count. The merge rule (highest score,
+// ties to the lowest enumeration index) must reproduce the sequential
+// first-maximum semantics exactly.
+func TestOracleParallelIsByteIdentical(t *testing.T) {
+	for name, build := range map[string]func(*testing.T, int64) *server.Machine{
+		"easy":  easyMix,
+		"tight": tightMix,
+	} {
+		// Small budget keeps the sweep quick while still exercising
+		// multi-shard enumeration and the hill-climb refinement.
+		seq, err := Oracle{Budget: 4000, Workers: 1}.Run(build(t, 5))
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		par, err := Oracle{Budget: 4000, Workers: 4}.Run(build(t, 5))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if seq.Best.Key() != par.Best.Key() {
+			t.Errorf("%s: best config diverged: %s vs %s", name, seq.Best.Key(), par.Best.Key())
+		}
+		if seq.BestScore != par.BestScore {
+			t.Errorf("%s: score diverged: %v vs %v", name, seq.BestScore, par.BestScore)
+		}
+		if seq.SamplesUsed != par.SamplesUsed {
+			t.Errorf("%s: samples diverged: %d vs %d", name, seq.SamplesUsed, par.SamplesUsed)
+		}
+		if seq.QoSMeetable != par.QoSMeetable {
+			t.Errorf("%s: QoSMeetable diverged", name)
+		}
+	}
+}

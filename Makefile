@@ -3,7 +3,7 @@
 # path is exercised by TestRescheduleIsDeterministic; the parallel
 # optimization paths by the byte-identity tests), and keep the
 # benchmark harness runnable (benchsmoke).
-.PHONY: tier1 build vet test race bench benchsmoke benchfigs
+.PHONY: tier1 build vet test race bench benchsmoke benchcompare benchfigs
 
 tier1: build vet race benchsmoke
 
@@ -26,9 +26,17 @@ bench:
 	go run ./cmd/bench -legacy -o BENCH_baseline.json
 	go run ./cmd/bench -o BENCH_after.json
 
-# benchsmoke is the -short-guarded quick pass over the same suite.
+# benchsmoke is the -short-guarded quick pass over the same suite —
+# including the cluster placement pipeline (profile cache, admission
+# pre-filter, concurrent screening) in both its legacy and cached
+# modes.
 benchsmoke:
 	go test -short -run TestBenchSmoke .
+
+# benchcompare diffs the two evidence files and exits non-zero when
+# any shared benchmark regressed more than 20% ns/op.
+benchcompare:
+	go run ./cmd/bench -compare BENCH_baseline.json BENCH_after.json
 
 # benchfigs times regenerating every paper figure once.
 benchfigs:

@@ -35,6 +35,26 @@ func TestBenchSmoke(t *testing.T) {
 			if r.GoBenchLine() == "" {
 				t.Errorf("%s/%s: empty bench line", mode.name, r.Name)
 			}
+			if r.Name != "ClusterPlace" {
+				continue
+			}
+			// The cluster placement bench must log its work ledger: in
+			// after mode the profile cache is live (lookups happen, the
+			// repeated mix hits); in baseline mode the cache is pinned
+			// off and no hit rate may be reported.
+			if r.Extra["placements"] <= 0 {
+				t.Errorf("%s/ClusterPlace: no placements recorded: %v", mode.name, r.Extra)
+			}
+			hitRate, logged := r.Extra["cache_hit_rate"]
+			if mode.cfg.Legacy && logged {
+				t.Errorf("baseline/ClusterPlace reported a cache hit rate %v with the cache off", hitRate)
+			}
+			if !mode.cfg.Legacy && (!logged || hitRate <= 0) {
+				t.Errorf("after/ClusterPlace: repeated mixes produced no cache hits: %v", r.Extra)
+			}
+		}
+		if !seen["ClusterPlace"] {
+			t.Errorf("%s: ClusterPlace missing from the suite", mode.name)
 		}
 	}
 }

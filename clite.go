@@ -36,6 +36,7 @@ import (
 	"clite/internal/faults"
 	"clite/internal/harness"
 	"clite/internal/policies"
+	"clite/internal/profile"
 	"clite/internal/qos"
 	"clite/internal/resource"
 	"clite/internal/server"
@@ -218,6 +219,22 @@ type NodePlacement = cluster.Placement
 // ErrUnplaceable is returned when no node can host a request within
 // QoS; the job belongs on another rack.
 var ErrUnplaceable = cluster.ErrUnplaceable
+
+// SchedulerStats is the placement pipeline's work ledger: what the
+// profile cache, admission pre-filter, and screening runs did — and
+// avoided — across the request stream.
+type SchedulerStats = cluster.Stats
+
+// ProfileCache memoizes co-location screening outcomes by canonical
+// job mix and carries the per-workload solo profiles behind the
+// analytical admission pre-filter. Pass one through
+// SchedulerOptions.SharedProfiles to pool what several scheduler
+// generations (or domains) learned.
+type ProfileCache = profile.Cache
+
+// NewProfileCache builds an empty co-location profile cache over the
+// default topology.
+func NewProfileCache() *ProfileCache { return profile.NewCache(resource.Default()) }
 
 // NewScheduler builds a multi-node scheduler.
 func NewScheduler(opts SchedulerOptions) *Scheduler { return cluster.New(opts) }

@@ -6,7 +6,13 @@
 //
 // The classic `go test -bench` lines are printed to stdout as well, so
 // two runs can be diffed with benchstat. `make bench` produces both
-// files.
+// files. Two result files can also be diffed directly:
+//
+//	bench -compare BENCH_baseline.json BENCH_after.json
+//
+// which prints a Δ% table per benchmark and exits non-zero when any
+// shared benchmark regressed by more than 20% ns/op — the CI guard
+// against silently losing a past optimization.
 package main
 
 import (
@@ -14,17 +20,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
+	"strings"
 
 	"clite/internal/benchmarks"
+	"clite/internal/par"
 )
 
+// regressionTolerance is the fractional ns/op slowdown -compare
+// accepts before failing.
+const regressionTolerance = 0.20
+
 type output struct {
-	Mode    string              `json:"mode"`
-	GoOS    string              `json:"goos"`
-	GoArch  string              `json:"goarch"`
-	NumCPU  int                 `json:"num_cpu"`
-	Results []benchmarks.Result `json:"results"`
+	Mode       string              `json:"mode"`
+	GoOS       string              `json:"goos"`
+	GoArch     string              `json:"goarch"`
+	NumCPU     int                 `json:"num_cpu"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Workers    int                 `json:"workers"`
+	GitRev     string              `json:"git_revision,omitempty"`
+	Results    []benchmarks.Result `json:"results"`
 }
 
 func main() {
@@ -38,11 +55,21 @@ func run() error {
 	legacy := flag.Bool("legacy", false, "drive the sequential/refit code paths (baseline mode)")
 	quick := flag.Bool("quick", false, "tiny problem sizes, fixed repetitions (smoke mode)")
 	out := flag.String("o", "", "write JSON results to this file (default stdout)")
+	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
 	flag.Parse()
 
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two files, got %d args", flag.NArg())
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1))
+	}
+
 	mode := "after"
+	workers := par.Count(0)
 	if *legacy {
 		mode = "baseline"
+		workers = 1
 	}
 	results := benchmarks.Run(benchmarks.Config{Legacy: *legacy, Quick: *quick})
 	for _, r := range results {
@@ -50,11 +77,14 @@ func run() error {
 	}
 
 	doc := output{
-		Mode:    mode,
-		GoOS:    runtime.GOOS,
-		GoArch:  runtime.GOARCH,
-		NumCPU:  runtime.NumCPU(),
-		Results: results,
+		Mode:       mode,
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		GitRev:     gitRevision(),
+		Results:    results,
 	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -66,4 +96,83 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, blob, 0o644)
+}
+
+// gitRevision resolves the source revision: the build-info VCS stamp
+// when the binary carries one, else a direct `git rev-parse`, else
+// empty (results stay usable without provenance).
+func gitRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func load(path string) (output, error) {
+	var doc output
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// runCompare prints a Δ% table over the benchmarks shared by both
+// files and fails when any regressed beyond the tolerance. Benchmarks
+// present in only one file are listed but never fail the run — suites
+// grow over time and an old baseline should not block a new bench.
+func runCompare(oldPath, newPath string) error {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]benchmarks.Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("%-24s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressed []string
+	for _, nr := range newDoc.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("%-24s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delete(oldBy, nr.Name)
+		delta := 0.0
+		if or.NsPerOp > 0 {
+			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		}
+		mark := ""
+		if delta > regressionTolerance {
+			mark = "  REGRESSION"
+			regressed = append(regressed, nr.Name)
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta*100, mark)
+	}
+	for _, r := range oldDoc.Results {
+		if _, unmatched := oldBy[r.Name]; unmatched {
+			fmt.Printf("%-24s %14.0f %14s %9s\n", r.Name, r.NsPerOp, "-", "dropped")
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
+			len(regressed), regressionTolerance*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }

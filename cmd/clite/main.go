@@ -12,9 +12,19 @@
 // exercise the hardened controller:
 //
 //	clite -lc memcached:0.3 -bg swaptions -fault-transient 0.1 -fault-outlier 0.1 -resilient
+//
+// Cluster mode places the requests across a pool of nodes through the
+// placement pipeline (profile cache, admission pre-filter, concurrent
+// screening) instead of co-locating them on one machine:
+//
+//	clite -cluster 4 -lc memcached:0.2 -lc memcached:0.2 -bg swaptions
+//
+// with -screen-workers, -screen-iters, -no-profile-cache and
+// -no-prefilter to tune or ablate the pipeline.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +64,11 @@ func run() error {
 	faultNodeFailAt := flag.Float64("fault-node-fail-at", 0, "simulated time (s) at which the node fails permanently (0 = never)")
 	faultSeed := flag.Int64("fault-seed", 0, "fault stream seed (defaults to -seed)")
 	resilient := flag.Bool("resilient", false, "harden the controller: retry, outlier re-measurement, fallback, guard pass")
+	clusterNodes := flag.Int("cluster", 0, "place the jobs across this many nodes instead of one machine (0 = single-node mode)")
+	screenWorkers := flag.Int("screen-workers", 0, "cluster mode: concurrent screening workers (0 = NumCPU, 1 = sequential)")
+	screenIters := flag.Int("screen-iters", 0, "cluster mode: BO budget per screening run (0 = default)")
+	noCache := flag.Bool("no-profile-cache", false, "cluster mode: disable the co-location profile cache")
+	noPrefilter := flag.Bool("no-prefilter", false, "cluster mode: disable the analytical admission pre-filter")
 	flag.Parse()
 
 	if *list {
@@ -63,6 +78,16 @@ func run() error {
 	}
 	if len(lcFlags) == 0 {
 		return fmt.Errorf("need at least one -lc job (try -workloads to list them)")
+	}
+	if *clusterNodes > 0 {
+		return runCluster(lcFlags, bgFlags, clite.SchedulerOptions{
+			Nodes:               *clusterNodes,
+			Seed:                *seed,
+			ScreenIterations:    *screenIters,
+			ScreenWorkers:       *screenWorkers,
+			DisableProfileCache: *noCache,
+			DisablePrefilter:    *noPrefilter,
+		})
 	}
 
 	m := clite.NewMachine(*seed)
@@ -109,6 +134,54 @@ func run() error {
 		return err
 	}
 	report(m, res.SamplesUsed, res.QoSMeetable, res.BestScore, res.Best, res.BestObs)
+	return nil
+}
+
+// runCluster drives the warehouse-scale placement pipeline: every -lc
+// and -bg request is placed in flag order across the node pool, then
+// the cluster snapshot and the pipeline's work ledger are printed.
+func runCluster(lcFlags, bgFlags jobList, opts clite.SchedulerOptions) error {
+	sched := clite.NewScheduler(opts)
+	var reqs []clite.JobRequest
+	for _, spec := range lcFlags {
+		name, load, err := parseLC(spec)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, clite.JobRequest{Workload: name, Load: load})
+	}
+	for _, name := range bgFlags {
+		reqs = append(reqs, clite.JobRequest{Workload: name})
+	}
+	fmt.Printf("placing %d jobs across %d nodes...\n\n", len(reqs), opts.Nodes)
+	for _, req := range reqs {
+		label := req.Workload
+		if req.IsLC() {
+			label = fmt.Sprintf("%s@%.0f%%", req.Workload, req.Load*100)
+		}
+		p, err := sched.Place(req)
+		switch {
+		case err == nil:
+			fmt.Printf("  %-20s -> node %d (score %.3f, %d samples)\n",
+				label, p.Node, p.Result.BestScore, p.Result.SamplesUsed)
+		case errors.Is(err, clite.ErrUnplaceable):
+			fmt.Printf("  %-20s -> UNPLACEABLE (no node can host it within QoS)\n", label)
+		default:
+			return fmt.Errorf("placing %s: %w", label, err)
+		}
+	}
+	fmt.Println("\nnodes:")
+	for _, info := range sched.Snapshot() {
+		fmt.Printf("  node %d: %s\n", info.ID, strings.Join(info.Jobs, ", "))
+	}
+	st := sched.Stats()
+	fmt.Printf("\npipeline ledger:\n")
+	fmt.Printf("  placements / rejections:  %d / %d\n", st.Placements, st.Rejections)
+	fmt.Printf("  BO screens (warm):        %d (%d)\n", st.Screens, st.WarmScreens)
+	fmt.Printf("  BO iterations:            %d\n", st.BOIterations)
+	fmt.Printf("  prefilter rejects:        %d\n", st.PrefilterRejects)
+	fmt.Printf("  cache hits/near/misses:   %d / %d / %d\n", st.CacheHits, st.CacheNearHits, st.CacheMisses)
+	fmt.Printf("  verify windows:           %d\n", st.VerifyWindows)
 	return nil
 }
 

@@ -1,24 +1,29 @@
 // Package benchmarks is the repo's before/after benchmark harness: a
 // fixed suite of hot-path measurements (surrogate update, posterior
 // prediction, acquisition maximization, ORACLE sweep, one BO engine
-// turn) runnable in two modes. Legacy drives the retained sequential
-// and from-scratch-refit paths (FitMLEWorkers at one worker, the
-// DisableIncrementalFit engine, Oracle and Maximize pinned to one
-// worker); the default drives the incremental, pooled, parallel paths.
-// cmd/bench serializes the two runs to BENCH_baseline.json and
-// BENCH_after.json, and the tier-1 smoke test runs the quick form of
-// the same suite so the harness itself cannot rot.
+// turn, one cluster placement) runnable in two modes. Legacy drives
+// the retained sequential and from-scratch-refit paths (FitMLEWorkers
+// at one worker, the DisableIncrementalFit engine, Oracle and Maximize
+// pinned to one worker, the scheduler with the profile cache and
+// pre-filter off); the default drives the incremental, pooled,
+// parallel, cached paths. cmd/bench serializes the two runs to
+// BENCH_baseline.json and BENCH_after.json, and the tier-1 smoke test
+// runs the quick form of the same suite so the harness itself cannot
+// rot.
 package benchmarks
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
 
 	"clite/internal/bo"
+	"clite/internal/cluster"
 	"clite/internal/gp"
 	"clite/internal/optimize"
 	"clite/internal/policies"
+	"clite/internal/profile"
 	"clite/internal/resource"
 	"clite/internal/server"
 	"clite/internal/stats"
@@ -35,12 +40,15 @@ type Config struct {
 }
 
 // Result is one benchmark's outcome, in the units `go test -bench`
-// reports.
+// reports, plus optional benchmark-specific counters (e.g. the cluster
+// placement bench logs BO iterations per placement and the profile
+// cache hit rate).
 type Result struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // GoBenchLine renders the result in the classic `go test -bench`
@@ -57,13 +65,22 @@ func (c Config) workers() int {
 	return 0
 }
 
-// spec is one suite entry. make returns the timed operation, plus an
-// optional untimed maintenance step to run every `every` operations
+// bench is one suite entry's instantiated form: the timed operation,
+// an optional untimed maintenance step to run every `every` operations
 // (e.g. re-seeding the incremental window so steady state stays at the
-// intended sample count).
+// intended sample count), and an optional sampler of benchmark-
+// specific counters taken once after the timed run.
+type bench struct {
+	op    func()
+	reset func()
+	every int
+	extra func() map[string]float64
+}
+
+// spec is one suite entry.
 type spec struct {
 	name string
-	make func(cfg Config) (op func(), reset func(), every int)
+	make func(cfg Config) bench
 }
 
 func suite() []spec {
@@ -73,6 +90,7 @@ func suite() []spec {
 		{"AcquisitionMaximize", acquisitionMaximize},
 		{"OracleSweep", oracleSweep},
 		{"BOEngineIteration", boEngineIteration},
+		{"ClusterPlace", clusterPlace},
 	}
 }
 
@@ -80,29 +98,34 @@ func suite() []spec {
 func Run(cfg Config) []Result {
 	var out []Result
 	for _, s := range suite() {
-		op, reset, every := s.make(cfg)
+		b := s.make(cfg)
+		var res Result
 		if cfg.Quick {
-			out = append(out, quickMeasure(s.name, op, reset, every))
-			continue
-		}
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if reset != nil && i > 0 && i%every == 0 {
-					b.StopTimer()
-					reset()
-					b.StartTimer()
+			res = quickMeasure(s.name, b)
+		} else {
+			r := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				tb.ResetTimer()
+				for i := 0; i < tb.N; i++ {
+					if b.reset != nil && i > 0 && i%b.every == 0 {
+						tb.StopTimer()
+						b.reset()
+						tb.StartTimer()
+					}
+					b.op()
 				}
-				op()
+			})
+			res = Result{
+				Name:        s.name,
+				NsPerOp:     float64(r.NsPerOp()),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
 			}
-		})
-		out = append(out, Result{
-			Name:        s.name,
-			NsPerOp:     float64(r.NsPerOp()),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		if b.extra != nil {
+			res.Extra = b.extra()
+		}
+		out = append(out, res)
 	}
 	return out
 }
@@ -110,16 +133,16 @@ func Run(cfg Config) []Result {
 // quickMeasure times a handful of repetitions directly — enough to
 // prove the path runs and produce plausible magnitudes, cheap enough
 // for the tier-1 race run.
-func quickMeasure(name string, op func(), reset func(), every int) Result {
+func quickMeasure(name string, b bench) Result {
 	const reps = 3
-	allocs := int64(testing.AllocsPerRun(1, op))
+	allocs := int64(testing.AllocsPerRun(1, b.op))
 	var total time.Duration
 	for i := 0; i < reps; i++ {
-		if reset != nil && i > 0 && i%every == 0 {
-			reset()
+		if b.reset != nil && i > 0 && i%b.every == 0 {
+			b.reset()
 		}
 		start := time.Now()
-		op()
+		b.op()
 		total += time.Since(start)
 	}
 	return Result{
@@ -146,7 +169,7 @@ func gpData(n, dim int, seed int64) ([][]float64, []float64) {
 // gpFit measures one per-iteration surrogate update at n≈50 (quick:
 // n=16): legacy refits the whole hyperparameter grid from scratch,
 // the default extends every retained factor by one row and re-selects.
-func gpFit(cfg Config) (func(), func(), int) {
+func gpFit(cfg Config) bench {
 	n, dim := 50, 15
 	if cfg.Quick {
 		n, dim = 16, 8
@@ -154,11 +177,11 @@ func gpFit(cfg Config) (func(), func(), int) {
 	const window = 10
 	xs, ys := gpData(n+window, dim, 1)
 	if cfg.Legacy {
-		return func() {
+		return bench{op: func() {
 			if _, err := gp.FitMLEWorkers("matern52", xs[:n], ys[:n], 1); err != nil {
 				panic(err)
 			}
-		}, nil, 0
+		}}
 	}
 	pool, err := gp.NewPool("matern52", cfg.workers())
 	if err != nil {
@@ -184,13 +207,13 @@ func gpFit(cfg Config) (func(), func(), int) {
 			panic(err)
 		}
 	}
-	return op, reset, window
+	return bench{op: op, reset: reset, every: window}
 }
 
 // gpPredict measures one posterior evaluation: legacy through the
 // allocating Predict, the default through PredictWith and a reused
 // buffer.
-func gpPredict(cfg Config) (func(), func(), int) {
+func gpPredict(cfg Config) bench {
 	n, dim := 50, 15
 	if cfg.Quick {
 		n, dim = 16, 8
@@ -202,24 +225,24 @@ func gpPredict(cfg Config) (func(), func(), int) {
 	}
 	probe := xs[0]
 	if cfg.Legacy {
-		return func() {
+		return bench{op: func() {
 			if _, _, err := model.Predict(probe); err != nil {
 				panic(err)
 			}
-		}, nil, 0
+		}}
 	}
 	var buf gp.PredictBuf
-	return func() {
+	return bench{op: func() {
 		if _, _, err := model.PredictWith(&buf, probe); err != nil {
 			panic(err)
 		}
-	}, nil, 0
+	}}
 }
 
 // acquisitionMaximize measures one constrained multi-start EI-shaped
 // maximization over the partition polytope, sequential in legacy mode
 // and pool-fanned otherwise.
-func acquisitionMaximize(cfg Config) (func(), func(), int) {
+func acquisitionMaximize(cfg Config) bench {
 	topo := resource.Default()
 	nJobs := 3
 	iters := 0
@@ -237,7 +260,7 @@ func acquisitionMaximize(cfg Config) (func(), func(), int) {
 		return s
 	}
 	seed := int64(0)
-	return func() {
+	return bench{op: func() {
 		seed++
 		optimize.Maximize(optimize.Problem{
 			Topo: topo, NJobs: nJobs,
@@ -247,7 +270,7 @@ func acquisitionMaximize(cfg Config) (func(), func(), int) {
 			RNG:        stats.NewRNG(seed),
 			Workers:    cfg.workers(),
 		})
-	}, nil, 0
+	}}
 }
 
 func benchMachine(seed int64) *server.Machine {
@@ -266,24 +289,24 @@ func benchMachine(seed int64) *server.Machine {
 
 // oracleSweep measures the offline brute-force baseline, sharded
 // across workers unless legacy.
-func oracleSweep(cfg Config) (func(), func(), int) {
+func oracleSweep(cfg Config) bench {
 	m := benchMachine(1)
 	budget := 0 // default 200k grid
 	if cfg.Quick {
 		budget = 2000
 	}
 	oracle := policies.Oracle{Budget: budget, Workers: cfg.workers()}
-	return func() {
+	return bench{op: func() {
 		if _, err := oracle.Run(m); err != nil {
 			panic(err)
 		}
-	}, nil, 0
+	}}
 }
 
 // boEngineIteration measures short engine runs (fit + acquisition +
 // candidate selection per turn); legacy disables the incremental
 // surrogate and the worker pools.
-func boEngineIteration(cfg Config) (func(), func(), int) {
+func boEngineIteration(cfg Config) bench {
 	topo := resource.Small()
 	maxIter := 4
 	if cfg.Quick {
@@ -297,7 +320,7 @@ func boEngineIteration(cfg Config) (func(), func(), int) {
 		return bo.Evaluation{Score: s / 20, JobPerf: []float64{1, 1}}, nil
 	}
 	seed := int64(0)
-	return func() {
+	return bench{op: func() {
 		seed++
 		if _, err := bo.Run(topo, 2, eval, bo.Options{
 			Seed:                  seed,
@@ -307,5 +330,98 @@ func boEngineIteration(cfg Config) (func(), func(), int) {
 		}); err != nil {
 			panic(err)
 		}
-	}, nil, 0
+	}}
+}
+
+// clusterPlace measures one placement decision of a sustained,
+// repetitive request stream against an 8-node pool — the profile
+// cache, admission pre-filter, and concurrent screening pipeline end
+// to end. Legacy pins all three layers off (cold sequential screening,
+// the pre-cache admission path). The scheduler is rebuilt after each
+// full pass so the pool never saturates; repeats land within a pass,
+// which is where the cache earns its keep. Extra logs the work
+// ledger: BO iterations per placement and the cache hit rate, the
+// acceptance metrics for the pipeline.
+func clusterPlace(cfg Config) bench {
+	nodes, iters := 8, 6
+	if cfg.Quick {
+		nodes, iters = 4, 4
+	}
+	reqs := []cluster.Request{
+		{Workload: "memcached", Load: 0.2},
+		{Workload: "swaptions"},
+		{Workload: "img-dnn", Load: 0.2},
+		{Workload: "memcached", Load: 0.2},
+		{Workload: "swaptions"},
+		{Workload: "memcached", Load: 0.2},
+		{Workload: "img-dnn", Load: 0.2},
+		{Workload: "swaptions"},
+	}
+	// The profile cache outlives each per-pass scheduler — the
+	// warehouse-wide profile store — so steady-state passes admit from
+	// memoized screens.
+	var shared *profile.Cache
+	if !cfg.Legacy {
+		shared = profile.NewCache(resource.Default())
+	}
+	newSched := func() *cluster.Scheduler {
+		return cluster.New(cluster.Options{
+			Nodes:               nodes,
+			Seed:                42,
+			ScreenIterations:    iters,
+			ScreenWorkers:       cfg.workers(),
+			DisableProfileCache: cfg.Legacy,
+			DisablePrefilter:    cfg.Legacy,
+			SharedProfiles:      shared,
+		})
+	}
+	sched := newSched()
+	i := 0
+	var agg cluster.Stats
+	op := func() {
+		r := reqs[i%len(reqs)]
+		i++
+		if _, err := sched.Place(r); err != nil && !errors.Is(err, cluster.ErrUnplaceable) {
+			panic(err)
+		}
+	}
+	reset := func() {
+		agg = addStats(agg, sched.Stats())
+		sched = newSched()
+		i = 0
+	}
+	extra := func() map[string]float64 {
+		st := addStats(agg, sched.Stats())
+		out := map[string]float64{
+			"placements":    float64(st.Placements),
+			"rejections":    float64(st.Rejections),
+			"screens":       float64(st.Screens),
+			"bo_iterations": float64(st.BOIterations),
+		}
+		if total := st.Placements + st.Rejections; total > 0 {
+			out["bo_iters_per_placement"] = float64(st.BOIterations) / float64(total)
+		}
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			out["cache_hit_rate"] = float64(st.CacheHits) / float64(lookups)
+		}
+		return out
+	}
+	return bench{op: op, reset: reset, every: len(reqs), extra: extra}
+}
+
+// addStats sums two scheduler stat ledgers, so clusterPlace can
+// aggregate across the per-pass scheduler resets.
+func addStats(a, b cluster.Stats) cluster.Stats {
+	return cluster.Stats{
+		Placements:       a.Placements + b.Placements,
+		Rejections:       a.Rejections + b.Rejections,
+		PrefilterRejects: a.PrefilterRejects + b.PrefilterRejects,
+		CacheHits:        a.CacheHits + b.CacheHits,
+		CacheMisses:      a.CacheMisses + b.CacheMisses,
+		CacheNearHits:    a.CacheNearHits + b.CacheNearHits,
+		Screens:          a.Screens + b.Screens,
+		WarmScreens:      a.WarmScreens + b.WarmScreens,
+		BOIterations:     a.BOIterations + b.BOIterations,
+		VerifyWindows:    a.VerifyWindows + b.VerifyWindows,
+	}
 }

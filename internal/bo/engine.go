@@ -85,6 +85,17 @@ type Options struct {
 	// the previously converged partition here, so the search starts
 	// from the old operating point instead of from scratch (Fig. 16).
 	ExtraBootstrap []resource.Config
+	// SeedConfigs replaces the whole bootstrap set (engineered or
+	// random) with the given configurations: the warm-start path for
+	// searches that already know where the promising region is — e.g.
+	// a cluster scheduler re-screening a job mix that near-matches a
+	// cached co-location profile. The engine pays one evaluation per
+	// distinct seed instead of the Njobs+4 engineered bootstrap
+	// samples. Because the engineered extremum samples are skipped,
+	// the cannot-meet-QoS-under-maximum-allocation detection does not
+	// run; callers should seed only from previously feasible runs.
+	// ExtraBootstrap is still appended on top.
+	SeedConfigs []resource.Config
 	// RandomNeighborFallback uses a random unseen neighbour instead of
 	// the objective-ranked one when integer rounding collapses onto an
 	// already-sampled configuration (ablation).
@@ -197,7 +208,14 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 	// Njobs+1 samples ("the number of initial samples is chosen to the
 	// number of colocated jobs + 1").
 	var boot []resource.Config
-	if opts.RandomBootstrap {
+	if len(opts.SeedConfigs) > 0 {
+		for _, cfg := range opts.SeedConfigs {
+			if err := cfg.Validate(topo); err != nil {
+				return Result{}, fmt.Errorf("bo: seed config: %w", err)
+			}
+			boot = append(boot, cfg.Clone())
+		}
+	} else if opts.RandomBootstrap {
 		for len(boot) < nJobs+1 {
 			boot = append(boot, resource.Random(topo, nJobs, rng))
 		}

@@ -44,6 +44,49 @@ func TestExtraBootstrapValidated(t *testing.T) {
 	}
 }
 
+func TestSeedConfigsReplaceBootstrap(t *testing.T) {
+	topo := resource.Small()
+	nJobs := 2
+	seedA := resource.Config{Jobs: []resource.Allocation{{7, 2, 6}, {3, 8, 4}}}
+	seedB := resource.Config{Jobs: []resource.Allocation{{4, 6, 5}, {6, 4, 5}}}
+	var evaluated []string
+	_, err := Run(topo, nJobs, func(cfg resource.Config) (Evaluation, error) {
+		evaluated = append(evaluated, cfg.Key())
+		return Evaluation{Score: 0.6, JobPerf: []float64{1, 1}}, nil
+	}, Options{
+		Seed: 1, MaxIterations: 1, RandomBootstrapExtra: -1,
+		SeedConfigs: []resource.Config{seedA, seedB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two seeds + one acquisition iteration: the engineered
+	// equal-split/extremum samples must not appear.
+	if len(evaluated) != 3 {
+		t.Fatalf("%d evaluations, want 3 (2 seeds + 1 iteration): %v", len(evaluated), evaluated)
+	}
+	if evaluated[0] != seedA.Key() || evaluated[1] != seedB.Key() {
+		t.Errorf("seeds not evaluated first in order: %v", evaluated[:2])
+	}
+	engineered := resource.EqualSplit(topo, nJobs).Key()
+	for _, k := range evaluated {
+		if k == engineered {
+			t.Error("engineered bootstrap ran despite SeedConfigs")
+		}
+	}
+}
+
+func TestSeedConfigsValidated(t *testing.T) {
+	topo := resource.Small()
+	bad := resource.Config{Jobs: []resource.Allocation{{20, 2, 6}, {3, 8, 4}}} // breaks sums
+	_, err := Run(topo, 2, func(resource.Config) (Evaluation, error) {
+		return Evaluation{Score: 0.5, JobPerf: []float64{1, 1}}, nil
+	}, Options{Seed: 1, MaxIterations: 1, SeedConfigs: []resource.Config{bad}})
+	if err == nil {
+		t.Error("invalid seed config should be rejected")
+	}
+}
+
 func TestRandomBootstrapExtraControlsSeedCount(t *testing.T) {
 	topo := resource.Small()
 	nJobs := 2

@@ -7,6 +7,21 @@
 // scheduled elsewhere without wasting any BO cycles", and the
 // introduction's warehouse-scale motivation: higher utilization comes
 // from safely packing more LC and BG jobs per node.
+//
+// Placement throughput comes from three layers that each shave BO
+// cycles off the admission path (DESIGN.md §9):
+//
+//   - an analytical admission pre-filter (profile.Cache.Admissible)
+//     rejects candidate nodes whose job mix cannot fit even under a
+//     per-job optimistic bound, with zero BO iterations;
+//   - a co-location profile cache keyed by the canonicalized job mix
+//     memoizes screening outcomes: an exact hit skips BO entirely
+//     (one verification window instead of a full search), a near hit
+//     warm-starts BO from the donor's best partitions;
+//   - surviving candidates are screened concurrently over internal/par
+//     with an index-ordered reduction, so the chosen node is
+//     byte-identical to the sequential first-feasible scan whatever
+//     the worker count.
 package cluster
 
 import (
@@ -18,6 +33,8 @@ import (
 	"clite/internal/bo"
 	"clite/internal/core"
 	"clite/internal/faults"
+	"clite/internal/par"
+	"clite/internal/profile"
 	"clite/internal/resource"
 	"clite/internal/server"
 )
@@ -55,6 +72,29 @@ type Options struct {
 	// bootstrap plus a focused feasibility hunt, cheap enough to try
 	// several nodes).
 	ScreenIterations int
+	// ScreenWorkers bounds how many candidate nodes are screened
+	// concurrently (0 means NumCPU). With 1 worker the scan is the
+	// sequential first-feasible loop with early exit; with more, all
+	// surviving candidates screen speculatively and an index-ordered
+	// reduction picks the same node the sequential scan would — the
+	// placement stream, the profile-cache contents, and the Stats
+	// counters are byte-identical for every worker count (DESIGN.md
+	// §8/§9).
+	ScreenWorkers int
+	// DisableProfileCache turns off the co-location profile cache:
+	// every candidate is screened cold, nothing is memoized. Kept as
+	// an ablation and benchmarking switch.
+	DisableProfileCache bool
+	// DisablePrefilter turns off the analytical admission pre-filter,
+	// sending every candidate node straight to screening. Kept as an
+	// ablation and benchmarking switch.
+	DisablePrefilter bool
+	// SharedProfiles optionally supplies an external co-location
+	// profile cache, letting several scheduling domains — or successive
+	// scheduler generations — pool what their screens learned. It must
+	// have been built over the same topology the scheduler uses
+	// (resource.Default()). nil keeps a private per-scheduler cache.
+	SharedProfiles *profile.Cache
 	// Faults optionally injects observation faults into every
 	// screening run — the warehouse's measurement plane is no more
 	// reliable than its nodes. When the plan is enabled, screening
@@ -82,39 +122,110 @@ func (o Options) screenIterations() int {
 	return 24
 }
 
+// Stats counts the work the placement pipeline did and, more to the
+// point, the work it avoided. All counters cover committed work only —
+// speculative screens discarded by the index-ordered reduction are
+// never counted — so the numbers are identical for every ScreenWorkers
+// setting.
+type Stats struct {
+	// Placements and Rejections partition the Place call stream.
+	Placements int
+	Rejections int
+	// PrefilterRejects counts candidate nodes dismissed analytically,
+	// each one a full BO screen that never ran.
+	PrefilterRejects int
+	// CacheHits / CacheMisses count exact profile-cache lookups per
+	// candidate node; CacheNearHits counts screens that warm-started
+	// from a near-miss donor's partitions.
+	CacheHits     int
+	CacheMisses   int
+	CacheNearHits int
+	// Screens counts BO screening runs; WarmScreens is the subset
+	// that started from cached seed partitions.
+	Screens     int
+	WarmScreens int
+	// BOIterations sums the evaluated configurations (bootstrap
+	// included) across all committed screens — the Fig. 15a overhead
+	// metric at cluster scale.
+	BOIterations int
+	// VerifyWindows counts single-observation validations of cached
+	// partitions (the price of an exact cache hit).
+	VerifyWindows int
+}
+
 // node tracks one machine's accepted jobs. Machines are rebuilt per
 // placement trial — simulated machines are cheap, and a fresh build is
 // the cleanest way to express "what if this job also ran here".
 type node struct {
 	id       int
+	seed     int64 // machine seed, fixed at construction
 	requests []Request
+	scratch  []Request // reused per-trial request slice (build)
 	last     core.Result
 	lastOK   bool
 	failed   bool
 }
 
-// Scheduler places jobs across a fixed pool of simulated nodes.
+// Scheduler places jobs across a fixed pool of simulated nodes. All
+// public methods are safe for concurrent use; calls serialize on an
+// internal lock so a concurrent request stream observes the same
+// placements as the equivalent sequential one.
 type Scheduler struct {
-	opts  Options
-	nodes []*node
+	mu       sync.Mutex
+	opts     Options
+	topo     resource.Topology
+	spec     server.Spec
+	nodes    []*node
+	cals     *server.Calibrations
+	profiles *profile.Cache
+	stats    Stats
 }
 
 // New builds a scheduler over opts.Nodes empty nodes.
 func New(opts Options) *Scheduler {
-	s := &Scheduler{opts: opts}
+	topo := resource.Default()
+	profiles := opts.SharedProfiles
+	if profiles == nil {
+		profiles = profile.NewCache(topo)
+	}
+	s := &Scheduler{
+		opts:     opts,
+		topo:     topo,
+		spec:     server.DefaultSpec(),
+		cals:     server.NewCalibrations(),
+		profiles: profiles,
+	}
 	for i := 0; i < opts.nodes(); i++ {
-		s.nodes = append(s.nodes, &node{id: i})
+		s.nodes = append(s.nodes, &node{id: i, seed: opts.Seed + int64(i)*1009})
 	}
 	return s
 }
 
+// Stats returns a snapshot of the pipeline counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CacheLen returns the number of distinct job mixes the profile cache
+// has memoized.
+func (s *Scheduler) CacheLen() int { return s.profiles.Len() }
+
 // build constructs the machine hosting the node's jobs plus an
-// optional extra request.
+// optional extra request. The request slice is assembled in the node's
+// scratch buffer — each node is built at most once per placement
+// trial, so the buffer is never shared across goroutines — and the
+// machine shares the scheduler-wide calibration cache, so each
+// workload pays its QoS calibration sweep once per cluster rather than
+// once per trial.
 func (s *Scheduler) build(n *node, extra *Request) (*server.Machine, error) {
-	m := server.New(resource.Default(), server.DefaultSpec(), s.opts.Seed+int64(n.id)*1009)
+	m := server.NewShared(s.topo, s.spec, n.seed, s.cals)
 	reqs := n.requests
 	if extra != nil {
-		reqs = append(append([]Request(nil), reqs...), *extra)
+		n.scratch = append(n.scratch[:0], n.requests...)
+		n.scratch = append(n.scratch, *extra)
+		reqs = n.scratch
 	}
 	for _, r := range reqs {
 		var err error
@@ -143,11 +254,15 @@ func (s *Scheduler) faultPlan(n *node) faults.Plan {
 	return p
 }
 
-// screen runs a budget-bounded CLITE invocation to decide feasibility.
-func (s *Scheduler) screen(n *node, extra Request) (core.Result, bool, error) {
+// screen runs a budget-bounded CLITE invocation to decide feasibility,
+// warm-started from seeds when the profile cache knew a nearby mix.
+// The substrate flag marks runs that died on their observation plane
+// (the window was lost, not the co-location disproved): the candidate
+// is treated as infeasible for this placement but nothing is cached.
+func (s *Scheduler) screen(n *node, extra Request, seeds []resource.Config) (res core.Result, ok, substrate bool, err error) {
 	m, err := s.build(n, &extra)
 	if err != nil {
-		return core.Result{}, false, err
+		return core.Result{}, false, false, err
 	}
 	ctrl := core.New(faults.Wrap(m, s.faultPlan(n)), core.Options{
 		BO: bo.Options{
@@ -156,15 +271,15 @@ func (s *Scheduler) screen(n *node, extra Request) (core.Result, bool, error) {
 		},
 		Resilience: core.Resilience{Enabled: s.opts.Faults.Enabled()},
 	})
-	res, err := ctrl.Run()
+	res, err = ctrl.RunWarm(seeds)
 	if err != nil {
 		// A screening run that dies on its observation substrate proves
 		// nothing about the co-location itself; treat the node as
 		// infeasible for this request rather than failing the placement.
 		if errors.Is(err, server.ErrObservationFailed) || errors.Is(err, server.ErrNodeFailed) {
-			return core.Result{}, false, nil
+			return core.Result{}, false, true, nil
 		}
-		return core.Result{}, false, err
+		return core.Result{}, false, false, err
 	}
 	// A BG-only node has no QoS gate; any partition is acceptable.
 	allBG := !extra.IsLC()
@@ -173,16 +288,231 @@ func (s *Scheduler) screen(n *node, extra Request) (core.Result, bool, error) {
 			allBG = false
 		}
 	}
-	ok := res.QoSMeetable || (allBG && len(res.Infeasible) == 0)
-	return res, ok, nil
+	ok = res.QoSMeetable || (allBG && len(res.Infeasible) == 0)
+	return res, ok, false, nil
+}
+
+// candKind is a candidate node's state after the sequential assessment
+// pass.
+type candKind int
+
+const (
+	// candScreen needs a BO screening run (possibly warm-started).
+	candScreen candKind = iota
+	// candCached has a feasible cache entry pending verification.
+	candCached
+	// candSkip is out: pre-filter reject or cached-infeasible mix.
+	candSkip
+)
+
+// candidate pairs a node with everything the pipeline learned about
+// hosting the request there.
+type candidate struct {
+	n     *node
+	jobs  []profile.Job
+	key   string
+	kind  candKind
+	entry *profile.Entry    // candCached: the feasible hit
+	seeds []resource.Config // candScreen: warm-start partitions, if any
+
+	// resolved after screening / verification (rehome path).
+	ok  bool
+	res core.Result
+}
+
+func mixOf(n *node, req Request) []profile.Job {
+	jobs := make([]profile.Job, 0, len(n.requests)+1)
+	for _, r := range n.requests {
+		jobs = append(jobs, profile.Job{Workload: r.Workload, Load: r.Load})
+	}
+	return append(jobs, profile.Job{Workload: req.Workload, Load: req.Load})
+}
+
+func allBG(jobs []profile.Job) bool {
+	for _, j := range jobs {
+		if j.IsLC() {
+			return false
+		}
+	}
+	return true
+}
+
+// assess is phase 0 of the pipeline: sequentially classify every
+// candidate node via the pre-filter and the profile cache. It runs
+// under the scheduler lock before any goroutine is spawned, so lookup
+// order — and with it every Stats counter — is deterministic.
+func (s *Scheduler) assess(nodes []*node, req Request) ([]*candidate, error) {
+	cands := make([]*candidate, 0, len(nodes))
+	for _, n := range nodes {
+		c := &candidate{n: n, jobs: mixOf(n, req)}
+		cands = append(cands, c)
+		if !s.opts.DisablePrefilter {
+			ok, err := s.profiles.Admissible(c.jobs)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				c.kind = candSkip
+				s.stats.PrefilterRejects++
+				continue
+			}
+		}
+		if s.opts.DisableProfileCache {
+			c.kind = candScreen
+			continue
+		}
+		c.key = profile.Key(c.jobs)
+		if e, ok := s.profiles.Lookup(c.key); ok {
+			s.stats.CacheHits++
+			if e.Feasible {
+				c.kind = candCached
+				c.entry = e
+			} else {
+				c.kind = candSkip
+			}
+			continue
+		}
+		s.stats.CacheMisses++
+		c.kind = candScreen
+		if donor, ok := s.profiles.LookupNear(c.jobs, profile.NearTolerance); ok {
+			if seeds := donor.SeedsFor(len(c.jobs)); len(seeds) > 0 {
+				c.seeds = seeds
+				s.stats.CacheNearHits++
+			}
+		}
+	}
+	return cands, nil
+}
+
+// verify spends one observation window checking that a cached
+// partition still meets QoS on this node — the guard against load
+// quantization blurring two mixes into one key, at one window instead
+// of a full BO run. Any error demotes the candidate to a full screen.
+func (s *Scheduler) verify(n *node, req Request, e *profile.Entry) bool {
+	m, err := s.build(n, &req)
+	if err != nil {
+		return false
+	}
+	s.stats.VerifyWindows++
+	obs, err := faults.Wrap(m, s.faultPlan(n)).Observe(e.Result.Best)
+	return err == nil && obs.AllQoSMet
+}
+
+// demote turns a failed cached candidate into a warm screen seeded
+// from its own entry.
+func (c *candidate) demote() {
+	c.kind = candScreen
+	c.seeds = c.entry.SeedsFor(len(c.jobs))
+}
+
+// reps selects the screening representatives among the candidates:
+// the candScreen ones, deduplicated by mix key when the profile cache
+// is on (feasibility is a property of the job mix, so one screen per
+// distinct mix decides the whole group; the representative is the
+// earliest candidate, which is also the one the first-feasible rule
+// would pick).
+func (s *Scheduler) reps(cands []*candidate) []*candidate {
+	var out []*candidate
+	seen := make(map[string]bool, len(cands))
+	for _, c := range cands {
+		if c.kind != candScreen {
+			continue
+		}
+		if !s.opts.DisableProfileCache && c.key != "" {
+			if seen[c.key] {
+				continue
+			}
+			seen[c.key] = true
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// screenOut is one representative's screening outcome. done
+// distinguishes "screened" from "never reached" on the sequential
+// early-exit path.
+type screenOut struct {
+	res       core.Result
+	ok        bool
+	substrate bool
+	err       error
+	done      bool
+}
+
+// screenReps is phase 2: screen the representatives, sequentially with
+// early exit when one worker is requested (and the caller admits on
+// the first feasible result — the Place path), speculatively in
+// parallel otherwise. Rehome passes earlyExit=false because it weighs
+// every survivor, so all representatives screen whatever the worker
+// count. Workers write only to their own index-addressed slot
+// (DESIGN.md §8); nothing is committed here.
+func (s *Scheduler) screenReps(reps []*candidate, req Request, earlyExit bool) []screenOut {
+	results := make([]screenOut, len(reps))
+	if earlyExit && par.Count(s.opts.ScreenWorkers) == 1 {
+		for i, c := range reps {
+			res, ok, substrate, err := s.screen(c.n, req, c.seeds)
+			results[i] = screenOut{res: res, ok: ok, substrate: substrate, err: err, done: true}
+			if err != nil || ok {
+				break
+			}
+		}
+		return results
+	}
+	par.ForEach(s.opts.ScreenWorkers, len(reps), func(i int) {
+		c := reps[i]
+		res, ok, substrate, err := s.screen(c.n, req, c.seeds)
+		results[i] = screenOut{res: res, ok: ok, substrate: substrate, err: err, done: true}
+	})
+	return results
+}
+
+// commit folds one representative's outcome into the stats and the
+// profile cache. Only results the index-ordered reduction actually
+// reached are committed — the deterministic prefix — so cache contents
+// and counters never depend on the worker count. Substrate failures
+// prove nothing about the mix and are never cached.
+func (s *Scheduler) commit(c *candidate, r screenOut) {
+	if r.err != nil {
+		return
+	}
+	s.stats.Screens++
+	if len(c.seeds) > 0 {
+		s.stats.WarmScreens++
+	}
+	s.stats.BOIterations += r.res.SamplesUsed
+	if r.substrate || s.opts.DisableProfileCache || c.key == "" {
+		return
+	}
+	e := &profile.Entry{Key: c.key, Jobs: c.jobs, Feasible: r.ok, Result: r.res}
+	if r.ok {
+		e.Seeds = profile.SeedsFromResult(r.res)
+	}
+	s.profiles.Store(e)
+}
+
+// admit records the placement on the node.
+func (s *Scheduler) admit(n *node, req Request, res core.Result) Placement {
+	n.requests = append(n.requests, req)
+	n.last = res
+	n.lastOK = true
+	s.stats.Placements++
+	return Placement{Node: n.id, Result: res}
 }
 
 // Place finds a node for the request, preferring the least-loaded
-// nodes, and returns the partition CLITE found there. The request is
-// admitted onto the first node whose screening run meets every QoS
-// target; if none qualifies the request is rejected with
-// ErrUnplaceable (schedule it in the next rack).
+// nodes, and returns the partition found there. Candidates flow
+// through the pipeline: the analytical pre-filter and the profile
+// cache dismiss or settle what they can; a feasible exact hit is
+// validated with a single observation window; only the remaining
+// unknowns pay a BO screen, concurrently, with an index-ordered
+// reduction that admits the request onto the earliest feasible
+// candidate — the same node the sequential first-feasible scan picks.
+// If no node qualifies the request is rejected with ErrUnplaceable
+// (schedule it in the next rack).
 func (s *Scheduler) Place(req Request) (Placement, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if req.Load < 0 || req.Load > 1.5 {
 		return Placement{}, fmt.Errorf("cluster: load %v out of range", req.Load)
 	}
@@ -190,19 +520,53 @@ func (s *Scheduler) Place(req Request) (Placement, error) {
 	sort.SliceStable(order, func(i, j int) bool {
 		return len(order[i].requests) < len(order[j].requests)
 	})
-	for _, n := range order {
-		res, ok, err := s.screen(n, req)
-		if err != nil {
-			return Placement{}, err
-		}
-		if !ok {
+	cands, err := s.assess(order, req)
+	if err != nil {
+		return Placement{}, err
+	}
+
+	// Phase 1: walk the cached-feasible candidates in placement order
+	// and verify until one holds up. That index is the cutoff — no
+	// candidate after it can win, because the verified hit costs zero
+	// further BO cycles and sits earlier in the order. Failed
+	// verifications demote to warm screens and stay in the race.
+	cutoff := len(cands)
+	var verified *candidate
+	for i, c := range cands {
+		if c.kind != candCached {
 			continue
 		}
-		n.requests = append(n.requests, req)
-		n.last = res
-		n.lastOK = true
-		return Placement{Node: n.id, Result: res}, nil
+		if allBG(c.jobs) || s.verify(c.n, req, c.entry) {
+			cutoff, verified = i, c
+			break
+		}
+		c.demote()
 	}
+
+	// Phase 2: screen the surviving unknowns before the cutoff.
+	reps := s.reps(cands[:cutoff])
+	results := s.screenReps(reps, req, true)
+
+	// Phase 3: sequential index-order reduction. Commit exactly the
+	// prefix the sequential scan would have screened, then admit onto
+	// the earliest feasible candidate.
+	for i, c := range reps {
+		r := results[i]
+		if !r.done {
+			break
+		}
+		s.commit(c, r)
+		if r.err != nil {
+			return Placement{}, r.err
+		}
+		if r.ok {
+			return s.admit(c.n, req, r.res), nil
+		}
+	}
+	if verified != nil {
+		return s.admit(verified.n, req, verified.entry.Result), nil
+	}
+	s.stats.Rejections++
 	return Placement{}, ErrUnplaceable
 }
 
@@ -243,6 +607,8 @@ type Outcome struct {
 // the reschedule (the paper's Sec. 4 ejection path: schedule them in
 // the next rack).
 func (s *Scheduler) FailNode(id int) ([]Outcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if id < 0 || id >= len(s.nodes) {
 		return nil, fmt.Errorf("cluster: no node %d", id)
 	}
@@ -280,40 +646,60 @@ func (s *Scheduler) FailNode(id int) ([]Outcome, error) {
 }
 
 // rehome finds a new node for one drained request. Unlike the
-// admission path, which screens nodes one at a time and stops at the
-// first fit, a reschedule is latency-sensitive — every drained LC job
-// is unserved until it lands — so all survivors are screened
-// concurrently. Each screening run builds its own machine and the
-// selection rule (least-loaded feasible node, ties to the lowest id)
-// is a pure function of the screen results, so the outcome does not
-// depend on goroutine interleaving.
+// admission path, which admits onto the earliest feasible node, a
+// reschedule weighs every survivor — each drained LC job is unserved
+// until it lands, so all candidates are assessed and the unknowns
+// screened concurrently — and the selection rule (least-loaded
+// feasible node, ties to the lowest id) is a pure function of the
+// index-ordered results, so the outcome does not depend on goroutine
+// interleaving. Because every representative is screened, all results
+// are committed to the profile cache.
 func (s *Scheduler) rehome(req Request) (Placement, error) {
 	live := s.live()
 	if len(live) == 0 {
 		return Placement{}, ErrUnplaceable
 	}
-	type screened struct {
-		res core.Result
-		ok  bool
-		err error
+	cands, err := s.assess(live, req)
+	if err != nil {
+		return Placement{}, err
 	}
-	results := make([]screened, len(live))
-	var wg sync.WaitGroup
-	for i, n := range live {
-		wg.Add(1)
-		go func(i int, n *node) {
-			defer wg.Done()
-			res, ok, err := s.screen(n, req)
-			results[i] = screened{res: res, ok: ok, err: err}
-		}(i, n)
+	for _, c := range cands {
+		if c.kind != candCached {
+			continue
+		}
+		if allBG(c.jobs) || s.verify(c.n, req, c.entry) {
+			c.ok, c.res = true, c.entry.Result
+			continue
+		}
+		c.demote()
 	}
-	wg.Wait()
-	pick := -1
-	for i, r := range results {
+	reps := s.reps(cands)
+	results := s.screenReps(reps, req, false)
+	byKey := make(map[string]screenOut, len(reps))
+	for i, c := range reps {
+		r := results[i]
+		s.commit(c, r)
 		if r.err != nil {
 			return Placement{}, r.err
 		}
-		if !r.ok {
+		c.ok, c.res = r.ok, r.res
+		if c.key != "" {
+			byKey[c.key] = r
+		}
+	}
+	// Non-representative members of a deduplicated mix group inherit
+	// their representative's verdict.
+	for _, c := range cands {
+		if c.kind != candScreen || c.ok || c.key == "" {
+			continue
+		}
+		if r, found := byKey[c.key]; found {
+			c.ok, c.res = r.ok, r.res
+		}
+	}
+	pick := -1
+	for i, c := range cands {
+		if !c.ok {
 			continue
 		}
 		if pick < 0 || len(live[i].requests) < len(live[pick].requests) {
@@ -323,11 +709,12 @@ func (s *Scheduler) rehome(req Request) (Placement, error) {
 	if pick < 0 {
 		return Placement{}, ErrUnplaceable
 	}
-	n := live[pick]
+	c := cands[pick]
+	n := c.n
 	n.requests = append(n.requests, req)
-	n.last = results[pick].res
+	n.last = c.res
 	n.lastOK = true
-	return Placement{Node: n.id, Result: results[pick].res}, nil
+	return Placement{Node: n.id, Result: c.res}, nil
 }
 
 // NodeInfo is a snapshot of one node's state.
@@ -345,6 +732,8 @@ type NodeInfo struct {
 
 // Snapshot reports every node's jobs and health.
 func (s *Scheduler) Snapshot() []NodeInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]NodeInfo, 0, len(s.nodes))
 	for _, n := range s.nodes {
 		info := NodeInfo{ID: n.id, QoSMet: n.lastOK, Failed: n.failed}
@@ -375,6 +764,8 @@ func (s *Scheduler) Snapshot() []NodeInfo {
 
 // Jobs returns the total number of placed jobs.
 func (s *Scheduler) Jobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	total := 0
 	for _, n := range s.nodes {
 		total += len(n.requests)

@@ -234,6 +234,25 @@ func (c *Controller) Rerun(prev Result) (Result, error) {
 	return replay.Run()
 }
 
+// RunWarm is the warm-start entry point: it executes one full CLITE
+// invocation with the BO bootstrap replaced by the given seed
+// configurations (see bo.Options.SeedConfigs). The cluster scheduler
+// uses it when a co-location profile near-matches a cached one — the
+// cached run's best partitions stand in for the engineered bootstrap,
+// so the screen starts inside the known-feasible region instead of
+// re-deriving it. With no seeds it falls back to a cold Run.
+func (c *Controller) RunWarm(seeds []resource.Config) (Result, error) {
+	if len(seeds) == 0 {
+		return c.Run()
+	}
+	opts := c.opts
+	boCopy := opts.BO
+	boCopy.SeedConfigs = append([]resource.Config(nil), seeds...)
+	opts.BO = boCopy
+	warm := &Controller{machine: c.machine, opts: opts}
+	return warm.Run()
+}
+
 // Run executes one full CLITE invocation: bootstrap, BO search,
 // termination. The machine is left in whatever configuration was
 // sampled last; callers wanting the best partition enforced should

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"clite/internal/bo"
+	"clite/internal/resource"
+	"clite/internal/server"
+)
+
+// TestRunWarmSeedsReplaceBootstrap checks the profile-cache warm-start
+// path: RunWarm must evaluate the given seed partitions instead of the
+// engineered bootstrap set and still converge to a valid result.
+func TestRunWarmSeedsReplaceBootstrap(t *testing.T) {
+	m := server.New(resource.Default(), server.DefaultSpec(), 9)
+	mustAddLC(t, m, "memcached", 0.2)
+	mustAddBG(t, m, "swaptions")
+
+	c := New(m, Options{BO: bo.Options{Seed: 9}})
+	cold, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.QoSMeetable {
+		t.Skip("cold mix unexpectedly infeasible for this seed")
+	}
+
+	warm, err := c.RunWarm([]resource.Config{cold.Best})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Best.Validate(m.Topology()); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.QoSMeetable {
+		t.Errorf("warm run lost feasibility (score %v)", warm.BestScore)
+	}
+	if len(warm.History) == 0 || !warm.History[0].Config.Equal(cold.Best) {
+		t.Error("seed partition must be the first evaluated configuration")
+	}
+	// One seed replaces the Njobs+3 engineered bootstrap samples, so
+	// the warm bootstrap is strictly cheaper; the search itself may
+	// still iterate, but it must not pay the full cold bootstrap again.
+	if warm.SamplesUsed >= cold.SamplesUsed {
+		t.Errorf("warm run used %d samples, cold used %d — no bootstrap saving",
+			warm.SamplesUsed, cold.SamplesUsed)
+	}
+}
+
+// TestRunWarmEmptySeedsFallsBackToCold ensures RunWarm with no seeds
+// behaves exactly like Run.
+func TestRunWarmEmptySeedsFallsBackToCold(t *testing.T) {
+	m := server.New(resource.Default(), server.DefaultSpec(), 11)
+	mustAddLC(t, m, "memcached", 0.2)
+	c := New(m, Options{BO: bo.Options{Seed: 11, MaxIterations: 6}})
+	a, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.RunWarm(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Best.Equal(b.Best) || a.SamplesUsed != b.SamplesUsed {
+		t.Errorf("RunWarm(nil) diverged from Run: %v/%d vs %v/%d",
+			a.Best, a.SamplesUsed, b.Best, b.SamplesUsed)
+	}
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"clite/internal/cluster"
+)
+
+// Placement measures the cluster placement pipeline layer by layer: a
+// repetitive request stream — the warehouse case, where the same few
+// job shapes arrive over and over — is driven through the scheduler
+// with the throughput layers enabled one at a time, and the table
+// reports how much BO screening work each layer removes. The "cold"
+// row is the pre-cache admission path (every candidate pays a full
+// screening run); "prefilter" adds the analytical admission bound;
+// "full" adds the co-location profile cache and concurrent screening.
+// Placement decisions are identical across rows' worker counts by
+// construction (DESIGN.md §9); what changes is the work ledger.
+func Placement(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "placement",
+		Title: "Cluster placement pipeline: screening work per admitted job",
+		Header: []string{
+			"pipeline", "placed", "rejected", "screens",
+			"BO iters/job", "cache hit rate", "prefilter rejects", "verify windows",
+		},
+		Notes: "BO iters/job counts evaluated configurations (bootstrap included) per placement decision; " +
+			"the cache hit rate is over exact profile-cache lookups.",
+	}
+	nodes, passes := 6, 2
+	stream := []cluster.Request{
+		{Workload: "memcached", Load: 0.2},
+		{Workload: "swaptions"},
+		{Workload: "img-dnn", Load: 0.2},
+		{Workload: "memcached", Load: 0.2},
+		{Workload: "swaptions"},
+		{Workload: "memcached", Load: 1.4}, // hopeless: the pre-filter's showcase
+		{Workload: "img-dnn", Load: 0.2},
+		{Workload: "swaptions"},
+	}
+	if cfg.Coarse {
+		nodes, passes = 4, 1
+		stream = stream[:6]
+	}
+	rows := []struct {
+		name string
+		opts cluster.Options
+	}{
+		{"cold", cluster.Options{
+			Nodes: nodes, Seed: cfg.Seed, ScreenIterations: 8,
+			ScreenWorkers: 1, DisableProfileCache: true, DisablePrefilter: true,
+		}},
+		{"prefilter", cluster.Options{
+			Nodes: nodes, Seed: cfg.Seed, ScreenIterations: 8,
+			ScreenWorkers: 1, DisableProfileCache: true,
+		}},
+		{"full", cluster.Options{
+			Nodes: nodes, Seed: cfg.Seed, ScreenIterations: 8,
+		}},
+	}
+	for _, row := range rows {
+		s := cluster.New(row.opts)
+		for p := 0; p < passes; p++ {
+			for _, req := range stream {
+				if _, err := s.Place(req); err != nil && !errors.Is(err, cluster.ErrUnplaceable) {
+					return Table{}, fmt.Errorf("placement %s: %w", row.name, err)
+				}
+			}
+		}
+		st := s.Stats()
+		total := st.Placements + st.Rejections
+		perJob := 0.0
+		if total > 0 {
+			perJob = float64(st.BOIterations) / float64(total)
+		}
+		hitRate := "-"
+		if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+			hitRate = fmt.Sprintf("%.0f%%", 100*float64(st.CacheHits)/float64(lookups))
+		}
+		t.Rows = append(t.Rows, []string{
+			row.name,
+			fmt.Sprintf("%d", st.Placements),
+			fmt.Sprintf("%d", st.Rejections),
+			fmt.Sprintf("%d", st.Screens),
+			fmt.Sprintf("%.1f", perJob),
+			hitRate,
+			fmt.Sprintf("%d", st.PrefilterRejects),
+			fmt.Sprintf("%d", st.VerifyWindows),
+		})
+	}
+	return t, nil
+}

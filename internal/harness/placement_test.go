@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestPlacementLayersMonotonicallyRemoveWork checks the experiment's
+// whole point: each pipeline layer must strictly reduce the screening
+// work the same request stream costs.
+func TestPlacementLayersMonotonicallyRemoveWork(t *testing.T) {
+	tbl, err := Placement(Config{Seed: 1, Coarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("got %d rows, want cold/prefilter/full", len(tbl.Rows))
+	}
+	screens := make([]int, 3)
+	for i, row := range tbl.Rows {
+		n, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("row %d screens %q: %v", i, row[3], err)
+		}
+		screens[i] = n
+	}
+	if !(screens[0] > screens[1] && screens[1] >= screens[2]) {
+		t.Errorf("screening work not decreasing across layers: %v", screens)
+	}
+	// The admitted/rejected split must not change: the layers remove
+	// work, never placements.
+	for col := 1; col <= 2; col++ {
+		if tbl.Rows[0][col] != tbl.Rows[1][col] || tbl.Rows[1][col] != tbl.Rows[2][col] {
+			t.Errorf("column %d diverges across pipelines: %v / %v / %v",
+				col, tbl.Rows[0][col], tbl.Rows[1][col], tbl.Rows[2][col])
+		}
+	}
+	if tbl.Rows[2][5] == "-" {
+		t.Error("full pipeline reported no cache lookups")
+	}
+}

@@ -51,6 +51,7 @@ func Experiments() []Experiment {
 		{"ablation", "CLITE design-choice ablation", single(Ablation)},
 		{"doe", "FFD/RSM design-space-exploration comparison (Sec. 5.2)", single(DOE)},
 		{"faultsweep", "QoS retention vs observation-fault rate (hardened controller)", single(FaultSweep)},
+		{"placement", "cluster placement pipeline: screening work per admitted job", single(Placement)},
 	}
 }
 

@@ -1,0 +1,475 @@
+// Package profile is the cluster scheduler's memory: a co-location
+// profile cache that memoizes screening outcomes per canonicalized job
+// mix, plus per-workload solo profiles that power an analytical
+// admission pre-filter.
+//
+// The paper's warehouse-scale pitch (Sec. 1, Sec. 4) is that
+// infeasible co-locations are detected cheaply and "scheduled
+// elsewhere without wasting any BO cycles". A warehouse sees the same
+// job mixes over and over — the scheduler should pay the BO screening
+// cost for a mix once, not once per node per request. Nodes are
+// homogeneous here (same topology, same spec), so feasibility of a
+// mix is a property of the mix, not of the node it is tried on; the
+// cache exploits exactly that.
+//
+// Three mechanisms, in the order a placement consults them:
+//
+//   - Solo profiles: for each workload at a quantized load, the
+//     minimal per-resource allocation that meets QoS when every other
+//     resource is at its full-machine value. Summed over a mix these
+//     give an optimistic feasibility bound — if some resource's
+//     minima already exceed its capacity, no partition can work and
+//     the candidate is rejected with zero BO iterations.
+//   - Exact hits: a mix whose canonical key has been screened before
+//     reuses the memoized verdict and partition; the scheduler
+//     validates a feasible hit with a single observation window
+//     instead of a BO run.
+//   - Near misses: a mix with the same workload multiset but slightly
+//     different loads warm-starts the BO engine with the cached run's
+//     best configurations instead of the engineered bootstrap.
+//
+// Loads are quantized to LoadQuantum buckets: mixes in the same
+// bucket are treated as the same co-location. That is the cache's
+// accuracy/throughput trade-off, and the single observation window
+// the scheduler spends validating a cached partition on its target
+// node is what keeps a stale or bucket-blurred entry from admitting a
+// violating placement unchecked.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"clite/internal/core"
+	"clite/internal/qos"
+	"clite/internal/resource"
+	"clite/internal/server"
+	"clite/internal/workload"
+)
+
+// LoadQuantum is the width of the load buckets mix keys quantize
+// into: 5% of a workload's calibrated maximum, matching the paper's
+// "memcached at 40%" granularity of describing offered load.
+const LoadQuantum = 0.05
+
+// Job is one job of a co-location mix, the cache's view of a
+// scheduler request: a Table 3 workload name plus the offered load
+// (0 for background jobs).
+type Job struct {
+	Workload string
+	Load     float64
+}
+
+// IsLC reports whether the job is latency-critical (has a load).
+func (j Job) IsLC() bool { return j.Load > 0 }
+
+// Quantize rounds a load to the nearest LoadQuantum bucket.
+func Quantize(load float64) float64 {
+	return math.Round(load/LoadQuantum) * LoadQuantum
+}
+
+// Canonical returns the mix in canonical form: loads quantized, jobs
+// sorted by workload name then load. The input is not modified.
+func Canonical(jobs []Job) []Job {
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = Job{Workload: j.Workload, Load: Quantize(j.Load)}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Workload != out[b].Workload {
+			return out[a].Workload < out[b].Workload
+		}
+		return out[a].Load < out[b].Load
+	})
+	return out
+}
+
+// Key renders the canonical cache key of a mix, e.g.
+// "img-dnn@0.20|memcached@0.40|swaptions". Request order never
+// matters: the same multiset of jobs always produces the same key.
+func Key(jobs []Job) string {
+	var b strings.Builder
+	for i, j := range Canonical(jobs) {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(j.Workload)
+		if j.IsLC() {
+			fmt.Fprintf(&b, "@%.2f", j.Load)
+		}
+	}
+	return b.String()
+}
+
+// signature is the loads-erased form of a key ("img-dnn|memcached|
+// swaptions"), the index near-miss lookups search under.
+func signature(jobs []Job) string {
+	var b strings.Builder
+	for i, j := range Canonical(jobs) {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(j.Workload)
+	}
+	return b.String()
+}
+
+// Entry is one memoized screening outcome.
+type Entry struct {
+	// Key is the canonical mix key the entry is stored under.
+	Key string
+	// Jobs is the canonical mix.
+	Jobs []Job
+	// Feasible records the screening verdict: every LC job of the mix
+	// met its QoS target under the best partition found.
+	Feasible bool
+	// Result is the screening run's outcome; Result.Best is the
+	// known-feasible partition an exact hit reuses.
+	Result core.Result
+	// Seeds are the run's most promising configurations, used to
+	// warm-start the BO engine on a near-miss.
+	Seeds []resource.Config
+}
+
+// SeedsFor returns the entry's warm-start configurations for a mix of
+// nJobs jobs (cached configs with a different job count cannot seed
+// the search and are dropped).
+func (e *Entry) SeedsFor(nJobs int) []resource.Config {
+	var out []resource.Config
+	for _, cfg := range e.Seeds {
+		if cfg.NumJobs() == nJobs {
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// MaxSeeds bounds how many configurations an entry retains for
+// warm-starting: the best partition plus the top few distinct
+// runners-up.
+const MaxSeeds = 4
+
+// SeedsFromResult extracts the warm-start set from a screening run:
+// the best configuration first, then the highest-scoring distinct
+// usable samples from the trace.
+func SeedsFromResult(res core.Result) []resource.Config {
+	var out []resource.Config
+	seen := map[string]bool{}
+	add := func(cfg resource.Config) {
+		if len(out) >= MaxSeeds || cfg.NumJobs() == 0 || seen[cfg.Key()] {
+			return
+		}
+		seen[cfg.Key()] = true
+		out = append(out, cfg.Clone())
+	}
+	add(res.Best)
+	// Partial selection sort of the history by score, descending.
+	idx := make([]int, 0, len(res.History))
+	for i, s := range res.History {
+		if s.Usable() {
+			idx = append(idx, i)
+		}
+	}
+	for k := 0; k < len(idx) && len(out) < MaxSeeds; k++ {
+		for i := k + 1; i < len(idx); i++ {
+			if res.History[idx[i]].Score > res.History[idx[k]].Score {
+				idx[k], idx[i] = idx[i], idx[k]
+			}
+		}
+		add(res.History[idx[k]].Config)
+	}
+	return out
+}
+
+// Stats counts what the cache did. All counters are cumulative.
+type Stats struct {
+	// Hits counts exact-key lookups that found an entry.
+	Hits int
+	// NearHits counts near-miss lookups that found a warm-start donor.
+	NearHits int
+	// Misses counts exact-key lookups that found nothing.
+	Misses int
+	// Stores counts entries committed (first write per key only).
+	Stores int
+}
+
+// Cache memoizes screening outcomes and solo profiles. It is safe for
+// concurrent use; every mutation is deterministic given the sequence
+// of calls, so schedulers that commit entries in a fixed order get
+// identical cache evolution at any worker count.
+type Cache struct {
+	topo resource.Topology
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	bySig   map[string][]*Entry // insertion order per signature
+	solo    map[string]*Solo
+	cal     map[string]qos.Calibration
+	stats   Stats
+}
+
+// NewCache returns an empty cache over the node topology.
+func NewCache(topo resource.Topology) *Cache {
+	return &Cache{
+		topo:    topo,
+		entries: make(map[string]*Entry),
+		bySig:   make(map[string][]*Entry),
+		solo:    make(map[string]*Solo),
+		cal:     make(map[string]qos.Calibration),
+	}
+}
+
+// Lookup returns the entry stored under the exact canonical key.
+func (c *Cache) Lookup(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+	}
+	return e, ok
+}
+
+// NearTolerance is the default per-job load distance within which a
+// cached mix may warm-start the search for a new one: two quantization
+// buckets.
+const NearTolerance = 2 * LoadQuantum
+
+// LookupNear finds a warm-start donor for the mix: an entry with the
+// same workload multiset whose per-job (sorted, quantized) loads are
+// all within tol, excluding the exact key itself. Among candidates the
+// smallest total load distance wins, ties to the earliest-stored entry
+// — a pure function of cache state, so lookups stay deterministic.
+// Only feasible entries donate: seeding a search with the samples of a
+// run that never found the feasible region would anchor it on failure.
+func (c *Cache) LookupNear(jobs []Job, tol float64) (*Entry, bool) {
+	canon := Canonical(jobs)
+	key := Key(canon)
+	sig := signature(canon)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *Entry
+	bestDist := math.Inf(1)
+	for _, e := range c.bySig[sig] {
+		if e.Key == key || !e.Feasible || len(e.Jobs) != len(canon) {
+			continue
+		}
+		total, ok := 0.0, true
+		for i := range canon {
+			d := math.Abs(e.Jobs[i].Load - canon[i].Load)
+			if d > tol+1e-9 {
+				ok = false
+				break
+			}
+			total += d
+		}
+		if ok && total < bestDist-1e-12 {
+			best, bestDist = e, total
+		}
+	}
+	if best != nil {
+		c.stats.NearHits++
+		return best, true
+	}
+	return nil, false
+}
+
+// Store commits an entry under its key, first write wins: schedulers
+// screening several equivalent candidates keep the outcome of the
+// first (in deterministic candidate order), which makes the cache's
+// evolution independent of screening concurrency. It reports whether
+// the entry was stored.
+func (c *Cache) Store(e *Entry) bool {
+	e.Jobs = Canonical(e.Jobs)
+	if e.Key == "" {
+		e.Key = Key(e.Jobs)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[e.Key]; exists {
+		return false
+	}
+	c.entries[e.Key] = e
+	sig := signature(e.Jobs)
+	c.bySig[sig] = append(c.bySig[sig], e)
+	c.stats.Stores++
+	return true
+}
+
+// Len returns the number of stored mix entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Solo is the analytical solo profile of one workload at one
+// (floor-quantized) load: what the job needs of each resource when it
+// has the rest of the machine to itself. MinUnits[r] is a lower bound
+// on the job's share of resource r in ANY feasible partition — the
+// other jobs can only take resources away from the solo setting — so
+// sums of minima are a sound, optimistic admission bound.
+type Solo struct {
+	Workload string
+	// Load is the floor-quantized load the profile was computed at.
+	// Flooring keeps the bound optimistic: a job at 0.43 needs at
+	// least what it needs at 0.40.
+	Load float64
+	LC   bool
+	// Feasible reports whether the job meets QoS with the whole
+	// machine; a solo-infeasible job makes every mix containing it
+	// infeasible (the paper's Sec. 4 ejection case).
+	Feasible bool
+	// MinUnits is the per-resource minimum (topology order); nil when
+	// !Feasible.
+	MinUnits []int
+}
+
+// Solo returns the memoized solo profile of the workload at the load,
+// computing it on first use (one binary search per resource over the
+// noise-free workload model — a few hundred queue evaluations, paid
+// once per workload/load bucket for the life of the cache).
+func (c *Cache) Solo(name string, load float64) (*Solo, error) {
+	q := math.Floor(load/LoadQuantum+1e-9) * LoadQuantum
+	if load > 0 && q < LoadQuantum {
+		q = LoadQuantum
+	}
+	key := fmt.Sprintf("%s@%.2f", name, q)
+	c.mu.Lock()
+	if s, ok := c.solo[key]; ok {
+		c.mu.Unlock()
+		return s, nil
+	}
+	c.mu.Unlock()
+
+	// Compute outside the lock: profiles are pure functions of
+	// (name, load bucket), so a racing duplicate computation returns
+	// the same value and first-write-wins below keeps one.
+	s, err := c.computeSolo(name, q)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.solo[key]; ok {
+		return prev, nil
+	}
+	c.solo[key] = s
+	return s, nil
+}
+
+func (c *Cache) computeSolo(name string, load float64) (*Solo, error) {
+	p, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s := &Solo{Workload: name, Load: load, LC: p.Class == workload.LatencyCritical}
+	if !s.LC {
+		// BG jobs have no QoS gate; their floor is the one unit of
+		// everything feasibility already demands.
+		s.Feasible = true
+		s.MinUnits = make([]int, len(c.topo))
+		for r := range s.MinUnits {
+			s.MinUnits[r] = 1
+		}
+		return s, nil
+	}
+	cal, err := c.calibration(p)
+	if err != nil {
+		return nil, err
+	}
+	lambda := load * cal.MaxQPS
+	full := make(resource.Allocation, len(c.topo))
+	for r := range c.topo {
+		full[r] = c.topo[r].Units
+	}
+	meets := func(alloc resource.Allocation) bool {
+		return p.P95(workload.Physical(c.topo, alloc), lambda, server.DefaultWindow) <= cal.QoSTarget
+	}
+	if !meets(full) {
+		return s, nil // Feasible=false: hopeless even with everything
+	}
+	s.Feasible = true
+	s.MinUnits = make([]int, len(c.topo))
+	probe := full.Clone()
+	for r := range c.topo {
+		// p95 is monotone in every resource share (more never hurts in
+		// the workload model), so the minimal feasible share is found
+		// by bisection over [1, Units] with the other resources full.
+		lo, hi := 1, c.topo[r].Units
+		for lo < hi {
+			mid := (lo + hi) / 2
+			probe[r] = mid
+			if meets(probe) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		s.MinUnits[r] = lo
+		probe[r] = full[r]
+	}
+	return s, nil
+}
+
+// calibration memoizes the qos.Calibrate sweep per workload.
+func (c *Cache) calibration(p *workload.Profile) (qos.Calibration, error) {
+	c.mu.Lock()
+	if cal, ok := c.cal[p.Name]; ok {
+		c.mu.Unlock()
+		return cal, nil
+	}
+	c.mu.Unlock()
+	cal, err := qos.Calibrate(p, c.topo)
+	if err != nil {
+		return qos.Calibration{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.cal[p.Name]; ok {
+		return prev, nil
+	}
+	c.cal[p.Name] = cal
+	return cal, nil
+}
+
+// Admissible applies the analytical admission pre-filter to a mix: it
+// sums the per-job solo minima and rejects the mix if any job is
+// solo-infeasible or any resource's minima exceed its capacity. A true
+// verdict proves nothing (the bound is optimistic — interference-free
+// minima can coexist on paper but not in any real partition); a false
+// verdict is decisive under the noise-free model, which is exactly the
+// cheap "schedule it elsewhere" detection the paper calls for.
+func (c *Cache) Admissible(jobs []Job) (bool, error) {
+	need := make([]int, len(c.topo))
+	for _, j := range jobs {
+		s, err := c.Solo(j.Workload, j.Load)
+		if err != nil {
+			return false, err
+		}
+		if !s.Feasible {
+			return false, nil
+		}
+		for r := range need {
+			need[r] += s.MinUnits[r]
+		}
+	}
+	for r, spec := range c.topo {
+		if need[r] > spec.Units {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,254 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"clite/internal/core"
+	"clite/internal/resource"
+)
+
+func TestKeyIsOrderInsensitive(t *testing.T) {
+	a := Key([]Job{{"memcached", 0.4}, {"img-dnn", 0.2}, {"swaptions", 0}})
+	b := Key([]Job{{"swaptions", 0}, {"img-dnn", 0.2}, {"memcached", 0.4}})
+	if a != b {
+		t.Errorf("keys diverge on request order: %q vs %q", a, b)
+	}
+	if a != "img-dnn@0.20|memcached@0.40|swaptions" {
+		t.Errorf("unexpected canonical key %q", a)
+	}
+}
+
+func TestKeyQuantizesLoads(t *testing.T) {
+	a := Key([]Job{{"memcached", 0.41}})
+	b := Key([]Job{{"memcached", 0.39}})
+	c := Key([]Job{{"memcached", 0.33}})
+	if a != b {
+		t.Errorf("0.41 and 0.39 should share the 0.40 bucket: %q vs %q", a, b)
+	}
+	if a == c {
+		t.Errorf("0.41 and 0.33 should land in different buckets: both %q", a)
+	}
+}
+
+func TestKeyDistinguishesDuplicateLoads(t *testing.T) {
+	one := Key([]Job{{"memcached", 0.2}})
+	two := Key([]Job{{"memcached", 0.2}, {"memcached", 0.2}})
+	if one == two {
+		t.Error("one and two copies of the same job must not collide")
+	}
+}
+
+func resultWithBest(topo resource.Topology, nJobs int, score float64) core.Result {
+	cfg := resource.EqualSplit(topo, nJobs)
+	return core.Result{
+		Best:        cfg,
+		BestScore:   score,
+		QoSMeetable: score > 0.5,
+		History:     []core.Step{{Config: cfg, Score: score}},
+	}
+}
+
+func TestStoreFirstWriteWins(t *testing.T) {
+	c := NewCache(resource.Small())
+	jobs := []Job{{"memcached", 0.2}}
+	e1 := &Entry{Jobs: jobs, Feasible: true, Result: resultWithBest(resource.Small(), 1, 0.9)}
+	e2 := &Entry{Jobs: jobs, Feasible: false}
+	if !c.Store(e1) {
+		t.Fatal("first store must succeed")
+	}
+	if c.Store(e2) {
+		t.Error("second store of the same key must be a no-op")
+	}
+	got, ok := c.Lookup(Key(jobs))
+	if !ok || !got.Feasible {
+		t.Fatalf("lookup returned %+v, want the first entry", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.Stores != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 store and 1 hit", st)
+	}
+}
+
+func TestLookupNearFindsClosestFeasibleDonor(t *testing.T) {
+	topo := resource.Small()
+	c := NewCache(topo)
+	mk := func(load float64, feasible bool) *Entry {
+		return &Entry{
+			Jobs:     []Job{{"memcached", load}, {"swaptions", 0}},
+			Feasible: feasible,
+			Result:   resultWithBest(topo, 2, 0.9),
+		}
+	}
+	c.Store(mk(0.40, true))
+	c.Store(mk(0.30, true))
+	c.Store(mk(0.25, false)) // closest, but infeasible: must not donate
+
+	probe := []Job{{"memcached", 0.25}, {"swaptions", 0}}
+	e, ok := c.LookupNear(probe, NearTolerance)
+	if !ok {
+		t.Fatal("expected a near hit")
+	}
+	near := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+	if !near(e.Jobs[0].Load, 0.30) {
+		t.Errorf("donor load = %.2f, want the closest feasible 0.30", e.Jobs[0].Load)
+	}
+
+	// Exact-key entries never count as near donors.
+	c.Store(mk(0.25, true))
+	e, ok = c.LookupNear(probe, NearTolerance)
+	if !ok || !near(e.Jobs[0].Load, 0.30) {
+		t.Errorf("exact key leaked into the near lookup: %+v", e)
+	}
+
+	// Different workload multisets never match.
+	if _, ok := c.LookupNear([]Job{{"img-dnn", 0.30}, {"swaptions", 0}}, NearTolerance); ok {
+		t.Error("near lookup crossed workload multisets")
+	}
+	// Beyond tolerance is a miss.
+	if _, ok := c.LookupNear([]Job{{"memcached", 0.60}, {"swaptions", 0}}, NearTolerance); ok {
+		t.Error("near lookup exceeded tolerance")
+	}
+}
+
+func TestSeedsFromResultRanksAndDedups(t *testing.T) {
+	topo := resource.Small()
+	best := resource.EqualSplit(topo, 2)
+	alt := resource.Extremum(topo, 2, 0)
+	alt2 := resource.Extremum(topo, 2, 1)
+	res := core.Result{
+		Best: best,
+		History: []core.Step{
+			{Config: alt, Score: 0.7},
+			{Config: best, Score: 0.9}, // duplicate of Best: dropped
+			{Config: alt2, Score: 0.8},
+			{Config: alt, Score: 0.6, Discarded: true}, // unusable: ignored
+		},
+	}
+	seeds := SeedsFromResult(res)
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds, want 3: %v", len(seeds), seeds)
+	}
+	if !seeds[0].Equal(best) {
+		t.Error("best configuration must seed first")
+	}
+	if !seeds[1].Equal(alt2) || !seeds[2].Equal(alt) {
+		t.Errorf("runners-up out of score order: %v", seeds[1:])
+	}
+	e := &Entry{Jobs: []Job{{"a", 0.1}, {"b", 0.1}}, Seeds: seeds}
+	if got := e.SeedsFor(2); len(got) != 3 {
+		t.Errorf("SeedsFor(2) = %d seeds, want 3", len(got))
+	}
+	if got := e.SeedsFor(3); len(got) != 0 {
+		t.Errorf("SeedsFor(3) = %d seeds, want 0 (job count mismatch)", len(got))
+	}
+}
+
+func TestSoloProfileShapes(t *testing.T) {
+	c := NewCache(resource.Default())
+
+	bg, err := c.Solo("swaptions", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.LC || !bg.Feasible {
+		t.Errorf("BG solo profile = %+v, want feasible non-LC", bg)
+	}
+	for r, u := range bg.MinUnits {
+		if u != 1 {
+			t.Errorf("BG min units[%d] = %d, want 1", r, u)
+		}
+	}
+
+	light, err := c.Solo("memcached", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !light.LC || !light.Feasible {
+		t.Fatalf("light memcached solo = %+v, want feasible LC", light)
+	}
+	heavy, err := c.Solo("memcached", 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heavy.Feasible {
+		t.Fatal("90% memcached must be feasible alone (it is below the knee)")
+	}
+	for r := range light.MinUnits {
+		if heavy.MinUnits[r] < light.MinUnits[r] {
+			t.Errorf("resource %d: heavier load needs fewer units (%d < %d)",
+				r, heavy.MinUnits[r], light.MinUnits[r])
+		}
+	}
+
+	hopeless, err := c.Solo("memcached", 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hopeless.Feasible {
+		t.Error("140% of the knee must be solo-infeasible")
+	}
+
+	if _, err := c.Solo("not-a-workload", 0.2); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestAdmissiblePrefilter(t *testing.T) {
+	c := NewCache(resource.Default())
+
+	ok, err := c.Admissible([]Job{{"memcached", 0.2}, {"swaptions", 0}})
+	if err != nil || !ok {
+		t.Fatalf("light mix rejected: ok=%v err=%v", ok, err)
+	}
+	// A solo-infeasible job poisons any mix.
+	ok, err = c.Admissible([]Job{{"memcached", 1.4}})
+	if err != nil || ok {
+		t.Fatalf("hopeless job admitted: ok=%v err=%v", ok, err)
+	}
+	// Four near-saturation memcacheds cannot sum under capacity.
+	four := []Job{{"memcached", 0.9}, {"memcached", 0.9}, {"memcached", 0.9}, {"memcached", 0.9}}
+	ok, err = c.Admissible(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("four 90% memcacheds passed the capacity bound")
+	}
+	// More jobs than units of some resource is structurally infeasible.
+	var dozen []Job
+	for i := 0; i < 12; i++ {
+		dozen = append(dozen, Job{Workload: "swaptions"})
+	}
+	ok, err = c.Admissible(dozen)
+	if err != nil || ok {
+		t.Errorf("12 jobs on an 11-way LLC admitted: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCacheConcurrentUse(t *testing.T) {
+	topo := resource.Small()
+	c := NewCache(topo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				jobs := []Job{{Workload: fmt.Sprintf("w%d", i%5), Load: 0.2}}
+				c.Store(&Entry{Jobs: jobs, Feasible: true, Result: resultWithBest(topo, 1, 0.8)})
+				c.Lookup(Key(jobs))
+				c.LookupNear(jobs, NearTolerance)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 5 {
+		t.Errorf("Len = %d, want 5 distinct keys", c.Len())
+	}
+}

@@ -14,6 +14,7 @@ package server
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"clite/internal/isolation"
@@ -99,6 +100,54 @@ func (j Job) Lambda() float64 { return j.Load * j.MaxQPS }
 // p95 (Sec. 4).
 const DefaultWindow = 2.0
 
+// Calibrations is a concurrency-safe cache of per-workload QoS
+// calibrations shared across machines. A calibration is a pure
+// function of (workload, topology) — the paper derives it offline,
+// once, before any co-location experiment — so there is no reason for
+// every freshly built machine to redo the Fig. 6 load sweep. Cluster
+// schedulers, which rebuild simulated machines per placement trial,
+// hand one shared cache to every build; the first AddLC of a workload
+// pays the sweep and every later machine reuses it.
+//
+// A Calibrations value assumes all sharing machines use the same
+// topology (entries are keyed by workload name, matching the
+// per-machine map it replaces).
+type Calibrations struct {
+	mu sync.Mutex
+	m  map[string]qos.Calibration
+}
+
+// NewCalibrations returns an empty shared calibration cache.
+func NewCalibrations() *Calibrations {
+	return &Calibrations{m: make(map[string]qos.Calibration)}
+}
+
+// Len reports how many workloads have been calibrated.
+func (c *Calibrations) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// get returns the cached calibration for the workload, if any.
+func (c *Calibrations) get(name string) (qos.Calibration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cal, ok := c.m[name]
+	return cal, ok
+}
+
+// put stores a calibration, first write wins.
+func (c *Calibrations) put(name string, cal qos.Calibration) qos.Calibration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[name]; ok {
+		return prev
+	}
+	c.m[name] = cal
+	return cal
+}
+
 // Machine is the simulated server.
 type Machine struct {
 	topo   resource.Topology
@@ -111,6 +160,7 @@ type Machine struct {
 	clock        float64 // simulated seconds elapsed
 	observations int
 	calibrations map[string]qos.Calibration
+	shared       *Calibrations
 }
 
 // New creates a machine over the topology with a deterministic
@@ -124,6 +174,15 @@ func New(topo resource.Topology, spec Spec, seed int64) *Machine {
 		window:       DefaultWindow,
 		calibrations: make(map[string]qos.Calibration),
 	}
+}
+
+// NewShared is New with a shared calibration cache: AddLC consults it
+// before running the calibration sweep and publishes what it computes.
+// Passing nil is equivalent to New.
+func NewShared(topo resource.Topology, spec Spec, seed int64, cals *Calibrations) *Machine {
+	m := New(topo, spec, seed)
+	m.shared = cals
+	return m
 }
 
 // Topology returns the machine's partitionable resources.
@@ -157,13 +216,22 @@ func (m *Machine) AddLC(name string, load float64) (int, error) {
 		return 0, fmt.Errorf("server: load %v out of range (0, 1.5]", load)
 	}
 	cal, ok := m.calibrations[name]
+	if !ok && m.shared != nil {
+		cal, ok = m.shared.get(name)
+	}
 	if !ok {
 		cal, err = qos.Calibrate(p, m.topo)
 		if err != nil {
 			return 0, err
 		}
-		m.calibrations[name] = cal
+		if m.shared != nil {
+			// First write wins, so two machines racing to calibrate
+			// the same workload converge on one entry (the sweep is
+			// deterministic, so either copy is the same value).
+			cal = m.shared.put(name, cal)
+		}
 	}
+	m.calibrations[name] = cal
 	m.jobs = append(m.jobs, Job{
 		Workload: p,
 		Load:     load,

@@ -359,3 +359,45 @@ func TestAdvanceClockIdlesSimulatedTime(t *testing.T) {
 		t.Error("idling must not count as observation windows")
 	}
 }
+
+func TestSharedCalibrationsAcrossMachines(t *testing.T) {
+	cals := NewCalibrations()
+	m1 := NewShared(resource.Default(), DefaultSpec(), 1, cals)
+	if _, err := m1.AddLC("memcached", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if cals.Len() != 1 {
+		t.Fatalf("shared cache has %d entries, want 1", cals.Len())
+	}
+	cal1, _ := m1.Calibration("memcached")
+
+	// A second machine sharing the cache sees the same calibration and
+	// adds nothing new.
+	m2 := NewShared(resource.Default(), DefaultSpec(), 2, cals)
+	if _, err := m2.AddLC("memcached", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	cal2, ok := m2.Calibration("memcached")
+	if !ok || cal2.MaxQPS != cal1.MaxQPS || cal2.QoSTarget != cal1.QoSTarget {
+		t.Errorf("shared calibration diverged: %+v vs %+v", cal2, cal1)
+	}
+	if cals.Len() != 1 {
+		t.Errorf("shared cache grew to %d entries on reuse", cals.Len())
+	}
+
+	// The shared values match what an unshared machine computes.
+	m3 := newTestMachine(t, 3)
+	if _, err := m3.AddLC("memcached", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	cal3, _ := m3.Calibration("memcached")
+	if cal3.MaxQPS != cal1.MaxQPS || cal3.QoSTarget != cal1.QoSTarget {
+		t.Errorf("shared and unshared calibrations diverge: %+v vs %+v", cal1, cal3)
+	}
+
+	// nil shared cache is equivalent to New.
+	m4 := NewShared(resource.Default(), DefaultSpec(), 4, nil)
+	if _, err := m4.AddLC("img-dnn", 0.2); err != nil {
+		t.Fatal(err)
+	}
+}

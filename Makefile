@@ -1,11 +1,12 @@
 # Tier-1 verification: everything must build, vet clean, pass the full
 # test suite under the race detector (the concurrent cluster reschedule
 # path is exercised by TestRescheduleIsDeterministic; the parallel
-# optimization paths by the byte-identity tests), and keep the
-# benchmark harness runnable (benchsmoke).
-.PHONY: tier1 build vet test race bench benchsmoke benchcompare benchfigs
+# optimization paths by the byte-identity tests), keep the benchmark
+# harness runnable (benchsmoke), and keep the telemetry layer cheap
+# (teleoverhead: CLITERun with tracing on within 5% of off).
+.PHONY: tier1 build vet test race bench benchsmoke benchcompare benchfigs teleoverhead trace
 
-tier1: build vet race benchsmoke
+tier1: build vet race benchsmoke teleoverhead
 
 build:
 	go build ./...
@@ -37,6 +38,17 @@ benchsmoke:
 # any shared benchmark regressed more than 20% ns/op.
 benchcompare:
 	go run ./cmd/bench -compare BENCH_baseline.json BENCH_after.json
+
+# teleoverhead measures CLITERun with telemetry off and on under the
+# standard benchmark driver and fails when the enabled path costs more
+# than 5% — the telemetry layer's cost contract.
+teleoverhead:
+	go test -run TestTelemetryOverhead .
+
+# trace produces a sample JSONL telemetry timeline (plus the metrics
+# registry dump) from the quickstart co-location run.
+trace:
+	go run ./cmd/clite -lc memcached:0.3 -lc img-dnn:0.2 -bg streamcluster -trace trace.jsonl -metrics
 
 # benchfigs times regenerating every paper figure once.
 benchfigs:

@@ -56,5 +56,29 @@ func TestBenchSmoke(t *testing.T) {
 		if !seen["ClusterPlace"] {
 			t.Errorf("%s: ClusterPlace missing from the suite", mode.name)
 		}
+		if !seen["CLITERun"] {
+			t.Errorf("%s: CLITERun missing from the suite", mode.name)
+		}
 	}
+}
+
+// TestBenchSmokeTelemetry runs the quick suite with the telemetry knob
+// on and checks the instrumented bench actually recorded a timeline —
+// and that the flag is reflected in the result metadata cmd/bench
+// serializes, so -compare can refuse to mix instrumented and
+// uninstrumented files.
+func TestBenchSmokeTelemetry(t *testing.T) {
+	for _, r := range benchmarks.Run(benchmarks.Config{Quick: true, Telemetry: true}) {
+		if r.Name != "CLITERun" {
+			continue
+		}
+		if r.Extra["telemetry"] != 1 {
+			t.Errorf("CLITERun telemetry flag not recorded: %v", r.Extra)
+		}
+		if r.Extra["trace_events_per_run"] <= 0 {
+			t.Errorf("instrumented CLITERun produced no trace events: %v", r.Extra)
+		}
+		return
+	}
+	t.Fatal("CLITERun missing from the telemetry suite")
 }

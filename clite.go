@@ -40,6 +40,7 @@ import (
 	"clite/internal/qos"
 	"clite/internal/resource"
 	"clite/internal/server"
+	"clite/internal/telemetry"
 	"clite/internal/workload"
 )
 
@@ -268,4 +269,64 @@ type ExperimentResult = harness.ExperimentResult
 // order regardless of completion order.
 func RunExperiments(exps []Experiment, cfg ExperimentConfig, workers int) []ExperimentResult {
 	return harness.RunAll(exps, cfg, workers)
+}
+
+// Tracer records a deterministic, monotonic-step event timeline (BO
+// iterations, observation windows, QoS violations, placement phases,
+// fault injections, resilience actions). A nil Tracer discards all
+// events at zero cost, so instrumented code needs no guards.
+type Tracer = telemetry.Tracer
+
+// TraceEvent is one entry in a Tracer's timeline.
+type TraceEvent = telemetry.Event
+
+// MetricsRegistry is an allocation-light registry of named counters,
+// gauges, and histograms, safe for concurrent use. A nil registry
+// hands out nil handles whose methods discard at zero cost.
+type MetricsRegistry = telemetry.Registry
+
+// MetricSample is one metric in a registry snapshot.
+type MetricSample = telemetry.Metric
+
+// NewTracer returns an empty trace timeline.
+func NewTracer() *Tracer { return telemetry.NewTracer() }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// WithTelemetry returns a copy of opts with the trace and metrics
+// sinks attached; the controller propagates both into the BO engine,
+// the machine's observation path, and any fault injector it runs over.
+// Either argument may be nil to enable just the other.
+func WithTelemetry(opts Options, tr *Tracer, reg *MetricsRegistry) Options {
+	opts.Trace = tr
+	opts.Metrics = reg
+	return opts
+}
+
+// MetricsSnapshot returns the registry's current contents, sorted by
+// metric name. A nil registry yields an empty snapshot.
+func MetricsSnapshot(reg *MetricsRegistry) []MetricSample {
+	if reg == nil {
+		return nil
+	}
+	return reg.Snapshot()
+}
+
+// MetricsSummary renders the registry as an aligned two-column table,
+// optionally filtered to metric-name prefixes (e.g. "cluster_").
+func MetricsSummary(reg *MetricsRegistry, prefixes ...string) string {
+	if reg == nil {
+		return ""
+	}
+	return reg.Summary(prefixes...)
+}
+
+// MetricsPrometheus renders the registry in the Prometheus text
+// exposition format.
+func MetricsPrometheus(reg *MetricsRegistry) string {
+	if reg == nil {
+		return ""
+	}
+	return reg.PrometheusText()
 }

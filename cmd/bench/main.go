@@ -13,6 +13,12 @@
 // which prints a Δ% table per benchmark and exits non-zero when any
 // shared benchmark regressed by more than 20% ns/op — the CI guard
 // against silently losing a past optimization.
+//
+// -telemetry attaches a live tracer and metrics registry to the
+// telemetry-capable benches; the flag is recorded in the JSON so
+// -compare refuses to diff an instrumented run against an
+// uninstrumented one. -cpuprofile and -memprofile write pprof profiles
+// of the suite run for drilling into whatever the numbers surface.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 
 	"clite/internal/benchmarks"
@@ -40,6 +47,7 @@ type output struct {
 	NumCPU     int                 `json:"num_cpu"`
 	GoMaxProcs int                 `json:"gomaxprocs"`
 	Workers    int                 `json:"workers"`
+	Telemetry  bool                `json:"telemetry"`
 	GitRev     string              `json:"git_revision,omitempty"`
 	Results    []benchmarks.Result `json:"results"`
 }
@@ -56,6 +64,9 @@ func run() error {
 	quick := flag.Bool("quick", false, "tiny problem sizes, fixed repetitions (smoke mode)")
 	out := flag.String("o", "", "write JSON results to this file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
+	withTelemetry := flag.Bool("telemetry", false, "attach a live tracer and metrics registry to the telemetry-capable benches")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the suite run to this file")
 	flag.Parse()
 
 	if *compare {
@@ -71,7 +82,29 @@ func run() error {
 		mode = "baseline"
 		workers = 1
 	}
-	results := benchmarks.Run(benchmarks.Config{Legacy: *legacy, Quick: *quick})
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	results := benchmarks.Run(benchmarks.Config{Legacy: *legacy, Quick: *quick, Telemetry: *withTelemetry})
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
 	for _, r := range results {
 		fmt.Println(r.GoBenchLine())
 	}
@@ -83,6 +116,7 @@ func run() error {
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Workers:    workers,
+		Telemetry:  *withTelemetry,
 		GitRev:     gitRevision(),
 		Results:    results,
 	}
@@ -140,6 +174,11 @@ func runCompare(oldPath, newPath string) error {
 	newDoc, err := load(newPath)
 	if err != nil {
 		return err
+	}
+	if oldDoc.Telemetry != newDoc.Telemetry {
+		return fmt.Errorf("refusing to compare %s (telemetry=%v) against %s (telemetry=%v): "+
+			"instrumented and uninstrumented runs measure different paths",
+			oldPath, oldDoc.Telemetry, newPath, newDoc.Telemetry)
 	}
 	oldBy := make(map[string]benchmarks.Result, len(oldDoc.Results))
 	for _, r := range oldDoc.Results {

@@ -21,6 +21,11 @@
 //
 // with -screen-workers, -screen-iters, -no-profile-cache and
 // -no-prefilter to tune or ablate the pipeline.
+//
+// Telemetry: -trace FILE writes the run's deterministic event timeline
+// (BO iterations, observation windows, QoS violations, placement
+// phases, faults, resilience actions) as JSONL; -metrics prints the
+// metrics registry after the run. Both work in every mode.
 package main
 
 import (
@@ -69,6 +74,8 @@ func run() error {
 	screenIters := flag.Int("screen-iters", 0, "cluster mode: BO budget per screening run (0 = default)")
 	noCache := flag.Bool("no-profile-cache", false, "cluster mode: disable the co-location profile cache")
 	noPrefilter := flag.Bool("no-prefilter", false, "cluster mode: disable the analytical admission pre-filter")
+	traceOut := flag.String("trace", "", "write the telemetry event timeline as JSONL to this file")
+	showMetrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	flag.Parse()
 
 	if *list {
@@ -79,15 +86,26 @@ func run() error {
 	if len(lcFlags) == 0 {
 		return fmt.Errorf("need at least one -lc job (try -workloads to list them)")
 	}
+	tel := telemetrySinks{path: *traceOut}
+	if *traceOut != "" {
+		tel.trace = clite.NewTracer()
+	}
+	if *showMetrics {
+		tel.reg = clite.NewMetrics()
+		tel.show = true
+	}
 	if *clusterNodes > 0 {
-		return runCluster(lcFlags, bgFlags, clite.SchedulerOptions{
+		if err := runCluster(lcFlags, bgFlags, clite.SchedulerOptions{
 			Nodes:               *clusterNodes,
 			Seed:                *seed,
 			ScreenIterations:    *screenIters,
 			ScreenWorkers:       *screenWorkers,
 			DisableProfileCache: *noCache,
 			DisablePrefilter:    *noPrefilter,
-		})
+		}, &tel); err != nil {
+			return err
+		}
+		return tel.flush()
 	}
 
 	m := clite.NewMachine(*seed)
@@ -120,12 +138,34 @@ func run() error {
 		plan.Seed = *seed
 	}
 	if plan.Enabled() || *resilient {
-		return runFaulted(m, names, *policyName, *seed, plan, *resilient)
+		if err := runFaulted(m, names, *policyName, *seed, plan, *resilient, &tel); err != nil {
+			return err
+		}
+		return tel.flush()
+	}
+
+	if tel.enabled() && *policyName == "CLITE" {
+		// Route through the controller so the full BO timeline (per-
+		// iteration EI, termination reason) lands on the trace, not just
+		// the machine's per-window events.
+		fmt.Printf("co-locating %s under CLITE...\n", strings.Join(names, " + "))
+		opts := clite.WithTelemetry(clite.Options{BO: clite.BOOptions{Seed: *seed}}, tel.trace, tel.reg)
+		res, err := clite.NewController(m, opts).Run()
+		if err != nil {
+			return err
+		}
+		report(m, res.SamplesUsed, res.QoSMeetable, res.BestScore, res.Best, res.BestObs)
+		return tel.flush()
 	}
 
 	policy, ok := clite.PolicyByName(*policyName, *seed)
 	if !ok {
 		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+	if tel.enabled() {
+		// Baseline policies drive the machine directly; attach the sinks
+		// there so observation windows and QoS violations still flow.
+		m.SetTelemetry(tel.trace, tel.reg)
 	}
 
 	fmt.Printf("co-locating %s under %s...\n", strings.Join(names, " + "), policy.Name())
@@ -134,13 +174,55 @@ func run() error {
 		return err
 	}
 	report(m, res.SamplesUsed, res.QoSMeetable, res.BestScore, res.Best, res.BestObs)
+	return tel.flush()
+}
+
+// telemetrySinks carries the optional trace/metrics sinks through the
+// run modes and writes them out once the run finishes.
+type telemetrySinks struct {
+	trace *clite.Tracer
+	reg   *clite.MetricsRegistry
+	path  string
+	show  bool
+}
+
+func (t *telemetrySinks) enabled() bool { return t.trace != nil || t.reg != nil }
+
+// flush writes the JSONL timeline (if -trace) and prints the metrics
+// registry (if -metrics).
+func (t *telemetrySinks) flush() error {
+	if t.trace != nil {
+		f, err := os.Create(t.path)
+		if err != nil {
+			return err
+		}
+		if err := t.trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntrace: wrote %d events to %s\n", t.trace.Len(), t.path)
+	}
+	if t.show && t.reg != nil {
+		fmt.Printf("\nmetrics:\n%s", clite.MetricsSummary(t.reg))
+	}
 	return nil
 }
 
 // runCluster drives the warehouse-scale placement pipeline: every -lc
 // and -bg request is placed in flag order across the node pool, then
 // the cluster snapshot and the pipeline's work ledger are printed.
-func runCluster(lcFlags, bgFlags jobList, opts clite.SchedulerOptions) error {
+func runCluster(lcFlags, bgFlags jobList, opts clite.SchedulerOptions, tel *telemetrySinks) error {
+	// The ledger is rendered straight off the scheduler's metrics
+	// registry; supply one even when -metrics wasn't asked for.
+	ledger := tel.reg
+	if ledger == nil {
+		ledger = clite.NewMetrics()
+	}
+	opts.Trace = tel.trace
+	opts.Metrics = ledger
 	sched := clite.NewScheduler(opts)
 	var reqs []clite.JobRequest
 	for _, spec := range lcFlags {
@@ -174,21 +256,14 @@ func runCluster(lcFlags, bgFlags jobList, opts clite.SchedulerOptions) error {
 	for _, info := range sched.Snapshot() {
 		fmt.Printf("  node %d: %s\n", info.ID, strings.Join(info.Jobs, ", "))
 	}
-	st := sched.Stats()
-	fmt.Printf("\npipeline ledger:\n")
-	fmt.Printf("  placements / rejections:  %d / %d\n", st.Placements, st.Rejections)
-	fmt.Printf("  BO screens (warm):        %d (%d)\n", st.Screens, st.WarmScreens)
-	fmt.Printf("  BO iterations:            %d\n", st.BOIterations)
-	fmt.Printf("  prefilter rejects:        %d\n", st.PrefilterRejects)
-	fmt.Printf("  cache hits/near/misses:   %d / %d / %d\n", st.CacheHits, st.CacheNearHits, st.CacheMisses)
-	fmt.Printf("  verify windows:           %d\n", st.VerifyWindows)
+	fmt.Printf("\npipeline ledger:\n%s", clite.MetricsSummary(ledger, "cluster_"))
 	return nil
 }
 
 // runFaulted drives the CLITE controller through the fault injector —
 // the only policy with a hardened variant, so fault mode rejects the
 // baselines rather than silently running them unprotected.
-func runFaulted(m *clite.Machine, names []string, policyName string, seed int64, plan clite.FaultPlan, resilient bool) error {
+func runFaulted(m *clite.Machine, names []string, policyName string, seed int64, plan clite.FaultPlan, resilient bool, tel *telemetrySinks) error {
 	if policyName != "CLITE" {
 		return fmt.Errorf("fault injection supports only the CLITE policy (got %q)", policyName)
 	}
@@ -198,10 +273,10 @@ func runFaulted(m *clite.Machine, names []string, policyName string, seed int64,
 	}
 	fmt.Printf("co-locating %s under CLITE (%s) with faults %+v...\n", strings.Join(names, " + "), mode, plan)
 	obs := clite.InjectFaults(m, plan)
-	ctrl := clite.NewController(obs, clite.Options{
+	ctrl := clite.NewController(obs, clite.WithTelemetry(clite.Options{
 		BO:         clite.BOOptions{Seed: seed},
 		Resilience: clite.Resilience{Enabled: resilient},
-	})
+	}, tel.trace, tel.reg))
 	res, err := ctrl.Run()
 	if err != nil {
 		return err

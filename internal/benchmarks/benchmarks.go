@@ -20,6 +20,7 @@ import (
 
 	"clite/internal/bo"
 	"clite/internal/cluster"
+	"clite/internal/core"
 	"clite/internal/gp"
 	"clite/internal/optimize"
 	"clite/internal/policies"
@@ -27,6 +28,7 @@ import (
 	"clite/internal/resource"
 	"clite/internal/server"
 	"clite/internal/stats"
+	"clite/internal/telemetry"
 )
 
 // Config selects the suite variant.
@@ -37,6 +39,12 @@ type Config struct {
 	// Quick shrinks problem sizes and replaces testing.Benchmark with
 	// a fixed-repetition manual timing pass — the tier-1 smoke form.
 	Quick bool
+	// Telemetry attaches a live tracer and metrics registry to the
+	// telemetry-capable benches (CLITERun), measuring the enabled-path
+	// overhead. Results from instrumented and uninstrumented runs are
+	// not comparable; cmd/bench records the flag so -compare can refuse
+	// to mix them.
+	Telemetry bool
 }
 
 // Result is one benchmark's outcome, in the units `go test -bench`
@@ -90,6 +98,7 @@ func suite() []spec {
 		{"AcquisitionMaximize", acquisitionMaximize},
 		{"OracleSweep", oracleSweep},
 		{"BOEngineIteration", boEngineIteration},
+		{"CLITERun", cliteRun},
 		{"ClusterPlace", clusterPlace},
 	}
 }
@@ -103,24 +112,7 @@ func Run(cfg Config) []Result {
 		if cfg.Quick {
 			res = quickMeasure(s.name, b)
 		} else {
-			r := testing.Benchmark(func(tb *testing.B) {
-				tb.ReportAllocs()
-				tb.ResetTimer()
-				for i := 0; i < tb.N; i++ {
-					if b.reset != nil && i > 0 && i%b.every == 0 {
-						tb.StopTimer()
-						b.reset()
-						tb.StartTimer()
-					}
-					b.op()
-				}
-			})
-			res = Result{
-				Name:        s.name,
-				NsPerOp:     float64(r.NsPerOp()),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
-			}
+			res = measure(s.name, b)
 		}
 		if b.extra != nil {
 			res.Extra = b.extra()
@@ -128,6 +120,39 @@ func Run(cfg Config) []Result {
 		out = append(out, res)
 	}
 	return out
+}
+
+// measure runs one bench under the standard go-benchmark driver.
+func measure(name string, b bench) Result {
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		tb.ResetTimer()
+		for i := 0; i < tb.N; i++ {
+			if b.reset != nil && i > 0 && i%b.every == 0 {
+				tb.StopTimer()
+				b.reset()
+				tb.StartTimer()
+			}
+			b.op()
+		}
+	})
+	return Result{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// TelemetryOverhead times CLITERun with telemetry off and then on,
+// under the standard benchmark driver (stable enough for a tolerance
+// check even at quick problem sizes). The tier-1 overhead smoke test
+// asserts the enabled path lands within a few percent of the disabled
+// one — the telemetry layer's headline cost contract.
+func TelemetryOverhead(quick bool) (off, on Result) {
+	off = measure("CLITERun", cliteRun(Config{Quick: quick}))
+	on = measure("CLITERun", cliteRun(Config{Quick: quick, Telemetry: true}))
+	return off, on
 }
 
 // quickMeasure times a handful of repetitions directly — enough to
@@ -331,6 +356,57 @@ func boEngineIteration(cfg Config) bench {
 			panic(err)
 		}
 	}}
+}
+
+// cliteRun measures one full controller invocation end to end — the
+// path the telemetry layer instruments most densely (BO iterations,
+// observation windows, QoS verdicts, termination). With cfg.Telemetry
+// a fresh tracer and registry ride along each run and their allocation
+// cost is charged to the op; without it the instrumented sites all hit
+// their nil guards, which must cost nothing.
+func cliteRun(cfg Config) bench {
+	maxIter := 6
+	if cfg.Quick {
+		maxIter = 2
+	}
+	seed := int64(0)
+	var runs, events float64
+	op := func() {
+		seed++
+		m := benchMachine(seed)
+		opts := core.Options{BO: bo.Options{
+			Seed:                  seed,
+			MaxIterations:         maxIter,
+			Workers:               cfg.workers(),
+			DisableIncrementalFit: cfg.Legacy,
+		}}
+		if cfg.Telemetry {
+			opts.Trace = telemetry.NewTracer()
+			opts.Metrics = telemetry.NewRegistry()
+		}
+		res, err := core.New(m, opts).Run()
+		if err != nil {
+			panic(err)
+		}
+		runs++
+		if res.SamplesUsed <= 0 {
+			panic("cliteRun: no samples evaluated")
+		}
+		if opts.Trace != nil {
+			events += float64(opts.Trace.Len())
+		}
+	}
+	extra := func() map[string]float64 {
+		out := map[string]float64{"telemetry": 0}
+		if cfg.Telemetry {
+			out["telemetry"] = 1
+			if runs > 0 {
+				out["trace_events_per_run"] = events / runs
+			}
+		}
+		return out
+	}
+	return bench{op: op, extra: extra}
 }
 
 // clusterPlace measures one placement decision of a sustained,

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"clite/internal/gp"
 	"clite/internal/optimize"
 	"clite/internal/resource"
 	"clite/internal/stats"
+	"clite/internal/telemetry"
 )
 
 // Evaluation is what evaluating one configuration on the live system
@@ -112,6 +114,16 @@ type Options struct {
 	// and benchmarking switch; the incremental-conditioning tests pin
 	// the two paths to each other.
 	DisableIncrementalFit bool
+	// Trace, when non-nil, receives the per-iteration timeline
+	// (BOIteration and Termination events). Events carry only
+	// iteration numbers and scores — never wall-clock readings — so a
+	// traced run stays byte-identical to an untraced one.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, receives counters and histograms
+	// (iterations, fit sizes, acquisition wall time). Unlike the
+	// trace, metric values may include wall-clock durations; they are
+	// a profile, not part of the deterministic result.
+	Metrics *telemetry.Registry
 	// Seed drives all stochastic choices.
 	Seed int64
 }
@@ -204,6 +216,14 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 
 	e := newEngine(topo, nJobs, opts)
 
+	// Telemetry handles resolve to nil when disabled; every emit below
+	// is a nil-guarded no-op in that case.
+	trace := opts.Trace
+	mIters := opts.Metrics.Counter("bo_iterations_total")
+	mCollisions := opts.Metrics.Counter("bo_seen_collisions_total")
+	mAcqTime := opts.Metrics.Histogram("bo_acq_seconds", telemetry.LatencyBuckets())
+	mBest := opts.Metrics.Gauge("bo_best_score")
+
 	// Bootstrap (Sec. 4): equal division plus each job's extremum —
 	// Njobs+1 samples ("the number of initial samples is chosen to the
 	// number of colocated jobs + 1").
@@ -252,6 +272,7 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 	stagnant := 0
 	prevBest := math.Inf(-1)
 	result := Result{}
+	reason := "iteration-cap"
 	for iter := 0; iter < opts.maxIterations(); iter++ {
 		model, err := e.fit(opts.kernelFamily())
 		if err != nil {
@@ -305,11 +326,14 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 		probed := false
 		if e.best().Eval.Score > 0.5 && iter%3 == 1 {
 			if cand, ok := e.reshuffleProbe(rng); ok {
-				result.EITrace = append(result.EITrace, eiObjective(cand.Vector()))
+				probeEI := eiObjective(cand.Vector())
+				result.EITrace = append(result.EITrace, probeEI)
 				if err := e.evaluate(cand, eval); err != nil {
 					return Result{}, err
 				}
 				result.Iterations++
+				mIters.Inc()
+				trace.Emit(telemetry.BOIteration(iter, probeEI, e.best().Eval.Score, len(e.samples)))
 				probed = true
 			}
 		}
@@ -348,7 +372,17 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 			RNG:         rng,
 			Workers:     opts.Workers,
 		}
+		// Wall-clock timing is metrics-only (a profile, never part of
+		// the deterministic trace), so the clock read is skipped
+		// entirely when no registry is attached.
+		var acqStart time.Time
+		if mAcqTime != nil {
+			acqStart = time.Now()
+		}
 		xStar := optimize.Maximize(problem)
+		if mAcqTime != nil {
+			mAcqTime.Observe(time.Since(acqStart).Seconds())
+		}
 		// The trace and the termination rule are always in EI units,
 		// whichever objective picked the candidate.
 		eiStar := eiObjective(xStar)
@@ -359,6 +393,7 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 			// Integer rounding collapsed onto an already-sampled
 			// configuration; probe an unseen neighbour instead so the
 			// window is not wasted re-measuring a known point.
+			mCollisions.Inc()
 			if opts.RandomNeighborFallback {
 				cfg = e.perturb(cfg, rng)
 			} else {
@@ -369,6 +404,8 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 			return Result{}, err
 		}
 		result.Iterations++
+		mIters.Inc()
+		trace.Emit(telemetry.BOIteration(iter, eiStar, e.best().Eval.Score, len(e.samples)))
 
 		// Termination: the expected-improvement drop rule. EI is in
 		// score units, so the threshold is scaled by the observed
@@ -391,6 +428,7 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 			patience++
 			if patience >= opts.terminationPatience() {
 				result.Converged = true
+				reason = "ei-drop"
 				break
 			}
 		} else {
@@ -402,6 +440,7 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 		if w := opts.stagnationWindow(); w > 0 && feasibilityFound &&
 			result.Iterations >= opts.minIterations(nJobs) && stagnant >= w {
 			result.Converged = true
+			reason = "stagnation"
 			break
 		}
 	}
@@ -415,6 +454,8 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 	} else {
 		result.Best = e.best()
 	}
+	mBest.Set(result.Best.Eval.Score)
+	trace.Emit(telemetry.Termination(reason, len(result.Samples), result.Best.Eval.Score))
 	return result, nil
 }
 
@@ -456,11 +497,21 @@ type engine struct {
 	// sampled set.
 	means, stds []float64
 	batchBuf    gp.PredictBuf
+
+	// Fit-path metrics (nil when no registry is attached): conditioned
+	// sample counts per fit, incremental row appends, and from-scratch
+	// (re)conditions — the incremental-vs-refit ledger.
+	mFitSamples *telemetry.Histogram
+	mFitAppends *telemetry.Counter
+	mFitRefits  *telemetry.Counter
 }
 
 func newEngine(topo resource.Topology, nJobs int, opts Options) *engine {
 	e := &engine{topo: topo, nJobs: nJobs, opts: opts, seen: map[string]bool{}}
 	e.scratch.New = func() any { return new(predictScratch) }
+	e.mFitSamples = opts.Metrics.Histogram("bo_fit_samples", telemetry.IterationBuckets())
+	e.mFitAppends = opts.Metrics.Counter("bo_fit_appends_total")
+	e.mFitRefits = opts.Metrics.Counter("bo_fit_refits_total")
 	return e
 }
 
@@ -528,7 +579,9 @@ func fixedHyperModel(family string) (*gp.GP, error) {
 // paths select the same model — the equivalence test pins it.
 func (e *engine) fit(family string) (*gp.GP, error) {
 	n := len(e.samples)
+	e.mFitSamples.Observe(float64(n))
 	if e.opts.DisableIncrementalFit {
+		e.mFitRefits.Inc()
 		if n < mleMinSamples {
 			model, err := fixedHyperModel(family)
 			if err != nil {
@@ -550,10 +603,12 @@ func (e *engine) fit(family string) (*gp.GP, error) {
 			e.fixed = model
 		}
 		if e.fixedN == 0 {
+			e.mFitRefits.Inc()
 			if err := e.fixed.Fit(e.normXs[:n], e.ys[:n]); err != nil {
 				return nil, err
 			}
 		} else {
+			e.mFitAppends.Add(int64(n - e.fixedN))
 			for i := e.fixedN; i < n; i++ {
 				if err := e.fixed.Append(e.normXs[i], e.ys[i]); err != nil {
 					return nil, err
@@ -568,12 +623,14 @@ func (e *engine) fit(family string) (*gp.GP, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.mFitRefits.Inc()
 		if err := pool.Condition(e.normXs[:n], e.ys[:n]); err != nil {
 			return nil, err
 		}
 		e.pool = pool
 		e.poolN = n
 	} else {
+		e.mFitAppends.Add(int64(n - e.poolN))
 		for i := e.poolN; i < n; i++ {
 			if err := e.pool.Observe(e.normXs[i], e.ys[i]); err != nil {
 				return nil, err

@@ -37,6 +37,7 @@ import (
 	"clite/internal/profile"
 	"clite/internal/resource"
 	"clite/internal/server"
+	"clite/internal/telemetry"
 )
 
 // Request asks the scheduler to place one job.
@@ -106,6 +107,19 @@ type Options struct {
 	// clock; whole-node loss at the cluster level is expressed with
 	// FailNode instead.
 	Faults faults.Plan
+	// Trace, when non-nil, receives the cluster timeline: per-phase
+	// PlacementPhase events plus, for every committed screen, the full
+	// per-screen event stream (BO iterations, observation windows, QoS
+	// violations) recorded into a private tracer during the screen and
+	// merged here in commit order. Speculative screens discarded by the
+	// index-ordered reduction never reach the trace, so the stream is
+	// byte-identical for every ScreenWorkers setting.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, backs the Stats counters. When nil the
+	// scheduler keeps a private registry, so Stats always works; pass a
+	// shared registry to fold cluster counters into a wider dump.
+	// Counters cover committed work only, like Stats always has.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) nodes() int {
@@ -127,6 +141,10 @@ func (o Options) screenIterations() int {
 // speculative screens discarded by the index-ordered reduction are
 // never counted — so the numbers are identical for every ScreenWorkers
 // setting.
+//
+// Stats is a point-in-time view assembled from the scheduler's
+// telemetry counters (cluster_* in the registry); the struct survives
+// as the stable API over the registry-backed storage.
 type Stats struct {
 	// Placements and Rejections partition the Place call stream.
 	Placements int
@@ -178,7 +196,37 @@ type Scheduler struct {
 	nodes    []*node
 	cals     *server.Calibrations
 	profiles *profile.Cache
-	stats    Stats
+	stats    statCounters
+	trace    *telemetry.Tracer
+}
+
+// statCounters is the registry-backed storage behind Stats: one handle
+// per ledger entry, resolved once at New. All increments happen under
+// the scheduler lock (assess/verify/commit/admit run locked), so the
+// counts are exact and committed-work-only by construction.
+type statCounters struct {
+	placements, rejections *telemetry.Counter
+	prefilterRejects       *telemetry.Counter
+	cacheHits, cacheMisses *telemetry.Counter
+	cacheNearHits          *telemetry.Counter
+	screens, warmScreens   *telemetry.Counter
+	boIterations           *telemetry.Counter
+	verifyWindows          *telemetry.Counter
+}
+
+func newStatCounters(reg *telemetry.Registry) statCounters {
+	return statCounters{
+		placements:       reg.Counter("cluster_placements_total"),
+		rejections:       reg.Counter("cluster_rejections_total"),
+		prefilterRejects: reg.Counter("cluster_prefilter_rejects_total"),
+		cacheHits:        reg.Counter("cluster_cache_hits_total"),
+		cacheMisses:      reg.Counter("cluster_cache_misses_total"),
+		cacheNearHits:    reg.Counter("cluster_cache_near_hits_total"),
+		screens:          reg.Counter("cluster_screens_total"),
+		warmScreens:      reg.Counter("cluster_warm_screens_total"),
+		boIterations:     reg.Counter("cluster_bo_iterations_total"),
+		verifyWindows:    reg.Counter("cluster_verify_windows_total"),
+	}
 }
 
 // New builds a scheduler over opts.Nodes empty nodes.
@@ -188,12 +236,20 @@ func New(opts Options) *Scheduler {
 	if profiles == nil {
 		profiles = profile.NewCache(topo)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		// A private registry keeps the Stats view working when the
+		// caller wired no telemetry.
+		reg = telemetry.NewRegistry()
+	}
 	s := &Scheduler{
 		opts:     opts,
 		topo:     topo,
 		spec:     server.DefaultSpec(),
 		cals:     server.NewCalibrations(),
 		profiles: profiles,
+		stats:    newStatCounters(reg),
+		trace:    opts.Trace,
 	}
 	for i := 0; i < opts.nodes(); i++ {
 		s.nodes = append(s.nodes, &node{id: i, seed: opts.Seed + int64(i)*1009})
@@ -205,7 +261,18 @@ func New(opts Options) *Scheduler {
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Placements:       int(s.stats.placements.Value()),
+		Rejections:       int(s.stats.rejections.Value()),
+		PrefilterRejects: int(s.stats.prefilterRejects.Value()),
+		CacheHits:        int(s.stats.cacheHits.Value()),
+		CacheMisses:      int(s.stats.cacheMisses.Value()),
+		CacheNearHits:    int(s.stats.cacheNearHits.Value()),
+		Screens:          int(s.stats.screens.Value()),
+		WarmScreens:      int(s.stats.warmScreens.Value()),
+		BOIterations:     int(s.stats.boIterations.Value()),
+		VerifyWindows:    int(s.stats.verifyWindows.Value()),
+	}
 }
 
 // CacheLen returns the number of distinct job mixes the profile cache
@@ -259,10 +326,19 @@ func (s *Scheduler) faultPlan(n *node) faults.Plan {
 // The substrate flag marks runs that died on their observation plane
 // (the window was lost, not the co-location disproved): the candidate
 // is treated as infeasible for this placement but nothing is cached.
-func (s *Scheduler) screen(n *node, extra Request, seeds []resource.Config) (res core.Result, ok, substrate bool, err error) {
+func (s *Scheduler) screen(n *node, extra Request, seeds []resource.Config) (res core.Result, ok, substrate bool, trace *telemetry.Tracer, err error) {
 	m, err := s.build(n, &extra)
 	if err != nil {
-		return core.Result{}, false, false, err
+		return core.Result{}, false, false, nil, err
+	}
+	// Screens may run speculatively and be discarded by the reduction,
+	// so each records into a private tracer; commit merges the winner's
+	// stream into the cluster trace in index order. The shared metrics
+	// registry is deliberately NOT passed down — per-screen metric
+	// updates from discarded speculative runs would make counter values
+	// depend on the worker count.
+	if s.trace != nil {
+		trace = telemetry.NewTracer()
 	}
 	ctrl := core.New(faults.Wrap(m, s.faultPlan(n)), core.Options{
 		BO: bo.Options{
@@ -270,6 +346,7 @@ func (s *Scheduler) screen(n *node, extra Request, seeds []resource.Config) (res
 			MaxIterations: s.opts.screenIterations(),
 		},
 		Resilience: core.Resilience{Enabled: s.opts.Faults.Enabled()},
+		Trace:      trace,
 	})
 	res, err = ctrl.RunWarm(seeds)
 	if err != nil {
@@ -277,9 +354,9 @@ func (s *Scheduler) screen(n *node, extra Request, seeds []resource.Config) (res
 		// nothing about the co-location itself; treat the node as
 		// infeasible for this request rather than failing the placement.
 		if errors.Is(err, server.ErrObservationFailed) || errors.Is(err, server.ErrNodeFailed) {
-			return core.Result{}, false, true, nil
+			return core.Result{}, false, true, trace, nil
 		}
-		return core.Result{}, false, false, err
+		return core.Result{}, false, false, nil, err
 	}
 	// A BG-only node has no QoS gate; any partition is acceptable.
 	allBG := !extra.IsLC()
@@ -289,7 +366,7 @@ func (s *Scheduler) screen(n *node, extra Request, seeds []resource.Config) (res
 		}
 	}
 	ok = res.QoSMeetable || (allBG && len(res.Infeasible) == 0)
-	return res, ok, false, nil
+	return res, ok, false, trace, nil
 }
 
 // candKind is a candidate node's state after the sequential assessment
@@ -353,7 +430,8 @@ func (s *Scheduler) assess(nodes []*node, req Request) ([]*candidate, error) {
 			}
 			if !ok {
 				c.kind = candSkip
-				s.stats.PrefilterRejects++
+				s.stats.prefilterRejects.Inc()
+				s.trace.Emit(telemetry.PlacementPhase("prefilter-reject", n.id, len(c.jobs), false))
 				continue
 			}
 		}
@@ -363,7 +441,8 @@ func (s *Scheduler) assess(nodes []*node, req Request) ([]*candidate, error) {
 		}
 		c.key = profile.Key(c.jobs)
 		if e, ok := s.profiles.Lookup(c.key); ok {
-			s.stats.CacheHits++
+			s.stats.cacheHits.Inc()
+			s.trace.Emit(telemetry.PlacementPhase("cache-hit", n.id, len(c.jobs), e.Feasible))
 			if e.Feasible {
 				c.kind = candCached
 				c.entry = e
@@ -372,12 +451,13 @@ func (s *Scheduler) assess(nodes []*node, req Request) ([]*candidate, error) {
 			}
 			continue
 		}
-		s.stats.CacheMisses++
+		s.stats.cacheMisses.Inc()
 		c.kind = candScreen
 		if donor, ok := s.profiles.LookupNear(c.jobs, profile.NearTolerance); ok {
 			if seeds := donor.SeedsFor(len(c.jobs)); len(seeds) > 0 {
 				c.seeds = seeds
-				s.stats.CacheNearHits++
+				s.stats.cacheNearHits.Inc()
+				s.trace.Emit(telemetry.PlacementPhase("cache-near-hit", n.id, len(seeds), true))
 			}
 		}
 	}
@@ -393,9 +473,11 @@ func (s *Scheduler) verify(n *node, req Request, e *profile.Entry) bool {
 	if err != nil {
 		return false
 	}
-	s.stats.VerifyWindows++
+	s.stats.verifyWindows.Inc()
 	obs, err := faults.Wrap(m, s.faultPlan(n)).Observe(e.Result.Best)
-	return err == nil && obs.AllQoSMet
+	ok := err == nil && obs.AllQoSMet
+	s.trace.Emit(telemetry.PlacementPhase("verify", n.id, 1, ok))
+	return ok
 }
 
 // demote turns a failed cached candidate into a warm screen seeded
@@ -436,6 +518,7 @@ type screenOut struct {
 	res       core.Result
 	ok        bool
 	substrate bool
+	trace     *telemetry.Tracer // the screen's private event stream (nil when tracing is off)
 	err       error
 	done      bool
 }
@@ -451,8 +534,8 @@ func (s *Scheduler) screenReps(reps []*candidate, req Request, earlyExit bool) [
 	results := make([]screenOut, len(reps))
 	if earlyExit && par.Count(s.opts.ScreenWorkers) == 1 {
 		for i, c := range reps {
-			res, ok, substrate, err := s.screen(c.n, req, c.seeds)
-			results[i] = screenOut{res: res, ok: ok, substrate: substrate, err: err, done: true}
+			res, ok, substrate, trace, err := s.screen(c.n, req, c.seeds)
+			results[i] = screenOut{res: res, ok: ok, substrate: substrate, trace: trace, err: err, done: true}
 			if err != nil || ok {
 				break
 			}
@@ -461,8 +544,8 @@ func (s *Scheduler) screenReps(reps []*candidate, req Request, earlyExit bool) [
 	}
 	par.ForEach(s.opts.ScreenWorkers, len(reps), func(i int) {
 		c := reps[i]
-		res, ok, substrate, err := s.screen(c.n, req, c.seeds)
-		results[i] = screenOut{res: res, ok: ok, substrate: substrate, err: err, done: true}
+		res, ok, substrate, trace, err := s.screen(c.n, req, c.seeds)
+		results[i] = screenOut{res: res, ok: ok, substrate: substrate, trace: trace, err: err, done: true}
 	})
 	return results
 }
@@ -476,11 +559,16 @@ func (s *Scheduler) commit(c *candidate, r screenOut) {
 	if r.err != nil {
 		return
 	}
-	s.stats.Screens++
+	s.stats.screens.Inc()
 	if len(c.seeds) > 0 {
-		s.stats.WarmScreens++
+		s.stats.warmScreens.Inc()
 	}
-	s.stats.BOIterations += r.res.SamplesUsed
+	s.stats.boIterations.Add(int64(r.res.SamplesUsed))
+	// The committed screen's private event stream joins the cluster
+	// trace here, under the lock, in reduction order — the only point
+	// where speculative work becomes observable.
+	s.trace.Merge(r.trace, c.n.id)
+	s.trace.Emit(telemetry.PlacementPhase("screen", c.n.id, r.res.SamplesUsed, r.ok))
 	if r.substrate || s.opts.DisableProfileCache || c.key == "" {
 		return
 	}
@@ -496,7 +584,8 @@ func (s *Scheduler) admit(n *node, req Request, res core.Result) Placement {
 	n.requests = append(n.requests, req)
 	n.last = res
 	n.lastOK = true
-	s.stats.Placements++
+	s.stats.placements.Inc()
+	s.trace.Emit(telemetry.PlacementPhase("admit", n.id, len(n.requests), true))
 	return Placement{Node: n.id, Result: res}
 }
 
@@ -510,12 +599,14 @@ func (s *Scheduler) admit(n *node, req Request, res core.Result) Placement {
 // candidate — the same node the sequential first-feasible scan picks.
 // If no node qualifies the request is rejected with ErrUnplaceable
 // (schedule it in the next rack).
-func (s *Scheduler) Place(req Request) (Placement, error) {
+func (s *Scheduler) Place(req Request) (p Placement, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if req.Load < 0 || req.Load > 1.5 {
 		return Placement{}, fmt.Errorf("cluster: load %v out of range", req.Load)
 	}
+	span := s.trace.Begin("place", -1)
+	defer func() { s.trace.End("place", -1, span, 1, err == nil) }()
 	order := s.live()
 	sort.SliceStable(order, func(i, j int) bool {
 		return len(order[i].requests) < len(order[j].requests)
@@ -566,7 +657,8 @@ func (s *Scheduler) Place(req Request) (Placement, error) {
 	if verified != nil {
 		return s.admit(verified.n, req, verified.entry.Result), nil
 	}
-	s.stats.Rejections++
+	s.stats.rejections.Inc()
+	s.trace.Emit(telemetry.PlacementPhase("reject", -1, len(cands), false))
 	return Placement{}, ErrUnplaceable
 }
 
@@ -621,6 +713,7 @@ func (s *Scheduler) FailNode(id int) ([]Outcome, error) {
 	n.requests = nil
 	n.last = core.Result{}
 	n.lastOK = false
+	s.trace.Emit(telemetry.PlacementPhase("fail-node", id, len(drained), false))
 
 	order := make([]Request, 0, len(drained))
 	for _, r := range drained {
@@ -714,6 +807,7 @@ func (s *Scheduler) rehome(req Request) (Placement, error) {
 	n.requests = append(n.requests, req)
 	n.last = c.res
 	n.lastOK = true
+	s.trace.Emit(telemetry.PlacementPhase("rehome", n.id, len(n.requests), true))
 	return Placement{Node: n.id, Result: c.res}, nil
 }
 

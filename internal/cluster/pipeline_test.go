@@ -1,9 +1,14 @@
 package cluster
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
+
+	"clite/internal/telemetry"
 )
 
 // stream is a repetitive request mix: the warehouse case the profile
@@ -233,5 +238,88 @@ func TestRehomeAfterFailureIsWorkerCountInvariant(t *testing.T) {
 	}
 	if seqStats != parStats {
 		t.Errorf("stats diverged:\n  1 worker: %+v\n  8 workers: %+v", seqStats, parStats)
+	}
+}
+
+// TestClusterTraceByteIdenticalAcrossWorkerCounts extends the §8
+// determinism contract to the telemetry layer: the JSONL event stream
+// from a traced placement run — including per-screen sub-traces merged
+// at commit — must not depend on how many screening workers ran.
+func TestClusterTraceByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		tr := telemetry.NewTracer()
+		s := New(Options{Nodes: 3, Seed: 11, ScreenIterations: 8, ScreenWorkers: workers, Trace: tr})
+		for _, r := range stream() {
+			if _, err := s.Place(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := run(1)
+	parl := run(8)
+	if seq != parl {
+		t.Errorf("trace streams diverged between 1 and 8 workers:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s", seq, parl)
+	}
+	if seq == "" {
+		t.Fatal("traced run emitted no events")
+	}
+	kinds := telemetry.CountKinds(telemetryEventsFromJSONL(t, seq))
+	for _, want := range []string{telemetry.KindPlacementPhase, telemetry.KindSpanBegin, telemetry.KindSpanEnd, telemetry.KindBOIteration} {
+		if kinds[want] == 0 {
+			t.Errorf("trace missing %q events (got kinds %v)", want, kinds)
+		}
+	}
+}
+
+func telemetryEventsFromJSONL(t *testing.T, s string) []telemetry.Event {
+	t.Helper()
+	var evs []telemetry.Event
+	dec := json.NewDecoder(strings.NewReader(s))
+	for dec.More() {
+		var e telemetry.Event
+		if err := dec.Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestStatsViewMatchesExternalRegistry pins the Stats migration: the
+// struct is a view over the cluster_* counters, so an externally
+// supplied registry must show exactly the same numbers.
+func TestStatsViewMatchesExternalRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Options{Nodes: 3, Seed: 5, ScreenIterations: 8, Metrics: reg})
+	for _, r := range stream() {
+		if _, err := s.Place(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	want := map[string]int{
+		"cluster_placements_total":        st.Placements,
+		"cluster_rejections_total":        st.Rejections,
+		"cluster_prefilter_rejects_total": st.PrefilterRejects,
+		"cluster_cache_hits_total":        st.CacheHits,
+		"cluster_cache_misses_total":      st.CacheMisses,
+		"cluster_cache_near_hits_total":   st.CacheNearHits,
+		"cluster_screens_total":           st.Screens,
+		"cluster_warm_screens_total":      st.WarmScreens,
+		"cluster_bo_iterations_total":     st.BOIterations,
+		"cluster_verify_windows_total":    st.VerifyWindows,
+	}
+	for name, v := range want {
+		if got := int(reg.Counter(name).Value()); got != v {
+			t.Errorf("%s: registry has %d, Stats view has %d", name, got, v)
+		}
+	}
+	if st.Placements == 0 || st.Screens == 0 {
+		t.Errorf("expected non-trivial pipeline activity, got %+v", st)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"clite/internal/resource"
 	"clite/internal/server"
 	"clite/internal/stats"
+	"clite/internal/telemetry"
 )
 
 // Options configures a CLITE run. The zero value is the paper's
@@ -31,6 +32,21 @@ type Options struct {
 	// zero value leaves hardening off, in which case the controller
 	// behaves byte-identically to the baseline implementation.
 	Resilience Resilience
+	// Trace receives the run's timeline — BO iterations, observation
+	// windows, QoS violations, resilience actions, termination — when
+	// non-nil. It is threaded down into the BO engine and, when the
+	// observer supports it, the machine. Nil disables tracing at zero
+	// cost and leaves results byte-identical.
+	Trace *telemetry.Tracer
+	// Metrics receives counters/gauges/histograms when non-nil,
+	// threaded the same way as Trace.
+	Metrics *telemetry.Registry
+}
+
+// telemetrySink is implemented by observers (the simulated machine,
+// the fault injector) that can publish into the telemetry layer.
+type telemetrySink interface {
+	SetTelemetry(*telemetry.Tracer, *telemetry.Registry)
 }
 
 // Step pairs one evaluated configuration with the observation that
@@ -109,7 +125,16 @@ type Controller struct {
 }
 
 // New returns a controller for the machine (any server.Observer).
+// When Options carries telemetry and the observer can publish into it
+// (the simulated machine and the fault injector both can), the sinks
+// are attached here so per-window events flow without the caller
+// wiring each layer by hand.
 func New(machine server.Observer, opts Options) *Controller {
+	if opts.Trace != nil || opts.Metrics != nil {
+		if sink, ok := machine.(telemetrySink); ok {
+			sink.SetTelemetry(opts.Trace, opts.Metrics)
+		}
+	}
 	return &Controller{machine: machine, opts: opts}
 }
 
@@ -278,7 +303,9 @@ func (c *Controller) Run() (Result, error) {
 		}
 	}
 
-	rt := &runtime{m: m, opts: c.opts.Resilience, jobs: jobs, topo: topo}
+	trace := c.opts.Trace
+	span := trace.Begin("clite-run", -1)
+	rt := &runtime{m: m, opts: c.opts.Resilience, jobs: jobs, topo: topo, trace: trace}
 	eval := func(cfg resource.Config) (bo.Evaluation, error) {
 		obs, score, err := rt.measure(cfg)
 		if err != nil {
@@ -295,6 +322,12 @@ func (c *Controller) Run() (Result, error) {
 	}
 
 	boOpts := c.opts.BO
+	if boOpts.Trace == nil {
+		boOpts.Trace = c.opts.Trace
+	}
+	if boOpts.Metrics == nil {
+		boOpts.Metrics = c.opts.Metrics
+	}
 	var boRes bo.Result
 	var err error
 	var eiTrace []float64
@@ -305,6 +338,8 @@ func (c *Controller) Run() (Result, error) {
 		case errors.As(err, &infeasible):
 			res := rt.result()
 			res.Infeasible = []int{infeasible.job}
+			trace.Emit(telemetry.Termination("infeasible", res.SamplesUsed, res.BestScore))
+			trace.End("clite-run", -1, span, res.SamplesUsed, false)
 			return res, nil
 		case err != nil && rt.canFallBack(err):
 			// The retry budget is exhausted (or the node died) but a
@@ -312,6 +347,9 @@ func (c *Controller) Run() (Result, error) {
 			// known safe answer instead of erroring.
 			res := rt.result()
 			res.FellBack = true
+			trace.Emit(telemetry.ResilienceAction("fallback", restart))
+			trace.Emit(telemetry.Termination("fallback", res.SamplesUsed, res.BestScore))
+			trace.End("clite-run", -1, span, res.SamplesUsed, res.QoSMeetable)
 			return res, nil
 		case err != nil:
 			// A transient-failure streak with nothing to fall back on
@@ -319,6 +357,7 @@ func (c *Controller) Run() (Result, error) {
 			// budget allows rather than give up.
 			if rt.resilient() && restart < salvageRestarts && errors.Is(err, server.ErrObservationFailed) {
 				boOpts.Seed = c.opts.BO.Seed + int64(restart+1)*0x9E3779B9
+				trace.Emit(telemetry.ResilienceAction("salvage-restart", restart+1))
 				continue
 			}
 			return Result{}, err
@@ -332,6 +371,7 @@ func (c *Controller) Run() (Result, error) {
 		// budget. Restart the search from a derived seed; the spent
 		// windows stay in the accumulated history.
 		boOpts.Seed = c.opts.BO.Seed + int64(restart+1)*0x9E3779B9
+		trace.Emit(telemetry.ResilienceAction("salvage-restart", restart+1))
 	}
 	res := rt.result()
 	res.Converged = boRes.Converged
@@ -339,6 +379,7 @@ func (c *Controller) Run() (Result, error) {
 	if rt.resilient() && !c.opts.Resilience.DisableGuard {
 		rt.guard(&res)
 	}
+	trace.End("clite-run", -1, span, res.SamplesUsed, res.QoSMeetable)
 	return res, nil
 }
 

@@ -35,6 +35,7 @@ import (
 
 	"clite/internal/resource"
 	"clite/internal/server"
+	"clite/internal/telemetry"
 )
 
 // Resilience tunes the hardening. The zero value disables it; setting
@@ -118,6 +119,9 @@ type runtime struct {
 	topo    resource.Topology
 	history []Step
 	retries int
+	// trace receives ResilienceAction events (nil when tracing is off;
+	// the nil Tracer discards emits).
+	trace *telemetry.Tracer
 	// points are the successful measurements (normalized allocation
 	// vector + score) backing nearest-neighbour outlier detection.
 	points []scoredPoint
@@ -203,6 +207,7 @@ func (rt *runtime) attempt(cfg resource.Config) (server.Observation, float64, er
 	for try := 0; try <= rt.opts.maxRetries(); try++ {
 		if try > 0 {
 			rt.retries++
+			rt.trace.Emit(telemetry.ResilienceAction("retry", try))
 			rt.m.AdvanceClock(backoff * rt.m.Window())
 			backoff *= 2
 		}
@@ -251,6 +256,7 @@ func (rt *runtime) remeasure(cfg resource.Config, firstObs server.Observation, f
 		score float64
 		idx   int // history index of the successful window
 	}
+	rt.trace.Emit(telemetry.ResilienceAction("remeasure", rt.opts.remeasureK()))
 	samples := []sample{{firstObs, firstScore, len(rt.history) - 1}}
 	for len(samples) < rt.opts.remeasureK() {
 		rt.retries++
@@ -280,6 +286,7 @@ func (rt *runtime) confirmViolation(cfg resource.Config, job int, obs server.Obs
 	if !rt.resilient() {
 		return true, obs, score
 	}
+	rt.trace.Emit(telemetry.ResilienceAction("confirm-violation", rt.opts.remeasureK()))
 	violations, votes := 1, 1
 	bestObs, bestScore := obs, score
 	for votes < rt.opts.remeasureK() {
@@ -315,6 +322,7 @@ func (rt *runtime) guard(res *Result) {
 	if res.Best.NumJobs() == 0 {
 		return
 	}
+	rt.trace.Emit(telemetry.ResilienceAction("guard", guardBudget))
 	var firstObs server.Observation
 	var firstScore float64
 	haveFirst := false

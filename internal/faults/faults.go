@@ -21,6 +21,7 @@ import (
 	"clite/internal/resource"
 	"clite/internal/server"
 	"clite/internal/stats"
+	"clite/internal/telemetry"
 )
 
 // Plan configures the injector: per-class probabilities (per
@@ -93,6 +94,8 @@ type Injector struct {
 	plan   Plan
 	rng    *stats.RNG
 	counts Counts
+	trace  *telemetry.Tracer
+	mFault *telemetry.Counter
 }
 
 var _ server.Observer = (*Injector)(nil)
@@ -111,6 +114,23 @@ func Wrap(m *server.Machine, plan Plan) server.Observer {
 		return m
 	}
 	return New(m, plan)
+}
+
+// SetTelemetry attaches telemetry sinks: the injector emits a
+// FaultInjected event per fired fault and counts them, and forwards
+// the sinks to the wrapped machine so its per-window events flow too.
+// The core controller calls this through the telemetrySink interface.
+func (f *Injector) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	f.trace = tr
+	f.mFault = reg.Counter("faults_injected_total")
+	f.m.SetTelemetry(tr, reg)
+}
+
+// inject records one fired fault of the given class on the attached
+// telemetry (no-op when detached).
+func (f *Injector) inject(kind string) {
+	f.mFault.Inc()
+	f.trace.Emit(telemetry.FaultInjected(f.m.Clock(), kind))
 }
 
 // Counts returns the per-class injection tally.
@@ -154,6 +174,9 @@ func (f *Injector) AdvanceClock(seconds float64) { f.m.AdvanceClock(seconds) }
 // (and are effectively capped at 1 in total).
 func (f *Injector) Observe(cfg resource.Config) (server.Observation, error) {
 	if f.plan.NodeFailAt > 0 && f.m.Clock() >= f.plan.NodeFailAt {
+		if !f.counts.NodeFailed {
+			f.inject("node-failure")
+		}
 		f.counts.NodeFailed = true
 		return server.Observation{}, fmt.Errorf(
 			"faults: node lost at t=%.1fs (scheduled %.1fs): %w",
@@ -169,6 +192,7 @@ func (f *Injector) Observe(cfg resource.Config) (server.Observation, error) {
 			return server.Observation{}, err
 		}
 		f.counts.Transient++
+		f.inject("transient")
 		return server.Observation{}, fmt.Errorf(
 			"faults: counter read failed at t=%.1fs: %w", f.m.Clock(), server.ErrObservationFailed)
 	case u < f.plan.Transient+f.plan.PartialActuation:
@@ -179,6 +203,7 @@ func (f *Injector) Observe(cfg resource.Config) (server.Observation, error) {
 		}
 		if changed {
 			f.counts.PartialActuation++
+			f.inject("partial-actuation")
 			// The controller believes its request was applied.
 			obs.Config = cfg.Clone()
 		}
@@ -263,4 +288,5 @@ func (f *Injector) corrupt(obs *server.Observation) {
 		}
 	}
 	f.counts.Outlier++
+	f.inject("outlier")
 }

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/cluster"
+	"clite/internal/core"
+	"clite/internal/faults"
+	"clite/internal/telemetry"
+)
+
+// Telemetry exercises the unified telemetry layer end to end: a clean
+// single-node CLITE run, a hardened run under fault injection, and a
+// cluster placement stream are each executed with a trace and a
+// metrics registry attached, and the table reports the event timeline
+// each produced — BO iterations, observation windows, QoS violations,
+// faults, resilience actions — alongside the registry's iteration
+// counter. The timelines are deterministic (monotonic steps, no
+// wall-clock), so the table reproduces exactly for a given seed.
+func Telemetry(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "telemetry",
+		Title: "Telemetry timelines: events emitted per scenario",
+		Header: []string{
+			"scenario", "events", "bo iters", "windows",
+			"qos violations", "faults", "resilience", "terminations",
+		},
+		Notes: "event counts from the JSONL trace; timelines carry simulated time only, so runs replay byte-identically",
+	}
+	mix := Mix{
+		LC: []LCJob{{Name: "memcached", Load: 0.4}, {Name: "img-dnn", Load: 0.3}},
+		BG: []string{"swaptions"},
+	}
+	iters := 12
+	if cfg.Coarse {
+		iters = 8
+	}
+
+	// Each row reports the trace; the registry is cross-checked so the
+	// two sinks can never silently diverge.
+	row := func(name string, tr *telemetry.Tracer, reg *telemetry.Registry) error {
+		kinds := telemetry.CountKinds(tr.Events())
+		if name != "cluster" {
+			if got := int(reg.Counter("bo_iterations_total").Value()); got != kinds[telemetry.KindBOIteration] {
+				return fmt.Errorf("telemetry %s: registry has %d bo iterations, trace has %d",
+					name, got, kinds[telemetry.KindBOIteration])
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", tr.Len()),
+			fmt.Sprintf("%d", kinds[telemetry.KindBOIteration]),
+			fmt.Sprintf("%d", kinds[telemetry.KindObservationWindow]),
+			fmt.Sprintf("%d", kinds[telemetry.KindQoSViolation]),
+			fmt.Sprintf("%d", kinds[telemetry.KindFaultInjected]),
+			fmt.Sprintf("%d", kinds[telemetry.KindResilienceAction]),
+			fmt.Sprintf("%d", kinds[telemetry.KindTermination]),
+		})
+		return nil
+	}
+
+	// Clean single-node run.
+	{
+		m, err := buildMachine(mix, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		tr, reg := telemetry.NewTracer(), telemetry.NewRegistry()
+		ctrl := core.New(m, core.Options{
+			BO:      bo.Options{Seed: cfg.Seed, MaxIterations: iters},
+			Trace:   tr,
+			Metrics: reg,
+		})
+		if _, err := ctrl.Run(); err != nil {
+			return Table{}, fmt.Errorf("telemetry clean run: %w", err)
+		}
+		if err := row("clean", tr, reg); err != nil {
+			return Table{}, err
+		}
+	}
+
+	// Hardened run under fault injection.
+	{
+		m, err := buildMachine(mix, cfg.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		plan := faults.Plan{Seed: cfg.Seed, Transient: 0.15, Outlier: 0.15, PartialActuation: 0.05}
+		tr, reg := telemetry.NewTracer(), telemetry.NewRegistry()
+		ctrl := core.New(faults.Wrap(m, plan), core.Options{
+			BO:         bo.Options{Seed: cfg.Seed, MaxIterations: iters},
+			Resilience: core.Resilience{Enabled: true},
+			Trace:      tr,
+			Metrics:    reg,
+		})
+		if _, err := ctrl.Run(); err != nil {
+			return Table{}, fmt.Errorf("telemetry faulted run: %w", err)
+		}
+		if err := row("faulted-hardened", tr, reg); err != nil {
+			return Table{}, err
+		}
+	}
+
+	// Cluster placement stream.
+	{
+		tr, reg := telemetry.NewTracer(), telemetry.NewRegistry()
+		s := cluster.New(cluster.Options{
+			Nodes: 3, Seed: cfg.Seed, ScreenIterations: 8,
+			Trace: tr, Metrics: reg,
+		})
+		stream := []cluster.Request{
+			{Workload: "memcached", Load: 0.2},
+			{Workload: "swaptions"},
+			{Workload: "img-dnn", Load: 0.2},
+			{Workload: "memcached", Load: 0.2},
+		}
+		for _, req := range stream {
+			if _, err := s.Place(req); err != nil {
+				return Table{}, fmt.Errorf("telemetry cluster run: %w", err)
+			}
+		}
+		if err := row("cluster", tr, reg); err != nil {
+			return Table{}, err
+		}
+	}
+	return t, nil
+}

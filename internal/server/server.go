@@ -21,6 +21,7 @@ import (
 	"clite/internal/qos"
 	"clite/internal/resource"
 	"clite/internal/stats"
+	"clite/internal/telemetry"
 	"clite/internal/workload"
 )
 
@@ -161,6 +162,13 @@ type Machine struct {
 	observations int
 	calibrations map[string]qos.Calibration
 	shared       *Calibrations
+
+	// Telemetry (all nil when disabled; nil handles discard updates).
+	trace        *telemetry.Tracer
+	mWindows     *telemetry.Counter
+	mViolations  *telemetry.Counter
+	mP95         *telemetry.Histogram
+	mQoSHeadroom *telemetry.Gauge
 }
 
 // New creates a machine over the topology with a deterministic
@@ -183,6 +191,51 @@ func NewShared(topo resource.Topology, spec Spec, seed int64, cals *Calibrations
 	m := New(topo, spec, seed)
 	m.shared = cals
 	return m
+}
+
+// SetTelemetry attaches a tracer and/or metrics registry to the
+// machine. Metric handles are resolved once here so the per-window
+// path never touches the registry lock. Passing nils detaches; the
+// measurement stream itself is untouched either way — telemetry only
+// observes.
+func (m *Machine) SetTelemetry(tr *telemetry.Tracer, reg *telemetry.Registry) {
+	m.trace = tr
+	m.mWindows = reg.Counter("server_windows_total")
+	m.mViolations = reg.Counter("server_qos_violations_total")
+	m.mP95 = reg.Histogram("server_p95_seconds", telemetry.LatencyBuckets())
+	m.mQoSHeadroom = reg.Gauge("server_qos_headroom")
+}
+
+// publish records one noisy observation window onto the attached
+// telemetry: the window event, one QoSViolation event per LC job over
+// target, p95 samples, and the tightest QoS headroom (target/p95; <1
+// means violated). All sinks are nil-safe, so the disabled path is two
+// pointer compares.
+func (m *Machine) publish(obs *Observation) {
+	if m.trace == nil && m.mWindows == nil {
+		return
+	}
+	violations := 0
+	headroom := 0.0
+	for i, job := range m.jobs {
+		if !job.IsLC() {
+			continue
+		}
+		m.mP95.Observe(obs.P95[i])
+		if h := job.QoS / obs.P95[i]; headroom == 0 || h < headroom {
+			headroom = h
+		}
+		if !obs.QoSMet[i] {
+			violations++
+			m.trace.Emit(telemetry.QoSViolation(obs.At, i, obs.P95[i], job.QoS))
+		}
+	}
+	m.mWindows.Inc()
+	m.mViolations.Add(int64(violations))
+	if headroom > 0 {
+		m.mQoSHeadroom.Set(headroom)
+	}
+	m.trace.Emit(telemetry.ObservationWindow(obs.At, violations, obs.AllQoSMet))
 }
 
 // Topology returns the machine's partitionable resources.
@@ -408,6 +461,9 @@ func (m *Machine) observeScaled(cfg resource.Config, noisy bool, scaledJobs []bo
 			obs.QoSMet[i] = true
 			obs.NormPerf[i] = thr / job.IsoPerf
 		}
+	}
+	if noisy {
+		m.publish(&obs)
 	}
 	return obs, nil
 }

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteJSONL streams the timeline as one JSON object per line, in step
+// order. For a seeded run with deterministic merging the output is
+// byte-identical across repeats and worker counts.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrometheusText renders the registry in the Prometheus text
+// exposition format (counters, gauges, and cumulative histogram
+// buckets), sorted by metric name.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	for _, m := range r.Snapshot() {
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, m.Kind)
+		switch m.Kind {
+		case "histogram":
+			cum := int64(0)
+			for _, bk := range m.Buckets {
+				cum += bk.Count
+				le := "+Inf"
+				if !math.IsInf(bk.UpperBound, 1) {
+					le = trimFloat(bk.UpperBound)
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", m.Name, le, cum)
+			}
+			fmt.Fprintf(&b, "%s_sum %s\n", m.Name, trimFloat(m.Sum))
+			fmt.Fprintf(&b, "%s_count %d\n", m.Name, m.Count)
+		default:
+			fmt.Fprintf(&b, "%s %s\n", m.Name, trimFloat(m.Value))
+		}
+	}
+	return b.String()
+}
+
+// Summary renders the registry as a human-readable two-column table,
+// optionally restricted to metrics whose name starts with one of the
+// given prefixes. Histograms render as count/mean; floats are rounded
+// to 5 significant digits (the table is for eyes — PrometheusText and
+// the JSONL stream keep full precision). Used by cmd/clite for its
+// pipeline ledger so human output has one code path.
+func (r *Registry) Summary(prefixes ...string) string {
+	var rows [][2]string
+	width := 0
+	for _, m := range r.Snapshot() {
+		if len(prefixes) > 0 && !hasAnyPrefix(m.Name, prefixes) {
+			continue
+		}
+		var val string
+		switch m.Kind {
+		case "histogram":
+			val = fmt.Sprintf("n=%d mean=%s", m.Count, roundFloat(m.Value))
+		case "gauge":
+			val = roundFloat(m.Value)
+		default:
+			val = fmt.Sprintf("%d", int64(m.Value))
+		}
+		rows = append(rows, [2]string{m.Name, val})
+		if len(m.Name) > width {
+			width = len(m.Name)
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, row[0], row[1])
+	}
+	return b.String()
+}
+
+func hasAnyPrefix(s string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(s, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// trimFloat formats v compactly: integers without a decimal point,
+// everything else with minimal digits.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// roundFloat is trimFloat at 5 significant digits — the human-table
+// form.
+func roundFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.5g", v)
+}
+
+// CountKinds tallies events by kind — a convenience for tests and the
+// harness telemetry experiment.
+func CountKinds(events []Event) map[string]int {
+	counts := make(map[string]int)
+	for _, ev := range events {
+		counts[ev.Kind]++
+	}
+	return counts
+}
+
+// Kinds returns the distinct kinds present in events, sorted.
+func Kinds(events []Event) []string {
+	counts := CountKinds(events)
+	out := make([]string, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,274 @@
+// Package telemetry is the repo's unified observability layer: a
+// zero-dependency metrics registry (counters, gauges, fixed-bucket
+// histograms) plus a structured trace of typed events, shared by the
+// controller, the BO engine, the simulated machine, the fault
+// injector, and the cluster scheduler.
+//
+// Two rules shape the design (DESIGN.md §10):
+//
+//   - Disabled means free. Every handle is nil-safe: a nil *Tracer,
+//     *Counter, *Gauge, or *Histogram swallows its calls without
+//     allocating, so instrumented hot paths cost two pointer compares
+//     when telemetry is off and the controller's output stays
+//     byte-identical to the uninstrumented build.
+//
+//   - Traces are deterministic. Events carry monotonic step numbers
+//     and simulated time, never wall-clock reads, so the same seeded
+//     run emits the same JSONL byte stream every time — including
+//     under concurrent cluster screening, where speculative work
+//     records into private tracers that are merged in commit order.
+//     (Metrics may time wall-clock durations — an acquisition-
+//     maximization histogram is a profile, not a trace — so only the
+//     event stream carries the determinism guarantee.)
+//
+// Metric handles are resolved once (Registry.Counter et al. take a
+// lock) and then updated atomically, which keeps them safe under
+// internal/par workers without serializing the workers on the
+// registry.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The nil
+// Counter discards updates.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n may be any non-negative delta; negative deltas are
+// ignored to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float metric. The nil Gauge discards
+// updates.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value (0 for the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed ascending bucket layout
+// (upper bounds, with an implicit +Inf overflow bucket). The layout is
+// fixed at registration so concurrent observers never resize anything;
+// all updates are atomic. The nil Histogram discards observations.
+type Histogram struct {
+	name    string
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	n       atomic.Int64
+	sumBits atomic.Uint64 // float64 sum maintained by CAS
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for the nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values (0 for the nil Histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// LatencyBuckets is the fixed layout for second-denominated latencies
+// and durations: 100µs to ~100s, roughly ×3 per step.
+func LatencyBuckets() []float64 {
+	return []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10, 30, 100}
+}
+
+// IterationBuckets is the fixed layout for iteration and sample
+// counts: powers of two up to 256.
+func IterationBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// Registry owns a namespace of metrics. Handle resolution (Counter,
+// Gauge, Histogram) takes a lock and should happen once per
+// instrumentation site; the returned handles update lock-free. The nil
+// Registry resolves every name to the nil handle of the right type, so
+// call sites need no own guards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket layout on first use (later calls reuse the existing layout).
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		h = &Histogram{
+			name:   name,
+			bounds: bounds,
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Bucket is one histogram bucket in a snapshot: the count of
+// observations at or below UpperBound (non-cumulative per bucket; the
+// +Inf overflow bucket has UpperBound = math.Inf(1)).
+type Bucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// Metric is one metric's snapshot.
+type Metric struct {
+	Name string
+	Kind string // "counter", "gauge", "histogram"
+	// Value is the counter count or gauge level; for histograms it is
+	// the mean observation (0 when empty).
+	Value float64
+	// Histogram-only fields.
+	Count   int64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Snapshot returns every metric, sorted by name (kind breaks ties), so
+// exports and comparisons are deterministic.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+		if m.Count > 0 {
+			m.Value = m.Sum / float64(m.Count)
+		}
+		for i := range h.counts {
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			m.Buckets = append(m.Buckets, Bucket{UpperBound: ub, Count: h.counts[i].Load()})
+		}
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

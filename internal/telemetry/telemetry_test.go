@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clite/internal/par"
+)
+
+// The registry must hold exact counts when hammered from concurrent
+// workers — the cluster pipeline and par.ForEach both write into it.
+func TestRegistryConcurrentExactCounts(t *testing.T) {
+	reg := NewRegistry()
+	const workers, perWorker = 8, 10_000
+	c := reg.Counter("test_total")
+	h := reg.Histogram("test_hist", IterationBuckets())
+	par.ForEach(workers, workers, func(w int) {
+		// Half the workers resolve their own handles mid-flight, which
+		// must return the same underlying metric.
+		local := c
+		if w%2 == 0 {
+			local = reg.Counter("test_total")
+		}
+		for i := 0; i < perWorker; i++ {
+			local.Inc()
+			h.Observe(float64(i % 300))
+			reg.Gauge("test_gauge").Set(float64(w))
+		}
+	})
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	wantSum := 0.0
+	for i := 0; i < perWorker; i++ {
+		wantSum += float64(i % 300)
+	}
+	wantSum *= workers
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+	// Bucket totals must equal the observation count (no lost updates).
+	var bucketTotal int64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "test_hist" {
+			for _, bk := range m.Buckets {
+				bucketTotal += bk.Count
+			}
+		}
+	}
+	if bucketTotal != workers*perWorker {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, workers*perWorker)
+	}
+}
+
+// Disabled telemetry must be free: nil handles swallow calls with zero
+// allocations, which is what keeps CLITERun's disabled path identical
+// to the uninstrumented build.
+func TestNilHandlesZeroAlloc(t *testing.T) {
+	var (
+		tr  *Tracer
+		reg *Registry
+		c   *Counter
+		g   *Gauge
+		h   *Histogram
+	)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Emit(BOIteration(3, 0.1, 0.8, 7))
+		tr.Emit(ObservationWindow(2.0, 1, false))
+		tr.Emit(QoSViolation(2.0, 0, 0.004, 0.003))
+		id := tr.Begin("screen", 1)
+		tr.End("screen", 1, id, 4, true)
+		tr.Merge(nil, 0)
+		c.Inc()
+		c.Add(5)
+		g.Set(1.5)
+		h.Observe(0.25)
+		_ = reg.Counter("x")
+		_ = reg.Gauge("y")
+		_ = reg.Histogram("z", nil)
+		_ = reg.Snapshot()
+		_ = tr.Events()
+		_ = tr.Len()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-guarded telemetry allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestTracerStepsMonotonic(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(BOIteration(0, 0.5, 0.2, 1))
+	id := tr.Begin("assess", -1)
+	tr.Emit(PlacementPhase("prefilter", 2, 3, true))
+	tr.End("assess", -1, id, 3, true)
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	for i, ev := range events {
+		if ev.Step != int64(i)+1 {
+			t.Errorf("event %d has step %d", i, ev.Step)
+		}
+	}
+	if events[1].Span != events[3].Span || events[1].Span == 0 {
+		t.Errorf("span ids unmatched: begin=%d end=%d", events[1].Span, events[3].Span)
+	}
+	if events[0].Iter != 0 || events[0].Job != -1 {
+		t.Errorf("BOIteration fields: %+v", events[0])
+	}
+}
+
+// Merge must re-stamp steps and span ids so a merged stream looks like
+// it was recorded on the destination tracer, and must tag node-less
+// events with the committing node.
+func TestMergeRestampsAndTagsNode(t *testing.T) {
+	dst := NewTracer()
+	dst.Begin("a", -1) // span 1, step 1
+	src := NewTracer()
+	sid := src.Begin("screen", -1)
+	src.Emit(BOIteration(0, 0.4, 0.1, 2))
+	src.End("screen", -1, sid, 2, true)
+	dst.Merge(src, 3)
+
+	events := dst.Events()
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	for i, ev := range events {
+		if ev.Step != int64(i)+1 {
+			t.Errorf("event %d step = %d after merge", i, ev.Step)
+		}
+	}
+	if events[1].Span != 2 || events[3].Span != 2 {
+		t.Errorf("merged span not re-based: begin=%d end=%d", events[1].Span, events[3].Span)
+	}
+	for _, ev := range events[1:] {
+		if ev.Node != 3 {
+			t.Errorf("merged event not tagged with node: %+v", ev)
+		}
+	}
+	// A later span on dst must not collide with the merged ids.
+	if id := dst.Begin("b", -1); id != 3 {
+		t.Errorf("next span id = %d, want 3", id)
+	}
+}
+
+// The same sequence of emits must serialize to the same bytes — the
+// foundation of the cross-run JSONL determinism tests at higher
+// layers.
+func TestJSONLDeterministic(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer()
+		tr.Emit(BOIteration(1, 0.25, 0.75, 4))
+		tr.Emit(QoSViolation(1.5, 2, 0.0041, 0.0030))
+		tr.Emit(Termination("ei-drop", 12, 0.81))
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("JSONL streams differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), `"kind":"bo-iteration"`) {
+		t.Errorf("missing bo-iteration line:\n%s", a.String())
+	}
+	if lines := strings.Count(a.String(), "\n"); lines != 3 {
+		t.Errorf("want 3 lines, got %d", lines)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cluster_placements_total").Add(3)
+	reg.Gauge("bo_best_score").Set(0.82)
+	h := reg.Histogram("bo_acq_seconds", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	out := reg.PrometheusText()
+	for _, want := range []string{
+		"# TYPE bo_acq_seconds histogram",
+		`bo_acq_seconds_bucket{le="0.001"} 1`,
+		`bo_acq_seconds_bucket{le="+Inf"} 2`,
+		"bo_acq_seconds_count 2",
+		"# TYPE bo_best_score gauge",
+		"bo_best_score 0.82",
+		"# TYPE cluster_placements_total counter",
+		"cluster_placements_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: snapshot order is sorted by name.
+	if out != reg.PrometheusText() {
+		t.Error("PrometheusText not deterministic")
+	}
+}
+
+func TestSummaryFiltersAndAligns(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("cluster_placements_total").Add(2)
+	reg.Counter("cluster_cache_hits_total").Add(7)
+	reg.Counter("bo_iterations_total").Add(40)
+	out := reg.Summary("cluster_")
+	if strings.Contains(out, "bo_iterations_total") {
+		t.Errorf("prefix filter leaked: %s", out)
+	}
+	if !strings.Contains(out, "cluster_placements_total") || !strings.Contains(out, "7") {
+		t.Errorf("summary missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows, got %d:\n%s", len(lines), out)
+	}
+	// Aligned: the value column starts at the same offset on each line.
+	if strings.Index(lines[0], "  2") < 0 && strings.Index(lines[0], "  7") < 0 {
+		t.Errorf("summary rows unaligned:\n%s", out)
+	}
+}
+
+func TestCountKindsAndKinds(t *testing.T) {
+	events := []Event{
+		BOIteration(0, 1, 0, 1),
+		BOIteration(1, 0.5, 0.2, 2),
+		Termination("stagnation", 5, 0.7),
+	}
+	counts := CountKinds(events)
+	if counts[KindBOIteration] != 2 || counts[KindTermination] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	kinds := Kinds(events)
+	if len(kinds) != 2 || kinds[0] != KindBOIteration {
+		t.Errorf("kinds = %v", kinds)
+	}
+}

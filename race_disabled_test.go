@@ -1,0 +1,5 @@
+//go:build !race
+
+package clite_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package clite_test
+
+// raceEnabled reports whether the race detector is compiled in; its
+// runtime adds measurement noise that exact allocation-count checks
+// must sidestep.
+const raceEnabled = true

@@ -1,18 +1,27 @@
-# Tier-1 verification: everything must build, vet clean, pass the full
-# test suite under the race detector (the concurrent cluster reschedule
+# Tier-1 verification: everything must build, vet clean, pass the
+# custom static-analysis suite (lint: determinism, error-wrapping and
+# telemetry-contract analyzers, DESIGN.md §11), pass the full test
+# suite under the race detector (the concurrent cluster reschedule
 # path is exercised by TestRescheduleIsDeterministic; the parallel
 # optimization paths by the byte-identity tests), keep the benchmark
 # harness runnable (benchsmoke), and keep the telemetry layer cheap
 # (teleoverhead: CLITERun with tracing on within 5% of off).
-.PHONY: tier1 build vet test race bench benchsmoke benchcompare benchfigs teleoverhead trace
+.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs teleoverhead trace fuzzsmoke
 
-tier1: build vet race benchsmoke teleoverhead
+tier1: build vet lint race benchsmoke teleoverhead
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# lint runs the repo's own analyzers (cmd/lint multichecker over
+# internal/analysis: detrand, maporder, errwrap, telnil, floateq) and
+# fails on any unsuppressed finding. Suppressions are site-by-site
+# `//lint:allow <rule> <reason>` directives with a mandatory reason.
+lint:
+	go run ./cmd/lint ./...
 
 test:
 	go test ./...
@@ -49,6 +58,14 @@ teleoverhead:
 # registry dump) from the quickstart co-location run.
 trace:
 	go run ./cmd/clite -lc memcached:0.3 -lc img-dnn:0.2 -bg streamcluster -trace trace.jsonl -metrics
+
+# fuzzsmoke gives each native fuzz target a few seconds from its
+# seeded corpus: profile mix-key canonicalization (quantize/Store/
+# LookupNear round-trip) and linalg Cholesky append-vs-refit
+# byte-identity.
+fuzzsmoke:
+	go test -run '^$$' -fuzz FuzzMixKeyRoundTrip -fuzztime 5s ./internal/profile
+	go test -run '^$$' -fuzz FuzzCholAppendVsRefit -fuzztime 5s ./internal/linalg
 
 # benchfigs times regenerating every paper figure once.
 benchfigs:

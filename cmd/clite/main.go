@@ -333,7 +333,7 @@ func parseLC(spec string) (string, float64, error) {
 	}
 	load, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil {
-		return "", 0, fmt.Errorf("bad load in -lc %q: %v", spec, err)
+		return "", 0, fmt.Errorf("bad load in -lc %q: %w", spec, err)
 	}
 	return parts[0], load, nil
 }

@@ -1,0 +1,92 @@
+// Command lint is the repo's custom multichecker: it runs the
+// internal/analysis suite (detrand, maporder, errwrap, telnil,
+// floateq — see DESIGN.md §11) over the named package patterns and
+// fails on any unsuppressed finding.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...
+//
+// Findings print one per line as
+//
+//	file:line: [rule] message
+//
+// Suppression is site-by-site via a mandatory-reason directive on the
+// offending line or the line directly above:
+//
+//	//lint:allow <rule> <reason>
+//
+// The closing summary counts suppressions and calls out malformed
+// (reason-less) and unused directives; malformed directives fail the
+// run exactly like findings. make lint wires this into tier1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"clite/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: 0 for a clean tree, 1 for
+// findings or malformed directives, 2 for usage/load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("lint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	quiet := flags.Bool("q", false, "suppress the summary line")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		fmt.Fprintln(stderr, "usage: lint [-q] <packages>   (e.g. lint ./...)")
+		return 2
+	}
+	pkgs, err := analysis.NewLoader().LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "lint:", err)
+		return 2
+	}
+	rep := analysis.Run(pkgs, analysis.Rules())
+	for _, f := range rep.Findings {
+		fmt.Fprintln(stdout, relativize(f).String())
+	}
+	for _, f := range rep.BadDirectives {
+		fmt.Fprintln(stdout, relativize(f).String())
+	}
+	if !*quiet {
+		for _, f := range rep.UnusedDirectives {
+			fmt.Fprintln(stderr, "note:", relativize(f).String())
+		}
+		fmt.Fprintln(stderr, rep.Summary())
+	}
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites the finding's filename relative to the working
+// directory so output is stable and clickable regardless of how the
+// pattern was spelled.
+func relativize(f analysis.Finding) analysis.Finding {
+	wd, err := os.Getwd()
+	if err != nil {
+		return f
+	}
+	abs, err := filepath.Abs(f.Pos.Filename)
+	if err != nil {
+		return f
+	}
+	if rel, err := filepath.Rel(wd, abs); err == nil && !filepath.IsAbs(rel) {
+		f.Pos.Filename = rel
+	}
+	return f
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fixtures = "../../internal/analysis/testdata/..."
+
+// TestFixtureTreeFails drives the whole binary body over the fixture
+// trees: exit 1, every known violation printed in file:line: [rule]
+// form, and the summary accounting for suppressions, the malformed
+// directive, and the stale allow.
+func TestFixtureTreeFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{fixtures}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code over fixtures: got %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"detrand/detrand.go:13: [detrand] wall-clock read time.Now",
+		"detrand/detrand.go:20: [detrand] wall-clock read time.Since",
+		"detrand/detrand.go:25: [detrand] global math/rand function rand.Intn",
+		"detrand/detrand.go:26: [detrand] ad-hoc generator rand.New",
+		"maporder/maporder.go:16: [maporder] append to keys inside map iteration",
+		"maporder/maporder.go:35: [maporder] fmt.Println inside map iteration",
+		"maporder/maporder.go:43: [maporder] telemetry Tracer.Emit inside map iteration",
+		"errwrap/errwrap.go:15: [errwrap] sentinel ErrWindowFailed compared with ==",
+		"errwrap/errwrap.go:23: [errwrap] sentinel ErrWindowFailed as a switch case",
+		"errwrap/errwrap.go:31: [errwrap] error err folded into fmt.Errorf without %w",
+		"telnil/telnil.go:20: [telnil] c.score() evaluates even when Histogram c.hist is nil",
+		"floateq/floateq.go:10: [floateq] exact float comparison prev == next",
+		"baddirective/baddirective.go:11: [detrand] wall-clock read time.Now",
+		"baddirective/baddirective.go:10: [directive] allow directive for rule detrand has no reason",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q\nstdout:\n%s", want, out)
+		}
+	}
+	// The suppressed twins must NOT be printed as findings.
+	for _, silent := range []string{
+		"detrand.go:14:", "maporder.go:47:", "errwrap.go:16:", "telnil.go:22:", "floateq.go:12:",
+	} {
+		if strings.Contains(out, silent) {
+			t.Errorf("stdout contains suppressed finding %q\nstdout:\n%s", silent, out)
+		}
+	}
+	sum := stderr.String()
+	if !strings.Contains(sum, "14 findings, 5 suppressed, 1 bad directives, 1 unused allows") {
+		t.Errorf("summary mismatch: %q", sum)
+	}
+	if !strings.Contains(sum, "allow directive for rule floateq suppressed nothing") {
+		t.Errorf("stale allow not noted: %q", sum)
+	}
+}
+
+// TestCleanPackagePasses exercises the zero exit on a package with no
+// findings, and that -q silences the summary.
+func TestCleanPackagePasses(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-q", "../../internal/qos"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code over internal/qos: got %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 || stderr.Len() != 0 {
+		t.Errorf("clean -q run should print nothing, got stdout %q stderr %q",
+			stdout.String(), stderr.String())
+	}
+}
+
+// TestUsageErrors covers the exit-2 paths: no patterns and a pattern
+// naming nothing loadable.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no-arg exit: got %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("no-arg run should print usage, got %q", stderr.String())
+	}
+	stderr.Reset()
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad pattern exit: got %d, want 2 (stderr %q)", code, stderr.String())
+	}
+}

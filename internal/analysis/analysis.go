@@ -1,0 +1,304 @@
+// Package analysis is the repo's custom static-analysis suite: a
+// zero-dependency (stdlib go/ast + go/parser + go/types only, no
+// golang.org/x/tools) set of analyzers that machine-check the
+// codebase's load-bearing invariants — deterministic replay of seeded
+// runs, the fault-taxonomy error-wrapping discipline, and the
+// allocation-free-when-disabled telemetry contract — on every
+// `make tier1` instead of only when a runtime byte-identity test
+// happens to drive the offending path.
+//
+// The suite is catalogued in DESIGN.md §11. The rules:
+//
+//   - detrand: no wall-clock or global math/rand in deterministic
+//     packages; internal/stats.RNG is the one sanctioned entropy
+//     source.
+//   - maporder: no map iteration whose body appends to an outer
+//     slice, emits telemetry, or writes output without a sort —
+//     the classic byte-identity killer.
+//   - errwrap: sentinel errors compared with errors.Is, never ==,
+//     and fmt.Errorf propagating an error must use %w.
+//   - telnil: telemetry handle calls whose arguments do work must be
+//     nil-guarded so disabled telemetry stays free.
+//   - floateq: no ==/!= between floats in the numeric packages
+//     outside approved tolerance helpers.
+//
+// Findings are suppressed site-by-site with a mandatory-reason
+// directive:
+//
+//	//lint:allow <rule> <reason>
+//
+// placed on the offending line or the line directly above it. The
+// cmd/lint driver counts suppressions in its summary and fails the
+// build on any unsuppressed finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at one source position.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the driver's file:line: [rule] message
+// format.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
+}
+
+// Pass is one rule's view of one type-checked package.
+type Pass struct {
+	Pkg *Package
+}
+
+// Rule is one analyzer. Run inspects the package and returns raw
+// findings; the runner applies scope filtering and suppression.
+type Rule struct {
+	Name string
+	Doc  string
+	// InScope reports whether the rule applies to the package with
+	// the given import path. Fixture trees (any path containing a
+	// "testdata" element) are always in scope so the driver's own
+	// tests can exercise scoped rules. A nil InScope means the rule
+	// applies everywhere.
+	InScope func(path string) bool
+	Run     func(*Pass) []Finding
+}
+
+// Rules returns the full suite in reporting order.
+func Rules() []*Rule {
+	return []*Rule{
+		DetRand(),
+		MapOrder(),
+		ErrWrap(),
+		TelNil(),
+		FloatEq(),
+	}
+}
+
+// detPackages are the packages whose seeded runs must replay
+// byte-identically (DESIGN.md §11). internal/stats is deliberately
+// absent: stats.RNG is the sanctioned seeded entropy source.
+var detPackages = []string{
+	"core", "bo", "gp", "cluster", "server",
+	"telemetry", "profile", "linalg", "optimize",
+}
+
+// numericPackages are the floating-point kernels where exact ==
+// comparisons are almost always a bug.
+var numericPackages = []string{"linalg", "gp", "bo", "optimize"}
+
+// hotPathPackages run inside the per-window controller loop, where
+// the telemetry layer's disabled-means-free contract is load-bearing.
+var hotPathPackages = []string{"core", "bo", "server", "cluster", "faults"}
+
+// scopeTo returns an InScope predicate matching the listed leaf
+// package names under internal/, plus every fixture tree.
+func scopeTo(names []string) func(string) bool {
+	return func(path string) bool {
+		if isFixturePath(path) {
+			return true
+		}
+		for _, n := range names {
+			if path == "clite/internal/"+n || strings.HasSuffix(path, "/internal/"+n) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// isFixturePath reports whether the import path points into a
+// testdata tree, which is always in scope for every rule.
+func isFixturePath(path string) bool {
+	for _, el := range strings.Split(path, "/") {
+		if el == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+// Report is the outcome of running the suite over a set of packages.
+type Report struct {
+	// Findings are the unsuppressed violations, sorted by position.
+	Findings []Finding
+	// Suppressed are violations matched by a valid allow directive.
+	Suppressed []Finding
+	// BadDirectives are malformed allow directives (missing rule or
+	// reason); they fail the run like findings do.
+	BadDirectives []Finding
+	// UnusedDirectives are well-formed allows that matched nothing;
+	// reported in the summary but not fatal, so a fix that removes a
+	// violation does not break the build before the allow is pruned.
+	UnusedDirectives []Finding
+}
+
+// Failed reports whether the run should exit non-zero.
+func (r Report) Failed() bool {
+	return len(r.Findings) > 0 || len(r.BadDirectives) > 0
+}
+
+// Summary renders the one-line closing count.
+func (r Report) Summary() string {
+	return fmt.Sprintf("lint: %d findings, %d suppressed, %d bad directives, %d unused allows",
+		len(r.Findings), len(r.Suppressed), len(r.BadDirectives), len(r.UnusedDirectives))
+}
+
+// Run executes every rule over every package, applies suppression
+// directives, and returns the sorted report.
+func Run(pkgs []*Package, rules []*Rule) Report {
+	var rep Report
+	for _, pkg := range pkgs {
+		sup := collectDirectives(pkg)
+		rep.BadDirectives = append(rep.BadDirectives, sup.bad...)
+		for _, rule := range rules {
+			if rule.InScope != nil && !rule.InScope(pkg.Path) {
+				continue
+			}
+			for _, f := range rule.Run(&Pass{Pkg: pkg}) {
+				if sup.allows(f) {
+					rep.Suppressed = append(rep.Suppressed, f)
+				} else {
+					rep.Findings = append(rep.Findings, f)
+				}
+			}
+		}
+		rep.UnusedDirectives = append(rep.UnusedDirectives, sup.unused()...)
+	}
+	for _, fs := range [][]Finding{rep.Findings, rep.Suppressed, rep.BadDirectives, rep.UnusedDirectives} {
+		sortFindings(fs)
+	}
+	return rep
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// --- shared AST/type helpers used by several rules ---
+
+// pkgNameOf resolves an identifier to the package it names, or nil.
+func (p *Pass) pkgNameOf(id *ast.Ident) *types.PkgName {
+	if obj, ok := p.Pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn
+		}
+	}
+	return nil
+}
+
+// typeOf returns the type of e, or nil.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// position converts a token.Pos.
+func (p *Pass) position(pos token.Pos) token.Position {
+	return p.Pkg.Fset.Position(pos)
+}
+
+// finding builds a Finding at pos.
+func (p *Pass) finding(rule string, pos token.Pos, format string, args ...any) Finding {
+	return Finding{Pos: p.position(pos), Rule: rule, Message: fmt.Sprintf(format, args...)}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// telemetryHandle reports whether t is a pointer to one of the
+// telemetry handle types (Tracer, Counter, Gauge, Histogram) from the
+// repo's telemetry package, and returns the type name.
+func telemetryHandle(t types.Type) (string, bool) {
+	pt, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := pt.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/telemetry") {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Tracer", "Counter", "Gauge", "Histogram":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// isTelemetryPkgFunc reports whether the call's callee is a function
+// from the telemetry package (the cheap by-value event constructors).
+func (p *Pass) isTelemetryPkgFunc(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn := p.pkgNameOf(id)
+	return pn != nil && strings.HasSuffix(pn.Imported().Path(), "internal/telemetry")
+}
+
+// isConversionOrBuiltin reports whether the call is a type conversion
+// or a call to a predeclared builtin (len, cap, int64(...), ...).
+func (p *Pass) isConversionOrBuiltin(call *ast.CallExpr) bool {
+	if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := p.Pkg.Info.Uses[fun]; ok {
+			if _, ok := obj.(*types.Builtin); ok {
+				return true
+			}
+			if _, ok := obj.(*types.TypeName); ok {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := p.Pkg.Info.Uses[fun.Sel]; ok {
+			if _, ok := obj.(*types.TypeName); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

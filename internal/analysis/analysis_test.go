@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader type-checks stdlib imports from source once per test
+// process; every fixture load reuses it.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+)
+
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loaderOnce.Do(func() { loader = NewLoader() })
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.Load(dir, "clite/internal/analysis/testdata/src/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no files", name)
+	}
+	return pkg
+}
+
+// expect is one expected raw finding: line number plus a fragment the
+// message must contain.
+type expect struct {
+	line int
+	frag string
+}
+
+// ruleByName fetches a rule from the shipped suite, so the tests
+// exercise exactly what cmd/lint runs.
+func ruleByName(t *testing.T, name string) *Rule {
+	t.Helper()
+	for _, r := range Rules() {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no rule %q in Rules()", name)
+	return nil
+}
+
+// TestRuleFixtures asserts the exact findings each rule raises on its
+// fixture package, before suppression: every listed line must be
+// found, and nothing else may be.
+func TestRuleFixtures(t *testing.T) {
+	cases := []struct {
+		rule    string
+		fixture string
+		want    []expect
+	}{
+		{"detrand", "detrand", []expect{
+			{13, "wall-clock read time.Now"},
+			{14, "wall-clock read time.Now"}, // suppressed downstream, still a raw finding
+			{20, "wall-clock read time.Since"},
+			{25, "global math/rand function rand.Intn"},
+			{26, "ad-hoc generator rand.New"},
+			{26, "ad-hoc generator rand.NewSource"},
+		}},
+		{"maporder", "maporder", []expect{
+			{16, "append to keys inside map iteration"},
+			{35, "fmt.Println inside map iteration"},
+			{43, "telemetry Tracer.Emit inside map iteration"},
+			{47, "telemetry Tracer.Emit inside map iteration"}, // suppressed downstream
+		}},
+		{"errwrap", "errwrap", []expect{
+			{15, "sentinel ErrWindowFailed compared with =="},
+			{16, "sentinel ErrWindowFailed compared with !="}, // suppressed downstream
+			{23, "sentinel ErrWindowFailed as a switch case"},
+			{31, "error err folded into fmt.Errorf without %w"},
+		}},
+		{"telnil", "telnil", []expect{
+			{20, "c.score() evaluates even when Histogram c.hist is nil"},
+			{22, "c.score() evaluates even when Tracer c.trace is nil"}, // suppressed downstream
+		}},
+		{"floateq", "floateq", []expect{
+			{10, "exact float comparison prev == next"},
+			{12, "exact float comparison prev != next"}, // suppressed downstream
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			pkg := fixture(t, tc.fixture)
+			got := ruleByName(t, tc.rule).Run(&Pass{Pkg: pkg})
+			sortFindings(got)
+			if len(got) != len(tc.want) {
+				for _, f := range got {
+					t.Logf("got: %s", f)
+				}
+				t.Fatalf("%s: got %d findings, want %d", tc.rule, len(got), len(tc.want))
+			}
+			for i, w := range tc.want {
+				f := got[i]
+				if f.Pos.Line != w.line || !strings.Contains(f.Message, w.frag) {
+					t.Errorf("%s finding %d: got line %d %q, want line %d containing %q",
+						tc.rule, i, f.Pos.Line, f.Message, w.line, w.frag)
+				}
+				if f.Rule != tc.rule {
+					t.Errorf("finding %d tagged %q, want %q", i, f.Rule, tc.rule)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppression runs the full suite through Run, which applies the
+// allow directives: each fixture carries exactly one suppressed
+// finding, and suppression must not eat the unsuppressed ones.
+func TestSuppression(t *testing.T) {
+	cases := []struct {
+		fixture        string
+		findings       int
+		suppressed     int
+		badDirectives  int
+		unusedAllows   int
+		suppressedRule string
+	}{
+		{"detrand", 5, 1, 0, 0, "detrand"},
+		{"maporder", 3, 1, 0, 0, "maporder"},
+		{"errwrap", 3, 1, 0, 0, "errwrap"},
+		{"telnil", 1, 1, 0, 0, "telnil"},
+		{"floateq", 1, 1, 0, 0, "floateq"},
+		{"baddirective", 1, 0, 1, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			pkg := fixture(t, tc.fixture)
+			rep := Run([]*Package{pkg}, Rules())
+			if len(rep.Findings) != tc.findings {
+				for _, f := range rep.Findings {
+					t.Logf("finding: %s", f)
+				}
+				t.Errorf("findings: got %d, want %d", len(rep.Findings), tc.findings)
+			}
+			if len(rep.Suppressed) != tc.suppressed {
+				t.Errorf("suppressed: got %d, want %d", len(rep.Suppressed), tc.suppressed)
+			}
+			if len(rep.BadDirectives) != tc.badDirectives {
+				t.Errorf("bad directives: got %d, want %d", len(rep.BadDirectives), tc.badDirectives)
+			}
+			if len(rep.UnusedDirectives) != tc.unusedAllows {
+				t.Errorf("unused allows: got %d, want %d", len(rep.UnusedDirectives), tc.unusedAllows)
+			}
+			if tc.suppressedRule != "" && len(rep.Suppressed) > 0 &&
+				rep.Suppressed[0].Rule != tc.suppressedRule {
+				t.Errorf("suppressed rule: got %q, want %q", rep.Suppressed[0].Rule, tc.suppressedRule)
+			}
+			if !rep.Failed() {
+				t.Error("report with findings should fail")
+			}
+		})
+	}
+}
+
+// TestScope pins the package lists the scoped rules guard, so a
+// refactor cannot silently drop a package out of the determinism set.
+func TestScope(t *testing.T) {
+	det := ruleByName(t, "detrand")
+	for _, p := range []string{"core", "bo", "gp", "cluster", "server", "telemetry", "profile", "linalg", "optimize"} {
+		if !det.InScope("clite/internal/" + p) {
+			t.Errorf("detrand must cover clite/internal/%s", p)
+		}
+	}
+	for _, p := range []string{"stats", "harness", "policies"} {
+		if det.InScope("clite/internal/" + p) {
+			t.Errorf("detrand must not cover clite/internal/%s (stats owns the RNG; harness/policies are not replay-critical)", p)
+		}
+	}
+	if !det.InScope("clite/internal/analysis/testdata/src/anything") {
+		t.Error("fixture trees must always be in scope")
+	}
+	fe := ruleByName(t, "floateq")
+	if fe.InScope("clite/internal/server") {
+		t.Error("floateq is scoped to the numeric kernels, not server")
+	}
+	if !fe.InScope("clite/internal/linalg") {
+		t.Error("floateq must cover linalg")
+	}
+}
+
+// TestDirectiveGrammar covers the parser corners: missing rule,
+// missing reason, and the one-line-above placement.
+func TestDirectiveGrammar(t *testing.T) {
+	pkg := fixture(t, "baddirective")
+	sup := collectDirectives(pkg)
+	if len(sup.bad) != 1 {
+		t.Fatalf("bad directives: got %d, want 1", len(sup.bad))
+	}
+	if !strings.Contains(sup.bad[0].Message, "no reason") {
+		t.Errorf("bad directive message %q should name the missing reason", sup.bad[0].Message)
+	}
+	if len(sup.all) != 1 {
+		t.Fatalf("parsed directives: got %d, want 1 (the stale one)", len(sup.all))
+	}
+	if sup.all[0].rule != "floateq" || sup.all[0].reason == "" {
+		t.Errorf("stale directive parsed as rule=%q reason=%q", sup.all[0].rule, sup.all[0].reason)
+	}
+}

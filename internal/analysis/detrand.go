@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetRand enforces the determinism contract's entropy rule: the
+// packages whose seeded runs must replay byte-identically may not
+// read the wall clock (time.Now / Since / Until) or draw from
+// math/rand — global functions, rand.New, or the package import at
+// all. internal/stats.RNG is the single sanctioned entropy source;
+// every component splits its own stream off a root seed there.
+//
+// Wall-clock reads that feed metrics only (never the deterministic
+// trace) are suppressed site-by-site, e.g. the acquisition-latency
+// histogram in internal/bo.
+func DetRand() *Rule {
+	return &Rule{
+		Name:    "detrand",
+		Doc:     "no wall clock or math/rand in deterministic packages; use internal/stats.RNG",
+		InScope: scopeTo(detPackages),
+		Run:     runDetRand,
+	}
+}
+
+// clockFuncs are the time package functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDetRand(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		randUsed := map[string]bool{} // local name of a math/rand import that had selector uses
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn := p.pkgNameOf(id)
+			if pn == nil {
+				return true
+			}
+			switch path := pn.Imported().Path(); {
+			case path == "time" && clockFuncs[sel.Sel.Name]:
+				out = append(out, p.finding("detrand", sel.Pos(),
+					"wall-clock read time.%s in deterministic package %s; use simulated time (or //lint:allow with a metrics-only rationale)",
+					sel.Sel.Name, leafName(p.Pkg.Path)))
+			case path == "math/rand" || path == "math/rand/v2":
+				randUsed[id.Name] = true
+				what := "global math/rand function rand." + sel.Sel.Name
+				if sel.Sel.Name == "New" || sel.Sel.Name == "NewSource" || sel.Sel.Name == "NewPCG" {
+					what = "ad-hoc generator rand." + sel.Sel.Name
+				}
+				out = append(out, p.finding("detrand", sel.Pos(),
+					"%s in deterministic package %s; internal/stats.RNG is the sanctioned seeded stream",
+					what, leafName(p.Pkg.Path)))
+			}
+			return true
+		})
+		// An unused (blank or side-effect) math/rand import is still a
+		// smell worth one finding so it cannot hide.
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			name := "rand"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if !randUsed[name] {
+				out = append(out, p.finding("detrand", imp.Pos(),
+					"math/rand imported in deterministic package %s; internal/stats.RNG is the sanctioned seeded stream",
+					leafName(p.Pkg.Path)))
+			}
+		}
+	}
+	return out
+}
+
+// leafName returns the last element of an import path.
+func leafName(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

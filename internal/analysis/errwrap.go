@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the fault-taxonomy discipline from the resilience
+// layer: sentinel errors (package-level `var ErrX = errors.New(...)`
+// values like server.ErrObservationFailed, server.ErrNodeFailed,
+// cluster.ErrUnplaceable) travel through retry/fallback layers
+// wrapped in context, so
+//
+//   - comparing a sentinel with == or != (or a switch case) misses
+//     every wrapped occurrence; errors.Is is mandatory, and
+//   - fmt.Errorf that folds an error into a new message must use %w,
+//     or the taxonomy match downstream silently breaks.
+func ErrWrap() *Rule {
+	return &Rule{
+		Name: "errwrap",
+		Doc:  "sentinel errors need errors.Is, and fmt.Errorf propagation needs %w",
+		Run:  runErrWrap,
+	}
+}
+
+func runErrWrap(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+					if name, ok := p.sentinelError(pair[0]); ok && !isNilIdent(pair[1]) {
+						out = append(out, p.finding("errwrap", n.Pos(),
+							"sentinel %s compared with %s; wrapped errors never match — use errors.Is(err, %s)",
+							name, n.Op, name))
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(p.typeOf(n.Tag)) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if name, ok := p.sentinelError(v); ok {
+							out = append(out, p.finding("errwrap", v.Pos(),
+								"sentinel %s as a switch case; wrapped errors never match — use errors.Is", name))
+						}
+					}
+				}
+			case *ast.CallExpr:
+				out = append(out, p.checkErrorf(n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sentinelError reports whether e references a package-level error
+// variable following the ErrX naming convention.
+func (p *Pass) sentinelError(e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	name := ""
+	switch e := e.(type) {
+	case *ast.Ident:
+		id, name = e, e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok && p.pkgNameOf(x) != nil {
+			id, name = e.Sel, x.Name+"."+e.Sel.Name
+		}
+	}
+	if id == nil || !strings.HasPrefix(id.Name, "Err") || len(id.Name) < 4 {
+		return "", false
+	}
+	obj, ok := p.Pkg.Info.Uses[id].(*types.Var)
+	if !ok || obj.Parent() == nil || obj.Parent().Parent() != types.Universe {
+		return "", false
+	}
+	if !isErrorType(obj.Type()) {
+		return "", false
+	}
+	return name, true
+}
+
+// checkErrorf flags fmt.Errorf calls that pass an error argument
+// without a %w verb in a constant format string.
+func (p *Pass) checkErrorf(call *ast.CallExpr) []Finding {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return nil
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pn := p.pkgNameOf(x); pn == nil || pn.Imported().Path() != "fmt" {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil // non-constant format: cannot see the verbs
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return nil
+	}
+	var out []Finding
+	for _, arg := range call.Args[1:] {
+		t := p.typeOf(arg)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if tv, ok := p.Pkg.Info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		out = append(out, p.finding("errwrap", arg.Pos(),
+			"error %s folded into fmt.Errorf without %%w; downstream errors.Is against the fault taxonomy breaks",
+			types.ExprString(arg)))
+	}
+	return out
+}

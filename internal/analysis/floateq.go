@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags == and != between floating-point expressions in the
+// numeric kernels (linalg, gp, bo, optimize), where accumulated
+// rounding makes exact comparison a latent bug. Two escapes:
+//
+//   - the NaN idiom x != x is structurally recognized;
+//   - approved tolerance helpers (functions whose name contains
+//     "approx", "almost", "tol", or "close") may compare exactly,
+//     since that is where the epsilon logic lives.
+//
+// Intentional exact comparisons elsewhere (bit-exact sentinels,
+// comparisons against a stored copy of the same computation) take a
+// //lint:allow floateq with the rationale.
+func FloatEq() *Rule {
+	return &Rule{
+		Name:    "floateq",
+		Doc:     "no exact float ==/!= in numeric packages outside tolerance helpers",
+		InScope: scopeTo(numericPackages),
+		Run:     runFloatEq,
+	}
+}
+
+func runFloatEq(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if toleranceHelper(fn.Name.Name) || fn.Body == nil {
+				return true
+			}
+			ast.Inspect(fn.Body, func(m ast.Node) bool {
+				be, ok := m.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !p.isFloat(be.X) || !p.isFloat(be.Y) {
+					return true
+				}
+				if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // x != x: the NaN check idiom
+				}
+				out = append(out, p.finding("floateq", be.Pos(),
+					"exact float comparison %s %s %s; use a tolerance helper (or //lint:allow floateq with the bit-exactness rationale)",
+					types.ExprString(be.X), be.Op, types.ExprString(be.Y)))
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// toleranceHelper reports whether the function name marks an approved
+// epsilon-comparison helper.
+func toleranceHelper(name string) bool {
+	l := strings.ToLower(name)
+	for _, frag := range []string{"approx", "almost", "tol", "close"} {
+		if strings.Contains(l, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether e has floating-point type.
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.typeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package as the rules see it:
+// non-test files only (the rules guard shipping code; tests freely
+// use exact comparisons and wall clocks).
+type Package struct {
+	Dir   string
+	Path  string // module-qualified import path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages. One Loader shares a
+// FileSet and a source importer across all packages it loads, so the
+// (expensive) from-source type checking of stdlib and intra-repo
+// imports happens once per process.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer —
+// the only importer that needs neither compiled export data nor any
+// dependency outside the standard library.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Load parses the non-test .go files in dir and type-checks them as
+// the package with the given import path.
+func (l *Loader) Load(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	return &Package{Dir: dir, Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadPatterns expands go-style package patterns (a directory, or a
+// directory suffixed with /... for a recursive walk) relative to the
+// working directory and loads every package they name. Like the go
+// tool, the recursive form skips testdata, vendor, hidden, and
+// underscore-prefixed directories; naming a testdata directory
+// explicitly (or walking a pattern rooted inside one) does load it,
+// which is how the driver's own tests lint the fixture trees.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			rec = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		if !rec {
+			dirs[filepath.Clean(pat)] = true
+			continue
+		}
+		err := filepath.WalkDir(pat, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := d.Name()
+			if p != pat && (base == "testdata" || base == "vendor" ||
+				strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				dirs[filepath.Clean(p)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	var pkgs []*Package
+	for _, dir := range sorted {
+		path, err := importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.Load(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a buildable
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") &&
+			!strings.HasSuffix(n, "_test.go") && !strings.HasPrefix(n, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor derives the module-qualified import path of dir by
+// locating the enclosing go.mod.
+func importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			mod := modulePath(string(data))
+			if mod == "" {
+				return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil {
+				return "", err
+			}
+			if rel == "." {
+				return mod, nil
+			}
+			return mod + "/" + filepath.ToSlash(rel), nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		root = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

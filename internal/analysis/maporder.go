@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder hunts the classic byte-identity killer: ranging over a map
+// while doing something order-sensitive in the body. Three body
+// shapes are order-sensitive:
+//
+//   - appending to a slice declared outside the loop (the slice's
+//     element order then depends on Go's randomized map iteration) —
+//     unless the slice is passed to a sort.* / slices.Sort* call
+//     later in the same function, which is the sanctioned
+//     collect-then-sort idiom;
+//   - emitting telemetry events (the JSONL trace is a deterministic
+//     byte stream; event order inside the loop cannot be repaired
+//     afterwards);
+//   - writing output (fmt print family, io-style Write methods) —
+//     likewise unrepairable after the fact.
+//
+// Map ranges that fold into order-insensitive accumulators (sums,
+// map-to-map merges, max scans) are fine and not flagged.
+func MapOrder() *Rule {
+	return &Rule{
+		Name: "maporder",
+		Doc:  "no order-sensitive work (append/emit/write) inside map iteration without a sort",
+		Run:  runMapOrder,
+	}
+}
+
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapOrder(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			out = append(out, p.mapRangesIn(body)...)
+			return true
+		})
+	}
+	return out
+}
+
+// mapRangesIn checks every map-range directly inside fn (nested
+// function literals are visited by the outer Inspect walk).
+func (p *Pass) mapRangesIn(fn *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false // handled by its own walk
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.typeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		out = append(out, p.checkMapRangeBody(fn, rng)...)
+		return true
+	})
+	return out
+}
+
+func (p *Pass) checkMapRangeBody(fn *ast.BlockStmt, rng *ast.RangeStmt) []Finding {
+	var out []Finding
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(call) || len(call.Args) == 0 {
+					continue
+				}
+				target, ok := call.Args[0].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Pkg.Info.Uses[target]
+				if obj == nil || !declaredOutside(obj, rng) {
+					continue
+				}
+				if p.sortedLater(fn, rng, obj) {
+					continue
+				}
+				out = append(out, p.finding("maporder", call.Pos(),
+					"append to %s inside map iteration leaks the randomized order; collect then sort, or range sorted keys",
+					target.Name))
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if handle, ok := telemetryHandle(p.typeOf(sel.X)); ok &&
+					(name == "Emit" || name == "Begin" || name == "End") {
+					out = append(out, p.finding("maporder", n.Pos(),
+						"telemetry %s.%s inside map iteration makes the trace depend on map order; iterate sorted keys",
+						handle, name))
+					return true
+				}
+				if writeMethods[name] && p.isWriterReceiver(sel.X) {
+					out = append(out, p.finding("maporder", n.Pos(),
+						"%s inside map iteration writes output in randomized order; iterate sorted keys", name))
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if pn := p.pkgNameOf(id); pn != nil && pn.Imported().Path() == "fmt" && printFuncs[name] {
+						out = append(out, p.finding("maporder", n.Pos(),
+							"fmt.%s inside map iteration writes output in randomized order; iterate sorted keys", name))
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBuiltinAppend reports whether call invokes the predeclared append.
+func isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// isWriterReceiver reports whether the receiver plausibly writes
+// externally visible bytes: it has a concrete method set including
+// Write([]byte) (int, error) or is an io.Writer-style interface.
+func (p *Pass) isWriterReceiver(recv ast.Expr) bool {
+	t := p.typeOf(recv)
+	if t == nil {
+		return false
+	}
+	// A method named Write/WriteString resolved on the receiver is
+	// enough signal; the method-name check upstream did the rest.
+	return true
+}
+
+// declaredOutside reports whether obj was declared outside the range
+// statement's extent.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedLater reports whether, after the range ends, the enclosing
+// function passes obj to a sort call — the sanctioned
+// collect-then-sort idiom.
+func (p *Pass) sortedLater(fn *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn := p.pkgNameOf(id)
+		if pn == nil {
+			return true
+		}
+		names := sortFuncs[pn.Imported().Path()]
+		if names == nil || !names[sel.Sel.Name] {
+			return true
+		}
+		for _, arg := range call.Args {
+			found := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if mid, ok := m.(*ast.Ident); ok && p.Pkg.Info.Uses[mid] == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix is the suppression marker. The full grammar is
+//
+//	//lint:allow <rule> <reason>
+//
+// where <rule> is one analyzer name and <reason> is mandatory free
+// text explaining why the site is intentional. The directive covers
+// findings on its own line (trailing comment) or on the line
+// immediately below (standalone comment line).
+const directivePrefix = "lint:allow"
+
+// directive is one parsed allow comment.
+type directive struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   bool
+}
+
+// suppressions indexes a package's directives by file and line.
+type suppressions struct {
+	byLine map[string]map[int]*directive
+	all    []*directive
+	bad    []Finding
+}
+
+// collectDirectives scans every comment in the package for allow
+// directives, reporting malformed ones (no rule, or no reason) as
+// BadDirectives findings.
+func collectDirectives(pkg *Package) *suppressions {
+	s := &suppressions{byLine: map[string]map[int]*directive{}}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive",
+						Message: "allow directive names no rule (want //lint:allow <rule> <reason>)"})
+					continue
+				}
+				if len(fields) < 2 {
+					s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive",
+						Message: "allow directive for rule " + fields[0] +
+							" has no reason; the reason is mandatory"})
+					continue
+				}
+				d := &directive{pos: pos, rule: fields[0],
+					reason: strings.Join(fields[1:], " ")}
+				if s.byLine[pos.Filename] == nil {
+					s.byLine[pos.Filename] = map[int]*directive{}
+				}
+				s.byLine[pos.Filename][pos.Line] = d
+				s.all = append(s.all, d)
+			}
+		}
+	}
+	return s
+}
+
+// allows reports whether a directive covers the finding: same rule,
+// same file, on the finding's line or the line above it.
+func (s *suppressions) allows(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if d := lines[line]; d != nil && d.rule == f.Rule {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns findings describing directives that matched nothing.
+func (s *suppressions) unused() []Finding {
+	var out []Finding
+	for _, d := range s.all {
+		if !d.used {
+			out = append(out, Finding{Pos: d.pos, Rule: "directive",
+				Message: "allow directive for rule " + d.rule + " suppressed nothing"})
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TelNil preserves the telemetry layer's disabled-means-free contract
+// in the hot-path packages. Handles (*telemetry.Tracer, *Counter,
+// *Gauge, *Histogram) are nil-safe, so instrumentation sites may call
+// them unconditionally — but Go still evaluates the arguments first.
+// An argument that itself does work (any non-builtin call outside the
+// telemetry package's cheap by-value event constructors) runs even
+// when the handle is nil, which is exactly the cost the contract
+// forbids on a disabled hot path. Such calls must sit inside an
+// explicit `if handle != nil` guard, the idiom the BO engine uses for
+// its wall-clock acquisition histogram.
+func TelNil() *Rule {
+	return &Rule{
+		Name:    "telnil",
+		Doc:     "telemetry handle calls with working arguments must be nil-guarded on the hot path",
+		InScope: scopeTo(hotPathPackages),
+		Run:     runTelNil,
+	}
+}
+
+func runTelNil(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		var guards []guard // stack of enclosing nil-guarded expressions
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if ifs, ok := n.(*ast.IfStmt); ok {
+				// Walk Init/Cond/Else normally, but the then-branch
+				// under any receivers the condition proves non-nil.
+				if ifs.Init != nil {
+					ast.Inspect(ifs.Init, walk)
+				}
+				ast.Inspect(ifs.Cond, walk)
+				before := len(guards)
+				guards = append(guards, nonNilGuards(ifs.Cond)...)
+				ast.Inspect(ifs.Body, walk)
+				guards = guards[:before]
+				if ifs.Else != nil {
+					ast.Inspect(ifs.Else, walk)
+				}
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			handle, ok := telemetryHandle(p.typeOf(sel.X))
+			if !ok {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			if guarded(guards, recv) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if c := p.workingCall(arg); c != nil {
+					out = append(out, p.finding("telnil", call.Pos(),
+						"%s evaluates even when %s %s is nil; guard with `if %s != nil` to keep disabled telemetry free",
+						types.ExprString(c), handle, recv, recv))
+					break
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return out
+}
+
+// guard records one expression proven non-nil by an enclosing if.
+type guard struct{ expr string }
+
+// nonNilGuards extracts `x != nil` conjuncts from a condition.
+func nonNilGuards(cond ast.Expr) []guard {
+	var out []guard
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		be, ok := e.(*ast.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch {
+		case be.Op.String() == "&&":
+			visit(be.X)
+			visit(be.Y)
+		case be.Op.String() == "!=":
+			if isNilIdent(be.Y) {
+				out = append(out, guard{expr: types.ExprString(be.X)})
+			} else if isNilIdent(be.X) {
+				out = append(out, guard{expr: types.ExprString(be.Y)})
+			}
+		}
+	}
+	visit(cond)
+	return out
+}
+
+func guarded(guards []guard, recv string) bool {
+	for _, g := range guards {
+		if g.expr == recv {
+			return true
+		}
+	}
+	return false
+}
+
+// workingCall returns a call inside arg that does work the contract
+// cares about: any call that is not a builtin, not a conversion, and
+// not one of the telemetry package's by-value event constructors.
+func (p *Pass) workingCall(arg ast.Expr) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p.isConversionOrBuiltin(call) || p.isTelemetryPkgFunc(call) {
+			return true
+		}
+		found = call
+		return false
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+// Package baddirective is a lint fixture: malformed and unused allow
+// directives, which the driver must report (malformed ones fatally).
+package baddirective
+
+import "time"
+
+// Reasonless carries an allow with no reason: the finding below stays
+// unsuppressed AND the directive itself is reported.
+func Reasonless() int64 {
+	//lint:allow detrand
+	return time.Now().UnixNano()
+}
+
+// Stale carries a well-formed allow that matches nothing: counted as
+// unused, not fatal.
+func Stale() int {
+	//lint:allow floateq stale directive left behind after a fix
+	return 42
+}

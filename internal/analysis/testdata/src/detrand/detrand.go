@@ -1,0 +1,33 @@
+// Package detrand is a lint fixture: entropy-rule violations in a
+// package the driver treats as deterministic (testdata trees are
+// always in scope).
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock: one plain finding and one suppressed.
+func Stamp() (int64, int64) {
+	bad := time.Now().UnixNano()
+	ok := time.Now().UnixNano() //lint:allow detrand fixture demonstrating a suppressed metrics-only clock read
+	return bad, ok
+}
+
+// Elapsed uses the derived clock readers, which are wall reads too.
+func Elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds()
+}
+
+// Draw uses the global math/rand stream and an ad-hoc generator.
+func Draw() int {
+	n := rand.Intn(10)
+	r := rand.New(rand.NewSource(1))
+	return n + r.Intn(10)
+}
+
+// Deadline is fine: constructing a duration is not a clock read.
+func Deadline() time.Duration {
+	return 5 * time.Second
+}

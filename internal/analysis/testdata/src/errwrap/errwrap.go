@@ -1,0 +1,43 @@
+// Package errwrap is a lint fixture: sentinel comparisons outside
+// errors.Is and fmt.Errorf propagation without %w.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWindowFailed mimics the fault-taxonomy sentinels.
+var ErrWindowFailed = errors.New("errwrap fixture: window failed")
+
+// Compare hits the == and != forms: two findings, one suppressed.
+func Compare(err error) (bool, bool) {
+	eq := err == ErrWindowFailed
+	ne := err != ErrWindowFailed //lint:allow errwrap fixture demonstrating a suppressed bare comparison
+	return eq, ne
+}
+
+// Switched hits the switch-case form: finding.
+func Switched(err error) bool {
+	switch err {
+	case ErrWindowFailed:
+		return true
+	}
+	return false
+}
+
+// Propagate folds err in without %w: finding.
+func Propagate(err error) error {
+	return fmt.Errorf("observing window: %v", err)
+}
+
+// Wrapped uses %w and errors.Is: no findings.
+func Wrapped(err error) error {
+	if errors.Is(err, ErrWindowFailed) {
+		return fmt.Errorf("observing window: %w", err)
+	}
+	if err != nil { // nil checks are fine
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package floateq is a lint fixture: exact floating-point comparison
+// in a numeric kernel, plus the approved escapes.
+package floateq
+
+import "math"
+
+// Converged compares computed floats exactly: one plain finding and
+// one suppressed.
+func Converged(prev, next float64) bool {
+	bad := prev == next
+	//lint:allow floateq fixture demonstrating a suppressed bit-exact sentinel comparison
+	same := prev != next
+	return bad || same
+}
+
+// IsNaN uses the x != x idiom: no finding.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// approxEqual is an approved tolerance helper: exact comparison
+// inside it is where the epsilon logic lives. No finding.
+func approxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Near delegates to the helper: no finding.
+func Near(a, b float64) bool {
+	return approxEqual(a, b, 1e-9)
+}
+
+// Ints may compare exactly: no finding.
+func Ints(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,70 @@
+// Package maporder is a lint fixture: order-sensitive work inside
+// map iteration, plus the sanctioned collect-then-sort idiom.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"clite/internal/telemetry"
+)
+
+// Leak appends map keys in iteration order and never sorts: finding.
+func Leak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorted is the sanctioned idiom: collect, then sort. No finding.
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Print writes output mid-iteration: finding (a later sort cannot
+// repair bytes already written).
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Emit records telemetry events in map order: finding, plus a
+// suppressed twin.
+func Emit(tr *telemetry.Tracer, m map[int]float64) {
+	for job, p95 := range m {
+		tr.Emit(telemetry.QoSViolation(0, job, p95, 0))
+	}
+	for job, p95 := range m {
+		//lint:allow maporder fixture demonstrating a suppressed order-dependent emit
+		tr.Emit(telemetry.QoSViolation(0, job, p95, 0))
+	}
+}
+
+// Fold accumulates order-insensitively: no finding.
+func Fold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Local appends to a slice declared inside the loop body: no finding
+// (the slice dies each iteration, so order cannot leak).
+func Local(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		n += len(doubled)
+	}
+	return n
+}

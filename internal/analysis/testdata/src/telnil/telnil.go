@@ -1,0 +1,41 @@
+// Package telnil is a lint fixture: telemetry handle calls whose
+// arguments do work without a nil guard on the receiver.
+package telnil
+
+import "clite/internal/telemetry"
+
+// Controller mimics a hot-path struct holding telemetry handles.
+type Controller struct {
+	trace *telemetry.Tracer
+	hist  *telemetry.Histogram
+	iters *telemetry.Counter
+}
+
+// score stands in for a non-trivial computation.
+func (c *Controller) score() float64 { return 0.5 }
+
+// Unguarded evaluates score() even when the handle is nil: one plain
+// finding on the histogram and one suppressed on the tracer.
+func (c *Controller) Unguarded() {
+	c.hist.Observe(c.score())
+	//lint:allow telnil fixture demonstrating a suppressed working-argument emit
+	c.trace.Emit(telemetry.Termination("done", 1, c.score()))
+}
+
+// Guarded is the sanctioned idiom: no findings.
+func (c *Controller) Guarded() {
+	if c.hist != nil {
+		c.hist.Observe(c.score())
+	}
+	if c.trace != nil && c.score() > 0 {
+		c.trace.Emit(telemetry.Termination("done", 1, c.score()))
+	}
+}
+
+// Cheap arguments need no guard: field reads, conversions, builtins,
+// and the telemetry package's by-value event constructors.
+func (c *Controller) Cheap(n int, at float64) {
+	c.iters.Add(int64(n))
+	c.hist.Observe(at)
+	c.trace.Emit(telemetry.ObservationWindow(at, n, true))
+}

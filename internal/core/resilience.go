@@ -256,9 +256,10 @@ func (rt *runtime) remeasure(cfg resource.Config, firstObs server.Observation, f
 		score float64
 		idx   int // history index of the successful window
 	}
-	rt.trace.Emit(telemetry.ResilienceAction("remeasure", rt.opts.remeasureK()))
+	k := rt.opts.remeasureK()
+	rt.trace.Emit(telemetry.ResilienceAction("remeasure", k))
 	samples := []sample{{firstObs, firstScore, len(rt.history) - 1}}
-	for len(samples) < rt.opts.remeasureK() {
+	for len(samples) < k {
 		rt.retries++
 		obs, score, err := rt.attempt(cfg)
 		if err != nil {
@@ -286,10 +287,11 @@ func (rt *runtime) confirmViolation(cfg resource.Config, job int, obs server.Obs
 	if !rt.resilient() {
 		return true, obs, score
 	}
-	rt.trace.Emit(telemetry.ResilienceAction("confirm-violation", rt.opts.remeasureK()))
+	k := rt.opts.remeasureK()
+	rt.trace.Emit(telemetry.ResilienceAction("confirm-violation", k))
 	violations, votes := 1, 1
 	bestObs, bestScore := obs, score
-	for votes < rt.opts.remeasureK() {
+	for votes < k {
 		rt.retries++
 		o, s, err := rt.attempt(cfg)
 		if err != nil {

@@ -64,6 +64,7 @@ func CholeskyPacked(a *Matrix, maxJitter float64) (*Chol, float64, error) {
 		if c.factorInto(a, jitter) {
 			return c, jitter, nil
 		}
+		//lint:allow floateq jitter is an exact sentinel: assigned only the literal 0 or discrete *100 steps, never computed
 		if jitter == 0 {
 			jitter = 1e-10
 		} else {

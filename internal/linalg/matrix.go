@@ -90,6 +90,7 @@ func Cholesky(a *Matrix, maxJitter float64) (*Matrix, float64, error) {
 		if err == nil {
 			return l, jitter, nil
 		}
+		//lint:allow floateq jitter is an exact sentinel: assigned only the literal 0 or discrete *100 steps, never computed
 		if jitter == 0 {
 			jitter = 1e-10
 		} else {

@@ -1,0 +1,114 @@
+package profile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clite/internal/resource"
+)
+
+// fuzzPalette supplies workload names; the cache's key mechanics do
+// not validate names, so a fixed palette keeps mixes collision-prone
+// (same signature, different loads) — exactly the interesting regime
+// for near-miss lookups.
+var fuzzPalette = []string{"memcached", "img-dnn", "xapian", "swaptions", "streamcluster"}
+
+// clampLoad folds an arbitrary fuzzed float into a valid LC load,
+// away from 0 so quantization cannot demote the job to background.
+func clampLoad(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.35
+	}
+	return 0.1 + math.Mod(math.Abs(x), 1.3)
+}
+
+// FuzzMixKeyRoundTrip fuzzes the canonicalization and cache contract
+// the placement pipeline depends on: quantization is idempotent, keys
+// are permutation-invariant, Store/Lookup round-trips, first write
+// wins, and a load-perturbed mix within NearTolerance finds the
+// stored entry as a warm-start donor via LookupNear.
+func FuzzMixKeyRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(2), 0.4, 0.2, 0.9, 0.6, 0.03)
+	f.Add(int64(9), uint8(3), 0.35, 0.35, 0.35, 0.35, -0.04)
+	f.Add(int64(-5), uint8(0), 1.2, 0.1, 0.5, 0.8, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, count uint8, l0, l1, l2, l3, perturb float64) {
+		rng := rand.New(rand.NewSource(seed))
+		loads := []float64{l0, l1, l2, l3}
+		n := 1 + int(count%4)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{Workload: fuzzPalette[rng.Intn(len(fuzzPalette))], Load: clampLoad(loads[i])}
+		}
+
+		for _, l := range []float64{l0, l1, l2, l3} {
+			q := Quantize(clampLoad(l))
+			if math.Float64bits(Quantize(q)) != math.Float64bits(q) {
+				t.Fatalf("Quantize not idempotent: %v -> %v", q, Quantize(q))
+			}
+		}
+
+		snapshot := append([]Job(nil), jobs...)
+		key := Key(jobs)
+		for i, j := range jobs {
+			if j != snapshot[i] {
+				t.Fatal("Key/Canonical mutated its input")
+			}
+		}
+		reversed := make([]Job, n)
+		for i, j := range jobs {
+			reversed[n-1-i] = j
+		}
+		if got := Key(reversed); got != key {
+			t.Fatalf("key not permutation-invariant: %q vs %q", key, got)
+		}
+
+		cache := NewCache(resource.Default())
+		if !cache.Store(&Entry{Jobs: append([]Job(nil), jobs...), Feasible: true}) {
+			t.Fatal("first store must succeed")
+		}
+		if cache.Store(&Entry{Jobs: append([]Job(nil), reversed...), Feasible: true}) {
+			t.Fatal("second store of the same mix must lose (first write wins)")
+		}
+		e, ok := cache.Lookup(key)
+		if !ok || e.Key != key {
+			t.Fatalf("exact lookup of %q failed (ok=%v)", key, ok)
+		}
+
+		// Perturb every load by less than half a bucket beyond the
+		// near tolerance and check LookupNear's verdict against the
+		// distance definition computed independently here.
+		delta := perturb
+		if math.IsNaN(delta) || math.IsInf(delta, 0) {
+			delta = 0.0
+		}
+		delta = math.Mod(delta, NearTolerance/2)
+		perturbed := make([]Job, n)
+		for i, j := range jobs {
+			perturbed[i] = Job{Workload: j.Workload, Load: math.Max(0.1, j.Load+delta)}
+		}
+		pKey := Key(perturbed)
+		if pKey == key {
+			// Same bucket: the exact path must hit instead.
+			if _, ok := cache.Lookup(pKey); !ok {
+				t.Fatal("same-bucket perturbation missed the exact entry")
+			}
+			return
+		}
+		canonP, canonE := Canonical(perturbed), e.Jobs
+		within := true
+		for i := range canonP {
+			if math.Abs(canonP[i].Load-canonE[i].Load) > NearTolerance+1e-9 {
+				within = false
+				break
+			}
+		}
+		donor, found := cache.LookupNear(perturbed, NearTolerance)
+		if within && (!found || donor.Key != key) {
+			t.Fatalf("in-tolerance perturbation (delta %v) found no donor (found=%v)", delta, found)
+		}
+		if found && donor.Key == pKey {
+			t.Fatal("LookupNear returned the exact key it must exclude")
+		}
+	})
+}

@@ -6,7 +6,7 @@
 # optimization paths by the byte-identity tests), keep the benchmark
 # harness runnable (benchsmoke), and keep the telemetry layer cheap
 # (teleoverhead: CLITERun with tracing on within 5% of off).
-.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs teleoverhead trace fuzzsmoke
+.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs teleoverhead trace fuzzsmoke chaossmoke
 
 tier1: build vet lint race benchsmoke teleoverhead
 
@@ -66,6 +66,14 @@ trace:
 fuzzsmoke:
 	go test -run '^$$' -fuzz FuzzMixKeyRoundTrip -fuzztime 5s ./internal/profile
 	go test -run '^$$' -fuzz FuzzCholAppendVsRefit -fuzztime 5s ./internal/linalg
+
+# chaossmoke runs the failover experiment's coarse sweep (scheduled
+# leader death, a 25% per-command death rate, quorum loss) and fails
+# if any scenario commits a decision that diverges from the
+# uninterrupted single-controller reference run, never completes a
+# failover, or survives quorum loss without degrading to read-only.
+chaossmoke:
+	go test -run TestChaosSmoke ./internal/harness
 
 # benchfigs times regenerating every paper figure once.
 benchfigs:

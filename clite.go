@@ -38,6 +38,7 @@ import (
 	"clite/internal/policies"
 	"clite/internal/profile"
 	"clite/internal/qos"
+	"clite/internal/replica"
 	"clite/internal/resource"
 	"clite/internal/server"
 	"clite/internal/telemetry"
@@ -128,10 +129,16 @@ type FaultInjector = faults.Injector
 type FaultCounts = faults.Counts
 
 // InjectFaults wraps a machine in a fault injector. An empty plan
-// returns the machine itself, so the wrapper costs nothing when off.
-func InjectFaults(m *Machine, plan FaultPlan) Observer {
+// returns the machine itself, so the wrapper costs nothing when off;
+// an invalid plan (negative/NaN rates, negative death times) is
+// rejected with an error matching ErrInvalidFaultPlan.
+func InjectFaults(m *Machine, plan FaultPlan) (Observer, error) {
 	return faults.Wrap(m, plan)
 }
+
+// ErrInvalidFaultPlan marks a fault plan whose fields cannot describe
+// a fault distribution; check with errors.Is.
+var ErrInvalidFaultPlan = faults.ErrInvalidPlan
 
 // NewController binds a CLITE controller to an observation source — a
 // machine, or a fault injector around one.
@@ -239,6 +246,74 @@ func NewProfileCache() *ProfileCache { return profile.NewCache(resource.Default(
 
 // NewScheduler builds a multi-node scheduler.
 func NewScheduler(opts SchedulerOptions) *Scheduler { return cluster.New(opts) }
+
+// NodeSnapshot is one node's jobs and health in a cluster snapshot.
+type NodeSnapshot = cluster.NodeInfo
+
+// RehomeOutcome reports what happened to one job drained from a failed
+// node: the survivor that absorbed it, or ErrUnplaceable.
+type RehomeOutcome = cluster.Outcome
+
+// ReplicaGroup is a replicated control plane over 2+ identical
+// scheduler replicas: the leader sequences a command log, every live
+// replica applies it, and decision digests are cross-checked so a
+// determinism violation surfaces as an error instead of silent
+// divergence. Leader failover runs on a simulated-time lease; quorum
+// loss degrades the group to read-only.
+type ReplicaGroup = replica.Group
+
+// ReplicaGroupOptions configures a replica group (size, per-replica
+// scheduler options, lease, control-fault plan, telemetry sinks).
+type ReplicaGroupOptions = replica.Options
+
+// ReplicaClient wraps a group with capped-exponential-backoff retry on
+// retryable control-plane errors and a simulated-time request budget.
+type ReplicaClient = replica.Client
+
+// ReplicaBackoff is the deterministic capped-exponential retry
+// schedule shared by the in-process client and clited's HTTP client.
+type ReplicaBackoff = replica.Backoff
+
+// ReplicaStatus is a point-in-time view of a group's health.
+type ReplicaStatus = replica.Status
+
+// ReplicaDecision is one committed control-plane decision with its
+// canonical digest.
+type ReplicaDecision = replica.Decision
+
+// ControlFaultPlan injects control-plane faults into a replica group:
+// scheduled or rate-driven leader deaths, RPC loss and delay.
+type ControlFaultPlan = faults.ControlPlan
+
+// Replica-group error conditions, all checkable with errors.Is.
+var (
+	// ErrDegraded marks a write rejected after quorum loss; the group
+	// keeps serving reads from its last committed snapshot.
+	ErrDegraded = replica.ErrDegraded
+	// ErrNoLeader marks a submission during a pending election;
+	// retrying after the lease expires succeeds.
+	ErrNoLeader = replica.ErrNoLeader
+	// ErrReplicaRPCLost marks a submission dropped in flight; the
+	// command was never sequenced and retrying is safe.
+	ErrReplicaRPCLost = replica.ErrRPCLost
+	// ErrReplicaDivergence marks replicas committing different
+	// decisions for the same log entry (a broken determinism contract).
+	ErrReplicaDivergence = replica.ErrDivergence
+	// ErrReplicaTimeout marks a client request that exhausted its
+	// retry budget without committing.
+	ErrReplicaTimeout = replica.ErrTimeout
+)
+
+// NewReplicaGroup builds a replicated control plane and elects
+// replica 0 as the initial leader.
+func NewReplicaGroup(opts ReplicaGroupOptions) (*ReplicaGroup, error) {
+	return replica.NewGroup(opts)
+}
+
+// RetryableReplicaError reports whether a replica-group error is
+// transient (RPC loss, election pending): the command did not commit
+// and a retry with backoff can succeed.
+func RetryableReplicaError(err error) bool { return replica.Retryable(err) }
 
 // DesignSpacePolicies returns the Sec. 5.2 design-space-exploration
 // comparators (FFD and RSM) as policies.

@@ -29,15 +29,24 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"clite"
 )
+
+// errInterrupted marks a run cut short by SIGINT/SIGTERM after a clean
+// drain: in-flight work finished, partial results and telemetry were
+// flushed. main maps it to its own exit code so scripts can tell an
+// interrupted-but-drained run (3) from a failed one (1).
+var errInterrupted = errors.New("interrupted: placement stream cut short")
 
 // jobList collects repeated -lc / -bg flags.
 type jobList []string
@@ -50,10 +59,15 @@ func (l *jobList) Set(v string) error {
 }
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "clite:", err)
-		os.Exit(1)
+	err := run()
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "clite:", err)
+	if errors.Is(err, errInterrupted) {
+		os.Exit(3)
+	}
+	os.Exit(1)
 }
 
 func run() error {
@@ -95,17 +109,26 @@ func run() error {
 		tel.show = true
 	}
 	if *clusterNodes > 0 {
-		if err := runCluster(lcFlags, bgFlags, clite.SchedulerOptions{
+		// A signal in cluster mode drains rather than kills: the
+		// in-flight placement finishes, the remaining requests are
+		// skipped, and the trace JSONL still flushes before exit.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		err := runCluster(ctx, lcFlags, bgFlags, clite.SchedulerOptions{
 			Nodes:               *clusterNodes,
 			Seed:                *seed,
 			ScreenIterations:    *screenIters,
 			ScreenWorkers:       *screenWorkers,
 			DisableProfileCache: *noCache,
 			DisablePrefilter:    *noPrefilter,
-		}, &tel); err != nil {
+		}, &tel)
+		if err != nil && !errors.Is(err, errInterrupted) {
 			return err
 		}
-		return tel.flush()
+		if ferr := tel.flush(); ferr != nil {
+			return ferr
+		}
+		return err
 	}
 
 	m := clite.NewMachine(*seed)
@@ -214,7 +237,7 @@ func (t *telemetrySinks) flush() error {
 // runCluster drives the warehouse-scale placement pipeline: every -lc
 // and -bg request is placed in flag order across the node pool, then
 // the cluster snapshot and the pipeline's work ledger are printed.
-func runCluster(lcFlags, bgFlags jobList, opts clite.SchedulerOptions, tel *telemetrySinks) error {
+func runCluster(ctx context.Context, lcFlags, bgFlags jobList, opts clite.SchedulerOptions, tel *telemetrySinks) error {
 	// The ledger is rendered straight off the scheduler's metrics
 	// registry; supply one even when -metrics wasn't asked for.
 	ledger := tel.reg
@@ -236,7 +259,11 @@ func runCluster(lcFlags, bgFlags jobList, opts clite.SchedulerOptions, tel *tele
 		reqs = append(reqs, clite.JobRequest{Workload: name})
 	}
 	fmt.Printf("placing %d jobs across %d nodes...\n\n", len(reqs), opts.Nodes)
+	placed := 0
 	for _, req := range reqs {
+		if ctx.Err() != nil {
+			break
+		}
 		label := req.Workload
 		if req.IsLC() {
 			label = fmt.Sprintf("%s@%.0f%%", req.Workload, req.Load*100)
@@ -251,12 +278,16 @@ func runCluster(lcFlags, bgFlags jobList, opts clite.SchedulerOptions, tel *tele
 		default:
 			return fmt.Errorf("placing %s: %w", label, err)
 		}
+		placed++
 	}
 	fmt.Println("\nnodes:")
 	for _, info := range sched.Snapshot() {
 		fmt.Printf("  node %d: %s\n", info.ID, strings.Join(info.Jobs, ", "))
 	}
 	fmt.Printf("\npipeline ledger:\n%s", clite.MetricsSummary(ledger, "cluster_"))
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w after %d/%d placements", errInterrupted, placed, len(reqs))
+	}
 	return nil
 }
 
@@ -272,7 +303,10 @@ func runFaulted(m *clite.Machine, names []string, policyName string, seed int64,
 		mode = "hardened"
 	}
 	fmt.Printf("co-locating %s under CLITE (%s) with faults %+v...\n", strings.Join(names, " + "), mode, plan)
-	obs := clite.InjectFaults(m, plan)
+	obs, err := clite.InjectFaults(m, plan)
+	if err != nil {
+		return err
+	}
 	ctrl := clite.NewController(obs, clite.WithTelemetry(clite.Options{
 		BO:         clite.BOOptions{Seed: seed},
 		Resilience: clite.Resilience{Enabled: resilient},

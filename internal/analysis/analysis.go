@@ -90,6 +90,7 @@ func Rules() []*Rule {
 var detPackages = []string{
 	"core", "bo", "gp", "cluster", "server",
 	"telemetry", "profile", "linalg", "optimize",
+	"replica", "faults",
 }
 
 // numericPackages are the floating-point kernels where exact ==

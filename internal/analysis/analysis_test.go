@@ -164,7 +164,7 @@ func TestSuppression(t *testing.T) {
 // refactor cannot silently drop a package out of the determinism set.
 func TestScope(t *testing.T) {
 	det := ruleByName(t, "detrand")
-	for _, p := range []string{"core", "bo", "gp", "cluster", "server", "telemetry", "profile", "linalg", "optimize"} {
+	for _, p := range []string{"core", "bo", "gp", "cluster", "server", "telemetry", "profile", "linalg", "optimize", "replica", "faults"} {
 		if !det.InScope("clite/internal/" + p) {
 			t.Errorf("detrand must cover clite/internal/%s", p)
 		}

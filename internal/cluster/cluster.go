@@ -340,7 +340,11 @@ func (s *Scheduler) screen(n *node, extra Request, seeds []resource.Config) (res
 	if s.trace != nil {
 		trace = telemetry.NewTracer()
 	}
-	ctrl := core.New(faults.Wrap(m, s.faultPlan(n)), core.Options{
+	obs, err := faults.Wrap(m, s.faultPlan(n))
+	if err != nil {
+		return core.Result{}, false, false, nil, err
+	}
+	ctrl := core.New(obs, core.Options{
 		BO: bo.Options{
 			Seed:          s.opts.Seed + int64(n.id)*31 + int64(len(n.requests)),
 			MaxIterations: s.opts.screenIterations(),
@@ -474,7 +478,11 @@ func (s *Scheduler) verify(n *node, req Request, e *profile.Entry) bool {
 		return false
 	}
 	s.stats.verifyWindows.Inc()
-	obs, err := faults.Wrap(m, s.faultPlan(n)).Observe(e.Result.Best)
+	observer, err := faults.Wrap(m, s.faultPlan(n))
+	if err != nil {
+		return false
+	}
+	obs, err := observer.Observe(e.Result.Best)
 	ok := err == nil && obs.AllQoSMet
 	s.trace.Emit(telemetry.PlacementPhase("verify", n.id, 1, ok))
 	return ok

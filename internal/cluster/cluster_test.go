@@ -285,3 +285,93 @@ func TestSnapshotReportsState(t *testing.T) {
 		t.Errorf("snapshot lists %d jobs, want 2", labeled)
 	}
 }
+
+// exhaustionScenario builds the survivor-exhaustion fixture: two nodes
+// each saturated with two 45% memcacheds, then node 0 dies. The
+// survivor has no headroom left, so the reschedule finds a home for
+// nothing — the exhaustion path the warehouse layer must survive.
+func exhaustionScenario(t *testing.T, workers int) (*Scheduler, []Outcome, Stats) {
+	t.Helper()
+	s := New(Options{Nodes: 2, Seed: 21, ScreenIterations: 16, ScreenWorkers: workers})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Place(Request{Workload: "memcached", Load: 0.45}); err != nil {
+			t.Fatalf("fixture: placement %d failed: %v (two 45%% memcacheds must fit per node)", i, err)
+		}
+	}
+	for _, info := range s.Snapshot() {
+		if len(info.Jobs) != 2 {
+			t.Fatalf("fixture: node %d hosts %v; want both nodes saturated before the failure", info.ID, info.Jobs)
+		}
+	}
+	outcomes, err := s.FailNode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, outcomes, s.Stats()
+}
+
+func TestFailNodeSurvivorExhaustion(t *testing.T) {
+	s, outcomes, st := exhaustionScenario(t, 1)
+
+	// Every drained job must surface in the outcome stream — none
+	// silently dropped — each reported unrehomed with ErrUnplaceable,
+	// not aborting the reschedule.
+	if len(outcomes) != 2 {
+		t.Fatalf("drained 2 jobs but got %d outcomes: %+v", len(outcomes), outcomes)
+	}
+	for i, o := range outcomes {
+		if o.From != 0 {
+			t.Errorf("outcome %d drained from node %d, want 0", i, o.From)
+		}
+		if !errors.Is(o.Err, ErrUnplaceable) {
+			t.Errorf("outcome %d: err = %v, want ErrUnplaceable (survivor is full)", i, o.Err)
+		}
+		if o.Node != -1 {
+			t.Errorf("unrehomed outcome %d must carry Node -1, got %d", i, o.Node)
+		}
+	}
+
+	// Ledger consistency: the failed node is empty, the job count
+	// matches what the survivor hosts, the Place-call partition is
+	// untouched by the reschedule, and the reschedule's screening work
+	// is on the books.
+	snap := s.Snapshot()
+	if !snap[0].Failed || len(snap[0].Jobs) != 0 {
+		t.Errorf("failed node snapshot %+v: want Failed and empty", snap[0])
+	}
+	if s.Jobs() != 2 || len(snap[1].Jobs) != 2 {
+		t.Errorf("Jobs() = %d, survivor hosts %d; want 2 and 2", s.Jobs(), len(snap[1].Jobs))
+	}
+	if st.Placements != 4 || st.Rejections != 0 {
+		t.Errorf("Place ledger = %d placements / %d rejections; FailNode must not touch it", st.Placements, st.Rejections)
+	}
+	if st.Screens == 0 || st.BOIterations == 0 {
+		t.Errorf("stats = %+v: the reschedule's screening work is missing from the ledger", st)
+	}
+
+	// The cluster stays coherent after exhaustion: another heavy LC job
+	// is cleanly rejected and lands in the Rejections column.
+	if _, err := s.Place(Request{Workload: "memcached", Load: 0.45}); !errors.Is(err, ErrUnplaceable) {
+		t.Fatalf("post-exhaustion placement: err = %v, want ErrUnplaceable", err)
+	}
+	if after := s.Stats(); after.Placements != 4 || after.Rejections != 1 {
+		t.Errorf("post-rejection ledger = %d/%d, want 4 placements / 1 rejection", after.Placements, after.Rejections)
+	}
+}
+
+func TestFailNodeSurvivorExhaustionDeterministicAcrossWorkers(t *testing.T) {
+	// The exhaustion reschedule screens survivors concurrently; the
+	// outcome stream, final map, and ledger must be byte-identical for
+	// 1 worker vs many.
+	s1, o1, st1 := exhaustionScenario(t, 1)
+	s4, o4, st4 := exhaustionScenario(t, 4)
+	if fmt.Sprintf("%+v", o1) != fmt.Sprintf("%+v", o4) {
+		t.Errorf("outcomes diverge across worker counts:\n%+v\nvs\n%+v", o1, o4)
+	}
+	if clusterState(s1) != clusterState(s4) {
+		t.Errorf("final placement map diverges:\n%s\nvs\n%s", clusterState(s1), clusterState(s4))
+	}
+	if st1 != st4 {
+		t.Errorf("stats ledgers diverge:\n%+v\nvs\n%+v", st1, st4)
+	}
+}

@@ -216,9 +216,12 @@ func TestHardenedControllerSurvivesFaultMix(t *testing.T) {
 	// genuinely meets QoS (checked against noise-free ground truth).
 	for _, seed := range []int64{1, 2, 3} {
 		m := easyMachine(t, seed)
-		inj := faults.New(m, faults.Plan{
+		inj, err := faults.New(m, faults.Plan{
 			Seed: seed * 101, Transient: 0.10, Outlier: 0.10, PartialActuation: 0.05,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := New(inj, resilientOpts(seed)).Run()
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clite/internal/stats"
+)
+
+// ControlPlan configures fault injection against the control plane
+// itself — the replicated scheduler service of internal/replica —
+// rather than a node's observation path. It models the two failure
+// classes a warehouse-scale controller fleet actually sees: controller
+// replicas dying (scheduled, or at a per-command rate against the
+// current leader) and the RPC fabric losing or delaying requests. The
+// zero value injects nothing.
+type ControlPlan struct {
+	// Seed drives the control-fault stream, independent of every
+	// scheduler and machine stream.
+	Seed int64
+	// LeaderDeathAt lists simulated times (seconds, each strictly
+	// positive) at which the then-current leader replica dies. Deaths
+	// are permanent; the group fails over or, without a quorum,
+	// degrades to read-only.
+	LeaderDeathAt []float64
+	// DeathRate is the per-command probability that the leader dies
+	// immediately after sequencing a command — the knob the failover
+	// experiment sweeps.
+	DeathRate float64
+	// MaxDeaths bounds rate-driven deaths (scheduled LeaderDeathAt
+	// deaths always fire). Zero means replicas-1: leave at least one
+	// replica to observe the degraded state.
+	MaxDeaths int
+	// RPCLoss is the per-request probability that a submission is lost
+	// in flight: the client gets ErrRPCLost and should retry with
+	// backoff.
+	RPCLoss float64
+	// RPCDelay is the per-request probability that a submission is
+	// delayed by RPCDelayMean simulated seconds before it is served.
+	RPCDelay float64
+	// RPCDelayMean is the mean added latency for delayed requests, in
+	// simulated seconds (default 0.5s when RPCDelay > 0).
+	RPCDelayMean float64
+}
+
+// Enabled reports whether the plan injects any control-plane fault.
+func (p ControlPlan) Enabled() bool {
+	return len(p.LeaderDeathAt) > 0 || p.DeathRate > 0 || p.RPCLoss > 0 || p.RPCDelay > 0
+}
+
+// Validate rejects plans whose fields cannot describe a control-fault
+// distribution: NaN or out-of-range rates, zero-or-negative scheduled
+// death times, negative delay magnitudes. Errors wrap ErrInvalidPlan.
+func (p ControlPlan) Validate() error {
+	if err := checkRate("death", p.DeathRate); err != nil {
+		return err
+	}
+	if err := checkRate("rpc-loss", p.RPCLoss); err != nil {
+		return err
+	}
+	if err := checkRate("rpc-delay", p.RPCDelay); err != nil {
+		return err
+	}
+	for _, t := range p.LeaderDeathAt {
+		if math.IsNaN(t) || t <= 0 {
+			return fmt.Errorf("%w: leader death time %v must be strictly positive", ErrInvalidPlan, t)
+		}
+	}
+	if math.IsNaN(p.RPCDelayMean) || p.RPCDelayMean < 0 {
+		return fmt.Errorf("%w: rpc delay mean %v negative or NaN", ErrInvalidPlan, p.RPCDelayMean)
+	}
+	if p.MaxDeaths < 0 {
+		return fmt.Errorf("%w: max deaths %d negative", ErrInvalidPlan, p.MaxDeaths)
+	}
+	return nil
+}
+
+func (p ControlPlan) delayMean() float64 {
+	if p.RPCDelayMean > 0 {
+		return p.RPCDelayMean
+	}
+	return 0.5
+}
+
+// ControlInjector rolls the control-plane fault dice for a replica
+// group. It owns its own RNG stream derived from ControlPlan.Seed, so
+// the same plan over the same request stream replays the same fault
+// sequence; it never reads wall-clock time.
+type ControlInjector struct {
+	plan       ControlPlan
+	rng        *stats.RNG
+	deaths     []float64 // scheduled, ascending, not yet fired
+	rateDeaths int
+}
+
+// NewControl returns an injector for the plan, rejecting invalid
+// plans with an error wrapping ErrInvalidPlan.
+func NewControl(plan ControlPlan) (*ControlInjector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	deaths := append([]float64(nil), plan.LeaderDeathAt...)
+	sort.Float64s(deaths)
+	return &ControlInjector{plan: plan, rng: stats.NewRNG(plan.Seed), deaths: deaths}, nil
+}
+
+// Plan returns the injector's configuration.
+func (c *ControlInjector) Plan() ControlPlan { return c.plan }
+
+// DeathDue reports whether a scheduled leader death has come due at
+// simulated time now, consuming it when so.
+func (c *ControlInjector) DeathDue(now float64) bool {
+	if len(c.deaths) == 0 || now < c.deaths[0] {
+		return false
+	}
+	c.deaths = c.deaths[1:]
+	return true
+}
+
+// RollDeath rolls the per-command leader-death die, honoring the
+// MaxDeaths budget for rate-driven deaths. alive is the number of
+// replicas still up; the injector never kills the last one by rate.
+func (c *ControlInjector) RollDeath(alive int) bool {
+	if c.plan.DeathRate <= 0 || alive <= 1 {
+		return false
+	}
+	if max := c.plan.MaxDeaths; max > 0 && c.rateDeaths >= max {
+		return false
+	}
+	if c.rng.Float64() >= c.plan.DeathRate {
+		return false
+	}
+	c.rateDeaths++
+	return true
+}
+
+// RollRPC rolls the RPC fault dice for one submission: lost reports a
+// dropped request, delay is the added simulated latency (0 when the
+// request flows clean). A lost request consumes no delay draw, so the
+// fault stream replays identically whatever the caller does about the
+// loss.
+func (c *ControlInjector) RollRPC() (lost bool, delay float64) {
+	if c.plan.RPCLoss > 0 && c.rng.Float64() < c.plan.RPCLoss {
+		return true, 0
+	}
+	if c.plan.RPCDelay > 0 && c.rng.Float64() < c.plan.RPCDelay {
+		return false, c.rng.Exponential(c.plan.delayMean())
+	}
+	return false, 0
+}

@@ -1,0 +1,156 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPlanValidateRejectsGarbage(t *testing.T) {
+	nan := math.NaN()
+	bad := []Plan{
+		{Transient: -0.1},
+		{Outlier: nan},
+		{PartialActuation: 1.5},
+		{OutlierScale: -1},
+		{OutlierScale: nan},
+		{NodeFailAt: -3},
+		{NodeFailAt: nan},
+	}
+	for _, p := range bad {
+		err := p.Validate()
+		if !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("plan %+v: want ErrInvalidPlan, got %v", p, err)
+		}
+		if _, err := New(newMachine(t, 1), p); !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("New(%+v) must reject the plan, got %v", p, err)
+		}
+		if _, err := Wrap(newMachine(t, 1), p); !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("Wrap(%+v) must reject the plan, got %v", p, err)
+		}
+	}
+	good := []Plan{
+		{}, // zero value injects nothing and is valid
+		{Transient: 0.2, Outlier: 0.1, PartialActuation: 0.05},
+		{NodeFailAt: 10, OutlierScale: 4},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %+v should validate: %v", p, err)
+		}
+	}
+}
+
+func TestControlPlanValidate(t *testing.T) {
+	nan := math.NaN()
+	bad := []ControlPlan{
+		{DeathRate: -0.1},
+		{DeathRate: nan},
+		{RPCLoss: 2},
+		{RPCDelay: -1},
+		{LeaderDeathAt: []float64{0}},  // zero death time is meaningless
+		{LeaderDeathAt: []float64{-5}}, // so is a negative one
+		{LeaderDeathAt: []float64{3, nan}},
+		{RPCDelayMean: -0.5},
+		{MaxDeaths: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("control plan %+v: want ErrInvalidPlan, got %v", p, err)
+		}
+		if _, err := NewControl(p); !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("NewControl(%+v) must reject the plan, got %v", p, err)
+		}
+	}
+	good := []ControlPlan{
+		{},
+		{LeaderDeathAt: []float64{4, 9}, RPCLoss: 0.1},
+		{DeathRate: 0.05, MaxDeaths: 1, RPCDelay: 0.2, RPCDelayMean: 0.3},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("control plan %+v should validate: %v", p, err)
+		}
+	}
+	if (ControlPlan{}).Enabled() {
+		t.Error("zero control plan must be disabled")
+	}
+	for _, p := range good[1:] {
+		if !p.Enabled() {
+			t.Errorf("control plan %+v should be enabled", p)
+		}
+	}
+}
+
+func TestControlInjectorDeterminism(t *testing.T) {
+	run := func() (deaths int, lost int, delayed float64) {
+		inj, err := NewControl(ControlPlan{Seed: 5, DeathRate: 0.2, RPCLoss: 0.2, RPCDelay: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if inj.RollDeath(3) {
+				deaths++
+			}
+			l, d := inj.RollRPC()
+			if l {
+				lost++
+			}
+			delayed += d
+		}
+		return
+	}
+	d1, l1, dl1 := run()
+	d2, l2, dl2 := run()
+	if d1 != d2 || l1 != l2 || dl1 != dl2 {
+		t.Fatalf("control fault stream diverges: (%d,%d,%v) vs (%d,%d,%v)", d1, l1, dl1, d2, l2, dl2)
+	}
+	if d1 == 0 || l1 == 0 || dl1 == 0 {
+		t.Errorf("50 rolls at these rates should fire every class: deaths=%d lost=%d delay=%v", d1, l1, dl1)
+	}
+}
+
+func TestControlInjectorScheduledDeaths(t *testing.T) {
+	inj, err := NewControl(ControlPlan{LeaderDeathAt: []float64{9, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.DeathDue(3.9) {
+		t.Error("no death before the first scheduled time")
+	}
+	if !inj.DeathDue(4) {
+		t.Error("first scheduled death (sorted) must fire at t=4")
+	}
+	if inj.DeathDue(8) {
+		t.Error("second death not due yet")
+	}
+	if !inj.DeathDue(12) {
+		t.Error("second scheduled death must fire")
+	}
+	if inj.DeathDue(100) {
+		t.Error("schedule exhausted")
+	}
+}
+
+func TestRollDeathRespectsBudgetAndLastReplica(t *testing.T) {
+	inj, err := NewControl(ControlPlan{Seed: 1, DeathRate: 1, MaxDeaths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kills := 0
+	for i := 0; i < 10; i++ {
+		if inj.RollDeath(3) {
+			kills++
+		}
+	}
+	if kills != 2 {
+		t.Errorf("MaxDeaths=2 must cap rate-driven deaths, got %d", kills)
+	}
+	inj2, err := NewControl(ControlPlan{Seed: 1, DeathRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj2.RollDeath(1) {
+		t.Error("rate-driven deaths must never kill the last replica")
+	}
+}

@@ -16,13 +16,31 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"clite/internal/resource"
 	"clite/internal/server"
 	"clite/internal/stats"
 	"clite/internal/telemetry"
 )
+
+// ErrInvalidPlan marks a fault plan whose fields cannot describe a
+// fault distribution: a negative or NaN rate, a probability above 1,
+// or a non-positive scheduled death time. Constructors reject such
+// plans up front — wrapped so callers check errors.Is(err,
+// ErrInvalidPlan) — instead of silently producing undefined injection
+// behavior deep inside a run.
+var ErrInvalidPlan = errors.New("faults: invalid plan")
+
+// checkRate validates one probability field: finite and within [0,1].
+func checkRate(name string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("%w: %s rate %v outside [0,1]", ErrInvalidPlan, name, v)
+	}
+	return nil
+}
 
 // Plan configures the injector: per-class probabilities (per
 // observation window) plus the node-loss schedule. The zero value
@@ -58,6 +76,29 @@ type Plan struct {
 // Enabled reports whether the plan injects anything at all.
 func (p Plan) Enabled() bool {
 	return p.Transient > 0 || p.Outlier > 0 || p.PartialActuation > 0 || p.NodeFailAt > 0
+}
+
+// Validate rejects plans whose fields cannot describe a fault
+// distribution. Errors wrap ErrInvalidPlan. The zero value is valid
+// (it injects nothing); NodeFailAt zero means "never" and is valid,
+// but negative or NaN death times are not.
+func (p Plan) Validate() error {
+	if err := checkRate("transient", p.Transient); err != nil {
+		return err
+	}
+	if err := checkRate("outlier", p.Outlier); err != nil {
+		return err
+	}
+	if err := checkRate("partial-actuation", p.PartialActuation); err != nil {
+		return err
+	}
+	if math.IsNaN(p.OutlierScale) || p.OutlierScale < 0 {
+		return fmt.Errorf("%w: outlier scale %v negative or NaN", ErrInvalidPlan, p.OutlierScale)
+	}
+	if math.IsNaN(p.NodeFailAt) || p.NodeFailAt < 0 {
+		return fmt.Errorf("%w: node-fail time %v negative or NaN (0 means never)", ErrInvalidPlan, p.NodeFailAt)
+	}
+	return nil
 }
 
 func (p Plan) outlierScale() float64 {
@@ -100,20 +141,28 @@ type Injector struct {
 
 var _ server.Observer = (*Injector)(nil)
 
-// New returns an injector over the machine. Use Wrap to get the
+// New returns an injector over the machine, rejecting invalid plans
+// with an error wrapping ErrInvalidPlan. Use Wrap to get the
 // zero-cost passthrough for empty plans.
-func New(m *server.Machine, plan Plan) *Injector {
-	return &Injector{m: m, plan: plan, rng: stats.NewRNG(plan.Seed)}
+func New(m *server.Machine, plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{m: m, plan: plan, rng: stats.NewRNG(plan.Seed)}, nil
 }
 
 // Wrap returns the machine itself when the plan injects nothing — the
 // fault layer is strictly zero-cost when off — and an Injector
-// otherwise.
-func Wrap(m *server.Machine, plan Plan) server.Observer {
-	if !plan.Enabled() {
-		return m
+// otherwise. Invalid plans are rejected with an error wrapping
+// ErrInvalidPlan rather than silently injecting garbage.
+func Wrap(m *server.Machine, plan Plan) (server.Observer, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
 	}
-	return New(m, plan)
+	if !plan.Enabled() {
+		return m, nil
+	}
+	return &Injector{m: m, plan: plan, rng: stats.NewRNG(plan.Seed)}, nil
 }
 
 // SetTelemetry attaches telemetry sinks: the injector emits a

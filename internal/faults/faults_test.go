@@ -23,9 +23,27 @@ func newMachine(t *testing.T, seed int64) *server.Machine {
 	return m
 }
 
+func mustNew(t *testing.T, m *server.Machine, plan Plan) *Injector {
+	t.Helper()
+	inj, err := New(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+func mustWrap(t *testing.T, m *server.Machine, plan Plan) server.Observer {
+	t.Helper()
+	obs, err := Wrap(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
 func TestWrapEmptyPlanIsPassthrough(t *testing.T) {
 	m := newMachine(t, 1)
-	obs := Wrap(m, Plan{})
+	obs := mustWrap(t, m, Plan{})
 	if obs != server.Observer(m) {
 		t.Fatal("empty plan must return the machine itself (zero-cost when off)")
 	}
@@ -38,7 +56,7 @@ func TestWrapEmptyPlanIsPassthrough(t *testing.T) {
 		if !p.Enabled() {
 			t.Errorf("plan %+v should be enabled", p)
 		}
-		if _, isInjector := Wrap(m, p).(*Injector); !isInjector {
+		if _, isInjector := mustWrap(t, m, p).(*Injector); !isInjector {
 			t.Errorf("plan %+v should wrap", p)
 		}
 	}
@@ -46,7 +64,7 @@ func TestWrapEmptyPlanIsPassthrough(t *testing.T) {
 
 func TestTransientFailureSpendsWindow(t *testing.T) {
 	m := newMachine(t, 2)
-	inj := New(m, Plan{Seed: 7, Transient: 1})
+	inj := mustNew(t, m, Plan{Seed: 7, Transient: 1})
 	cfg := resource.EqualSplit(m.Topology(), 3)
 	_, err := inj.Observe(cfg)
 	if !errors.Is(err, server.ErrObservationFailed) {
@@ -71,7 +89,7 @@ func TestOutlierCorruptsOneLCJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inj := New(faulty, Plan{Seed: 9, Outlier: 1, OutlierScale: 8})
+	inj := mustNew(t, faulty, Plan{Seed: 9, Outlier: 1, OutlierScale: 8})
 	got, err := inj.Observe(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +119,7 @@ func TestOutlierCorruptsOneLCJob(t *testing.T) {
 
 func TestPartialActuationReportsRequestedConfig(t *testing.T) {
 	m := newMachine(t, 4)
-	inj := New(m, Plan{Seed: 11, PartialActuation: 1})
+	inj := mustNew(t, m, Plan{Seed: 11, PartialActuation: 1})
 	cfg := resource.EqualSplit(m.Topology(), 3)
 	obs, err := inj.Observe(cfg)
 	if err != nil {
@@ -146,7 +164,7 @@ func obsEqual(a, b server.Observation) bool {
 
 func TestNodeFailureAtScheduledTime(t *testing.T) {
 	m := newMachine(t, 5)
-	inj := New(m, Plan{Seed: 13, NodeFailAt: 3})
+	inj := mustNew(t, m, Plan{Seed: 13, NodeFailAt: 3})
 	cfg := resource.EqualSplit(m.Topology(), 3)
 	if _, err := inj.Observe(cfg); err != nil {
 		t.Fatalf("window before the failure time must succeed: %v", err)
@@ -174,7 +192,7 @@ func TestNodeFailureAtScheduledTime(t *testing.T) {
 func TestInjectionIsDeterministic(t *testing.T) {
 	run := func() (Counts, []bool) {
 		m := newMachine(t, 6)
-		inj := New(m, Plan{Seed: 17, Transient: 0.3, Outlier: 0.2, PartialActuation: 0.2})
+		inj := mustNew(t, m, Plan{Seed: 17, Transient: 0.3, Outlier: 0.2, PartialActuation: 0.2})
 		cfg := resource.EqualSplit(m.Topology(), 3)
 		var failed []bool
 		for i := 0; i < 40; i++ {

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"clite/internal/cluster"
+	"clite/internal/faults"
+	"clite/internal/replica"
+	"clite/internal/telemetry"
+)
+
+// failoverStream is the request stream every failover scenario
+// replays: a mixed LC/BG arrival sequence long enough to straddle the
+// injected leader deaths.
+func failoverStream() []cluster.Request {
+	return []cluster.Request{
+		{Workload: "img-dnn", Load: 0.2},
+		{Workload: "memcached", Load: 0.2},
+		{Workload: "swaptions"},
+		{Workload: "xapian", Load: 0.2},
+		{Workload: "memcached", Load: 0.2},
+		{Workload: "freqmine"},
+		{Workload: "img-dnn", Load: 0.2},
+		{Workload: "masstree", Load: 0.2},
+		{Workload: "streamcluster"},
+		{Workload: "memcached", Load: 0.2},
+	}
+}
+
+// FailoverRow is one scenario's outcome, exposed for the chaos-smoke
+// gate (make chaossmoke) which asserts Divergent == 0 at every rate.
+type FailoverRow struct {
+	Scenario      string
+	Committed     int
+	Failovers     int
+	Divergent     int
+	MaxUnavail    float64
+	Retries       int64
+	DegradedRejcs int64
+}
+
+// runFailoverScenario drives the request stream through a 3-replica
+// group under the given control-fault plan and compares every
+// committed decision, byte for byte, against the uninterrupted
+// unreplicated reference run.
+func runFailoverScenario(cfg Config, plan faults.ControlPlan, stream []cluster.Request) (FailoverRow, error) {
+	sched := cluster.Options{Nodes: 3, Seed: cfg.Seed, ScreenIterations: 12, ScreenWorkers: 1}
+	tr, reg := telemetry.NewTracer(), telemetry.NewRegistry()
+	g, err := replica.NewGroup(replica.Options{
+		Scheduler: sched,
+		Lease:     5,
+		Faults:    plan,
+		Trace:     tr,
+		Metrics:   reg,
+	})
+	if err != nil {
+		return FailoverRow{}, err
+	}
+	c := &replica.Client{Group: g}
+	for _, req := range stream {
+		_, err := c.Place(req)
+		switch {
+		case err == nil, errors.Is(err, cluster.ErrUnplaceable):
+		case errors.Is(err, replica.ErrDegraded), errors.Is(err, replica.ErrTimeout):
+			// Quorum loss (or an outage outliving the client budget)
+			// ends the write stream; the scenario reports how far it got.
+		default:
+			return FailoverRow{}, err
+		}
+	}
+
+	// Reference: the same stream through one unreplicated scheduler,
+	// truncated to what the group actually committed.
+	ref := cluster.New(sched)
+	var want []string
+	for _, req := range stream {
+		p, err := ref.Place(req)
+		unplaceable := errors.Is(err, cluster.ErrUnplaceable)
+		if err != nil && !unplaceable {
+			return FailoverRow{}, err
+		}
+		want = append(want, replica.PlaceDigest(req, p, unplaceable))
+	}
+	row := FailoverRow{
+		Retries:       reg.Counter("replica_client_retries_total").Value(),
+		DegradedRejcs: reg.Counter("replica_degraded_rejects_total").Value(),
+	}
+	decisions := g.Decisions()
+	row.Committed = len(decisions)
+	for i, d := range decisions {
+		if i >= len(want) || d.Digest != want[i] {
+			row.Divergent++
+		}
+	}
+	for _, ev := range tr.Events() {
+		if ev.Kind == telemetry.KindFailoverComplete {
+			row.Failovers++
+			if ev.Value > row.MaxUnavail {
+				row.MaxUnavail = ev.Value
+			}
+		}
+	}
+	return row, nil
+}
+
+// FailoverScenarios runs the failover sweep and returns the raw rows:
+// a fault-free baseline, scheduled single-leader deaths, rate-driven
+// deaths at increasing rates, and a quorum-loss scenario that must
+// degrade to read-only rather than diverge or crash. The chaos-smoke
+// gate calls this directly.
+func FailoverScenarios(cfg Config) ([]FailoverRow, error) {
+	type scenario struct {
+		name string
+		plan faults.ControlPlan
+	}
+	scenarios := []scenario{
+		{"no faults", faults.ControlPlan{}},
+		{"scheduled death t=2.5s", faults.ControlPlan{LeaderDeathAt: []float64{2.5}}},
+		{"death rate 10%", faults.ControlPlan{Seed: cfg.Seed + 1, DeathRate: 0.10, MaxDeaths: 1}},
+		{"death rate 25%", faults.ControlPlan{Seed: cfg.Seed + 2, DeathRate: 0.25, MaxDeaths: 1}},
+		{"rpc loss 20% + delay", faults.ControlPlan{Seed: cfg.Seed + 4, RPCLoss: 0.2, RPCDelay: 0.2}},
+		{"quorum loss (2 deaths)", faults.ControlPlan{LeaderDeathAt: []float64{2.5, 14.5}}},
+	}
+	if cfg.Coarse {
+		scenarios = []scenario{scenarios[1], scenarios[3], scenarios[5]}
+	}
+	stream := failoverStream()
+	var rows []FailoverRow
+	for _, sc := range scenarios {
+		row, err := runFailoverScenario(cfg, sc.plan, stream)
+		if err != nil {
+			return nil, fmt.Errorf("failover scenario %q: %w", sc.name, err)
+		}
+		row.Scenario = sc.name
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Failover is the harness experiment: controller replicas killed
+// mid-stream must fail over within the lease window and keep the
+// placement stream byte-identical to an uninterrupted single-
+// controller run; losing the quorum must degrade to read-only, never
+// diverge.
+func Failover(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "failover",
+		Title:  "replicated control plane under controller death and RPC faults",
+		Header: []string{"scenario", "committed", "failovers", "divergent", "max unavail (s)", "client retries", "degraded rejects"},
+	}
+	rows, err := FailoverScenarios(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario,
+			fmt.Sprintf("%d/%d", r.Committed, len(failoverStream())),
+			fmt.Sprintf("%d", r.Failovers),
+			fmt.Sprintf("%d", r.Divergent),
+			fmt.Sprintf("%.2f", r.MaxUnavail),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.DegradedRejcs),
+		})
+	}
+	t.Notes = "3 replicas, 5s lease; decisions compared byte-for-byte against an unreplicated run under the same seed; divergent must be 0 everywhere"
+	return t, nil
+}

@@ -1,0 +1,46 @@
+package harness
+
+import "testing"
+
+// TestChaosSmoke is the `make chaossmoke` gate: a short failover sweep
+// (coarse mode: scheduled death, 25% death rate, quorum loss) that
+// must commit work through leader churn with zero divergent decisions
+// and bounded unavailability. CI runs it alongside tier1 + fuzzsmoke.
+func TestChaosSmoke(t *testing.T) {
+	rows, err := FailoverScenarios(Config{Seed: 1, Coarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("coarse sweep ran %d scenarios, want >= 3 (two fault rates + quorum loss)", len(rows))
+	}
+	sawFailover := false
+	for _, r := range rows {
+		if r.Divergent != 0 {
+			t.Errorf("scenario %q: %d divergent decisions, want 0 — the replicated state machine broke determinism", r.Scenario, r.Divergent)
+		}
+		if r.Committed == 0 {
+			t.Errorf("scenario %q committed nothing; the group never served", r.Scenario)
+		}
+		if r.Failovers > 0 {
+			sawFailover = true
+			// Unavailability is bounded by the lease plus the client's
+			// retry discretization (max backoff + one request interval).
+			if r.MaxUnavail <= 0 || r.MaxUnavail > 5+4+1 {
+				t.Errorf("scenario %q: unavailability window %.2fs outside (0, 10]", r.Scenario, r.MaxUnavail)
+			}
+		}
+	}
+	if !sawFailover {
+		t.Error("the sweep injected leader deaths but no failover completed")
+	}
+	// The quorum-loss scenario must have rejected writes (degraded),
+	// not crashed or diverged.
+	last := rows[len(rows)-1]
+	if last.DegradedRejcs == 0 {
+		t.Errorf("quorum-loss scenario %q: expected degraded write rejections, got none", last.Scenario)
+	}
+	if last.Committed >= len(failoverStream()) {
+		t.Errorf("quorum-loss scenario %q committed the whole stream; quorum loss never bit", last.Scenario)
+	}
+}

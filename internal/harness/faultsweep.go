@@ -48,7 +48,11 @@ func FaultSweep(cfg Config) (Table, error) {
 				Outlier:          rate,
 				PartialActuation: rate / 2,
 			}
-			ctrl := core.New(faults.Wrap(m, plan), core.Options{
+			obs, err := faults.Wrap(m, plan)
+			if err != nil {
+				return Table{}, err
+			}
+			ctrl := core.New(obs, core.Options{
 				BO:         bo.Options{Seed: cfg.Seed},
 				Resilience: core.Resilience{Enabled: rate > 0},
 			})

@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{"faultsweep", "QoS retention vs observation-fault rate (hardened controller)", single(FaultSweep)},
 		{"placement", "cluster placement pipeline: screening work per admitted job", single(Placement)},
 		{"telemetry", "telemetry timelines: events emitted per scenario", single(Telemetry)},
+		{"failover", "replicated control plane: leader death, failover, quorum loss", single(Failover)},
 	}
 }
 

@@ -88,7 +88,11 @@ func Telemetry(cfg Config) (Table, error) {
 		}
 		plan := faults.Plan{Seed: cfg.Seed, Transient: 0.15, Outlier: 0.15, PartialActuation: 0.05}
 		tr, reg := telemetry.NewTracer(), telemetry.NewRegistry()
-		ctrl := core.New(faults.Wrap(m, plan), core.Options{
+		obs, err := faults.Wrap(m, plan)
+		if err != nil {
+			return Table{}, err
+		}
+		ctrl := core.New(obs, core.Options{
 			BO:         bo.Options{Seed: cfg.Seed, MaxIterations: iters},
 			Resilience: core.Resilience{Enabled: true},
 			Trace:      tr,

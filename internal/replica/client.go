@@ -1,0 +1,131 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+
+	"clite/internal/cluster"
+)
+
+// ErrTimeout marks a request whose retry budget ran out before the
+// group could serve it: the cumulative backoff exceeded the client's
+// per-request timeout. The last transport error is wrapped alongside,
+// so errors.Is matches both. Check with errors.Is.
+var ErrTimeout = errors.New("replica: request timed out")
+
+// Backoff is a capped exponential backoff schedule. It is a pure
+// function of the attempt number — no jitter, no wall clock — so
+// seeded runs that retry replay byte-identically. The zero value uses
+// the defaults (0.25s base, 4s cap).
+type Backoff struct {
+	// Base is the delay before the first retry, in (simulated) seconds.
+	Base float64
+	// Max caps the exponential growth.
+	Max float64
+}
+
+func (b Backoff) base() float64 {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 0.25
+}
+
+func (b Backoff) max() float64 {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 4
+}
+
+// Delay returns the wait before retry number attempt (attempt 0 is
+// the first retry): Base·2^attempt capped at Max.
+func (b Backoff) Delay(attempt int) float64 {
+	d := b.base()
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= b.max() {
+			return b.max()
+		}
+	}
+	if d > b.max() {
+		return b.max()
+	}
+	return d
+}
+
+// Client submits commands to a group with retry: transient errors
+// (RPC loss, election pending) back off exponentially — advancing the
+// group's simulated clock, which is exactly what lets a pending
+// election complete — until the per-request timeout is spent. Typed
+// rejections (ErrDegraded, cluster.ErrUnplaceable) and hard errors
+// surface immediately.
+type Client struct {
+	// Group is the control plane the client talks to.
+	Group *Group
+	// MaxAttempts bounds submissions per request (default 8).
+	MaxAttempts int
+	// Backoff shapes the retry delays.
+	Backoff Backoff
+	// Timeout is the per-request budget in simulated seconds of
+	// cumulative backoff (default 30s).
+	Timeout float64
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 8
+}
+
+func (c *Client) timeout() float64 {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30
+}
+
+// do retries fn until it succeeds, fails hard, or the retry budget
+// (attempts or cumulative backoff time) runs out.
+func (c *Client) do(fn func() error) error {
+	waited := 0.0
+	var last error
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		err := fn()
+		if err == nil || !Retryable(err) {
+			return err
+		}
+		last = err
+		delay := c.Backoff.Delay(attempt)
+		if waited+delay > c.timeout() {
+			break
+		}
+		waited += delay
+		c.Group.counters.retries.Inc()
+		c.Group.Advance(delay)
+	}
+	return fmt.Errorf("replica: gave up after %.2fs of backoff: %w (last: %w)", waited, ErrTimeout, last)
+}
+
+// Place submits a placement request with retry.
+func (c *Client) Place(req cluster.Request) (cluster.Placement, error) {
+	var p cluster.Placement
+	err := c.do(func() error {
+		var err error
+		p, err = c.Group.Place(req)
+		return err
+	})
+	return p, err
+}
+
+// FailNode submits a node-loss command with retry.
+func (c *Client) FailNode(node int) ([]cluster.Outcome, error) {
+	var out []cluster.Outcome
+	err := c.do(func() error {
+		var err error
+		out, err = c.Group.FailNode(node)
+		return err
+	})
+	return out, err
+}

@@ -1,0 +1,444 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"clite/internal/cluster"
+	"clite/internal/faults"
+	"clite/internal/telemetry"
+)
+
+// ErrDegraded marks a write rejected because the group lost its
+// quorum: fewer than a majority of replicas are alive, so no new
+// decisions may commit. Reads (Snapshot, Status, Decisions) keep
+// serving from the last committed state. Check with errors.Is.
+var ErrDegraded = errors.New("replica: quorum lost, group is read-only")
+
+// ErrNoLeader marks a submission that arrived while the group had no
+// leader — the previous one died and its lease has not expired yet.
+// The request was not sequenced; retrying after a backoff succeeds
+// once the deterministic election completes. Check with errors.Is.
+var ErrNoLeader = errors.New("replica: no leader, election pending")
+
+// ErrRPCLost marks a submission the (simulated) RPC fabric dropped in
+// flight; the command was never sequenced and retrying is safe. Check
+// with errors.Is.
+var ErrRPCLost = errors.New("replica: rpc lost in flight")
+
+// ErrDivergence marks two replicas committing different decisions for
+// the same log entry. Placement is a deterministic function of (seed,
+// request stream), so this never fires unless that contract is broken
+// — which is exactly why the group cross-checks it on every command.
+var ErrDivergence = errors.New("replica: replicas diverged")
+
+// Retryable reports whether the error is transient from the client's
+// point of view: the command was not committed and a retry with
+// backoff can succeed (RPC loss, election pending).
+func Retryable(err error) bool {
+	return errors.Is(err, ErrRPCLost) || errors.Is(err, ErrNoLeader)
+}
+
+// Options configures a replica group.
+type Options struct {
+	// Replicas is the group size (default 3). Two tolerate zero deaths
+	// with quorum; three tolerate one.
+	Replicas int
+	// Scheduler configures every replica's scheduler identically —
+	// same seed, same knobs — which is what makes the replicas a
+	// replicated state machine. Trace, Metrics and SharedProfiles are
+	// stripped: replicas must not share mutable state or sinks, and the
+	// group emits its own telemetry instead.
+	Scheduler cluster.Options
+	// Lease is the leader lease in simulated seconds (default 5). A
+	// dead leader's lease must expire before the survivors elect, so
+	// Lease bounds the unavailability window of a failover.
+	Lease float64
+	// RequestInterval is how far the simulated clock advances per
+	// submitted command (default 1s) — the request stream is the
+	// group's heartbeat.
+	RequestInterval float64
+	// Faults injects control-plane faults: scheduled or rate-driven
+	// leader deaths, RPC loss and delay.
+	Faults faults.ControlPlan
+	// Trace, when non-nil, receives LeaderElected / ReplicaDied /
+	// FailoverComplete events on the group's simulated timeline.
+	Trace *telemetry.Tracer
+	// Metrics, when non-nil, backs the replica_* counters; nil keeps a
+	// private registry.
+	Metrics *telemetry.Registry
+}
+
+func (o Options) replicas() int {
+	if o.Replicas > 0 {
+		return o.Replicas
+	}
+	return 3
+}
+
+func (o Options) lease() float64 {
+	if o.Lease > 0 {
+		return o.Lease
+	}
+	return 5
+}
+
+func (o Options) requestInterval() float64 {
+	if o.RequestInterval > 0 {
+		return o.RequestInterval
+	}
+	return 1
+}
+
+// groupCounters are the registry-backed replica_* counters.
+type groupCounters struct {
+	commands, applies   *telemetry.Counter
+	deaths, elections   *telemetry.Counter
+	divergences         *telemetry.Counter
+	rpcLost, rpcDelayed *telemetry.Counter
+	degradedRejects     *telemetry.Counter
+	noLeaderRejects     *telemetry.Counter
+	retries             *telemetry.Counter
+}
+
+func newGroupCounters(reg *telemetry.Registry) groupCounters {
+	return groupCounters{
+		commands:        reg.Counter("replica_commands_total"),
+		applies:         reg.Counter("replica_applies_total"),
+		deaths:          reg.Counter("replica_deaths_total"),
+		elections:       reg.Counter("replica_elections_total"),
+		divergences:     reg.Counter("replica_divergences_total"),
+		rpcLost:         reg.Counter("replica_rpc_lost_total"),
+		rpcDelayed:      reg.Counter("replica_rpc_delayed_total"),
+		degradedRejects: reg.Counter("replica_degraded_rejects_total"),
+		noLeaderRejects: reg.Counter("replica_noleader_rejects_total"),
+		retries:         reg.Counter("replica_client_retries_total"),
+	}
+}
+
+// Group is a replicated control plane over 2+ scheduler replicas. All
+// methods are safe for concurrent use; submissions serialize on an
+// internal lock, so a concurrent client stream commits the same log a
+// sequential one would.
+type Group struct {
+	mu        sync.Mutex
+	opts      Options
+	replicas  []*Replica
+	log       []Command
+	decisions []Decision
+	clock     float64
+	term      int
+	leader    int     // replica id, -1 while an election is pending
+	deathAt   float64 // when the last leader died (unavailability start)
+	ctl       *faults.ControlInjector
+	trace     *telemetry.Tracer
+	counters  groupCounters
+	lastSnap  []cluster.NodeInfo // last committed snapshot, serves reads when degraded
+}
+
+// NewGroup builds a group of identical scheduler replicas and elects
+// replica 0 as the initial leader. Invalid control-fault plans are
+// rejected with an error wrapping faults.ErrInvalidPlan.
+func NewGroup(opts Options) (*Group, error) {
+	if opts.Replicas < 0 || opts.Replicas == 1 || opts.Replicas > 7 {
+		return nil, fmt.Errorf("replica: group size %d out of range (want 2..7)", opts.Replicas)
+	}
+	ctl, err := faults.NewControl(opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.Scheduler.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	// Replicas must not share sinks or caches: each gets a pristine
+	// copy of the scheduler options, so their state machines stay
+	// independent and byte-identical.
+	sopts := opts.Scheduler
+	sopts.Trace = nil
+	sopts.Metrics = nil
+	sopts.SharedProfiles = nil
+	reg := opts.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	g := &Group{
+		opts:     opts,
+		ctl:      ctl,
+		trace:    opts.Trace,
+		counters: newGroupCounters(reg),
+		leader:   -1,
+		deathAt:  -1,
+	}
+	for i := 0; i < opts.replicas(); i++ {
+		g.replicas = append(g.replicas, &Replica{id: i, sched: cluster.New(sopts), alive: true})
+	}
+	g.elect()
+	return g, nil
+}
+
+// elect deterministically promotes the lowest-id live replica. Called
+// under the lock (and from NewGroup before the group escapes).
+func (g *Group) elect() {
+	for _, r := range g.replicas {
+		if !r.alive {
+			continue
+		}
+		g.term++
+		g.leader = r.id
+		g.counters.elections.Inc()
+		g.trace.Emit(telemetry.LeaderElected(g.clock, r.id, g.term))
+		if g.deathAt >= 0 {
+			g.trace.Emit(telemetry.FailoverComplete(g.clock, r.id, g.term, g.clock-g.deathAt))
+			g.deathAt = -1
+		}
+		return
+	}
+}
+
+// killLeader marks the current leader dead and starts the
+// unavailability window. Called under the lock.
+func (g *Group) killLeader(cause string) {
+	if g.leader < 0 {
+		return
+	}
+	g.kill(g.leader, cause)
+}
+
+// kill marks replica id dead. If it was the leader, the group has no
+// leader until the lease expires and the survivors elect.
+func (g *Group) kill(id int, cause string) {
+	r := g.replicas[id]
+	if !r.alive {
+		return
+	}
+	r.alive = false
+	g.counters.deaths.Inc()
+	g.trace.Emit(telemetry.ReplicaDied(g.clock, id, cause, g.alive()))
+	if g.leader == id {
+		g.leader = -1
+		g.deathAt = g.clock
+	}
+}
+
+// alive counts live replicas. Called under the lock.
+func (g *Group) alive() int {
+	n := 0
+	for _, r := range g.replicas {
+		if r.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// quorum reports whether a majority of the configured replicas is
+// still alive. Called under the lock.
+func (g *Group) quorum() bool {
+	return g.alive() >= len(g.replicas)/2+1
+}
+
+// step settles the group at the current clock: fire scheduled deaths
+// that have come due, then complete a pending election once the dead
+// leader's lease has expired. Called under the lock whenever time has
+// advanced.
+func (g *Group) step() {
+	for g.ctl.DeathDue(g.clock) {
+		g.killLeader("scheduled")
+	}
+	if g.leader < 0 && g.quorum() && g.deathAt >= 0 && g.clock >= g.deathAt+g.opts.lease() {
+		g.elect()
+	}
+}
+
+// Advance lets simulated time pass — a client backing off, a harness
+// idling between arrivals — and settles any election that came due.
+func (g *Group) Advance(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.clock += dt
+	g.step()
+}
+
+// submit sequences one command through the leader and applies it on
+// every live replica, cross-checking decision digests.
+func (g *Group) submit(cmd Command) (Decision, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// The request's arrival is the clock: time passes, deaths and
+	// elections that came due settle first.
+	g.clock += g.opts.requestInterval()
+	g.step()
+	if lost, delay := g.ctl.RollRPC(); lost {
+		g.counters.rpcLost.Inc()
+		return Decision{}, fmt.Errorf("replica: submission at t=%.1fs: %w", g.clock, ErrRPCLost)
+	} else if delay > 0 {
+		g.counters.rpcDelayed.Inc()
+		g.clock += delay
+		g.step() // the delay may have crossed a death or an election
+	}
+	if !g.quorum() {
+		// Writes stop the moment the majority is gone, leader or not —
+		// a minority must never commit new decisions.
+		g.counters.degradedRejects.Inc()
+		return Decision{}, fmt.Errorf("replica: %d/%d replicas alive: %w",
+			g.alive(), len(g.replicas), ErrDegraded)
+	}
+	if g.leader < 0 {
+		g.counters.noLeaderRejects.Inc()
+		return Decision{}, fmt.Errorf("replica: leader died at t=%.1fs, lease expires t=%.1fs: %w",
+			g.deathAt, g.deathAt+g.opts.lease(), ErrNoLeader)
+	}
+
+	// The leader sequences and applies first; its decision is the
+	// canonical one the followers must match.
+	lead := g.replicas[g.leader]
+	cmd.Index = lead.applied
+	canonical, err := lead.apply(cmd)
+	if err != nil {
+		return Decision{}, err
+	}
+	g.counters.applies.Inc()
+	for _, r := range g.replicas {
+		if !r.alive || r.id == g.leader {
+			continue
+		}
+		d, err := r.apply(cmd)
+		if err != nil {
+			g.counters.divergences.Inc()
+			return Decision{}, fmt.Errorf("replica %d failed applying index %d: %v: %w",
+				r.id, cmd.Index, err, ErrDivergence)
+		}
+		g.counters.applies.Inc()
+		if d.Digest != canonical.Digest {
+			g.counters.divergences.Inc()
+			return Decision{}, fmt.Errorf("replica %d decision %q != leader %d decision %q at index %d: %w",
+				r.id, d.Digest, g.leader, canonical.Digest, cmd.Index, ErrDivergence)
+		}
+	}
+	g.log = append(g.log, cmd)
+	g.decisions = append(g.decisions, canonical)
+	g.counters.commands.Inc()
+	g.lastSnap = lead.sched.Snapshot()
+	// Serving the command renews the lease implicitly; then the
+	// post-command death die rolls — the failover experiment's knob for
+	// killing leaders mid-stream.
+	if g.ctl.RollDeath(g.alive()) {
+		g.killLeader("rate")
+	}
+	return canonical, nil
+}
+
+// Place sequences a placement command through the group. The
+// cluster-level rejection surfaces as cluster.ErrUnplaceable exactly
+// like the unreplicated scheduler's Place; control-plane conditions
+// surface as ErrRPCLost / ErrNoLeader (retryable) or ErrDegraded.
+func (g *Group) Place(req cluster.Request) (cluster.Placement, error) {
+	d, err := g.submit(Command{Op: OpPlace, Req: req})
+	if err != nil {
+		return cluster.Placement{}, err
+	}
+	if d.Unplaceable {
+		return cluster.Placement{}, cluster.ErrUnplaceable
+	}
+	return d.Placement, nil
+}
+
+// FailNode sequences a node-loss command through the group: every
+// replica drains and reschedules the node's jobs identically.
+func (g *Group) FailNode(node int) ([]cluster.Outcome, error) {
+	d, err := g.submit(Command{Op: OpFailNode, Node: node})
+	if err != nil {
+		return nil, err
+	}
+	return d.Outcomes, nil
+}
+
+// Kill marks a replica dead by fiat — the harness's quorum-loss lever
+// and clited's admin endpoint. Killing the leader starts a failover;
+// killing past the quorum degrades the group to read-only.
+func (g *Group) Kill(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 || id >= len(g.replicas) {
+		return fmt.Errorf("replica: no replica %d", id)
+	}
+	if !g.replicas[id].alive {
+		return fmt.Errorf("replica: replica %d already dead", id)
+	}
+	g.kill(id, "kill")
+	return nil
+}
+
+// Status is a point-in-time view of the group's health.
+type Status struct {
+	// Leader is the current leader's replica id (-1 during a failover).
+	Leader int
+	// Term counts elections; it starts at 1.
+	Term int
+	// Clock is the group's simulated time in seconds.
+	Clock float64
+	// Alive counts live replicas out of Replicas.
+	Alive    int
+	Replicas int
+	// Degraded reports quorum loss: the group serves reads only.
+	Degraded bool
+	// Commands counts committed log entries.
+	Commands int
+}
+
+// Status reports the group's health. It serves even when degraded.
+func (g *Group) Status() Status {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Status{
+		Leader:   g.leader,
+		Term:     g.term,
+		Clock:    g.clock,
+		Alive:    g.alive(),
+		Replicas: len(g.replicas),
+		Degraded: !g.quorum(),
+		Commands: len(g.decisions),
+	}
+}
+
+// Snapshot returns the cluster state as of the last committed command.
+// It keeps serving after quorum loss — the graceful-degradation read
+// path — from the last-safe snapshot cached at commit time.
+func (g *Group) Snapshot() []cluster.NodeInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]cluster.NodeInfo(nil), g.lastSnap...)
+}
+
+// Decisions returns the committed decision stream (the harness
+// compares its digests against an unreplicated reference run).
+func (g *Group) Decisions() []Decision {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Decision(nil), g.decisions...)
+}
+
+// Stats returns the leader's scheduler ledger; during a failover it
+// falls back to the lowest-id live replica (all live replicas carry
+// identical ledgers), and to zeros when every replica is dead.
+func (g *Group) Stats() cluster.Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	id := g.leader
+	if id < 0 {
+		for _, r := range g.replicas {
+			if r.alive {
+				id = r.id
+				break
+			}
+		}
+	}
+	if id < 0 {
+		return cluster.Stats{}
+	}
+	return g.replicas[id].sched.Stats()
+}

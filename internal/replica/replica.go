@@ -1,0 +1,155 @@
+// Package replica wraps the cluster scheduler in a replicated control
+// plane: a small group of controller replicas that run the same
+// deterministic scheduler as a replicated state machine, so a
+// warehouse-scale deployment survives the controller itself dying.
+//
+// The design leans on the property every other layer of this repo
+// already enforces (and cmd/lint machine-checks): placement decisions
+// are a pure function of (seed, request stream). Replication is
+// therefore cheap — no consensus rounds over proposals are needed,
+// only agreement on the command log. The leader sequences incoming
+// requests into the log; every live replica applies the same log to
+// its own scheduler and the group cross-checks that the resulting
+// decisions are byte-identical (a digest mismatch is ErrDivergence —
+// by construction it never fires, and the failover harness experiment
+// proves that under leader churn).
+//
+// Time is simulated, never wall-clock: the group's clock advances with
+// the request stream (Options.RequestInterval per submission) and with
+// explicit Advance calls, so a seeded run — elections, deaths,
+// unavailability windows and all — replays byte-identically. The
+// leader holds a lease that it implicitly renews while alive; when a
+// controller-death fault kills it, the group serves nothing until the
+// lease expires (clients see retryable ErrNoLeader and back off), then
+// deterministically elects the lowest-id live replica. Losing the
+// quorum instead degrades the group to read-only: snapshots and cached
+// last-safe placements still serve, writes are rejected with a typed
+// ErrDegraded.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"clite/internal/cluster"
+)
+
+// Op is a command kind in the replicated log.
+type Op string
+
+const (
+	// OpPlace asks the scheduler to place one job request.
+	OpPlace Op = "place"
+	// OpFailNode marks a cluster node as lost and reschedules its jobs.
+	OpFailNode Op = "fail-node"
+)
+
+// Command is one entry of the replicated log: the leader assigns the
+// index, every replica applies the same entry in index order.
+type Command struct {
+	Index int             `json:"index"`
+	Op    Op              `json:"op"`
+	Req   cluster.Request `json:"req,omitempty"`  // OpPlace
+	Node  int             `json:"node,omitempty"` // OpFailNode
+}
+
+// Decision is the committed outcome of one command. Digest is the
+// canonical byte string the group compares across replicas; two
+// replicas disagreeing on a digest is divergence.
+type Decision struct {
+	Index int
+	Op    Op
+	// Digest canonically serializes the outcome (see PlaceDigest and
+	// FailDigest); replicas must agree on it byte-for-byte.
+	Digest string
+	// Placement is the OpPlace outcome when the job landed.
+	Placement cluster.Placement
+	// Unplaceable marks an OpPlace the whole cluster rejected — still a
+	// committed, replicated decision.
+	Unplaceable bool
+	// Outcomes is the OpFailNode reschedule report.
+	Outcomes []cluster.Outcome
+}
+
+// PlaceDigest canonically serializes a placement decision. The best
+// partition is included in full: two replicas that picked the same
+// node but a different partition have diverged just the same.
+func PlaceDigest(req cluster.Request, p cluster.Placement, unplaceable bool) string {
+	if unplaceable {
+		return fmt.Sprintf("place %s@%g -> unplaceable", req.Workload, req.Load)
+	}
+	return fmt.Sprintf("place %s@%g -> node=%d qos=%v score=%.17g samples=%d cfg=%v",
+		req.Workload, req.Load, p.Node, p.Result.QoSMeetable,
+		p.Result.BestScore, p.Result.SamplesUsed, p.Result.Best.Jobs)
+}
+
+// FailDigest canonically serializes a fail-node reschedule: every
+// drained job's new home (or its unrehomed verdict), in order.
+func FailDigest(node int, outcomes []cluster.Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fail-node %d ->", node)
+	for _, o := range outcomes {
+		dst := fmt.Sprintf("node=%d", o.Node)
+		if o.Err != nil {
+			dst = "unrehomed"
+		}
+		fmt.Fprintf(&b, " [%s@%g from=%d %s]", o.Request.Workload, o.Request.Load, o.From, dst)
+	}
+	return b.String()
+}
+
+// Replica is one controller instance: a deterministic scheduler plus
+// the log prefix it has applied. Replicas never talk to each other —
+// the Group sequences the log and drives every live replica through
+// it in lockstep.
+type Replica struct {
+	id      int
+	sched   *cluster.Scheduler
+	applied int
+	alive   bool
+}
+
+// ID returns the replica's id.
+func (r *Replica) ID() int { return r.id }
+
+// Alive reports whether the replica is still up.
+func (r *Replica) Alive() bool { return r.alive }
+
+// Applied returns the number of log entries the replica has applied.
+func (r *Replica) Applied() int { return r.applied }
+
+// apply runs one command against the replica's scheduler and returns
+// the decision. Sentinel rejections (ErrUnplaceable) are decisions,
+// not errors; anything else is a hard error that fails the submission.
+func (r *Replica) apply(cmd Command) (Decision, error) {
+	if cmd.Index != r.applied {
+		return Decision{}, fmt.Errorf("replica %d: log gap: applying %d, expected %d: %w",
+			r.id, cmd.Index, r.applied, ErrDivergence)
+	}
+	d := Decision{Index: cmd.Index, Op: cmd.Op}
+	switch cmd.Op {
+	case OpPlace:
+		p, err := r.sched.Place(cmd.Req)
+		switch {
+		case err == nil:
+			d.Placement = p
+		case errors.Is(err, cluster.ErrUnplaceable):
+			d.Unplaceable = true
+		default:
+			return Decision{}, err
+		}
+		d.Digest = PlaceDigest(cmd.Req, p, d.Unplaceable)
+	case OpFailNode:
+		outcomes, err := r.sched.FailNode(cmd.Node)
+		if err != nil {
+			return Decision{}, err
+		}
+		d.Outcomes = outcomes
+		d.Digest = FailDigest(cmd.Node, outcomes)
+	default:
+		return Decision{}, fmt.Errorf("replica %d: unknown op %q", r.id, cmd.Op)
+	}
+	r.applied++
+	return d, nil
+}

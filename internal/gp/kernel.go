@@ -72,6 +72,76 @@ func (k RBF) Eval(a, b []float64) float64 {
 // Name implements Kernel.
 func (k RBF) Name() string { return "rbf" }
 
+// kStarInto fills out[i] = k(xs[i], x) for every row, hoisting the
+// kernel's interface dispatch and the per-element broadcast branch of
+// scaledDistance out of the loop. The specialized single-length-scale
+// bodies perform the identical per-element operations as Eval (same
+// subtraction, division, and accumulation order), so the results are
+// bit-equal to calling Eval per row — they are a dispatch optimization,
+// not a reformulation.
+func kStarInto(k Kernel, xs [][]float64, x []float64, out []float64) {
+	switch kk := k.(type) {
+	case Matern52:
+		if len(kk.LengthScales) == 1 {
+			l, v := kk.LengthScales[0], kk.Variance
+			for i, xi := range xs {
+				out[i] = matern52Single(xi, x, l, v)
+			}
+			return
+		}
+	case RBF:
+		if len(kk.LengthScales) == 1 {
+			l, v := kk.LengthScales[0], kk.Variance
+			for i, xi := range xs {
+				out[i] = rbfSingle(xi, x, l, v)
+			}
+			return
+		}
+	}
+	for i, xi := range xs {
+		out[i] = k.Eval(xi, x)
+	}
+}
+
+// kernelSelf returns k(x, x), short-circuiting the stationary families
+// to their signal variance. This is bit-equal to Eval(x, x): every
+// per-dimension difference is (x_i − x_i)/l = +0, so the distance is
+// Sqrt(+0) = +0, every distance polynomial collapses to exactly 1,
+// Exp(−0) = 1 exactly, and multiplying the variance by 1 is an exact
+// identity — the shortcut removes work, not precision.
+func kernelSelf(k Kernel, x []float64) float64 {
+	switch kk := k.(type) {
+	case Matern52:
+		return kk.Variance
+	case RBF:
+		return kk.Variance
+	}
+	return k.Eval(x, x)
+}
+
+// distSingle is scaledDistance specialized to one shared length scale;
+// the loop body is operation-for-operation the generic one with the
+// broadcast branch resolved.
+func distSingle(a, b []float64, l float64) float64 {
+	var sum float64
+	for i := range a {
+		d := (a[i] - b[i]) / l
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+func matern52Single(a, b []float64, l, variance float64) float64 {
+	r := distSingle(a, b, l)
+	s5r := math.Sqrt(5) * r
+	return variance * (1 + s5r + 5*r*r/3) * math.Exp(-s5r)
+}
+
+func rbfSingle(a, b []float64, l, variance float64) float64 {
+	r := distSingle(a, b, l)
+	return variance * math.Exp(-r*r/2)
+}
+
 // KernelByName constructs a kernel family with the given length scale,
 // for configuration surfaces ("matern52" or "rbf").
 func KernelByName(name string, lengthScale, variance float64) (Kernel, error) {

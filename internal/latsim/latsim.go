@@ -66,15 +66,24 @@ func (q Queue) ErlangC(lambda float64) float64 {
 // P(W > t) = C·e^{−θt} with θ = cμ−λ, and W is independent of the
 // exponential service time S, giving a closed form for the tail.
 func (q Queue) ResponseTail(lambda, t float64) float64 {
-	if t <= 0 {
-		return 1
-	}
 	mu := q.ServiceRate
 	theta := q.Capacity() - lambda
 	if theta <= 0 {
+		if t <= 0 {
+			return 1
+		}
 		return 1 // overloaded: handled by OverloadP95
 	}
-	pw := q.ErlangC(lambda)
+	return tailWith(q.ErlangC(lambda), mu, theta, t)
+}
+
+// tailWith evaluates the sojourn tail given a precomputed waiting
+// probability pw = ErlangC(λ); pw depends only on (λ, q), so callers
+// that probe many t values (percentile bisection) compute it once.
+func tailWith(pw, mu, theta, t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
 	if math.Abs(mu-theta) < 1e-9*mu {
 		// Degenerate case μ ≈ θ: S+E is Gamma(2, μ).
 		return (1-pw)*math.Exp(-mu*t) + pw*(1+mu*t)*math.Exp(-mu*t)
@@ -85,7 +94,10 @@ func (q Queue) ResponseTail(lambda, t float64) float64 {
 }
 
 // ResponsePercentile inverts ResponseTail by bisection, returning the
-// p-th percentile (p in (0,100)) of the sojourn time in seconds.
+// p-th percentile (p in (0,100)) of the sojourn time in seconds. The
+// Erlang-C waiting probability is invariant across the bisection, so
+// it is computed once and shared by every tail probe (the recurrence
+// is O(c) and would otherwise dominate the 80-step search).
 func (q Queue) ResponsePercentile(lambda, p float64) float64 {
 	if q.Utilization(lambda) >= 1 {
 		return math.Inf(1)
@@ -95,11 +107,12 @@ func (q Queue) ResponsePercentile(lambda, p float64) float64 {
 	// exceed a generous multiple of it.
 	mu := q.ServiceRate
 	theta := q.Capacity() - lambda
-	hi := (1/mu + q.ErlangC(lambda)/theta) * 50
+	pw := q.ErlangC(lambda)
+	hi := (1/mu + pw/theta) * 50
 	lo := 0.0
 	for i := 0; i < 80; i++ {
 		mid := (lo + hi) / 2
-		if q.ResponseTail(lambda, mid) > target {
+		if tailWith(pw, mu, theta, mid) > target {
 			lo = mid
 		} else {
 			hi = mid

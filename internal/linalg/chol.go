@@ -55,14 +55,27 @@ func (c *Chol) Reset() {
 // the jitter applied; callers that later AppendRow must add the same
 // jitter to appended diagonal entries to stay consistent.
 func CholeskyPacked(a *Matrix, maxJitter float64) (*Chol, float64, error) {
-	if a.Rows != a.Cols {
-		return nil, 0, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
-	}
 	c := NewChol(a.Rows)
+	jitter, err := c.Factor(a, maxJitter)
+	if err != nil {
+		return nil, jitter, err
+	}
+	return c, jitter, nil
+}
+
+// Factor (re)factors a+jitter·I into the receiver with the same
+// jitter ladder as CholeskyPacked, reusing the receiver's storage —
+// the allocation-free form for callers that refactor repeatedly (the
+// GP hyperparameter pool). It returns the jitter applied; on failure
+// the receiver is left empty.
+func (c *Chol) Factor(a *Matrix, maxJitter float64) (float64, error) {
+	if a.Rows != a.Cols {
+		return 0, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
 	jitter := 0.0
 	for attempt := 0; attempt < 8; attempt++ {
 		if c.factorInto(a, jitter) {
-			return c, jitter, nil
+			return jitter, nil
 		}
 		//lint:allow floateq jitter is an exact sentinel: assigned only the literal 0 or discrete *100 steps, never computed
 		if jitter == 0 {
@@ -74,12 +87,36 @@ func CholeskyPacked(a *Matrix, maxJitter float64) (*Chol, float64, error) {
 			break
 		}
 	}
-	return nil, jitter, ErrNotPositiveDefinite
+	return jitter, ErrNotPositiveDefinite
 }
 
+// cholBlockThreshold is the dimension at and above which factorInto
+// switches to the blocked factorization; below it the scalar loops win
+// (no prefill pass, no tile bookkeeping).
+const cholBlockThreshold = 48
+
+// cholBlock is the tile edge of the blocked factorization: 32 packed
+// rows of ≤32 columns keep the active panel and one update tile within
+// L1 while amortizing loop overhead.
+const cholBlock = 32
+
 // factorInto (re)factors a+jitter·I into c, reporting success. The
-// computation matches choleskyOnce term for term.
+// computation matches choleskyOnce term for term: above the size
+// threshold the blocked form is used, which reorders the schedule
+// across elements but keeps every element's own operation chain
+// identical, so the result is bit-equal to the scalar path (see the
+// FuzzBlockedCholVsScalar invariant).
 func (c *Chol) factorInto(a *Matrix, jitter float64) bool {
+	if a.Rows >= cholBlockThreshold {
+		return c.factorBlocked(a, jitter)
+	}
+	return c.factorScalar(a, jitter)
+}
+
+// factorScalar is the reference row-by-row factorization (the
+// AppendRow-compatible operation order); the blocked path must agree
+// with it bit for bit at any size.
+func (c *Chol) factorScalar(a *Matrix, jitter float64) bool {
 	n := a.Rows
 	c.Reset()
 	for i := 0; i < n; i++ {
@@ -108,6 +145,92 @@ func (c *Chol) factorInto(a *Matrix, jitter float64) bool {
 		}
 		c.n++
 	}
+	return true
+}
+
+// factorBlocked is the cache-tiled left-looking factorization. Every
+// element's value is a single running accumulator that subtracts the
+// k-products in strictly increasing k — first the tiled bulk update
+// (k-tiles in ascending order), then the in-panel tail — which is the
+// exact operation sequence the scalar loop performs per element, so
+// the two paths agree byte for byte. Only the traversal across
+// elements changes: the bulk update streams contiguous packed rows
+// tile by tile instead of re-walking full-length prefix rows per
+// element, which is what makes large factorizations cache-friendly.
+func (c *Chol) factorBlocked(a *Matrix, jitter float64) bool {
+	n := a.Rows
+	need := n * (n + 1) / 2
+	c.n = 0
+	if cap(c.data) < need {
+		c.data = make([]float64, need)
+	} else {
+		c.data = c.data[:need]
+	}
+	// Prefill the packed lower triangle with a (+ jitter·I): the
+	// accumulators start exactly where the scalar path starts them.
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			c.data[idx] = a.At(i, j)
+			idx++
+		}
+		c.data[idx] = a.At(i, i) + jitter
+		idx++
+	}
+	for jb := 0; jb < n; jb += cholBlock {
+		jend := jb + cholBlock
+		if jend > n {
+			jend = n
+		}
+		// Bulk update: fold the k < jb products into block columns
+		// [jb, jend), k-tiles ascending so each accumulator sees its
+		// products in increasing k.
+		for kb := 0; kb < jb; kb += cholBlock {
+			kend := kb + cholBlock
+			if kend > jb {
+				kend = jb
+			}
+			for i := jb; i < n; i++ {
+				li := c.Row(i)
+				jmax := jend
+				if i+1 < jmax {
+					jmax = i + 1
+				}
+				for j := jb; j < jmax; j++ {
+					lj := c.data[j*(j+1)/2:]
+					s := li[j]
+					for k := kb; k < kend; k++ {
+						s -= li[k] * lj[k]
+					}
+					li[j] = s
+				}
+			}
+		}
+		// Panel factorization: finish columns [jb, jend) with the
+		// in-panel k tail and the pivot/scale steps, column by column.
+		for j := jb; j < jend; j++ {
+			lj := c.Row(j)
+			s := lj[j]
+			for k := jb; k < j; k++ {
+				s -= lj[k] * lj[k]
+			}
+			if s <= 0 || math.IsNaN(s) {
+				c.Reset()
+				return false
+			}
+			d := math.Sqrt(s)
+			lj[j] = d
+			for i := j + 1; i < n; i++ {
+				li := c.Row(i)
+				si := li[j]
+				for k := jb; k < j; k++ {
+					si -= li[k] * lj[k]
+				}
+				li[j] = si / d
+			}
+		}
+	}
+	c.n = n
 	return true
 }
 

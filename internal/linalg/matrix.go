@@ -29,6 +29,24 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
 
+// Resize reshapes m to rows×cols, reusing its backing storage when
+// capacity allows. The contents are unspecified afterwards; callers
+// must overwrite every element. This is the allocation-free form of
+// NewMatrix for code that rebuilds a matrix repeatedly (the GP refit
+// path).
+func (m *Matrix) Resize(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	m.Rows, m.Cols = rows, cols
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	} else {
+		m.Data = m.Data[:n]
+	}
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 

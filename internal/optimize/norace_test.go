@@ -1,0 +1,5 @@
+//go:build !race
+
+package optimize
+
+const raceEnabled = false

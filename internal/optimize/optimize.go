@@ -101,6 +101,15 @@ type Problem struct {
 	// surfaces) qualify; closures carrying mutable scratch must keep
 	// it per-goroutine (sync.Pool).
 	Objective func(x []float64) float64
+	// BatchObjective, when non-nil, must write Objective(xs[i]) into
+	// out[i] for every row — bit-equal to per-row Objective calls (the
+	// GP posterior's batched path satisfies this). The gradient
+	// estimator then routes its 2·dim finite-difference probes through
+	// one call instead of 2·dim, which is what lets a GP-backed
+	// acquisition hoist kernel dispatch and factor-row traversal out of
+	// the probe loop. The ascent itself is unchanged: probe vectors,
+	// gradients, and accepted steps are byte-identical either way.
+	BatchObjective func(xs [][]float64, out []float64)
 	// FrozenJob, if ≥ 0, pins that job's allocation to FrozenAlloc —
 	// the paper's dropout-copy dimensionality reduction (Sec. 4).
 	FrozenJob   int
@@ -118,6 +127,23 @@ type Problem struct {
 	// the RNG before the fan-out and the best ascent is selected by
 	// start order, so scheduling never leaks into the answer.
 	Workers int
+	// Scratch, when non-nil, provides reusable storage for the start
+	// vectors and per-start results, making repeated Maximize calls
+	// allocation-free at steady state. The returned vector aliases the
+	// scratch and is valid until the next Maximize call using it.
+	Scratch *Scratch
+}
+
+// Scratch holds Maximize's reusable state: the flat arena backing the
+// start vectors, the per-start values, and the random-start draw
+// buffers. One Scratch serves one caller at a time (the BO engine owns
+// one per run loop).
+type Scratch struct {
+	startsBuf []float64
+	starts    [][]float64
+	vals      []float64
+	randCfg   resource.Config
+	cuts      []int
 }
 
 func (p *Problem) iterations() int {
@@ -142,6 +168,11 @@ type ascender struct {
 	free       []float64
 	idx        []int
 	bp         []float64
+	// Batched-gradient scratch: probe rows (flat, point-major) and
+	// their objective values.
+	probeBuf  []float64
+	probeRows [][]float64
+	probeVals []float64
 }
 
 var ascenderPool = sync.Pool{New: func() any { return new(ascender) }}
@@ -149,34 +180,53 @@ var ascenderPool = sync.Pool{New: func() any { return new(ascender) }}
 // Maximize runs multi-start projected gradient ascent and returns the
 // best feasible continuous vector found (job-major units).
 func Maximize(p Problem) []float64 {
-	scratch := ascenderPool.Get().(*ascender)
-	starts := make([][]float64, 0, len(p.Starts)+p.randomStarts())
-	for _, s := range p.Starts {
-		cp := append([]float64(nil), s...)
-		p.projectInPlace(cp, scratch)
-		starts = append(starts, cp)
+	s := p.Scratch
+	if s == nil {
+		s = &Scratch{}
 	}
-	for i := 0; i < p.randomStarts(); i++ {
-		cfg := resource.Random(p.Topo, p.NJobs, p.RNG)
-		v := cfg.Vector()
-		p.projectInPlace(v, scratch)
-		starts = append(starts, v)
+	dim := p.NJobs * len(p.Topo)
+	nStarts := len(p.Starts) + p.randomStarts()
+	if cap(s.startsBuf) < nStarts*dim {
+		s.startsBuf = make([]float64, nStarts*dim)
+	}
+	s.startsBuf = s.startsBuf[:nStarts*dim]
+	if cap(s.starts) < nStarts {
+		s.starts = make([][]float64, 0, nStarts)
+	}
+	s.starts = s.starts[:0]
+	if cap(s.vals) < nStarts {
+		s.vals = make([]float64, nStarts)
+	}
+	s.vals = s.vals[:nStarts]
+
+	scratch := ascenderPool.Get().(*ascender)
+	for i, st := range p.Starts {
+		row := s.startsBuf[i*dim : (i+1)*dim : (i+1)*dim]
+		copy(row, st)
+		p.projectInPlace(row, scratch)
+		s.starts = append(s.starts, row)
+	}
+	for i := len(p.Starts); i < nStarts; i++ {
+		resource.RandomInto(p.Topo, p.NJobs, p.RNG, &s.randCfg, &s.cuts)
+		row := s.randCfg.VectorInto(s.startsBuf[i*dim : i*dim : (i+1)*dim])
+		p.projectInPlace(row, scratch)
+		s.starts = append(s.starts, row)
 	}
 	ascenderPool.Put(scratch)
 
-	xs := make([][]float64, len(starts))
-	vals := make([]float64, len(starts))
-	par.ForEach(p.Workers, len(starts), func(i int) {
+	// ascend mutates each start in place and returns it, so the starts
+	// themselves hold the ascended points — only the values need slots.
+	par.ForEach(p.Workers, len(s.starts), func(i int) {
 		a := ascenderPool.Get().(*ascender)
-		xs[i], vals[i] = p.ascend(starts[i], a)
+		_, s.vals[i] = p.ascend(s.starts[i], a)
 		ascenderPool.Put(a)
 	})
 
 	var best []float64
 	bestVal := math.Inf(-1)
-	for i, x := range xs {
-		if vals[i] > bestVal {
-			bestVal = vals[i]
+	for i, x := range s.starts {
+		if s.vals[i] > bestVal {
+			bestVal = s.vals[i]
 			best = x
 		}
 	}
@@ -197,7 +247,7 @@ func (p *Problem) ascend(start []float64, a *ascender) ([]float64, float64) {
 	grad := a.grad[:len(x)]
 	cand := a.cand[:len(x)]
 	for iter := 0; iter < p.iterations(); iter++ {
-		p.gradient(x, grad)
+		p.gradient(x, grad, a)
 		improved := false
 		for tries := 0; tries < 6; tries++ {
 			for i := range x {
@@ -226,9 +276,59 @@ func (p *Problem) ascend(start []float64, a *ascender) ([]float64, float64) {
 // skipping frozen coordinates. Differences stay inside the feasible
 // set only approximately; the objective must tolerate slightly
 // infeasible probes (acquisition surfaces do).
-func (p *Problem) gradient(x []float64, g []float64) {
+//
+// With BatchObjective set, the 2·dim probe points are snapshotted and
+// scored in one batched call instead of 2·dim scalar ones. The
+// snapshots are taken at exactly the states the sequential path would
+// evaluate — including the rounding drift the restore step
+// (x[i]+h−2h+h) leaves behind, which later coordinates' probes
+// observe — so probe vectors, g, and the normalization are
+// byte-identical on both paths.
+func (p *Problem) gradient(x []float64, g []float64, a *ascender) {
 	const h = 0.25
 	nres := len(p.Topo)
+	if p.BatchObjective != nil {
+		dim := len(x)
+		if cap(a.probeBuf) < 2*dim*dim {
+			a.probeBuf = make([]float64, 2*dim*dim)
+			a.probeRows = make([][]float64, 0, 2*dim)
+			a.probeVals = make([]float64, 2*dim)
+		}
+		a.probeRows = a.probeRows[:0]
+		for i := range x {
+			if p.FrozenJob >= 0 && i/nres == p.FrozenJob {
+				continue
+			}
+			k := len(a.probeRows)
+			up := a.probeBuf[k*dim : (k+1)*dim : (k+1)*dim]
+			down := a.probeBuf[(k+1)*dim : (k+2)*dim : (k+2)*dim]
+			x[i] += h
+			copy(up, x)
+			x[i] -= 2 * h
+			copy(down, x)
+			x[i] += h
+			a.probeRows = append(a.probeRows, up, down)
+		}
+		vals := a.probeVals[:len(a.probeRows)]
+		p.BatchObjective(a.probeRows, vals)
+		norm := 0.0
+		k := 0
+		for i := range x {
+			if p.FrozenJob >= 0 && i/nres == p.FrozenJob {
+				g[i] = 0
+				continue
+			}
+			g[i] = (vals[k] - vals[k+1]) / (2 * h)
+			k += 2
+			norm += g[i] * g[i]
+		}
+		if norm = math.Sqrt(norm); norm > 1e-12 {
+			for i := range g {
+				g[i] /= norm
+			}
+		}
+		return
+	}
 	norm := 0.0
 	for i := range x {
 		if p.FrozenJob >= 0 && i/nres == p.FrozenJob {

@@ -1,0 +1,8 @@
+//go:build race
+
+package optimize
+
+// raceEnabled gates allocation-count assertions: under the race
+// detector sync.Pool intentionally drops items, so pooled paths
+// allocate nondeterministically.
+const raceEnabled = true

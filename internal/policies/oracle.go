@@ -15,21 +15,30 @@ import (
 // and is infeasible online; here it exists as the normalizing baseline
 // for every figure.
 //
-// Implementation note (documented in DESIGN.md): full enumeration of
-// the default space is ~10⁸–10⁹ configurations, so Oracle enumerates a
-// strided grid sized to Budget and then refines the winner by
-// steepest-ascent unit transfers. Because isolation makes per-job
-// performance a function of the job's own allocation only, per-job
-// measurements are memoized, which is what keeps the sweep tractable.
+// Implementation note (documented in DESIGN.md §13): full enumeration
+// of the default space is ~10⁸–10⁹ configurations, so Oracle
+// enumerates a strided grid sized to Budget and then refines the
+// winner by steepest-ascent unit transfers. Because isolation makes
+// per-job performance a function of the job's own allocation only,
+// per-job measurements are memoized — and because the grid is a cross
+// product of per-resource compositions, the set of allocations job j
+// can take is itself a small cross product, so the whole memo is
+// precomputed up front into a dense mixed-radix table. The sweep then
+// runs without a single hash probe: per configuration it is a few
+// table lookups, the log-domain Eq. 3 sums (core.ScoreTerm), and a
+// comparison that only leaves the log domain (calls Exp) when a
+// candidate actually ascends — monotonicity of Exp makes the skip
+// exact, not approximate.
 //
-// The grid sweep shards across workers by enumeration index (shard s
-// scores every configuration with index ≡ s mod W), each shard scoring
-// against its own measurement cache and scratch. The merge rule —
-// highest score, ties to the lowest enumeration index — reproduces the
-// sequential first-maximum semantics exactly, so the result is
-// byte-identical whatever the worker count (DESIGN.md §8). Each config
-// is scored allocation-free: no Observation is materialized and cache
-// keys are probed through a reused byte buffer.
+// The sweep shards across workers by enumeration index: shard s owns
+// the outer-composition residue class o ≡ s mod W and enumerates only
+// its own blocks (resource.ForEachConfigShard), so a worker pays the
+// inner cross-product cost for 1/W of the grid instead of re-walking
+// all of it. Shards share the immutable precomputed table and never
+// coordinate. The merge rule — highest score, ties to the lowest
+// global enumeration index — reproduces the sequential first-maximum
+// semantics exactly, so the result is byte-identical whatever the
+// worker count (DESIGN.md §8, §13).
 type Oracle struct {
 	// Budget caps the number of grid configurations enumerated
 	// (default 200,000); the stride is chosen to fit it.
@@ -37,6 +46,12 @@ type Oracle struct {
 	// Workers bounds the sweep's shard count: 0 means NumCPU, 1
 	// forces the sequential path.
 	Workers int
+	// Legacy drives the pre-table sweep retained for the benchmark
+	// baseline: every shard walks the full enumeration claiming its
+	// residue class, per-job measurements are memoized in string-keyed
+	// maps, and every configuration is re-scored through
+	// core.ScoreJobs. Results are identical either way.
+	Legacy bool
 }
 
 // Name implements Policy.
@@ -49,19 +64,157 @@ func (o Oracle) budget() int {
 	return 200000
 }
 
-// oracleSweep is one shard's worth of sweep state: per-job measurement
-// caches, reusable per-job measurement columns, scoring scratch, and
-// the shard-local winner.
+// measEntry is one memoized per-job measurement plus its precomputed
+// Eq. 3 log term, so scoring a configuration needs no logarithms.
+type measEntry struct {
+	meas server.JobMeasurement
+	term core.ScoreTerm
+}
+
+// tableCapPerJob bounds the precomputed table: a job whose grid
+// allocation space exceeds it falls back to map memoization.
+const tableCapPerJob = 1 << 16
+
+// measTable is the dense precomputed memo: for each job, every
+// allocation the strided grid can assign it, measured once, indexed
+// mixed-radix by per-resource value rank. Shards read it concurrently
+// without synchronization — it is immutable after build.
+type measTable struct {
+	// ranks[j][r][v] is the rank of unit value v for job j in resource
+	// r (−1 when the grid never assigns it); dims[j][r] is the number
+	// of distinct values.
+	ranks   [][][]int16
+	dims    [][]int
+	entries [][]measEntry
+}
+
+// lookup returns job j's precomputed entry for alloc, or ok=false when
+// any component lies off the grid (hill-climb probes do).
+func (t *measTable) lookup(j int, a resource.Allocation) (measEntry, bool) {
+	idx := 0
+	ranks := t.ranks[j]
+	for r, v := range a {
+		rv := ranks[r]
+		if v < 0 || v >= len(rv) {
+			return measEntry{}, false
+		}
+		rk := rv[v]
+		if rk < 0 {
+			return measEntry{}, false
+		}
+		idx = idx*t.dims[j][r] + int(rk)
+	}
+	return t.entries[j][idx], true
+}
+
+// buildMeasTable precomputes every per-job measurement the strided
+// grid can need. It returns nil when the space is degenerate or too
+// large to tabulate (the sweep then memoizes lazily instead).
+func buildMeasTable(m *server.Machine, topo resource.Topology, nJobs, stride int) (*measTable, error) {
+	nres := len(topo)
+	if nJobs <= 0 || nres == 0 {
+		return nil, nil
+	}
+	t := &measTable{
+		ranks:   make([][][]int16, nJobs),
+		dims:    make([][]int, nJobs),
+		entries: make([][]measEntry, nJobs),
+	}
+	// Collect, per (job, resource), the distinct unit values the
+	// composition enumeration assigns.
+	seen := make([][][]bool, nJobs)
+	for j := 0; j < nJobs; j++ {
+		seen[j] = make([][]bool, nres)
+		t.ranks[j] = make([][]int16, nres)
+		t.dims[j] = make([]int, nres)
+		for r := range topo {
+			seen[j][r] = make([]bool, topo[r].Units+1)
+		}
+	}
+	for r := range topo {
+		resource.ForEachComposition(topo[r].Units, nJobs, stride, func(shares []int) bool {
+			for j, v := range shares {
+				seen[j][r][v] = true
+			}
+			return true
+		})
+	}
+	for j := 0; j < nJobs; j++ {
+		total := 1
+		for r := range topo {
+			rv := make([]int16, topo[r].Units+1)
+			dim := 0
+			for v := range rv {
+				if seen[j][r][v] {
+					rv[v] = int16(dim)
+					dim++
+				} else {
+					rv[v] = -1
+				}
+			}
+			t.ranks[j][r] = rv
+			t.dims[j][r] = dim
+			if total *= dim; total == 0 {
+				return nil, nil // empty grid; nothing to sweep
+			}
+			if total > tableCapPerJob || dim > math.MaxInt16 {
+				return nil, nil
+			}
+		}
+		t.entries[j] = make([]measEntry, total)
+	}
+	// Fill each job's table by walking its value-set cross product.
+	jobs := m.Jobs()
+	alloc := make(resource.Allocation, nres)
+	for j := 0; j < nJobs; j++ {
+		var fill func(r, idx int) error
+		fill = func(r, idx int) error {
+			if r == nres {
+				v, err := m.MeasureJobIdeal(j, alloc)
+				if err != nil {
+					return err
+				}
+				t.entries[j][idx] = measEntry{
+					meas: v,
+					term: core.MakeScoreTerm(jobs[j], v.P95, v.QoSMet, v.NormPerf),
+				}
+				return nil
+			}
+			for v, rk := range t.ranks[j][r] {
+				if rk < 0 {
+					continue
+				}
+				alloc[r] = v
+				if err := fill(r+1, idx*t.dims[j][r]+int(rk)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := fill(0, 0); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// oracleSweep is one shard's worth of sweep state: the shared
+// measurement table, lazy fallback caches, reusable per-job scoring
+// columns, and the shard-local winner.
 type oracleSweep struct {
 	m    *server.Machine
 	jobs []server.Job
 
-	caches  []map[string]server.JobMeasurement
-	keyBuf  []byte
-	p95     []float64
-	qosMet  []bool
-	norm    []float64
-	scratch core.ScoreScratch
+	table  *measTable
+	caches []map[string]measEntry
+	keyBuf []byte
+
+	legacy   bool
+	nLC, nBG int
+	p95      []float64
+	qosMet   []bool
+	norm     []float64
+	scratch  core.ScoreScratch
 
 	examined int
 	err      error
@@ -69,29 +222,50 @@ type oracleSweep struct {
 	best      resource.Config
 	bestScore float64
 	bestIdx   int
+	// Log-domain winner key: the relevant per-class log sum of the
+	// current best, used to skip Exp for non-ascending candidates.
+	bestMet bool
+	bestSum float64
+	have    bool
 }
 
-func newOracleSweep(m *server.Machine, jobs []server.Job) *oracleSweep {
+func newOracleSweep(m *server.Machine, jobs []server.Job, table *measTable, legacy bool) *oracleSweep {
 	nJobs := len(jobs)
 	sw := &oracleSweep{
 		m:         m,
 		jobs:      jobs,
-		caches:    make([]map[string]server.JobMeasurement, nJobs),
+		table:     table,
+		legacy:    legacy,
+		caches:    make([]map[string]measEntry, nJobs),
 		p95:       make([]float64, nJobs),
 		qosMet:    make([]bool, nJobs),
 		norm:      make([]float64, nJobs),
 		bestScore: math.Inf(-1),
 	}
 	for j := range sw.caches {
-		sw.caches[j] = make(map[string]server.JobMeasurement)
+		sw.caches[j] = make(map[string]measEntry)
+	}
+	for _, job := range jobs {
+		if job.IsLC() {
+			sw.nLC++
+		} else {
+			sw.nBG++
+		}
 	}
 	return sw
 }
 
-// measure returns job j's memoized ideal measurement under alloc. The
-// cache is probed through the reused key buffer — map lookups with a
+// measure returns job j's memoized ideal measurement under alloc: the
+// precomputed table when the allocation is on-grid, a string-keyed
+// memo otherwise (hill-climb probes leave the grid). The fallback is
+// probed through the reused key buffer — map lookups with a
 // string(buf) index do not allocate; only a miss materializes the key.
-func (sw *oracleSweep) measure(j int, alloc resource.Allocation) server.JobMeasurement {
+func (sw *oracleSweep) measure(j int, alloc resource.Allocation) measEntry {
+	if sw.table != nil {
+		if e, ok := sw.table.lookup(j, alloc); ok {
+			return e
+		}
+	}
 	sw.keyBuf = appendAllocKey(sw.keyBuf[:0], alloc)
 	if v, ok := sw.caches[j][string(sw.keyBuf)]; ok {
 		return v
@@ -100,22 +274,99 @@ func (sw *oracleSweep) measure(j int, alloc resource.Allocation) server.JobMeasu
 	if err != nil && sw.err == nil {
 		sw.err = err
 	}
-	sw.caches[j][string(sw.keyBuf)] = v
-	return v
+	e := measEntry{
+		meas: v,
+		term: core.MakeScoreTerm(sw.jobs[j], v.P95, v.QoSMet, v.NormPerf),
+	}
+	sw.caches[j][string(sw.keyBuf)] = e
+	return e
 }
 
-// score computes the Eq. 3 score of cfg without materializing an
-// Observation: per-job measurements land in the reused columns and
-// ScoreJobs runs against the reused scratch.
-func (sw *oracleSweep) score(cfg resource.Config) float64 {
+// sums accumulates cfg's per-class Eq. 3 log sums in job order —
+// exactly the order core.ScoreJobs appends to its per-class slices,
+// so closing them with core.ScoreFromSums is bit-identical to
+// ScoreJobs.
+func (sw *oracleSweep) sums(cfg resource.Config) (lcRatioSum, lcPerfSum, bgPerfSum float64, allMet bool) {
+	allMet = true
 	for j := range sw.jobs {
-		meas := sw.measure(j, cfg.Jobs[j])
+		t := sw.measure(j, cfg.Jobs[j]).term
+		if t.LC {
+			lcRatioSum += t.LogRatio
+			lcPerfSum += t.LogPerf
+			if !t.QoSMet {
+				allMet = false
+			}
+		} else {
+			bgPerfSum += t.LogPerf
+		}
+	}
+	return lcRatioSum, lcPerfSum, bgPerfSum, allMet
+}
+
+// score computes the exact Eq. 3 score of cfg without materializing an
+// Observation. The default path closes the memoized log-term sums
+// (bit-identical to ScoreJobs, see core.ScoreFromSums); the legacy
+// path lands per-job measurements in the reused columns and runs
+// ScoreJobs against the reused scratch.
+func (sw *oracleSweep) score(cfg resource.Config) float64 {
+	sw.examined++
+	if !sw.legacy {
+		lcR, lcP, bgP, allMet := sw.sums(cfg)
+		return core.ScoreFromSums(lcR, lcP, bgP, sw.nLC, sw.nBG, allMet)
+	}
+	for j := range sw.jobs {
+		meas := sw.measure(j, cfg.Jobs[j]).meas
 		sw.p95[j] = meas.P95
 		sw.qosMet[j] = meas.QoSMet
 		sw.norm[j] = meas.NormPerf
 	}
-	sw.examined++
 	return core.ScoreJobs(sw.jobs, sw.p95, sw.qosMet, sw.norm, &sw.scratch)
+}
+
+// consider scores one sweep candidate in the log domain and promotes
+// it to the shard winner when it strictly improves. The skip is
+// exact: within a QoS class the score is Exp of the relevant sum (a
+// monotone map), and an all-met configuration always outscores an
+// unmet one (its score is strictly above ½, the unmet ceiling), so a
+// candidate whose (met, sum) key does not exceed the winner's cannot
+// have a strictly greater score and Exp need not be called.
+func (sw *oracleSweep) consider(idx int, cfg resource.Config) {
+	sw.examined++
+	lcR, lcP, bgP, allMet := sw.sums(cfg)
+	sum := lcR
+	if allMet {
+		if sw.nBG > 0 {
+			sum = bgP
+		} else {
+			sum = lcP
+		}
+	}
+	if sw.have {
+		if sw.bestMet && !allMet {
+			return
+		}
+		if sw.bestMet == allMet && sum <= sw.bestSum {
+			return
+		}
+	}
+	// Reaching here the candidate's (met, sum) key strictly exceeds
+	// the winner's (or there is no winner yet), so the key always
+	// advances — even when Exp rounds the scores equal and the winner
+	// itself is kept (future skips against the larger key remain
+	// exact, since a score between the two keys cannot be strictly
+	// greater either).
+	sc := core.ScoreFromSums(lcR, lcP, bgP, sw.nLC, sw.nBG, allMet)
+	sw.bestMet, sw.bestSum = allMet, sum
+	if sc > sw.bestScore {
+		sw.bestScore = sc
+		if sw.best.NumJobs() == 0 {
+			sw.best = cfg.Clone()
+		} else {
+			sw.best.CopyFrom(cfg)
+		}
+		sw.bestIdx = idx
+	}
+	sw.have = true
 }
 
 // observe materializes the full Observation for cfg from the cache —
@@ -131,7 +382,7 @@ func (sw *oracleSweep) observe(cfg resource.Config) server.Observation {
 		AllQoSMet:  true,
 	}
 	for j := 0; j < nJobs; j++ {
-		meas := sw.measure(j, cfg.Jobs[j])
+		meas := sw.measure(j, cfg.Jobs[j]).meas
 		obs.P95[j] = meas.P95
 		obs.Throughput[j] = meas.Throughput
 		obs.QoSMet[j] = meas.QoSMet
@@ -143,6 +394,19 @@ func (sw *oracleSweep) observe(cfg resource.Config) server.Observation {
 	return obs
 }
 
+// absorb merges another shard's fallback caches and examined count
+// into sw. Merging is a per-key overwrite of identical values
+// (measurements are pure functions of (job, alloc)), so map iteration
+// order is irrelevant to the outcome.
+func (sw *oracleSweep) absorb(other *oracleSweep) {
+	sw.examined += other.examined
+	for j := range sw.caches {
+		for k, v := range other.caches[j] {
+			sw.caches[j][k] = v
+		}
+	}
+}
+
 // Run implements Policy.
 func (o Oracle) Run(m *server.Machine) (Result, error) {
 	topo := m.Topology()
@@ -151,24 +415,44 @@ func (o Oracle) Run(m *server.Machine) (Result, error) {
 	stride := o.chooseStride(topo, nJobs)
 	workers := par.Count(o.Workers)
 
-	// Grid sweep: shard by enumeration index. Every shard walks the
-	// same deterministic enumeration and claims its residue class, so
-	// no coordination (and no scheduling sensitivity) exists between
-	// shards.
+	// Precompute the dense measurement table the sweep reads (shared,
+	// immutable). Legacy mode and oversized spaces skip it and memoize
+	// lazily per shard instead.
+	var table *measTable
+	if !o.Legacy {
+		var err error
+		table, err = buildMeasTable(m, topo, nJobs, stride)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Grid sweep: shard by enumeration index. Shards never coordinate
+	// (no scheduling sensitivity); the default path block-shards the
+	// enumeration itself so each worker walks only its share, while the
+	// legacy path re-walks the full grid per shard claiming its residue
+	// class.
 	shards := make([]*oracleSweep, workers)
 	par.Go(workers, func(s int) {
-		sw := newOracleSweep(m, jobs)
+		sw := newOracleSweep(m, jobs, table, o.Legacy)
 		shards[s] = sw
-		idx := 0
-		resource.ForEachConfig(topo, nJobs, stride, func(cfg resource.Config) bool {
-			if idx%workers == s {
-				if sc := sw.score(cfg); sc > sw.bestScore {
-					sw.bestScore = sc
-					sw.best = cfg.Clone()
-					sw.bestIdx = idx
+		if o.Legacy {
+			idx := 0
+			resource.ForEachConfig(topo, nJobs, stride, func(cfg resource.Config) bool {
+				if idx%workers == s {
+					if sc := sw.score(cfg); sc > sw.bestScore {
+						sw.bestScore = sc
+						sw.best = cfg.Clone()
+						sw.bestIdx = idx
+					}
 				}
-			}
-			idx++
+				idx++
+				return true
+			})
+			return
+		}
+		resource.ForEachConfigShard(topo, nJobs, stride, s, workers, func(idx int, cfg resource.Config) bool {
+			sw.consider(idx, cfg)
 			return true
 		})
 	})
@@ -190,12 +474,7 @@ func (o Oracle) Run(m *server.Machine) (Result, error) {
 		if sw == merged {
 			continue
 		}
-		merged.examined += sw.examined
-		for j := range merged.caches {
-			for k, v := range sw.caches[j] {
-				merged.caches[j][k] = v
-			}
-		}
+		merged.absorb(sw)
 	}
 	if firstErr != nil {
 		return Result{}, firstErr
@@ -231,12 +510,7 @@ func (o Oracle) chooseStride(topo resource.Topology, nJobs int) int {
 	for stride := 1; stride < 8; stride++ {
 		total := 1.0
 		for _, spec := range topo {
-			count := 0
-			resource.ForEachComposition(spec.Units, nJobs, stride, func([]int) bool {
-				count++
-				return true
-			})
-			total *= float64(count)
+			total *= float64(resource.CompositionCount(spec.Units, nJobs, stride))
 			if total > float64(o.budget()) {
 				break
 			}
@@ -248,23 +522,26 @@ func (o Oracle) chooseStride(topo resource.Topology, nJobs int) int {
 	return 8
 }
 
-// hillClimb performs steepest-ascent over single-unit transfers.
+// hillClimb performs steepest-ascent over single-unit transfers. The
+// candidate is a scratch config rebuilt by CopyFrom per probe, so the
+// climb allocates only its two working configs.
 func (o Oracle) hillClimb(topo resource.Topology, nJobs int, start resource.Config,
 	scoreOf func(resource.Config) float64) (resource.Config, float64) {
 	best := start.Clone()
 	bestScore := scoreOf(best)
+	cand := start.Clone()
 	for {
 		improved := false
 		for r := range topo {
 			for from := 0; from < nJobs; from++ {
 				for to := 0; to < nJobs; to++ {
-					cand := best.Clone()
+					cand.CopyFrom(best)
 					if !cand.Transfer(r, from, to, 1) {
 						continue
 					}
 					if s := scoreOf(cand); s > bestScore {
 						bestScore = s
-						best = cand
+						best, cand = cand, best
 						improved = true
 					}
 				}

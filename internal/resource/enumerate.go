@@ -65,38 +65,130 @@ func ForEachConfig(t Topology, nJobs, stride int, fn func(Config) bool) bool {
 	return rec(0)
 }
 
+// CompositionCount returns how many compositions ForEachComposition
+// enumerates for the given units/parts/stride.
+func CompositionCount(units, parts, stride int) int {
+	n := 0
+	ForEachComposition(units, parts, stride, func([]int) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEachConfigShard enumerates shard `shard` of `shards` disjoint
+// slices of exactly the sequence ForEachConfig walks, passing each
+// config's global enumeration index alongside it. Sharding is by the
+// first resource's composition index (outer loop) modulo shards, so a
+// shard pays the inner cross-product cost only for its own residue
+// class — the union over all shards is the full enumeration, each
+// index visited exactly once, in increasing order within a shard.
+// This is what lets the ORACLE sweep fan out without every worker
+// re-walking the whole grid. fn returns false to stop this shard; the
+// Config is reused across calls, so clone it before retaining.
+func ForEachConfigShard(t Topology, nJobs, stride, shard, shards int, fn func(idx int, cfg Config) bool) bool {
+	if nJobs <= 0 {
+		return true
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	cfg := NewConfig(t, nJobs)
+	if len(t) == 0 {
+		if shard == 0 {
+			return fn(0, cfg)
+		}
+		return true
+	}
+	inner := 1
+	for r := 1; r < len(t); r++ {
+		inner *= CompositionCount(t[r].Units, nJobs, stride)
+	}
+	var rec func(r, base int) bool
+	idx := 0
+	rec = func(r, base int) bool {
+		if r == len(t) {
+			ok := fn(base+idx, cfg)
+			idx++
+			return ok
+		}
+		return ForEachComposition(t[r].Units, nJobs, stride, func(shares []int) bool {
+			for j := 0; j < nJobs; j++ {
+				cfg.Jobs[j][r] = shares[j]
+			}
+			return rec(r+1, base)
+		})
+	}
+	outer := 0
+	return ForEachComposition(t[0].Units, nJobs, stride, func(shares []int) bool {
+		o := outer
+		outer++
+		if o%shards != shard {
+			return true
+		}
+		for j := 0; j < nJobs; j++ {
+			cfg.Jobs[j][0] = shares[j]
+		}
+		idx = 0
+		return rec(1, o*inner)
+	})
+}
+
 // Random draws a partition configuration uniformly at random from the
 // space of feasible configs: per resource, a uniform composition of
 // Units into nJobs positive parts (via a random (nJobs−1)-subset of
 // cut positions).
 func Random(t Topology, nJobs int, rng *stats.RNG) Config {
 	c := NewConfig(t, nJobs)
+	var cuts []int
+	randomInto(t, nJobs, rng, &c, &cuts)
+	return c
+}
+
+// RandomInto is Random writing into a reused config, with the cut
+// scratch threaded through *cuts — the allocation-free form for the
+// acquisition maximizer's random restarts. It consumes the identical
+// RNG sequence as Random (same draws, same duplicate rejections), so
+// the two produce the same configuration stream from the same state.
+func RandomInto(t Topology, nJobs int, rng *stats.RNG, c *Config, cuts *[]int) {
+	c.Reshape(nJobs, len(t))
+	randomInto(t, nJobs, rng, c, cuts)
+}
+
+func randomInto(t Topology, nJobs int, rng *stats.RNG, c *Config, cutsBuf *[]int) {
 	for r, s := range t {
-		cuts := randomCuts(s.Units, nJobs, rng)
+		cuts := randomCuts(s.Units, nJobs, rng, cutsBuf)
 		prev := 0
 		for j := 0; j < nJobs; j++ {
 			c.Jobs[j][r] = cuts[j] - prev
 			prev = cuts[j]
 		}
 	}
-	return c
 }
 
 // randomCuts returns nJobs ascending cut positions in (0, units] with
 // the last fixed at units, such that consecutive differences are ≥ 1.
-func randomCuts(units, nJobs int, rng *stats.RNG) []int {
+// Duplicate draws are rejected by a linear membership scan (nJobs is
+// tiny), which keeps the buffer from *buf the only storage touched.
+func randomCuts(units, nJobs int, rng *stats.RNG, buf *[]int) []int {
 	// Choose nJobs−1 distinct values from 1..units−1.
-	chosen := make(map[int]bool, nJobs-1)
-	cuts := make([]int, 0, nJobs)
+	cuts := (*buf)[:0]
 	for len(cuts) < nJobs-1 {
 		v := 1 + rng.Intn(units-1)
-		if !chosen[v] {
-			chosen[v] = true
+		dup := false
+		for _, u := range cuts {
+			if u == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			cuts = append(cuts, v)
 		}
 	}
 	cuts = append(cuts, units)
 	sort.Ints(cuts)
+	*buf = cuts
 	return cuts
 }
 
@@ -108,16 +200,49 @@ func randomCuts(units, nJobs int, rng *stats.RNG) []int {
 // continuous maximization of Eq. 4–6.
 func RoundFeasible(t Topology, nJobs int, v []float64) Config {
 	c := NewConfig(t, nJobs)
+	var s RoundScratch
+	roundFeasibleInto(t, nJobs, v, &c, &s)
+	return c
+}
+
+// jobFrac is one job's fractional remainder during largest-remainder
+// rounding.
+type jobFrac struct {
+	job  int
+	frac float64
+}
+
+// RoundScratch holds RoundFeasibleInto's reusable buffers.
+type RoundScratch struct {
+	floors []int
+	fracs  []jobFrac
+}
+
+func (s *RoundScratch) grow(n int) {
+	if cap(s.floors) < n {
+		s.floors = make([]int, n)
+		s.fracs = make([]jobFrac, n)
+	}
+	s.floors = s.floors[:n]
+	s.fracs = s.fracs[:n]
+}
+
+// RoundFeasibleInto is RoundFeasible writing into a reused config with
+// caller-owned scratch — the allocation-free form for the BO engine's
+// per-iteration integer projection. Results are identical to
+// RoundFeasible.
+func RoundFeasibleInto(t Topology, nJobs int, v []float64, c *Config, s *RoundScratch) {
+	c.Reshape(nJobs, len(t))
+	roundFeasibleInto(t, nJobs, v, c, s)
+}
+
+func roundFeasibleInto(t Topology, nJobs int, v []float64, c *Config, scratch *RoundScratch) {
 	nres := len(t)
+	scratch.grow(nJobs)
+	floors, fracs := scratch.floors, scratch.fracs
 	for r, s := range t {
 		maxPer := MaxUnitsPerJob(t, nJobs, r)
 		// Start from clamped floors.
-		type rem struct {
-			job  int
-			frac float64
-		}
-		floors := make([]int, nJobs)
-		fracs := make([]rem, nJobs)
 		sum := 0
 		for j := 0; j < nJobs; j++ {
 			x := v[j*nres+r]
@@ -129,13 +254,20 @@ func RoundFeasible(t Topology, nJobs int, v []float64) Config {
 			}
 			f := int(x)
 			floors[j] = f
-			fracs[j] = rem{job: j, frac: x - float64(f)}
+			fracs[j] = jobFrac{job: j, frac: x - float64(f)}
 			sum += f
 		}
 		// Distribute the deficit to the largest fractional parts
 		// (largest-remainder rounding), respecting the per-job cap.
+		// The stable insertion sort reproduces what sort.Slice did
+		// here for any realistic job count (pdqsort IS insertion sort
+		// below its 12-element cutoff), without its allocations.
 		deficit := s.Units - sum
-		sort.Slice(fracs, func(a, b int) bool { return fracs[a].frac > fracs[b].frac })
+		for i := 1; i < nJobs; i++ {
+			for j := i; j > 0 && fracs[j].frac > fracs[j-1].frac; j-- {
+				fracs[j], fracs[j-1] = fracs[j-1], fracs[j]
+			}
+		}
 		for i := 0; deficit > 0; i = (i + 1) % nJobs {
 			j := fracs[i].job
 			if floors[j] < maxPer {
@@ -159,7 +291,6 @@ func RoundFeasible(t Topology, nJobs int, v []float64) Config {
 			c.Jobs[j][r] = floors[j]
 		}
 	}
-	return c
 }
 
 func allAtCap(xs []int, cap int) bool {

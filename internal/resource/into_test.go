@@ -1,0 +1,135 @@
+package resource
+
+import (
+	"testing"
+
+	"clite/internal/stats"
+)
+
+// TestRandomIntoMatchesRandom pins RandomInto to Random: from equal
+// RNG states the two must consume the identical draw sequence and
+// produce the identical configuration stream.
+func TestRandomIntoMatchesRandom(t *testing.T) {
+	topo := Default()
+	for _, nJobs := range []int{1, 2, 3, 5} {
+		a := stats.NewRNG(99)
+		b := stats.NewRNG(99)
+		var cfg Config
+		var cuts []int
+		for i := 0; i < 50; i++ {
+			want := Random(topo, nJobs, a)
+			RandomInto(topo, nJobs, b, &cfg, &cuts)
+			if !want.Equal(cfg) {
+				t.Fatalf("nJobs=%d draw %d: Random %v vs RandomInto %v", nJobs, i, want, cfg)
+			}
+		}
+	}
+}
+
+// TestRoundFeasibleIntoMatches pins RoundFeasibleInto to RoundFeasible
+// over a spread of continuous vectors, including out-of-bounds and
+// tie-heavy (integral) ones.
+func TestRoundFeasibleIntoMatches(t *testing.T) {
+	topo := Default()
+	rng := stats.NewRNG(7)
+	for _, nJobs := range []int{2, 3, 4} {
+		var cfg Config
+		var scratch RoundScratch
+		for i := 0; i < 200; i++ {
+			v := make([]float64, nJobs*len(topo))
+			for d := range v {
+				switch i % 3 {
+				case 0:
+					v[d] = rng.Float64() * float64(topo[d%len(topo)].Units)
+				case 1: // integral values: every fractional part ties at 0
+					v[d] = float64(rng.Intn(topo[d%len(topo)].Units + 2))
+				default: // wildly infeasible
+					v[d] = rng.Float64()*60 - 10
+				}
+			}
+			want := RoundFeasible(topo, nJobs, v)
+			RoundFeasibleInto(topo, nJobs, v, &cfg, &scratch)
+			if !want.Equal(cfg) {
+				t.Fatalf("nJobs=%d case %d: RoundFeasible %v vs Into %v (v=%v)", nJobs, i, want, cfg, v)
+			}
+		}
+	}
+}
+
+// TestEqualSplitExtremumInto pins the bootstrap Into-variants to their
+// allocating forms.
+func TestEqualSplitExtremumInto(t *testing.T) {
+	topo := Default()
+	for _, nJobs := range []int{1, 2, 3, 5} {
+		var cfg Config
+		EqualSplitInto(topo, nJobs, &cfg)
+		if want := EqualSplit(topo, nJobs); !want.Equal(cfg) {
+			t.Fatalf("EqualSplitInto nJobs=%d: %v vs %v", nJobs, cfg, want)
+		}
+		for f := 0; f < nJobs; f++ {
+			ExtremumInto(topo, nJobs, f, &cfg)
+			if want := Extremum(topo, nJobs, f); !want.Equal(cfg) {
+				t.Fatalf("ExtremumInto nJobs=%d favored=%d: %v vs %v", nJobs, f, cfg, want)
+			}
+		}
+	}
+}
+
+// TestVectorInto pins VectorInto to Vector and checks storage reuse.
+func TestVectorInto(t *testing.T) {
+	topo := Small()
+	cfg := EqualSplit(topo, 2)
+	var dst []float64
+	dst = cfg.VectorInto(dst)
+	want := cfg.Vector()
+	if len(dst) != len(want) {
+		t.Fatalf("length %d vs %d", len(dst), len(want))
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("element %d: %v vs %v", i, dst[i], want[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() { dst = cfg.VectorInto(dst) })
+	if allocs != 0 {
+		t.Fatalf("steady-state VectorInto allocated %.1f times per run", allocs)
+	}
+}
+
+// TestForEachConfigShardUnion verifies the sharded enumeration is an
+// exact index-preserving partition of ForEachConfig: for every worker
+// count, the union of shards visits the same (index, config) pairs.
+func TestForEachConfigShardUnion(t *testing.T) {
+	topo := Small()
+	const nJobs, stride = 2, 2
+	var refKeys []string
+	ForEachConfig(topo, nJobs, stride, func(cfg Config) bool {
+		refKeys = append(refKeys, cfg.Key())
+		return true
+	})
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		got := make([]string, len(refKeys))
+		count := 0
+		for s := 0; s < shards; s++ {
+			ForEachConfigShard(topo, nJobs, stride, s, shards, func(idx int, cfg Config) bool {
+				if idx < 0 || idx >= len(got) {
+					t.Fatalf("shard %d/%d: index %d out of range %d", s, shards, idx, len(got))
+				}
+				if got[idx] != "" {
+					t.Fatalf("shard %d/%d: index %d visited twice", s, shards, idx)
+				}
+				got[idx] = cfg.Key()
+				count++
+				return true
+			})
+		}
+		if count != len(refKeys) {
+			t.Fatalf("shards=%d visited %d configs, want %d", shards, count, len(refKeys))
+		}
+		for i := range refKeys {
+			if got[i] != refKeys[i] {
+				t.Fatalf("shards=%d index %d: %q vs %q", shards, i, got[i], refKeys[i])
+			}
+		}
+	}
+}

@@ -220,6 +220,39 @@ func (c Config) Clone() Config {
 	return Config{Jobs: jobs}
 }
 
+// CopyFrom overwrites c with src's values, reusing c's storage when
+// the shapes match (the scratch-config idiom of the hot paths);
+// allocations are only made when c is smaller than src.
+func (c *Config) CopyFrom(src Config) {
+	if cap(c.Jobs) < len(src.Jobs) {
+		c.Jobs = make([]Allocation, len(src.Jobs))
+	}
+	c.Jobs = c.Jobs[:len(src.Jobs)]
+	for j, a := range src.Jobs {
+		if cap(c.Jobs[j]) < len(a) {
+			c.Jobs[j] = make(Allocation, len(a))
+		}
+		c.Jobs[j] = c.Jobs[j][:len(a)]
+		copy(c.Jobs[j], a)
+	}
+}
+
+// Reshape sizes c to nJobs allocations of nRes resources each,
+// reusing storage like CopyFrom. Contents are unspecified; callers
+// must overwrite every entry.
+func (c *Config) Reshape(nJobs, nRes int) {
+	if cap(c.Jobs) < nJobs {
+		c.Jobs = make([]Allocation, nJobs)
+	}
+	c.Jobs = c.Jobs[:nJobs]
+	for j := range c.Jobs {
+		if cap(c.Jobs[j]) < nRes {
+			c.Jobs[j] = make(Allocation, nRes)
+		}
+		c.Jobs[j] = c.Jobs[j][:nRes]
+	}
+}
+
 // NumJobs returns the number of co-located jobs in the config.
 func (c Config) NumJobs() int { return len(c.Jobs) }
 
@@ -299,6 +332,54 @@ func (c Config) Vector() []float64 {
 		}
 	}
 	return v
+}
+
+// VectorInto is Vector writing into dst (reused when capacity allows)
+// — the allocation-free form for hot loops that flatten repeatedly.
+func (c Config) VectorInto(dst []float64) []float64 {
+	if len(c.Jobs) == 0 {
+		return dst[:0]
+	}
+	n := len(c.Jobs) * len(c.Jobs[0])
+	if cap(dst) < n {
+		dst = make([]float64, 0, n)
+	}
+	dst = dst[:0]
+	for _, a := range c.Jobs {
+		for _, u := range a {
+			dst = append(dst, float64(u))
+		}
+	}
+	return dst
+}
+
+// EqualSplitInto is EqualSplit writing into a reused config.
+func EqualSplitInto(t Topology, nJobs int, c *Config) {
+	c.Reshape(nJobs, len(t))
+	for r, s := range t {
+		base := s.Units / nJobs
+		rem := s.Units % nJobs
+		for j := 0; j < nJobs; j++ {
+			c.Jobs[j][r] = base
+			if j < rem {
+				c.Jobs[j][r]++
+			}
+		}
+	}
+}
+
+// ExtremumInto is Extremum writing into a reused config.
+func ExtremumInto(t Topology, nJobs, favored int, c *Config) {
+	c.Reshape(nJobs, len(t))
+	for r, s := range t {
+		for j := 0; j < nJobs; j++ {
+			if j == favored {
+				c.Jobs[j][r] = s.Units - (nJobs - 1)
+			} else {
+				c.Jobs[j][r] = 1
+			}
+		}
+	}
 }
 
 // FromVector reconstructs a config from a flattened vector produced by

@@ -163,6 +163,15 @@ type Machine struct {
 	calibrations map[string]qos.Calibration
 	shared       *Calibrations
 
+	// Isolation baselines, maintained eagerly so the measurement hot
+	// paths never recompute them: fullAlloc is the whole-machine
+	// physical allocation (constant per topology) and isoP95[i] is LC
+	// job i's isolation p95 at its current (load, window). Entries are
+	// refreshed by AddLC/SetLoad/SetWindow, which keeps concurrent
+	// read-only measurement (the ORACLE shards) race-free.
+	fullAlloc workload.Alloc
+	isoP95    []float64
+
 	// Telemetry (all nil when disabled; nil handles discard updates).
 	trace        *telemetry.Tracer
 	mWindows     *telemetry.Counter
@@ -181,6 +190,17 @@ func New(topo resource.Topology, spec Spec, seed int64) *Machine {
 		rng:          stats.NewRNG(seed),
 		window:       DefaultWindow,
 		calibrations: make(map[string]qos.Calibration),
+		fullAlloc:    workload.FullMachine(topo),
+	}
+}
+
+// refreshIso recomputes job i's cached isolation p95. It is a no-op
+// for background jobs (their Iso-Perf normalizer is sampled once at
+// AddBG time).
+func (m *Machine) refreshIso(i int) {
+	j := m.jobs[i]
+	if j.IsLC() {
+		m.isoP95[i] = j.Workload.P95(m.fullAlloc, j.Lambda(), m.window)
 	}
 }
 
@@ -252,6 +272,9 @@ func (m *Machine) Window() float64 { return m.window }
 func (m *Machine) SetWindow(seconds float64) {
 	if seconds > 0 {
 		m.window = seconds
+		for i := range m.jobs {
+			m.refreshIso(i)
+		}
 	}
 }
 
@@ -291,6 +314,8 @@ func (m *Machine) AddLC(name string, load float64) (int, error) {
 		MaxQPS:   cal.MaxQPS,
 		QoS:      cal.QoSTarget,
 	})
+	m.isoP95 = append(m.isoP95, 0)
+	m.refreshIso(len(m.jobs) - 1)
 	return len(m.jobs) - 1, nil
 }
 
@@ -309,6 +334,7 @@ func (m *Machine) AddBG(name string) (int, error) {
 		Workload: p,
 		IsoPerf:  p.IsolationThroughput(m.topo),
 	})
+	m.isoP95 = append(m.isoP95, 0)
 	return len(m.jobs) - 1, nil
 }
 
@@ -335,6 +361,7 @@ func (m *Machine) SetLoad(job int, load float64) error {
 		return fmt.Errorf("server: load %v out of range (0, 1.5]", load)
 	}
 	m.jobs[job].Load = load
+	m.refreshIso(job)
 	return nil
 }
 
@@ -450,8 +477,7 @@ func (m *Machine) observeScaled(cfg resource.Config, noisy bool, scaledJobs []bo
 			if !obs.QoSMet[i] {
 				obs.AllQoSMet = false
 			}
-			iso := job.Workload.P95(workload.FullMachine(m.topo), lambda, m.window)
-			obs.NormPerf[i] = iso / obs.P95[i]
+			obs.NormPerf[i] = m.isoP95[i] / obs.P95[i]
 		} else {
 			thr := job.Workload.Throughput(phys)
 			if noisy {
@@ -492,11 +518,10 @@ func (m *Machine) MeasureJobIdeal(job int, alloc resource.Allocation) (JobMeasur
 	if j.IsLC() {
 		lambda := j.Lambda()
 		p95 := j.Workload.P95(phys, lambda, m.window)
-		iso := j.Workload.P95(workload.FullMachine(m.topo), lambda, m.window)
 		return JobMeasurement{
 			P95:      p95,
 			QoSMet:   p95 <= j.QoS,
-			NormPerf: iso / p95,
+			NormPerf: m.isoP95[job] / p95,
 		}, nil
 	}
 	thr := j.Workload.Throughput(phys)

@@ -1,0 +1,23 @@
+package stats
+
+import "testing"
+
+// TestPermIntoMatchesPerm pins PermInto to Perm: identical draw
+// sequence, identical permutation, reused storage.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	a, b := NewRNG(3), NewRNG(3)
+	var buf []int
+	for i := 0; i < 50; i++ {
+		n := 1 + i%7
+		want := a.Perm(n)
+		buf = b.PermInto(n, buf)
+		if len(buf) != len(want) {
+			t.Fatalf("n=%d: length %d vs %d", n, len(buf), len(want))
+		}
+		for k := range want {
+			if buf[k] != want[k] {
+				t.Fatalf("n=%d draw %d: %v vs %v", n, i, buf, want)
+			}
+		}
+	}
+}

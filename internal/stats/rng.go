@@ -39,6 +39,26 @@ func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
 // Perm returns a random permutation of [0,n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
+// PermInto is Perm writing into a reused buffer. It performs
+// math/rand's exact insertion shuffle (same draw sequence, same
+// permutation), so it can replace Perm in hot loops without touching
+// the stream.
+func (g *RNG) PermInto(n int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	m := buf[:n]
+	// math/rand's loop starts at i = 0 — the first iteration is a
+	// no-op swap but consumes an Intn(1) draw, and the stream must
+	// match draw for draw.
+	for i := 0; i < n; i++ {
+		j := g.r.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	return m
+}
+
 // Normal returns a sample from N(mu, sigma²).
 func (g *RNG) Normal(mu, sigma float64) float64 {
 	return mu + sigma*g.r.NormFloat64()

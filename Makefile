@@ -6,9 +6,9 @@
 # optimization paths by the byte-identity tests), keep the benchmark
 # harness runnable (benchsmoke), and keep the telemetry layer cheap
 # (teleoverhead: CLITERun with tracing on within 5% of off).
-.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs perftable teleoverhead trace fuzzsmoke chaossmoke
+.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs perftable teleoverhead trace fuzzsmoke chaossmoke fleetsmoke
 
-tier1: build vet lint race benchsmoke teleoverhead
+tier1: build vet lint race benchsmoke teleoverhead fleetsmoke
 
 build:
 	go build ./...
@@ -82,6 +82,13 @@ fuzzsmoke:
 # failover, or survives quorum loss without degrading to read-only.
 chaossmoke:
 	go test -run TestChaosSmoke ./internal/harness
+
+# fleetsmoke streams a small seeded fleet (128 nodes, 2 shards) and
+# fails on any QoS divergence: every LC placement must report QoSOK,
+# and the decision log and telemetry trace must be byte-identical
+# whether one shard or several did the placing.
+fleetsmoke:
+	go test -run 'TestFleetSmoke|TestFleetShardInvariance' ./internal/fleet
 
 # benchfigs times regenerating every paper figure once.
 benchfigs:

@@ -35,6 +35,30 @@ func TestBenchSmoke(t *testing.T) {
 			if r.GoBenchLine() == "" {
 				t.Errorf("%s/%s: empty bench line", mode.name, r.Name)
 			}
+			if r.Name == "FleetPlace" {
+				// The fleet bench must log its acceptance metrics: a live
+				// throughput figure in both modes, and the shard-scaling
+				// measurement only where shards exist (the baseline is the
+				// monolithic single-domain fleet).
+				if r.Extra["placements_per_sec"] <= 0 {
+					t.Errorf("%s/FleetPlace: no throughput recorded: %v", mode.name, r.Extra)
+				}
+				if r.Extra["placements_per_run"] <= 0 {
+					t.Errorf("%s/FleetPlace: no placements recorded: %v", mode.name, r.Extra)
+				}
+				scaling, logged := r.Extra["shard_scaling"]
+				if mode.cfg.Legacy && logged {
+					t.Errorf("baseline/FleetPlace reported shard scaling %v for the monolith", scaling)
+				}
+				if !mode.cfg.Legacy {
+					if !logged || scaling <= 0 {
+						t.Errorf("after/FleetPlace: no shard-scaling measurement: %v", r.Extra)
+					}
+					if r.Extra["cells"] <= 1 {
+						t.Errorf("after/FleetPlace ran without cell decomposition: %v", r.Extra)
+					}
+				}
+			}
 			if r.Name != "ClusterPlace" {
 				continue
 			}
@@ -55,6 +79,9 @@ func TestBenchSmoke(t *testing.T) {
 		}
 		if !seen["ClusterPlace"] {
 			t.Errorf("%s: ClusterPlace missing from the suite", mode.name)
+		}
+		if !seen["FleetPlace"] {
+			t.Errorf("%s: FleetPlace missing from the suite", mode.name)
 		}
 		if !seen["CLITERun"] {
 			t.Errorf("%s: CLITERun missing from the suite", mode.name)

@@ -34,6 +34,7 @@ import (
 	"clite/internal/core"
 	"clite/internal/doe"
 	"clite/internal/faults"
+	"clite/internal/fleet"
 	"clite/internal/harness"
 	"clite/internal/policies"
 	"clite/internal/profile"
@@ -253,6 +254,47 @@ type NodeSnapshot = cluster.NodeInfo
 // RehomeOutcome reports what happened to one job drained from a failed
 // node: the survivor that absorbed it, or ErrUnplaceable.
 type RehomeOutcome = cluster.Outcome
+
+// Fleet simulates warehouse-scale streaming placement: arrivals and
+// departures from a deterministic traffic shape flow onto thousands
+// of nodes carved into fixed cells, placed concurrently by scheduler
+// shards with byte-identical decisions at every shard count.
+type Fleet = fleet.Fleet
+
+// FleetOptions sizes, seeds, and shapes a fleet simulation.
+type FleetOptions = fleet.Options
+
+// FleetSummary reports one fleet run: the arrival/placement ledger,
+// the aggregated pipeline counters, and the committed decision log.
+type FleetSummary = fleet.Summary
+
+// FleetDecision is one committed placement of the fleet's decision
+// log — the unit of the shard-count byte-identity contract.
+type FleetDecision = fleet.Decision
+
+// FleetTraffic configures the fleet's arrival stream.
+type FleetTraffic = fleet.Traffic
+
+// FleetShape names a deterministic traffic shape.
+type FleetShape = fleet.Shape
+
+// The fleet's traffic shapes: a sinusoidal day/night cycle, on/off
+// flash crowds, and bounded-Pareto heavy-tailed renewal traffic.
+const (
+	FleetDiurnal   = fleet.ShapeDiurnal
+	FleetBursty    = fleet.ShapeBursty
+	FleetHeavyTail = fleet.ShapeHeavyTail
+)
+
+// FleetJobSpec is one weighted entry of a fleet traffic menu.
+type FleetJobSpec = fleet.JobSpec
+
+// FleetDeathPlan schedules whole-node deaths across a simulated
+// fleet; the fleet rehomes the displaced jobs.
+type FleetDeathPlan = faults.FleetPlan
+
+// NewFleet builds a fleet simulation; run it once with Run.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
 
 // ReplicaGroup is a replicated control plane over 2+ identical
 // scheduler replicas: the leader sequences a command log, every live

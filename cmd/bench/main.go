@@ -49,6 +49,10 @@ const (
 	bytesNoiseFloor  = 2048 // B/op
 )
 
+// output is the result-file schema. Field order is the serialization
+// order (encoding/json follows struct declaration order), so external
+// tooling can rely on a stable layout: run metadata first, then the
+// top-level "benchmarks" array in suite order.
 type output struct {
 	Mode       string              `json:"mode"`
 	GoOS       string              `json:"goos"`
@@ -58,7 +62,12 @@ type output struct {
 	Workers    int                 `json:"workers"`
 	Telemetry  bool                `json:"telemetry"`
 	GitRev     string              `json:"git_revision,omitempty"`
-	Results    []benchmarks.Result `json:"results"`
+	Benchmarks []benchmarks.Result `json:"benchmarks"`
+
+	// LegacyResults absorbs the pre-rename "results" key so -compare
+	// and -perftable still read old baseline files; it is never
+	// written (load folds it into Benchmarks).
+	LegacyResults []benchmarks.Result `json:"results,omitempty"`
 }
 
 func main() {
@@ -135,7 +144,7 @@ func run() error {
 		Workers:    workers,
 		Telemetry:  *withTelemetry,
 		GitRev:     gitRevision(),
-		Results:    results,
+		Benchmarks: results,
 	}
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -176,6 +185,10 @@ func load(path string) (output, error) {
 	if err := json.Unmarshal(blob, &doc); err != nil {
 		return doc, fmt.Errorf("%s: %w", path, err)
 	}
+	if len(doc.Benchmarks) == 0 {
+		doc.Benchmarks = doc.LegacyResults
+	}
+	doc.LegacyResults = nil
 	return doc, nil
 }
 
@@ -202,14 +215,14 @@ func runCompare(oldPath, newPath string) error {
 			"instrumented and uninstrumented runs measure different paths",
 			oldPath, oldDoc.Telemetry, newPath, newDoc.Telemetry)
 	}
-	oldBy := make(map[string]benchmarks.Result, len(oldDoc.Results))
-	for _, r := range oldDoc.Results {
+	oldBy := make(map[string]benchmarks.Result, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
 		oldBy[r.Name] = r
 	}
 	fmt.Printf("%-24s %14s %14s %9s %9s %9s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs", "Δbytes")
 	var regressed []string
-	for _, nr := range newDoc.Results {
+	for _, nr := range newDoc.Benchmarks {
 		or, ok := oldBy[nr.Name]
 		if !ok {
 			fmt.Printf("%-24s %14s %14.0f %9s %9s %9s\n", nr.Name, "-", nr.NsPerOp, "new", "-", "-")
@@ -238,7 +251,7 @@ func runCompare(oldPath, newPath string) error {
 			nr.Name, or.NsPerOp, nr.NsPerOp,
 			nsDelta*100, allocsDelta*100, bytesDelta*100, mark)
 	}
-	for _, r := range oldDoc.Results {
+	for _, r := range oldDoc.Benchmarks {
 		if _, unmatched := oldBy[r.Name]; unmatched {
 			fmt.Printf("%-24s %14.0f %14s %9s %9s %9s\n", r.Name, r.NsPerOp, "-", "dropped", "-", "-")
 		}
@@ -271,14 +284,14 @@ func runPerfTable(oldPath, newPath, readmePath string) error {
 	if err != nil {
 		return err
 	}
-	oldBy := make(map[string]benchmarks.Result, len(oldDoc.Results))
-	for _, r := range oldDoc.Results {
+	oldBy := make(map[string]benchmarks.Result, len(oldDoc.Benchmarks))
+	for _, r := range oldDoc.Benchmarks {
 		oldBy[r.Name] = r
 	}
 	var sb strings.Builder
 	sb.WriteString("| benchmark | baseline | after | time | allocs/op |\n")
 	sb.WriteString("|---|---|---|---|---|\n")
-	for _, nr := range newDoc.Results {
+	for _, nr := range newDoc.Benchmarks {
 		or, ok := oldBy[nr.Name]
 		if !ok {
 			fmt.Fprintf(&sb, "| `%s` | — | %s | — | %d |\n",

@@ -84,6 +84,13 @@ func run() error {
 	faultSeed := flag.Int64("fault-seed", 0, "fault stream seed (defaults to -seed)")
 	resilient := flag.Bool("resilient", false, "harden the controller: retry, outlier re-measurement, fallback, guard pass")
 	clusterNodes := flag.Int("cluster", 0, "place the jobs across this many nodes instead of one machine (0 = single-node mode)")
+	fleetNodes := flag.Int("fleet", 0, "simulate a streaming fleet of this many nodes (0 = off); ignores -lc/-bg, jobs come from -fleet-shape traffic")
+	fleetShards := flag.Int("fleet-shards", 0, "fleet mode: concurrent scheduler shards (0 = default 4; decisions are identical at any value)")
+	fleetCellNodes := flag.Int("fleet-cell-nodes", 0, "fleet mode: nodes per scheduling cell (0 = default 64)")
+	fleetShape := flag.String("fleet-shape", "diurnal", "fleet mode: traffic shape (diurnal, bursty, heavytail)")
+	fleetDuration := flag.Float64("fleet-duration", 0, "fleet mode: simulated horizon in seconds (0 = default 60)")
+	fleetRate := flag.Float64("fleet-rate", 0, "fleet mode: mean arrivals per simulated second (0 = nodes/64)")
+	fleetDeathRate := flag.Float64("fleet-death-rate", 0, "fleet mode: node deaths per simulated second (0 = no deaths)")
 	screenWorkers := flag.Int("screen-workers", 0, "cluster mode: concurrent screening workers (0 = NumCPU, 1 = sequential)")
 	screenIters := flag.Int("screen-iters", 0, "cluster mode: BO budget per screening run (0 = default)")
 	noCache := flag.Bool("no-profile-cache", false, "cluster mode: disable the co-location profile cache")
@@ -97,7 +104,7 @@ func run() error {
 		fmt.Println("background:      ", strings.Join(clite.BGWorkloads(), ", "))
 		return nil
 	}
-	if len(lcFlags) == 0 {
+	if len(lcFlags) == 0 && *fleetNodes == 0 {
 		return fmt.Errorf("need at least one -lc job (try -workloads to list them)")
 	}
 	tel := telemetrySinks{path: *traceOut}
@@ -107,6 +114,23 @@ func run() error {
 	if *showMetrics {
 		tel.reg = clite.NewMetrics()
 		tel.show = true
+	}
+	if *fleetNodes > 0 {
+		if err := runFleet(clite.FleetOptions{
+			Nodes:     *fleetNodes,
+			CellNodes: *fleetCellNodes,
+			Shards:    *fleetShards,
+			Seed:      *seed,
+			Duration:  *fleetDuration,
+			Traffic: clite.FleetTraffic{
+				Shape: clite.FleetShape(*fleetShape),
+				Rate:  *fleetRate,
+			},
+			Deaths: clite.FleetDeathPlan{Seed: *seed, DeathRate: *fleetDeathRate},
+		}, &tel); err != nil {
+			return err
+		}
+		return tel.flush()
 	}
 	if *clusterNodes > 0 {
 		// A signal in cluster mode drains rather than kills: the
@@ -288,6 +312,42 @@ func runCluster(ctx context.Context, lcFlags, bgFlags jobList, opts clite.Schedu
 	if ctx.Err() != nil {
 		return fmt.Errorf("%w after %d/%d placements", errInterrupted, placed, len(reqs))
 	}
+	return nil
+}
+
+// runFleet drives the warehouse-scale streaming simulation: traffic
+// arrivals flow onto the fleet's cells through the mean-field
+// pre-partitioner and each cell's placement pipeline, and the run
+// ends with the fleet ledger — arrivals, placements, losses, the
+// aggregated pipeline counters, and the per-shard placement ledger.
+func runFleet(opts clite.FleetOptions, tel *telemetrySinks) error {
+	ledger := tel.reg
+	if ledger == nil {
+		ledger = clite.NewMetrics()
+	}
+	opts.Trace = tel.trace
+	opts.Metrics = ledger
+	f, err := clite.NewFleet(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulating %d-node fleet (%s traffic, seed %d)...\n", opts.Nodes, opts.Traffic.Shape, opts.Seed)
+	sum, err := f.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfleet: %d nodes in %d cells, %d shards, %.0f s simulated (%d epochs)\n",
+		sum.Nodes, sum.Cells, sum.Shards, sum.Duration, sum.Epochs)
+	fmt.Printf("jobs:  %d arrivals -> %d placed, %d unplaceable, %d lost; %d departures, %d retries\n",
+		sum.Arrivals, sum.Placements, sum.Rejections, sum.Lost, sum.Departures, sum.Retries)
+	if sum.Deaths > 0 {
+		fmt.Printf("nodes: %d died, %d jobs rehomed in-cell\n", sum.Deaths, sum.Rehomed)
+	}
+	fmt.Printf("pipeline: %d screens (%d warm), %d BO iterations, %d prefilter rejects, cache %d/%d hits (%d mixes memoized)\n",
+		sum.Cluster.Screens, sum.Cluster.WarmScreens, sum.Cluster.BOIterations,
+		sum.Cluster.PrefilterRejects, sum.Cluster.CacheHits,
+		sum.Cluster.CacheHits+sum.Cluster.CacheMisses, sum.CacheEntries)
+	fmt.Printf("\nshard ledger:\n%s", clite.MetricsSummary(ledger, "fleet_"))
 	return nil
 }
 

@@ -90,7 +90,7 @@ func Rules() []*Rule {
 var detPackages = []string{
 	"core", "bo", "gp", "cluster", "server",
 	"telemetry", "profile", "linalg", "optimize",
-	"replica", "faults",
+	"replica", "faults", "fleet",
 }
 
 // numericPackages are the floating-point kernels where exact ==

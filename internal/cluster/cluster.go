@@ -96,6 +96,13 @@ type Options struct {
 	// have been built over the same topology the scheduler uses
 	// (resource.Default()). nil keeps a private per-scheduler cache.
 	SharedProfiles *profile.Cache
+	// SharedCalibrations optionally supplies an external QoS
+	// calibration store, so a fleet of schedulers pays each workload's
+	// calibration sweep once rather than once per scheduler.
+	// Calibrations are pure per-workload functions of the topology, so
+	// sharing them never perturbs a decision. nil keeps a private
+	// per-scheduler store.
+	SharedCalibrations *server.Calibrations
 	// Faults optionally injects observation faults into every
 	// screening run — the warehouse's measurement plane is no more
 	// reliable than its nodes. When the plan is enabled, screening
@@ -242,11 +249,15 @@ func New(opts Options) *Scheduler {
 		// caller wired no telemetry.
 		reg = telemetry.NewRegistry()
 	}
+	cals := opts.SharedCalibrations
+	if cals == nil {
+		cals = server.NewCalibrations()
+	}
 	s := &Scheduler{
 		opts:     opts,
 		topo:     topo,
 		spec:     server.DefaultSpec(),
-		cals:     server.NewCalibrations(),
+		cals:     cals,
 		profiles: profiles,
 		stats:    newStatCounters(reg),
 		trace:    opts.Trace,
@@ -668,6 +679,42 @@ func (s *Scheduler) Place(req Request) (p Placement, err error) {
 	s.stats.rejections.Inc()
 	s.trace.Emit(telemetry.PlacementPhase("reject", -1, len(cands), false))
 	return Placement{}, ErrUnplaceable
+}
+
+// ErrNotPlaced is returned by Remove when the node hosts no matching
+// request to release.
+var ErrNotPlaced = errors.New("cluster: no matching request placed on that node")
+
+// Remove releases one placed request from a node — the departure path
+// of a streaming workload: a job's service time ends and its resources
+// return to the pool. The first request matching (Workload, Load) in
+// placement order is removed; identical requests are interchangeable,
+// so taking the earliest keeps removal deterministic. The node's last
+// screened partition describes a mix that no longer exists, so it is
+// dropped: the next placement trial rebuilds the machine from the
+// surviving requests (and a shrunken mix can only be easier to
+// satisfy, never harder).
+func (s *Scheduler) Remove(id int, req Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.nodes) {
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	n := s.nodes[id]
+	if n.failed {
+		return fmt.Errorf("cluster: node %d has failed", id)
+	}
+	for i, r := range n.requests {
+		if r.Workload != req.Workload || r.Load != req.Load {
+			continue
+		}
+		n.requests = append(n.requests[:i], n.requests[i+1:]...)
+		n.last = core.Result{}
+		n.lastOK = false
+		s.trace.Emit(telemetry.PlacementPhase("release", id, len(n.requests), true))
+		return nil
+	}
+	return fmt.Errorf("%w: %s on node %d", ErrNotPlaced, req.Workload, id)
 }
 
 // live returns the non-failed nodes in id order.

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"fmt"
+
+	"clite/internal/stats"
+)
+
+// FleetPlan schedules whole-node deaths across a simulated fleet —
+// the warehouse-scale fault the fleet layer must absorb by rehoming
+// the dead node's jobs (within the owning cell first, across cells
+// when the survivors are full). Deaths are drawn once, up front, from
+// a seeded stream, so the same plan over the same fleet replays the
+// same death schedule whatever the shard count.
+type FleetPlan struct {
+	// Seed drives the death schedule's own RNG stream.
+	Seed int64
+	// DeathRate is the fleet-wide node-death rate in deaths per
+	// simulated second (exponential gaps). 0 disables deaths.
+	DeathRate float64
+	// MaxDeaths caps the schedule (0 means unlimited within the
+	// horizon).
+	MaxDeaths int
+}
+
+// Enabled reports whether the plan schedules any deaths.
+func (p FleetPlan) Enabled() bool { return p.DeathRate > 0 }
+
+// Validate rejects plans whose fields cannot describe a death
+// schedule, wrapped so callers check errors.Is(err, ErrInvalidPlan).
+func (p FleetPlan) Validate() error {
+	if p.DeathRate < 0 || p.DeathRate != p.DeathRate {
+		return fmt.Errorf("%w: fleet death rate %v must be a finite non-negative number", ErrInvalidPlan, p.DeathRate)
+	}
+	if p.MaxDeaths < 0 {
+		return fmt.Errorf("%w: fleet max deaths %d must be non-negative", ErrInvalidPlan, p.MaxDeaths)
+	}
+	return nil
+}
+
+// NodeDeath is one scheduled node loss: the simulated time it strikes
+// and the global node index it takes.
+type NodeDeath struct {
+	At   float64
+	Node int
+}
+
+// Schedule materializes the death schedule for a fleet of the given
+// size over [0, horizon) simulated seconds: exponential inter-death
+// gaps at DeathRate, node picked uniformly per death. A node can be
+// drawn twice; the fleet skips deaths aimed at an already-dead node,
+// which keeps the drawn stream — and with it every later draw —
+// independent of how earlier deaths resolved.
+func (p FleetPlan) Schedule(nodes int, horizon float64) []NodeDeath {
+	if !p.Enabled() || nodes <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := stats.NewRNG(p.Seed).Split(0x5eed)
+	var out []NodeDeath
+	t := 0.0
+	for {
+		t += rng.Exponential(1 / p.DeathRate)
+		if t >= horizon {
+			return out
+		}
+		out = append(out, NodeDeath{At: t, Node: rng.Intn(nodes)})
+		if p.MaxDeaths > 0 && len(out) >= p.MaxDeaths {
+			return out
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import "container/heap"
+
+// evKind discriminates the discrete-event queue's entries.
+type evKind uint8
+
+const (
+	evArrival evKind = iota
+	evDeparture
+	evDeath
+)
+
+// event is one entry of the simulation's event queue. Ordering is
+// (at, seq): seq is assigned at push time by the single sequential
+// event loop, so ties break identically on every run and the drain
+// order is a pure function of the seed.
+type event struct {
+	at   float64
+	seq  int64
+	kind evKind
+	job  *job // arrival (fresh or retry) and departure events
+	node int  // death events: global node id
+	gen  int  // departure events: the placement generation this departure belongs to
+}
+
+// eventQueue is a binary min-heap over (at, seq).
+type eventQueue struct {
+	evs []*event
+	seq int64
+}
+
+func (q *eventQueue) Len() int { return len(q.evs) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.evs[i].at != q.evs[j].at {
+		return q.evs[i].at < q.evs[j].at
+	}
+	return q.evs[i].seq < q.evs[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.evs[i], q.evs[j] = q.evs[j], q.evs[i] }
+
+func (q *eventQueue) Push(x any) { q.evs = append(q.evs, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.evs
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	q.evs = old[:n-1]
+	return ev
+}
+
+// push enqueues an event, stamping its sequence number.
+func (q *eventQueue) push(ev *event) {
+	q.seq++
+	ev.seq = q.seq
+	heap.Push(q, ev)
+}
+
+// peekAt returns the earliest event time (ok=false when empty).
+func (q *eventQueue) peekAt() (float64, bool) {
+	if len(q.evs) == 0 {
+		return 0, false
+	}
+	return q.evs[0].at, true
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() *event {
+	return heap.Pop(q).(*event)
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"math"
+
+	"clite/internal/profile"
+	"clite/internal/resource"
+)
+
+// partitioner is the fleet's mean-field pre-partitioner. At warehouse
+// scale the per-node BO machinery is far too expensive to consult for
+// the question "which region of the fleet should even try this job?",
+// so — following the mean-field treatment of core allocation in
+// PAPERS.md ("Mean field optimal Core Allocation across Malleable
+// jobs") — the fleet is summarized by one scalar per cell: the
+// estimated resident demand in node-equivalents, derived from the
+// profile cache's analytical solo profiles. An arrival is routed to
+// the cell with the lowest relative demand (a water-filling rule that
+// equalizes load across the fleet in expectation), and only that
+// cell's scheduler pays the per-node pipeline — prefilter, cache,
+// BO — to refine the decision. The estimate is optimistic exactly the
+// way the admission pre-filter is: solo minima lower-bound any
+// feasible share, so relative demand orders cells correctly even
+// though it cannot prove feasibility.
+type partitioner struct {
+	topo resource.Topology
+	hub  *profile.Cache
+	// demand[c] sums the resident jobs' solo-profile node fractions;
+	// live[c] counts the cell's surviving nodes.
+	demand []float64
+	live   []int
+}
+
+func newPartitioner(topo resource.Topology, hub *profile.Cache, cells []*cell) *partitioner {
+	p := &partitioner{
+		topo:   topo,
+		hub:    hub,
+		demand: make([]float64, len(cells)),
+		live:   make([]int, len(cells)),
+	}
+	for i, c := range cells {
+		p.live[i] = c.nodes
+	}
+	return p
+}
+
+// jobDemand estimates one job's footprint as a fraction of a node:
+// the largest per-resource share of its solo-profile minimum. A job
+// whose solo profile is infeasible is charged a whole node — it will
+// be rejected by every cell's pre-filter, but the estimate must stay
+// finite so the arrival still routes somewhere deterministic.
+func (p *partitioner) jobDemand(workload string, load float64) (float64, error) {
+	s, err := p.hub.Solo(workload, load)
+	if err != nil {
+		return 0, err
+	}
+	if !s.Feasible {
+		return 1, nil
+	}
+	d := 0.0
+	for r, spec := range p.topo {
+		if frac := float64(s.MinUnits[r]) / float64(spec.Units); frac > d {
+			d = frac
+		}
+	}
+	return d, nil
+}
+
+// assign routes one arrival: the live, non-excluded cell with the
+// lowest relative demand (estimated demand over surviving nodes),
+// ties to the lowest cell index. Returns -1 when every cell is
+// excluded or dead. The walk is a pure function of the partitioner's
+// state, which evolves only in the sequential event loop and at epoch
+// barriers — never inside the concurrent placement phase — so routing
+// is byte-identical for every shard count.
+func (p *partitioner) assign(excluded []bool) int {
+	best := -1
+	bestLoad := math.Inf(1)
+	for c := range p.demand {
+		if p.live[c] <= 0 || (excluded != nil && excluded[c]) {
+			continue
+		}
+		rel := p.demand[c] / float64(p.live[c])
+		if rel < bestLoad {
+			best, bestLoad = c, rel
+		}
+	}
+	return best
+}
+
+// add charges a job's demand to a cell (optimistically, at assignment
+// time; the barrier refunds it if the placement fails).
+func (p *partitioner) add(cell int, d float64) { p.demand[cell] += d }
+
+// sub refunds a job's demand (failed placement, departure, or a
+// death-displaced job leaving the cell).
+func (p *partitioner) sub(cell int, d float64) {
+	p.demand[cell] -= d
+	if p.demand[cell] < 0 {
+		p.demand[cell] = 0
+	}
+}
+
+// kill marks one node of a cell dead.
+func (p *partitioner) kill(cell int) {
+	if p.live[cell] > 0 {
+		p.live[cell]--
+	}
+}
+
+// total returns the fleet-wide demand estimate in node-equivalents.
+func (p *partitioner) total() float64 {
+	s := 0.0
+	for _, d := range p.demand {
+		s += d
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+
+	"clite/internal/faults"
+	"clite/internal/fleet"
+)
+
+// FleetScale exercises the fleet layer across its traffic shapes and
+// verifies its headline contract in the same pass: each row streams
+// one shape's arrivals through the sharded fleet and reports the job
+// ledger and per-placement screening work, and the "decisions 1=N
+// shards" column re-runs the identical fleet monolithically (one
+// shard) and byte-compares the decision logs. Every figure in the
+// table is deterministic — wall-clock throughput lives in the
+// FleetPlace benchmark, not here, so regenerated docs never drift.
+func FleetScale(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "fleetscale",
+		Title: "Fleet streaming placement: traffic shapes over sharded cells",
+		Header: []string{
+			"traffic", "arrivals", "placed", "rejected", "lost",
+			"rehomed", "screens", "BO iters/job", "cache hit rate", "decisions 1=N shards",
+		},
+		Notes: "Each row simulates the same seeded fleet twice, with N scheduler shards and with one, " +
+			"and compares the decision logs entry for entry; the shard count is a pure concurrency knob. " +
+			"Rehomed counts jobs displaced by node deaths that a surviving node absorbed.",
+	}
+	nodes, cellNodes, shards := 256, 64, 4
+	duration := 8.0
+	if cfg.Coarse {
+		nodes, cellNodes, shards = 128, 32, 2
+		duration = 4
+	}
+	rows := []struct {
+		name    string
+		traffic fleet.Traffic
+		deaths  faults.FleetPlan
+	}{
+		{"diurnal", fleet.Traffic{Shape: fleet.ShapeDiurnal}, faults.FleetPlan{}},
+		{"bursty", fleet.Traffic{Shape: fleet.ShapeBursty}, faults.FleetPlan{}},
+		{"heavytail", fleet.Traffic{Shape: fleet.ShapeHeavyTail}, faults.FleetPlan{}},
+		{"diurnal+deaths", fleet.Traffic{Shape: fleet.ShapeDiurnal},
+			faults.FleetPlan{Seed: cfg.Seed, DeathRate: 0.5, MaxDeaths: 3}},
+	}
+	for _, row := range rows {
+		opts := fleet.Options{
+			Nodes:     nodes,
+			CellNodes: cellNodes,
+			Shards:    shards,
+			Seed:      cfg.Seed,
+			Duration:  duration,
+			Traffic:   row.traffic,
+			Deaths:    row.deaths,
+		}
+		sum, err := runFleet(opts)
+		if err != nil {
+			return Table{}, fmt.Errorf("fleetscale %s: %w", row.name, err)
+		}
+		mono := opts
+		mono.Shards = 1
+		monoSum, err := runFleet(mono)
+		if err != nil {
+			return Table{}, fmt.Errorf("fleetscale %s (1 shard): %w", row.name, err)
+		}
+		identical := "identical"
+		if !reflect.DeepEqual(sum.Decisions, monoSum.Decisions) {
+			identical = "DIVERGED"
+		}
+		perJob := 0.0
+		if total := sum.Placements + sum.Rejections; total > 0 {
+			perJob = float64(sum.Cluster.BOIterations) / float64(total)
+		}
+		hitRate := "-"
+		if lookups := sum.Cluster.CacheHits + sum.Cluster.CacheMisses; lookups > 0 {
+			hitRate = fmt.Sprintf("%.0f%%", 100*float64(sum.Cluster.CacheHits)/float64(lookups))
+		}
+		t.Rows = append(t.Rows, []string{
+			row.name,
+			fmt.Sprintf("%d", sum.Arrivals),
+			fmt.Sprintf("%d", sum.Placements),
+			fmt.Sprintf("%d", sum.Rejections),
+			fmt.Sprintf("%d", sum.Lost),
+			fmt.Sprintf("%d", sum.Rehomed),
+			fmt.Sprintf("%d", sum.Cluster.Screens),
+			fmt.Sprintf("%.1f", perJob),
+			hitRate,
+			identical,
+		})
+	}
+	return t, nil
+}
+
+// runFleet builds and runs one fleet (fleets are single-use).
+func runFleet(opts fleet.Options) (fleet.Summary, error) {
+	f, err := fleet.New(opts)
+	if err != nil {
+		return fleet.Summary{}, err
+	}
+	return f.Run()
+}

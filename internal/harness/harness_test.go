@@ -79,12 +79,30 @@ func TestFaultSweepReportsRetention(t *testing.T) {
 	}
 }
 
+func TestFleetScaleDecisionsShardInvariant(t *testing.T) {
+	tab, err := FleetScale(Config{Seed: 5, Coarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("fleetscale has %d rows, want 4", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if got := row[len(row)-1]; got != "identical" {
+			t.Errorf("traffic %s: decision logs diverged across shard counts: %v", row[0], row)
+		}
+		if row[1] == "0" {
+			t.Errorf("traffic %s generated no arrivals: %v", row[0], row)
+		}
+	}
+}
+
 func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3",
 		"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "ablation", "doe",
-		"faultsweep", "placement", "telemetry", "failover",
+		"faultsweep", "placement", "fleetscale", "telemetry", "failover",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

@@ -52,6 +52,7 @@ func Experiments() []Experiment {
 		{"doe", "FFD/RSM design-space-exploration comparison (Sec. 5.2)", single(DOE)},
 		{"faultsweep", "QoS retention vs observation-fault rate (hardened controller)", single(FaultSweep)},
 		{"placement", "cluster placement pipeline: screening work per admitted job", single(Placement)},
+		{"fleetscale", "fleet streaming placement: traffic shapes over sharded cells", single(FleetScale)},
 		{"telemetry", "telemetry timelines: events emitted per scenario", single(Telemetry)},
 		{"failover", "replicated control plane: leader death, failover, quorum loss", single(Failover)},
 	}

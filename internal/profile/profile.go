@@ -203,9 +203,17 @@ type Stats struct {
 type Cache struct {
 	topo resource.Topology
 
+	// analytics, when non-nil, is the hub cache this overlay delegates
+	// its solo-profile and calibration memoization to (see NewOverlay).
+	// Solo profiles are pure functions of (workload, load bucket) and
+	// topology, so sharing them across overlays is deterministic; mix
+	// entries stay private to each overlay.
+	analytics *Cache
+
 	mu      sync.Mutex
 	entries map[string]*Entry
 	bySig   map[string][]*Entry // insertion order per signature
+	journal []*Entry            // entries in Store order, for EntriesSince
 	solo    map[string]*Solo
 	cal     map[string]qos.Calibration
 	stats   Stats
@@ -220,6 +228,21 @@ func NewCache(topo resource.Topology) *Cache {
 		solo:    make(map[string]*Solo),
 		cal:     make(map[string]qos.Calibration),
 	}
+}
+
+// NewOverlay returns an empty cache over hub's topology whose solo
+// profiles and QoS calibrations are delegated to hub, while mix
+// entries stay private. This is the fleet's per-cell cache shape: the
+// expensive analytical state (pure per-workload functions, identical
+// for every cell) is computed once fleet-wide, and the screening
+// memos — whose contents depend on which cell screened the mix — are
+// kept cell-local and exchanged only at deterministic sync points via
+// EntriesSince + Store, so cache evolution never depends on how many
+// shards ran concurrently.
+func NewOverlay(hub *Cache) *Cache {
+	c := NewCache(hub.topo)
+	c.analytics = hub
+	return c
 }
 
 // Lookup returns the entry stored under the exact canonical key.
@@ -297,8 +320,30 @@ func (c *Cache) Store(e *Entry) bool {
 	c.entries[e.Key] = e
 	sig := signature(e.Jobs)
 	c.bySig[sig] = append(c.bySig[sig], e)
+	c.journal = append(c.journal, e)
 	c.stats.Stores++
 	return true
+}
+
+// EntriesSince returns the entries committed after the given journal
+// mark (0 means everything), in Store order, plus the new mark. Marks
+// only grow, so a caller polling at sync barriers sees every entry
+// exactly once; the returned slice is a copy and safe to iterate while
+// other goroutines keep storing. Entries are treated as immutable once
+// stored — adopters pass them straight to another cache's Store, whose
+// first-write-wins rule keeps adoption idempotent.
+func (c *Cache) EntriesSince(mark int) ([]*Entry, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mark < 0 {
+		mark = 0
+	}
+	if mark >= len(c.journal) {
+		return nil, len(c.journal)
+	}
+	out := make([]*Entry, len(c.journal)-mark)
+	copy(out, c.journal[mark:])
+	return out, len(c.journal)
 }
 
 // Len returns the number of stored mix entries.
@@ -342,6 +387,9 @@ type Solo struct {
 // noise-free workload model — a few hundred queue evaluations, paid
 // once per workload/load bucket for the life of the cache).
 func (c *Cache) Solo(name string, load float64) (*Solo, error) {
+	if c.analytics != nil {
+		return c.analytics.Solo(name, load)
+	}
 	q := math.Floor(load/LoadQuantum+1e-9) * LoadQuantum
 	if load > 0 && q < LoadQuantum {
 		q = LoadQuantum
@@ -426,6 +474,9 @@ func (c *Cache) computeSolo(name string, load float64) (*Solo, error) {
 
 // calibration memoizes the qos.Calibrate sweep per workload.
 func (c *Cache) calibration(p *workload.Profile) (qos.Calibration, error) {
+	if c.analytics != nil {
+		return c.analytics.calibration(p)
+	}
 	c.mu.Lock()
 	if cal, ok := c.cal[p.Name]; ok {
 		c.mu.Unlock()

@@ -252,3 +252,184 @@ func TestCacheConcurrentUse(t *testing.T) {
 		t.Errorf("Len = %d, want 5 distinct keys", c.Len())
 	}
 }
+
+// TestCacheShardedFirstWriteWins races several scheduler shards
+// against one shared cache, all profiling the same five mixes with
+// shard-stamped scores. Exactly one shard may win each key, every
+// concurrent Lookup/LookupNear hit must already show the eventual
+// winner (a stored entry is never replaced), and the journal must
+// list each winner exactly once. make race runs this under -race.
+func TestCacheShardedFirstWriteWins(t *testing.T) {
+	topo := resource.Small()
+	hub := NewCache(topo)
+	const shards, mixes = 6, 5
+	wins := make([]map[string]bool, shards)
+	seen := make([]map[string]float64, shards) // key -> score observed via lookups
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			wins[s] = map[string]bool{}
+			seen[s] = map[string]float64{}
+			for i := 0; i < 40; i++ {
+				jobs := []Job{{Workload: fmt.Sprintf("mix%d", i%mixes), Load: 0.2}}
+				e := &Entry{Jobs: jobs, Feasible: true,
+					Result: resultWithBest(topo, 1, 0.6+float64(s)/100)}
+				if hub.Store(e) {
+					wins[s][e.Key] = true
+				}
+				if got, ok := hub.Lookup(Key(jobs)); ok {
+					if prev, dup := seen[s][got.Key]; dup && prev != got.Result.BestScore {
+						t.Errorf("shard %d saw key %s flip score %v -> %v", s, got.Key, prev, got.Result.BestScore)
+					}
+					seen[s][got.Key] = got.Result.BestScore
+				}
+				if got, ok := hub.LookupNear(jobs, NearTolerance); ok {
+					if prev, dup := seen[s][got.Key]; dup && prev != got.Result.BestScore {
+						t.Errorf("shard %d saw key %s flip score %v -> %v", s, got.Key, prev, got.Result.BestScore)
+					}
+					seen[s][got.Key] = got.Result.BestScore
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if hub.Len() != mixes {
+		t.Fatalf("Len = %d, want %d distinct keys", hub.Len(), mixes)
+	}
+	// Exactly one shard won each key, and the committed entry carries
+	// that shard's stamp.
+	winners := map[string]float64{}
+	for s, w := range wins {
+		for key := range w {
+			if _, taken := winners[key]; taken {
+				t.Errorf("key %s reported two winning stores", key)
+			}
+			winners[key] = 0.6 + float64(s)/100
+		}
+	}
+	if len(winners) != mixes {
+		t.Fatalf("winning stores cover %d keys, want %d", len(winners), mixes)
+	}
+	for key, score := range winners {
+		got, ok := hub.Lookup(key)
+		if !ok || got.Result.BestScore != score {
+			t.Errorf("key %s: committed score %v, want winning shard's %v", key, got.Result.BestScore, score)
+		}
+	}
+	// Every lookup hit observed the final winner — first write wins
+	// means no shard ever saw a value that was later replaced.
+	for s, m := range seen {
+		for key, score := range m {
+			if score != winners[key] {
+				t.Errorf("shard %d observed %v for %s, final winner is %v", s, score, key, winners[key])
+			}
+		}
+	}
+	// The journal lists each winner exactly once, in Store order.
+	entries, mark := hub.EntriesSince(0)
+	if mark != mixes || len(entries) != mixes {
+		t.Fatalf("journal has %d entries (mark %d), want %d", len(entries), mark, mixes)
+	}
+	counts := map[string]int{}
+	for _, e := range entries {
+		counts[e.Key]++
+	}
+	for key := range winners {
+		if counts[key] != 1 {
+			t.Errorf("journal lists %s %d times, want once", key, counts[key])
+		}
+	}
+}
+
+// TestOverlaySyncAcrossShards follows the fleet's barrier protocol:
+// shards profile into private overlays concurrently, then a
+// sequential barrier lifts each overlay's new journal entries into
+// the shared hub and pushes the hub's union back down. Each shard
+// profiles its own mixes plus one contended mix everyone screens. The
+// hub keeps the first-synced entry for the contended mix, overlays
+// adopt every mix they didn't profile themselves, and adopted entries
+// never echo back up on the next barrier.
+func TestOverlaySyncAcrossShards(t *testing.T) {
+	topo := resource.Small()
+	hub := NewCache(topo)
+	const shards = 4
+	overlays := make([]*Cache, shards)
+	marks := make([]int, shards)
+	for s := range overlays {
+		overlays[s] = NewOverlay(hub)
+	}
+	ownJobs := func(s int) []Job { return []Job{{Workload: fmt.Sprintf("own%d", s), Load: 0.4}} }
+	contended := []Job{{Workload: "contended", Load: 0.4}}
+	// Concurrent epoch work: each shard profiles its own mix and the
+	// contended one, stamping its id into the score.
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			score := 0.6 + float64(s)/100
+			overlays[s].Store(&Entry{Jobs: ownJobs(s), Feasible: true,
+				Result: resultWithBest(topo, 1, score)})
+			overlays[s].Store(&Entry{Jobs: contended, Feasible: true,
+				Result: resultWithBest(topo, 1, score)})
+			overlays[s].LookupNear(contended, NearTolerance)
+		}(s)
+	}
+	wg.Wait()
+	// Sequential barrier, in shard order: up to the hub, then the
+	// union back down. Adopted entries bump the local mark so they
+	// never echo back, mirroring internal/fleet's barrier.
+	hubMark := 0
+	for s := range overlays {
+		entries, mark := overlays[s].EntriesSince(marks[s])
+		marks[s] = mark
+		for _, e := range entries {
+			hub.Store(e)
+		}
+	}
+	var fresh []*Entry
+	fresh, hubMark = hub.EntriesSince(hubMark)
+	for s := range overlays {
+		for _, e := range fresh {
+			if overlays[s].Store(e) {
+				marks[s]++
+			}
+		}
+	}
+	wantLen := shards + 1 // one mix per shard plus the contended one
+	if hubMark != wantLen || hub.Len() != wantLen {
+		t.Fatalf("hub has %d entries (mark %d), want %d", hub.Len(), hubMark, wantLen)
+	}
+	// The hub kept shard 0's contended entry (first synced, in shard
+	// order); each overlay keeps the version it profiled itself —
+	// first write wins locally too — and everyone adopted every
+	// foreign mix verbatim.
+	if got, ok := hub.Lookup(Key(contended)); !ok || got.Result.BestScore != 0.6 {
+		t.Fatalf("hub contended entry = %+v, want shard 0's", got)
+	}
+	for s := range overlays {
+		if overlays[s].Len() != wantLen {
+			t.Errorf("overlay %d has %d entries, want %d", s, overlays[s].Len(), wantLen)
+		}
+		if got, ok := overlays[s].Lookup(Key(contended)); !ok || got.Result.BestScore != 0.6+float64(s)/100 {
+			t.Errorf("overlay %d contended entry = %+v, want its own", s, got)
+		}
+		for o := 0; o < shards; o++ {
+			got, ok := overlays[s].Lookup(Key(ownJobs(o)))
+			if !ok || got.Result.BestScore != 0.6+float64(o)/100 {
+				t.Errorf("overlay %d missing shard %d's mix: %+v", s, o, got)
+			}
+		}
+	}
+	// A second barrier pass is a no-op: marks advanced past adopted
+	// entries, so nothing echoes back up.
+	for s := range overlays {
+		entries, mark := overlays[s].EntriesSince(marks[s])
+		marks[s] = mark
+		if len(entries) != 0 {
+			t.Errorf("overlay %d echoed %d adopted entries back to the hub", s, len(entries))
+		}
+	}
+}

@@ -17,6 +17,9 @@ const (
 	KindLeaderElected     = "leader-elected"     // replica group chose a leader: At, Node=replica id, N=term
 	KindReplicaDied       = "replica-died"       // controller replica lost: At, Node=replica id, Name=cause, N=still alive
 	KindFailoverComplete  = "failover-complete"  // group serving again: At, Node=new leader, N=term, Value=unavailability (s)
+	KindJobArrival        = "job-arrival"        // fleet arrival assigned to a cell: At, Name=workload, Node=cell, N=attempt, Value=load
+	KindJobDeparture      = "job-departure"      // fleet job left its node: At, Name=workload, Node=global node
+	KindFleetEpoch        = "fleet-epoch"        // epoch barrier crossed: At, Iter=epoch, N=placements this epoch, Value=fleet demand estimate
 )
 
 // Event is one entry on a run's timeline. Events never carry
@@ -149,6 +152,43 @@ func (t *Tracer) Merge(src *Tracer, node int) {
 	t.mu.Unlock()
 }
 
+// MergeDrain atomically takes src's whole timeline, appends it onto t
+// with steps and span ids re-stamped to continue t's sequences, and
+// resets src to empty so the next drain starts fresh. Non-negative
+// Node fields are shifted by nodeShift — how a cell-local tracer's
+// node ids (0..cellNodes-1) are translated into the fleet's global
+// node namespace — while nodeless events (Node < 0) stay unattributed.
+// Like Merge, determinism is the caller's contract: concurrent cells
+// record into private tracers and the fleet drains them at the epoch
+// barrier in cell order, so the merged stream is byte-identical for
+// every shard count.
+func (t *Tracer) MergeDrain(src *Tracer, nodeShift int) {
+	if t == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	events := src.events
+	srcSpans := src.spans
+	src.events = nil
+	src.spans = 0
+	src.mu.Unlock()
+	t.mu.Lock()
+	stepBase := int64(len(t.events))
+	spanBase := t.spans
+	for _, ev := range events {
+		ev.Step += stepBase
+		if ev.Span != 0 {
+			ev.Span += spanBase
+		}
+		if ev.Node >= 0 {
+			ev.Node += nodeShift
+		}
+		t.events = append(t.events, ev)
+	}
+	t.spans = spanBase + srcSpans
+	t.mu.Unlock()
+}
+
 // BOIteration records one optimizer step: the acquisition maximum
 // (expected improvement), the best objective score so far, and the
 // number of samples evaluated.
@@ -242,6 +282,38 @@ func FailoverComplete(at float64, id, term int, window float64) Event {
 		Kind: KindFailoverComplete, At: at,
 		Iter: -1, Job: -1, Node: id,
 		N: term, Value: window,
+	}
+}
+
+// JobArrival records a fleet arrival being assigned to a cell by the
+// mean-field pre-partitioner: the workload, its offered load, the cell
+// index chosen, and the placement attempt (1 for first try, higher for
+// cross-cell retries after a rejection or a node death).
+func JobArrival(at float64, workload string, cell, attempt int, load float64) Event {
+	return Event{
+		Kind: KindJobArrival, Name: workload, At: at,
+		Iter: -1, Job: -1, Node: cell,
+		N: attempt, Value: load,
+	}
+}
+
+// JobDeparture records a fleet job leaving its node at the end of its
+// service time: the workload and the global node id it vacated.
+func JobDeparture(at float64, workload string, node int) Event {
+	return Event{
+		Kind: KindJobDeparture, Name: workload, At: at,
+		Iter: -1, Job: -1, Node: node,
+	}
+}
+
+// FleetEpoch records one epoch barrier: the epoch index, how many
+// placements committed inside it, and the partitioner's fleet-wide
+// demand estimate (node-equivalents of resident load) at the barrier.
+func FleetEpoch(at float64, epoch, placed int, demand float64) Event {
+	return Event{
+		Kind: KindFleetEpoch, At: at,
+		Iter: epoch, Job: -1, Node: -1,
+		N: placed, Value: demand,
 	}
 }
 

@@ -6,9 +6,9 @@
 # optimization paths by the byte-identity tests), keep the benchmark
 # harness runnable (benchsmoke), and keep the telemetry layer cheap
 # (teleoverhead: CLITERun with tracing on within 5% of off).
-.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs perftable teleoverhead trace fuzzsmoke chaossmoke fleetsmoke
+.PHONY: tier1 build vet lint test race bench benchsmoke benchcompare benchfigs perftable teleoverhead trace fuzzsmoke chaossmoke fleetsmoke obssmoke
 
-tier1: build vet lint race benchsmoke teleoverhead fleetsmoke
+tier1: build vet lint race benchsmoke teleoverhead fleetsmoke obssmoke
 
 build:
 	go build ./...
@@ -89,6 +89,19 @@ chaossmoke:
 # whether one shard or several did the placing.
 fleetsmoke:
 	go test -run 'TestFleetSmoke|TestFleetShardInvariance' ./internal/fleet
+
+# obssmoke gates the observability plane's contracts: a seeded
+# fleet's SLO ledger, status block, cell table and alert stream must
+# be byte-identical whether 1, 2 or 4 shards placed; the serving SLO
+# surfaces must be byte-identical across cluster screening worker
+# counts; the tsq trace query engine must answer every query mode on
+# a freshly generated trace; and attaching the plane must cost ≤5% on
+# CLITERun and ≤10% on FleetPlace.
+obssmoke:
+	go test -run 'TestObsSmoke|TestObsShardInvariance' ./internal/fleet
+	go test -run TestObsScreenWorkerInvariance ./internal/cluster
+	go test ./cmd/tsq
+	go test -run TestObsOverhead .
 
 # benchfigs times regenerating every paper figure once.
 benchfigs:

@@ -29,6 +29,8 @@
 package clite
 
 import (
+	"io"
+
 	"clite/internal/bo"
 	"clite/internal/cluster"
 	"clite/internal/core"
@@ -36,6 +38,7 @@ import (
 	"clite/internal/faults"
 	"clite/internal/fleet"
 	"clite/internal/harness"
+	"clite/internal/obs"
 	"clite/internal/policies"
 	"clite/internal/profile"
 	"clite/internal/qos"
@@ -447,3 +450,35 @@ func MetricsPrometheus(reg *MetricsRegistry) string {
 	}
 	return reg.PrometheusText()
 }
+
+// SLOStore is the deterministic SLO observability plane: a windowed
+// time-series store with error-budget burn-rate alerting, fed from a
+// tracer tap (Sink + Tracer.SetTap) and the fleet's epoch barrier
+// (FleetOptions.Obs). See DESIGN.md §15.
+type SLOStore = obs.Store
+
+// SLOOptions configures an SLOStore; the zero value uses the package
+// defaults (1s buckets, 60s windows, 10% budget, burn threshold 2).
+type SLOOptions = obs.Options
+
+// SLO is one subject's objective: p95 target, assessment window, and
+// error budget.
+type SLO = obs.SLO
+
+// SLOEpochRecord is one line of the per-epoch fleet SLO ledger.
+type SLOEpochRecord = obs.EpochRecord
+
+// CellSample is one per-cell (or per-node) rollup delta fed to an
+// SLOStore via ObserveCells.
+type CellSample = obs.CellSample
+
+// TraceQuery is the indexed span model over a recorded or tailed
+// JSONL trace (per-placement critical paths, violation timelines,
+// fault-to-recovery spans) behind cmd/tsq.
+type TraceQuery = obs.Query
+
+// NewSLOStore returns an empty SLO store.
+func NewSLOStore(opts SLOOptions) *SLOStore { return obs.NewStore(opts) }
+
+// LoadTrace reads a JSONL event stream into a trace query engine.
+func LoadTrace(r io.Reader) (*TraceQuery, error) { return obs.Load(r) }

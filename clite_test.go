@@ -69,8 +69,8 @@ func TestPolicyRegistry(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := clite.Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("expected 23 experiments, got %d", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(exps))
 	}
 	if _, err := clite.LookupExperiment("fig7"); err != nil {
 		t.Error(err)

@@ -49,6 +49,19 @@ const (
 	bytesNoiseFloor  = 2048 // B/op
 )
 
+// gatedExtras names the Result.Extra metrics -compare gates alongside
+// ns/op, allocs/op, and bytes/op, with the direction that counts as
+// better. Extras absent from either file are skipped — not every
+// benchmark reports every metric.
+var gatedExtras = []struct {
+	name         string
+	higherBetter bool
+}{
+	{"placements_per_sec", true},
+	{"cache_hit_rate", true},
+	{"bo_iters_per_placement", false},
+}
+
 // output is the result-file schema. Field order is the serialization
 // order (encoding/json follows struct declaration order), so external
 // tooling can rely on a stable layout: run metadata first, then the
@@ -197,10 +210,13 @@ func load(path string) (output, error) {
 // present in only one file are listed but never fail the run — suites
 // grow over time and an old baseline should not block a new bench.
 //
-// Three metrics are gated: ns/op on the relative tolerance alone, and
-// allocs/op and bytes/op on the relative tolerance combined with an
-// absolute noise floor (small counts make pure percentages meaningless
-// — 3→4 allocs is +33% but not a regression worth failing CI over).
+// Three built-in metrics are gated: ns/op on the relative tolerance
+// alone, and allocs/op and bytes/op on the relative tolerance combined
+// with an absolute noise floor (small counts make pure percentages
+// meaningless — 3→4 allocs is +33% but not a regression worth failing
+// CI over). Named Extra metrics (gatedExtras) are gated on the same
+// relative tolerance in their better direction and printed as an
+// indented Δ row under the owning benchmark.
 func runCompare(oldPath, newPath string) error {
 	oldDoc, err := load(oldPath)
 	if err != nil {
@@ -242,6 +258,8 @@ func runCompare(oldPath, newPath string) error {
 		if bytesDelta > regressionTolerance && nr.BytesPerOp-or.BytesPerOp >= bytesNoiseFloor {
 			reasons = append(reasons, "bytes/op")
 		}
+		extraRows, extraReasons := compareExtras(or, nr)
+		reasons = append(reasons, extraReasons...)
 		mark := ""
 		if len(reasons) > 0 {
 			mark = "  REGRESSION(" + strings.Join(reasons, ",") + ")"
@@ -250,6 +268,9 @@ func runCompare(oldPath, newPath string) error {
 		fmt.Printf("%-24s %14.0f %14.0f %+8.1f%% %+8.1f%% %+8.1f%%%s\n",
 			nr.Name, or.NsPerOp, nr.NsPerOp,
 			nsDelta*100, allocsDelta*100, bytesDelta*100, mark)
+		for _, row := range extraRows {
+			fmt.Println(row)
+		}
 	}
 	for _, r := range oldDoc.Benchmarks {
 		if _, unmatched := oldBy[r.Name]; unmatched {
@@ -261,6 +282,33 @@ func runCompare(oldPath, newPath string) error {
 			len(regressed), regressionTolerance*100, strings.Join(regressed, ", "))
 	}
 	return nil
+}
+
+// compareExtras diffs the gated Extra metrics shared by one old and
+// one new result, returning the indented Δ rows to print and the
+// regression reasons (a gated extra moving more than the tolerance in
+// its worse direction).
+func compareExtras(or, nr benchmarks.Result) (rows, reasons []string) {
+	for _, ge := range gatedExtras {
+		ov, okOld := or.Extra[ge.name]
+		nv, okNew := nr.Extra[ge.name]
+		if !okOld || !okNew {
+			continue
+		}
+		delta := relDelta(ov, nv)
+		worse := delta < -regressionTolerance
+		if !ge.higherBetter {
+			worse = delta > regressionTolerance
+		}
+		mark := ""
+		if worse {
+			mark = "  REGRESSION"
+			reasons = append(reasons, ge.name)
+		}
+		rows = append(rows, fmt.Sprintf("  %-22s %14.3f %14.3f %+8.1f%%%s",
+			ge.name, ov, nv, delta*100, mark))
+	}
+	return rows, reasons
 }
 
 // Markers bounding the generated table in README.md; everything

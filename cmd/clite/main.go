@@ -26,6 +26,11 @@
 // (BO iterations, observation windows, QoS violations, placement
 // phases, faults, resilience actions) as JSONL; -metrics prints the
 // metrics registry after the run. Both work in every mode.
+//
+// Observability: -slo attaches the SLO plane (internal/obs) to the
+// run and prints per-job error-budget status, burn rates, and the
+// alert stream after the run. Fleet mode always prints the per-epoch
+// SLO ledger; -slo adds the full status block on top.
 package main
 
 import (
@@ -97,6 +102,7 @@ func run() error {
 	noPrefilter := flag.Bool("no-prefilter", false, "cluster mode: disable the analytical admission pre-filter")
 	traceOut := flag.String("trace", "", "write the telemetry event timeline as JSONL to this file")
 	showMetrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	showSLO := flag.Bool("slo", false, "attach the SLO plane and print budget/burn status after the run")
 	flag.Parse()
 
 	if *list {
@@ -114,6 +120,19 @@ func run() error {
 	if *showMetrics {
 		tel.reg = clite.NewMetrics()
 		tel.show = true
+	}
+	if *showSLO {
+		// The SLO plane consumes the event stream through a tracer tap,
+		// so -slo implies a tracer even when -trace wasn't asked for
+		// (the timeline is only written to disk when a path was given).
+		if tel.trace == nil {
+			tel.trace = clite.NewTracer()
+		}
+		tel.slo = clite.NewSLOStore(clite.SLOOptions{})
+		if tel.reg != nil {
+			tel.slo.BindRegistry(tel.reg)
+		}
+		tel.trace.SetTap(tel.slo.Sink())
 	}
 	if *fleetNodes > 0 {
 		if err := runFleet(clite.FleetOptions{
@@ -173,6 +192,7 @@ func run() error {
 		}
 		names = append(names, name)
 	}
+	tel.registerSLO(m)
 
 	plan := clite.FaultPlan{
 		Seed:             *faultSeed,
@@ -229,16 +249,28 @@ func run() error {
 type telemetrySinks struct {
 	trace *clite.Tracer
 	reg   *clite.MetricsRegistry
+	slo   *clite.SLOStore
 	path  string
 	show  bool
 }
 
 func (t *telemetrySinks) enabled() bool { return t.trace != nil || t.reg != nil }
 
-// flush writes the JSONL timeline (if -trace) and prints the metrics
-// registry (if -metrics).
+// registerSLO subscribes the machine's LC jobs to the SLO plane so
+// the per-job budget table covers them from the first window.
+func (t *telemetrySinks) registerSLO(m *clite.Machine) {
+	if t.slo == nil {
+		return
+	}
+	for _, jt := range m.QoSTargets() {
+		t.slo.RegisterJob(jt.Job, jt.Name, clite.SLO{Target: jt.Target})
+	}
+}
+
+// flush writes the JSONL timeline (if -trace), prints the metrics
+// registry (if -metrics), and prints the SLO status block (if -slo).
 func (t *telemetrySinks) flush() error {
-	if t.trace != nil {
+	if t.trace != nil && t.path != "" {
 		f, err := os.Create(t.path)
 		if err != nil {
 			return err
@@ -254,6 +286,9 @@ func (t *telemetrySinks) flush() error {
 	}
 	if t.show && t.reg != nil {
 		fmt.Printf("\nmetrics:\n%s", clite.MetricsSummary(t.reg))
+	}
+	if t.slo != nil {
+		fmt.Printf("\n%s", t.slo.FormatSLO())
 	}
 	return nil
 }
@@ -325,8 +360,15 @@ func runFleet(opts clite.FleetOptions, tel *telemetrySinks) error {
 	if ledger == nil {
 		ledger = clite.NewMetrics()
 	}
+	// Fleet mode always carries the SLO plane: the barrier feeds it in
+	// cell order, so the per-epoch ledger below is shard-invariant.
+	store := tel.slo
+	if store == nil {
+		store = clite.NewSLOStore(clite.SLOOptions{})
+	}
 	opts.Trace = tel.trace
 	opts.Metrics = ledger
+	opts.Obs = store
 	f, err := clite.NewFleet(opts)
 	if err != nil {
 		return err
@@ -348,6 +390,7 @@ func runFleet(opts clite.FleetOptions, tel *telemetrySinks) error {
 		sum.Cluster.PrefilterRejects, sum.Cluster.CacheHits,
 		sum.Cluster.CacheHits+sum.Cluster.CacheMisses, sum.CacheEntries)
 	fmt.Printf("\nshard ledger:\n%s", clite.MetricsSummary(ledger, "fleet_"))
+	fmt.Printf("\nslo ledger:\n%s", store.FormatLedger())
 	return nil
 }
 

@@ -14,6 +14,14 @@
 //	curl localhost:8080/v1/status
 //	curl localhost:8080/v1/snapshot
 //	curl localhost:8080/metrics
+//	curl localhost:8080/slo
+//	curl localhost:8080/cells
+//
+// /metrics is the Prometheus text exposition; /slo and /cells are the
+// SLO observability plane's live views (deterministic text: error
+// budget burn per subject, per-node placement rollups), fed from the
+// replica group's tracer tap and per-placement samples stamped with
+// the group's simulated clock.
 //
 // Admin endpoints /v1/kill (kill a controller replica) and /v1/advance
 // (advance the simulated clock) exist to exercise failover from the
@@ -115,6 +123,10 @@ func run(args []string, out io.Writer) error {
 
 	tr := clite.NewTracer()
 	reg := clite.NewMetrics()
+	store := clite.NewSLOStore(clite.SLOOptions{})
+	store.BindRegistry(reg)
+	store.RegisterCells(*nodes) // one obs "cell" per cluster node
+	tr.SetTap(store.Sink())
 	plan := clite.ControlFaultPlan{
 		Seed:          *faultSeed,
 		LeaderDeathAt: deaths,
@@ -145,7 +157,7 @@ func run(args []string, out io.Writer) error {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(g, reg),
+		Handler:           newHandler(g, reg, store),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -259,8 +271,11 @@ func decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// newHandler wires the replica group behind the HTTP/JSON API.
-func newHandler(g *replica.Group, reg *telemetry.Registry) http.Handler {
+// newHandler wires the replica group behind the HTTP/JSON API. store
+// receives one sample per committed placement (and per rehoming
+// outcome), stamped with the replica log's simulated clock, so the
+// /slo and /cells views track the command stream deterministically.
+func newHandler(g *replica.Group, reg *telemetry.Registry, store *clite.SLOStore) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
 		var req placeRequest
@@ -272,6 +287,13 @@ func newHandler(g *replica.Group, reg *telemetry.Registry) http.Handler {
 			writeGroupError(w, err)
 			return
 		}
+		viol := 0
+		if !p.Result.QoSMeetable {
+			viol = 1
+		}
+		store.ObserveCells(g.Clock(), -1, []clite.CellSample{
+			{Cell: p.Node, Placed: 1, Violations: viol},
+		})
 		writeJSON(w, http.StatusOK, placeResponse{
 			Node:    p.Node,
 			Score:   p.Result.BestScore,
@@ -290,13 +312,18 @@ func newHandler(g *replica.Group, reg *telemetry.Registry) http.Handler {
 			return
 		}
 		out := make([]rehomeOutcome, 0, len(outcomes))
+		var samples []clite.CellSample
 		for _, o := range outcomes {
 			ro := rehomeOutcome{Workload: o.Request.Workload, Load: o.Request.Load, From: o.From, Node: o.Node}
 			if o.Err != nil {
 				ro.Error = o.Err.Error()
+				samples = append(samples, clite.CellSample{Cell: o.From, Rejected: 1})
+			} else {
+				samples = append(samples, clite.CellSample{Cell: o.Node, Placed: 1})
 			}
 			out = append(out, ro)
 		}
+		store.ObserveCells(g.Clock(), -1, samples)
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("POST /v1/kill", func(w http.ResponseWriter, r *http.Request) {
@@ -331,6 +358,14 @@ func newHandler(g *replica.Group, reg *telemetry.Registry) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		io.WriteString(w, reg.PrometheusText())
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, store.FormatSLO())
+	})
+	mux.HandleFunc("GET /cells", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, store.FormatCells())
 	})
 	return mux
 }

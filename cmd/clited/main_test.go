@@ -38,6 +38,14 @@ func testGroup(t *testing.T, lease float64) (*replica.Group, *clite.MetricsRegis
 	return g, reg
 }
 
+// testStore mirrors run()'s observability wiring for handler tests.
+func testStore(nodes int, reg *clite.MetricsRegistry) *clite.SLOStore {
+	store := clite.NewSLOStore(clite.SLOOptions{})
+	store.BindRegistry(reg)
+	store.RegisterCells(nodes)
+	return store
+}
+
 func postJSON(t *testing.T, url string, body any) *http.Response {
 	t.Helper()
 	buf, err := json.Marshal(body)
@@ -63,7 +71,7 @@ func decodeBody[T any](t *testing.T, resp *http.Response) T {
 
 func TestDaemonServesPlacementsAndIntrospection(t *testing.T) {
 	g, reg := testGroup(t, 5)
-	srv := httptest.NewServer(newHandler(g, reg))
+	srv := httptest.NewServer(newHandler(g, reg, testStore(2, reg)))
 	defer srv.Close()
 
 	resp := postJSON(t, srv.URL+"/v1/place", placeRequest{Workload: "memcached", Load: 0.2})
@@ -102,6 +110,20 @@ func TestDaemonServesPlacementsAndIntrospection(t *testing.T) {
 		t.Fatalf("metrics exposition missing replica_commands_total:\n%s", sb.String())
 	}
 
+	// The SLO plane's live views track the committed placement.
+	sloResp := mustGet(t, srv.URL+"/slo")
+	sloText := readAll(t, sloResp)
+	sloResp.Body.Close()
+	if !strings.Contains(sloText, "windows") || !strings.Contains(sloText, "alerts") {
+		t.Fatalf("/slo missing the windows subject or alert total:\n%s", sloText)
+	}
+	cellsResp := mustGet(t, srv.URL+"/cells")
+	cellsText := readAll(t, cellsResp)
+	cellsResp.Body.Close()
+	if !strings.Contains(cellsText, "fleet    placed=1") {
+		t.Fatalf("/cells does not account the placement:\n%s", cellsText)
+	}
+
 	// Malformed bodies are 400, not 500.
 	resp, err := http.Post(srv.URL+"/v1/place", "application/json", strings.NewReader("{nope"))
 	if err != nil {
@@ -137,7 +159,7 @@ func readAll(t *testing.T, resp *http.Response) string {
 
 func TestFailoverOverHTTP(t *testing.T) {
 	g, reg := testGroup(t, 5)
-	srv := httptest.NewServer(newHandler(g, reg))
+	srv := httptest.NewServer(newHandler(g, reg, testStore(2, reg)))
 	defer srv.Close()
 
 	resp := postJSON(t, srv.URL+"/v1/kill", map[string]int{"replica": 0})
@@ -175,7 +197,7 @@ func TestFailoverOverHTTP(t *testing.T) {
 
 func TestQuorumLossOverHTTP(t *testing.T) {
 	g, reg := testGroup(t, 5)
-	srv := httptest.NewServer(newHandler(g, reg))
+	srv := httptest.NewServer(newHandler(g, reg, testStore(2, reg)))
 	defer srv.Close()
 
 	postJSON(t, srv.URL+"/v1/place", placeRequest{Workload: "swaptions"}).Body.Close()
@@ -211,7 +233,7 @@ func TestHTTPClientRetriesThroughFailover(t *testing.T) {
 	// carries the group past the election: every attempted submission
 	// advances the simulated clock by one request interval.
 	g, reg := testGroup(t, 2)
-	srv := httptest.NewServer(newHandler(g, reg))
+	srv := httptest.NewServer(newHandler(g, reg, testStore(2, reg)))
 	defer srv.Close()
 
 	postJSON(t, srv.URL+"/v1/kill", map[string]int{"replica": 0}).Body.Close()
@@ -235,7 +257,7 @@ func TestHTTPClientRetriesThroughFailover(t *testing.T) {
 
 func TestFailNodeOverHTTP(t *testing.T) {
 	g, reg := testGroup(t, 5)
-	srv := httptest.NewServer(newHandler(g, reg))
+	srv := httptest.NewServer(newHandler(g, reg, testStore(2, reg)))
 	defer srv.Close()
 
 	postJSON(t, srv.URL+"/v1/place", placeRequest{Workload: "memcached", Load: 0.2}).Body.Close()

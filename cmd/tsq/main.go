@@ -1,0 +1,268 @@
+// Command tsq (trace structural query) answers structural questions
+// about recorded or in-flight JSONL telemetry traces through the
+// internal/obs query engine: what does the event stream contain
+// (summary), when did each job violate (violations), what spans ran
+// and how do they nest (spans), which root-to-leaf span chain
+// dominates the trace (critpath), which pipeline phases each
+// placement walked (placements), how long did faults take to recover
+// (faults), and what would the SLO plane have said (slo — replays the
+// burn-rate engine over the trace).
+//
+//	tsq -q summary trace.jsonl
+//	tsq -q violations -job 1 trace.jsonl
+//	tsq -q critpath trace.jsonl
+//	tsq -q slo -slo-window 60 -slo-budget 0.1 trace.jsonl
+//	tsq -q violations -follow trace.jsonl   # tail a live trace
+//
+// -follow keeps the file open after EOF and streams matching events
+// as a run appends them (violations, faults, and alerts print
+// per-event; aggregate queries re-print on an interval).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"clite/internal/obs"
+	"clite/internal/telemetry"
+)
+
+func main() {
+	var (
+		query     = flag.String("q", "summary", "query: summary | violations | spans | critpath | placements | faults | slo")
+		job       = flag.Int("job", -1, "restrict violations to one job index (-1: all)")
+		spanName  = flag.String("span", "", "restrict spans/placements to spans with this name (placements default: place)")
+		limit     = flag.Int("n", 0, "print at most n rows (0: all)")
+		follow    = flag.Bool("follow", false, "keep reading after EOF and stream new results")
+		sloWindow = flag.Float64("slo-window", 60, "slo replay: assessment window, simulated seconds")
+		sloBudget = flag.Float64("slo-budget", 0.1, "slo replay: error budget (bad-window fraction)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tsq [-q query] [flags] trace.jsonl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*query, flag.Arg(0), *job, *spanName, *limit, *follow, *sloWindow, *sloBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "tsq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(query, path string, job int, spanName string, limit int, follow bool, sloWindow, sloBudget float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if follow {
+		return tail(query, f, job)
+	}
+	q, err := obs.Load(f)
+	if err != nil {
+		return err
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	switch query {
+	case "summary":
+		printSummary(out, q)
+	case "violations":
+		printViolations(out, q, job, limit)
+	case "spans":
+		printSpans(out, q, spanName, limit)
+	case "critpath":
+		printCritPath(out, q)
+	case "placements":
+		if spanName == "" {
+			spanName = "place"
+		}
+		printPlacements(out, q, spanName, limit)
+	case "faults":
+		printFaults(out, q, limit)
+	case "slo":
+		printSLO(out, q, sloWindow, sloBudget)
+	default:
+		return fmt.Errorf("unknown query %q", query)
+	}
+	return nil
+}
+
+func printSummary(w io.Writer, q *obs.Query) {
+	fmt.Fprintf(w, "events  %d\n", q.Len())
+	fmt.Fprintf(w, "spans   %d (critical path depth %d)\n", len(q.Spans()), len(q.CriticalPath()))
+	for _, kc := range q.Kinds() {
+		fmt.Fprintf(w, "  %-20s %d\n", kc.Kind, kc.Count)
+	}
+}
+
+func printViolations(w io.Writer, q *obs.Query, job, limit int) {
+	vs := q.Violations(job)
+	fmt.Fprintf(w, "violations  %d\n", len(vs))
+	for i, v := range vs {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(w, "  ... %d more\n", len(vs)-limit)
+			break
+		}
+		fmt.Fprintf(w, "  at=%8.2f job=%d p95=%.4f target=%.4f over=%+.1f%%\n",
+			v.At, v.Job, v.P95, v.Target, 100*(v.P95-v.Target)/v.Target)
+	}
+}
+
+func printSpans(w io.Writer, q *obs.Query, name string, limit int) {
+	spans := q.Spans()
+	printed := 0
+	for _, sp := range spans {
+		if name != "" && sp.Name != name {
+			continue
+		}
+		if limit > 0 && printed >= limit {
+			fmt.Fprintln(w, "  ...")
+			break
+		}
+		open := ""
+		if sp.EndStep == 0 {
+			open = " (open)"
+		}
+		fmt.Fprintf(w, "%s%-12s id=%d node=%d steps=%d n=%d ok=%v%s\n",
+			strings.Repeat("  ", sp.Depth), sp.Name, sp.ID, sp.Node, sp.Steps(q.Horizon()), sp.N, sp.OK, open)
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintln(w, "no spans")
+	}
+}
+
+func printCritPath(w io.Writer, q *obs.Query) {
+	path := q.CriticalPath()
+	if len(path) == 0 {
+		fmt.Fprintln(w, "no spans")
+		return
+	}
+	for i, sp := range path {
+		fmt.Fprintf(w, "%s%-12s id=%d node=%d steps=%d ok=%v\n",
+			strings.Repeat("  ", i), sp.Name, sp.ID, sp.Node, sp.Steps(q.Horizon()), sp.OK)
+	}
+}
+
+func printPlacements(w io.Writer, q *obs.Query, name string, limit int) {
+	paths := q.PlacementPaths(name)
+	fmt.Fprintf(w, "placements  %d\n", len(paths))
+	for i, p := range paths {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(w, "  ... %d more\n", len(paths)-limit)
+			break
+		}
+		var phases []string
+		for _, ph := range p.Phases {
+			phases = append(phases, ph.Name)
+		}
+		fmt.Fprintf(w, "  span=%d node=%d steps=%d ok=%v: %s\n",
+			p.Span.ID, p.Span.Node, p.Span.Steps(q.Horizon()), p.Span.OK, strings.Join(phases, " → "))
+	}
+}
+
+func printFaults(w io.Writer, q *obs.Query, limit int) {
+	frs := q.FaultRecoveries()
+	fmt.Fprintf(w, "faults  %d\n", len(frs))
+	for i, fr := range frs {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(w, "  ... %d more\n", len(frs)-limit)
+			break
+		}
+		rec := "unrecovered"
+		if fr.RecoveredAt >= 0 {
+			rec = fmt.Sprintf("recovered at %.2f (+%.2fs)", fr.RecoveredAt, fr.RecoveredAt-fr.FaultAt)
+		}
+		fmt.Fprintf(w, "  at=%8.2f %-18s %s bad-windows=%d actions=%d\n",
+			fr.FaultAt, fr.Kind, rec, fr.BadWindows, fr.Actions)
+	}
+}
+
+// printSLO replays the burn-rate engine over the loaded trace: every
+// job that ever violated is registered (its target taken from the
+// violation event), then the whole stream runs through the store's
+// sink, and the resulting /slo view prints. Jobs that never violate
+// are absent from the per-job table but still covered by the
+// machine-wide windows subject.
+func printSLO(w io.Writer, q *obs.Query, window, budget float64) {
+	store := obs.NewStore(obs.Options{SLO: obs.SLO{Window: window, Budget: budget}})
+	for _, ev := range q.Events() {
+		if ev.Kind == telemetry.KindQoSViolation {
+			store.RegisterJob(ev.Job, "", obs.SLO{Target: ev.Aux, Window: window, Budget: budget})
+		}
+	}
+	sink := store.Sink()
+	for _, ev := range q.Events() {
+		sink(ev)
+	}
+	fmt.Fprint(w, store.FormatSLO())
+	if alerts := store.Alerts(); len(alerts) > 0 {
+		fmt.Fprintln(w, "alert stream")
+		for _, ev := range alerts {
+			fmt.Fprintf(w, "  at=%8.2f %-16s subject=%s burn=%.2f/%.2f\n",
+				ev.At, ev.Kind, ev.Name, ev.Value, ev.Aux)
+		}
+	}
+}
+
+// tail streams a growing trace: read to EOF, keep polling for
+// appended lines, and print matching events as they land. Aggregate
+// queries re-print a summary block per poll that saw new events.
+func tail(query string, f *os.File, job int) error {
+	q := obs.NewQuery()
+	r := bufio.NewReader(f)
+	var partial []byte
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			if len(partial) > 0 {
+				line = append(partial, line...)
+				partial = partial[:0]
+			}
+			var ev telemetry.Event
+			if jerr := json.Unmarshal(line, &ev); jerr != nil {
+				return fmt.Errorf("parse trace line: %w", jerr)
+			}
+			q.Append(ev)
+			tailPrint(query, ev, job)
+			continue
+		}
+		if err == io.EOF {
+			// Keep partial lines until the writer finishes them.
+			partial = append(partial, line...)
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// tailPrint streams one event if the follow-mode query selects it.
+func tailPrint(query string, ev telemetry.Event, job int) {
+	switch query {
+	case "violations":
+		if ev.Kind == telemetry.KindQoSViolation && (job < 0 || ev.Job == job) {
+			fmt.Printf("at=%8.2f job=%d p95=%.4f target=%.4f\n", ev.At, ev.Job, ev.Value, ev.Aux)
+		}
+	case "faults":
+		switch ev.Kind {
+		case telemetry.KindFaultInjected:
+			fmt.Printf("at=%8.2f fault %s\n", ev.At, ev.Name)
+		case telemetry.KindResilienceAction:
+			fmt.Printf("           action %s attempt=%d\n", ev.Name, ev.N)
+		}
+	default:
+		// summary and aggregate queries: stream the kind ticker.
+		fmt.Printf("%7d %s\n", ev.Step, ev.Kind)
+	}
+}

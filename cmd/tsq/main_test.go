@@ -1,0 +1,111 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clite"
+)
+
+// writeTrace records one seeded controller run and writes its JSONL
+// timeline to a temp file — the input every tsq query reads.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	m := clite.NewMachine(7)
+	if _, err := m.AddLC("memcached", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddBG("streamcluster"); err != nil {
+		t.Fatal(err)
+	}
+	tr := clite.NewTracer()
+	opts := clite.WithTelemetry(clite.Options{BO: clite.BOOptions{Seed: 7, MaxIterations: 6}}, tr, nil)
+	if _, err := clite.NewController(m, opts).Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runQuery executes one tsq query against the trace and returns what
+// it printed.
+func runQuery(t *testing.T, query, path string) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(query, path, -1, "", 0, false, 60, 0.1)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run(%q): %v", query, runErr)
+	}
+	return string(out)
+}
+
+func TestQueriesSmoke(t *testing.T) {
+	path := writeTrace(t)
+	for _, tc := range []struct {
+		query string
+		want  string
+	}{
+		{"summary", "events"},
+		{"violations", "violations"},
+		{"spans", ""},
+		{"critpath", ""},
+		{"placements", "placements"},
+		{"faults", "faults"},
+		{"slo", "windows"},
+	} {
+		out := runQuery(t, tc.query, path)
+		if out == "" {
+			t.Errorf("query %q printed nothing", tc.query)
+		}
+		if tc.want != "" && !strings.Contains(out, tc.want) {
+			t.Errorf("query %q output missing %q:\n%s", tc.query, tc.want, out)
+		}
+	}
+}
+
+// The slo replay registers every violating job from the trace itself,
+// so a run with violations yields a per-job budget table.
+func TestSLOReplayRegistersJobs(t *testing.T) {
+	path := writeTrace(t)
+	out := runQuery(t, "slo", path)
+	if !strings.Contains(out, "slo\n") || !strings.Contains(out, "alerts") {
+		t.Errorf("slo replay output malformed:\n%s", out)
+	}
+}
+
+func TestUnknownQueryFails(t *testing.T) {
+	path := writeTrace(t)
+	if err := run("bogus", path, -1, "", 0, false, 60, 0.1); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestMissingTraceFails(t *testing.T) {
+	if err := run("summary", filepath.Join(t.TempDir(), "absent.jsonl"), -1, "", 0, false, 60, 0.1); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

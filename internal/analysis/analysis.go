@@ -90,7 +90,7 @@ func Rules() []*Rule {
 var detPackages = []string{
 	"core", "bo", "gp", "cluster", "server",
 	"telemetry", "profile", "linalg", "optimize",
-	"replica", "faults", "fleet",
+	"replica", "faults", "fleet", "obs",
 }
 
 // numericPackages are the floating-point kernels where exact ==
@@ -99,7 +99,7 @@ var numericPackages = []string{"linalg", "gp", "bo", "optimize"}
 
 // hotPathPackages run inside the per-window controller loop, where
 // the telemetry layer's disabled-means-free contract is load-bearing.
-var hotPathPackages = []string{"core", "bo", "server", "cluster", "faults"}
+var hotPathPackages = []string{"core", "bo", "server", "cluster", "faults", "obs"}
 
 // scopeTo returns an InScope predicate matching the listed leaf
 // package names under internal/, plus every fixture tree.

@@ -164,10 +164,14 @@ func TestSuppression(t *testing.T) {
 // refactor cannot silently drop a package out of the determinism set.
 func TestScope(t *testing.T) {
 	det := ruleByName(t, "detrand")
-	for _, p := range []string{"core", "bo", "gp", "cluster", "server", "telemetry", "profile", "linalg", "optimize", "replica", "faults"} {
+	for _, p := range []string{"core", "bo", "gp", "cluster", "server", "telemetry", "profile", "linalg", "optimize", "replica", "faults", "fleet", "obs"} {
 		if !det.InScope("clite/internal/" + p) {
 			t.Errorf("detrand must cover clite/internal/%s", p)
 		}
+	}
+	tn := ruleByName(t, "telnil")
+	if !tn.InScope("clite/internal/obs") {
+		t.Error("telnil must cover clite/internal/obs (the SLO plane rides the hot path)")
 	}
 	for _, p := range []string{"stats", "harness", "policies"} {
 		if det.InScope("clite/internal/" + p) {

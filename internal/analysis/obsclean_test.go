@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+// TestObsSuppressionFree pins the observability plane's lint bar: the
+// obs package sits in both the determinism (detrand) and hot-path
+// (telnil) scopes and must stay clean without a single //lint:allow —
+// the SLO plane has no sanctioned wall-clock or unguarded-telemetry
+// sites at all.
+func TestObsSuppressionFree(t *testing.T) {
+	// Tests run with the package directory as cwd; ../obs is the
+	// observability plane's source tree.
+	pkgs, err := NewLoader().LoadPatterns([]string{"../obs"})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	rep := Run(pkgs, Rules())
+	for _, f := range rep.Findings {
+		t.Errorf("finding: %s", f.String())
+	}
+	for _, f := range rep.Suppressed {
+		t.Errorf("suppression (obs must be suppression-free): %s", f.String())
+	}
+	for _, f := range rep.BadDirectives {
+		t.Errorf("bad directive: %s", f.String())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"clite/internal/core"
 	"clite/internal/fleet"
 	"clite/internal/gp"
+	"clite/internal/obs"
 	"clite/internal/optimize"
 	"clite/internal/policies"
 	"clite/internal/profile"
@@ -46,6 +47,12 @@ type Config struct {
 	// not comparable; cmd/bench records the flag so -compare can refuse
 	// to mix them.
 	Telemetry bool
+	// Obs attaches the SLO observability plane (DESIGN.md §15): a
+	// tapped store with every LC job registered as an SLO subject on
+	// CLITERun, and a store fed per-cell rollups at the epoch barrier
+	// on FleetPlace. ObsOverheadCLITE/ObsOverheadFleet pair runs with
+	// the flag off and on to measure the enabled cost.
+	Obs bool
 }
 
 // Result is one benchmark's outcome, in the units `go test -bench`
@@ -154,6 +161,27 @@ func measure(name string, b bench) Result {
 func TelemetryOverhead(quick bool) (off, on Result) {
 	off = measure("CLITERun", cliteRun(Config{Quick: quick}))
 	on = measure("CLITERun", cliteRun(Config{Quick: quick, Telemetry: true}))
+	return off, on
+}
+
+// ObsOverheadCLITE times CLITERun with telemetry enabled, and then
+// with the SLO observability plane tapped on top: store construction,
+// job registration, and every per-event sink callback are all charged
+// to the op. The tier-1 gate asserts the tapped run lands within 5%
+// of the telemetry-only run.
+func ObsOverheadCLITE(quick bool) (off, on Result) {
+	off = measure("CLITERun", cliteRun(Config{Quick: quick, Telemetry: true}))
+	on = measure("CLITERun", cliteRun(Config{Quick: quick, Telemetry: true, Obs: true}))
+	return off, on
+}
+
+// ObsOverheadFleet times FleetPlace with and without an SLO store fed
+// per-cell rollups at each epoch barrier. The barrier feed is the
+// fleet's only obs touchpoint, so the contract is looser than the
+// serving plane's: the tier-1 gate allows 10%.
+func ObsOverheadFleet(quick bool) (off, on Result) {
+	off = measure("FleetPlace", fleetPlace(Config{Quick: quick}))
+	on = measure("FleetPlace", fleetPlace(Config{Quick: quick, Obs: true}))
 	return off, on
 }
 
@@ -433,6 +461,19 @@ func cliteRun(cfg Config) bench {
 			opts.Trace = telemetry.NewTracer()
 			opts.Metrics = telemetry.NewRegistry()
 		}
+		if cfg.Obs {
+			// The SLO plane rides the tracer tap, so the store's whole
+			// per-event cost — window settlement, burn-rate updates,
+			// ring-bucket writes — lands inside the traced run.
+			if opts.Trace == nil {
+				opts.Trace = telemetry.NewTracer()
+			}
+			store := obs.NewStore(obs.Options{})
+			for _, jt := range m.QoSTargets() {
+				store.RegisterJob(jt.Job, jt.Name, obs.SLO{Target: jt.Target})
+			}
+			opts.Trace.SetTap(store.Sink())
+		}
 		res, err := core.New(m, opts).Run()
 		if err != nil {
 			panic(err)
@@ -559,13 +600,17 @@ func fleetPlace(cfg Config) bench {
 		cellNodes, shards = nodes, 1
 	}
 	newOpts := func(seed int64, shards int) fleet.Options {
-		return fleet.Options{
+		o := fleet.Options{
 			Nodes:     nodes,
 			CellNodes: cellNodes,
 			Shards:    shards,
 			Seed:      seed,
 			Duration:  duration,
 		}
+		if cfg.Obs {
+			o.Obs = obs.NewStore(obs.Options{})
+		}
+		return o
 	}
 	runOnce := func(opts fleet.Options) (fleet.Summary, time.Duration) {
 		f, err := fleet.New(opts)

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"clite/internal/obs"
+	"clite/internal/telemetry"
+)
+
+// TestObsScreenWorkerInvariance extends the §8 determinism contract
+// to the SLO plane: a store tapped onto the scheduler's tracer sees
+// merged events in commit order, so its /slo view and alert stream
+// must not depend on how many screening workers ran.
+func TestObsScreenWorkerInvariance(t *testing.T) {
+	run := func(workers int) (string, []byte) {
+		tr := telemetry.NewTracer()
+		store := obs.NewStore(obs.Options{})
+		tr.SetTap(store.Sink())
+		s := New(Options{Nodes: 3, Seed: 11, ScreenIterations: 8, ScreenWorkers: workers, Trace: tr})
+		for _, r := range stream() {
+			if _, err := s.Place(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := store.WriteAlertsJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return store.FormatSLO(), buf.Bytes()
+	}
+	seqSLO, seqAlerts := run(1)
+	for _, workers := range []int{4, 8} {
+		slo, alerts := run(workers)
+		if slo != seqSLO {
+			t.Errorf("%d-worker /slo view diverged:\n%s\nvs\n%s", workers, slo, seqSLO)
+		}
+		if !bytes.Equal(alerts, seqAlerts) {
+			t.Errorf("%d-worker alert stream diverged", workers)
+		}
+	}
+	// The tapped store actually observed the run: screening windows
+	// flow through the machine-wide subject.
+	if seqSLO == "" {
+		t.Fatal("empty /slo view")
+	}
+}

@@ -39,6 +39,7 @@ import (
 
 	"clite/internal/cluster"
 	"clite/internal/faults"
+	"clite/internal/obs"
 	"clite/internal/par"
 	"clite/internal/profile"
 	"clite/internal/resource"
@@ -88,6 +89,12 @@ type Options struct {
 	// Metrics, when non-nil, backs the fleet counters (fleet_* plus
 	// the per-shard placement ledger).
 	Metrics *telemetry.Registry
+	// Obs, when non-nil, receives per-cell rollup samples at every
+	// epoch barrier (in cell order, on the sequential tail) and an SLO
+	// ledger entry per epoch. Because the feed happens only at the
+	// barrier, the store's contents are byte-identical for every shard
+	// count.
+	Obs *obs.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -161,6 +168,7 @@ type cell struct {
 	trace *telemetry.Tracer
 	mark  int // overlay journal mark for barrier sync
 	queue []pending
+	prev  cluster.Stats // last barrier's stats snapshot, for obs deltas
 }
 
 // Decision is one committed placement, the unit of the fleet's
@@ -317,6 +325,7 @@ func New(opts Options) (*Fleet, error) {
 		})
 	}
 	f.part = newPartitioner(resource.Default(), hub, f.cells)
+	opts.Obs.RegisterCells(numCells)
 	return f, nil
 }
 
@@ -592,8 +601,13 @@ func (f *Fleet) placeEpoch() {
 // every shard count.
 func (f *Fleet) barrier(epoch int, epochEnd float64, sum *Summary) error {
 	placed := 0
+	var samples []obs.CellSample
+	if f.opts.Obs != nil {
+		samples = make([]obs.CellSample, 0, len(f.cells))
+	}
 	for _, c := range f.cells {
 		f.trace.MergeDrain(c.trace, c.start)
+		cellPlaced, cellViol, cellRejected := 0, 0, 0
 		for i := range c.queue {
 			p := &c.queue[i]
 			j := p.job
@@ -606,6 +620,10 @@ func (f *Fleet) barrier(epoch int, epochEnd float64, sum *Summary) error {
 				f.stats.shardPlacements[c.index%f.opts.Shards].Inc()
 				sum.Placements++
 				placed++
+				cellPlaced++
+				if !p.p.Result.QoSMeetable {
+					cellViol++
+				}
 				sum.Decisions = append(sum.Decisions, Decision{
 					Job: j.id, At: j.arriveAt, Workload: j.workload, Load: j.load,
 					Cell: c.index, Node: j.node, Attempt: j.attempts,
@@ -613,6 +631,7 @@ func (f *Fleet) barrier(epoch int, epochEnd float64, sum *Summary) error {
 				})
 				continue
 			}
+			cellRejected++
 			if !errors.Is(p.err, cluster.ErrUnplaceable) {
 				return fmt.Errorf("fleet: placing job %d: %w", j.id, p.err)
 			}
@@ -633,6 +652,28 @@ func (f *Fleet) barrier(epoch int, epochEnd float64, sum *Summary) error {
 			}
 		}
 		c.queue = c.queue[:0]
+		if f.opts.Obs != nil {
+			// Per-cell rollup delta since the last barrier, read on the
+			// sequential tail so the sample stream is shard-invariant.
+			s := c.sched.Stats()
+			d := s
+			d.CacheHits -= c.prev.CacheHits
+			d.CacheNearHits -= c.prev.CacheNearHits
+			d.CacheMisses -= c.prev.CacheMisses
+			d.BOIterations -= c.prev.BOIterations
+			d.Screens -= c.prev.Screens
+			c.prev = s
+			samples = append(samples, obs.CellSample{
+				Cell:         c.index,
+				Placed:       cellPlaced,
+				Violations:   cellViol,
+				Rejected:     cellRejected,
+				CacheHits:    d.CacheHits + d.CacheNearHits,
+				CacheLookups: d.CacheHits + d.CacheNearHits + d.CacheMisses,
+				BOIterations: d.BOIterations,
+				Screens:      d.Screens,
+			})
+		}
 	}
 
 	// Cache sync: adopt each cell's new screening memos into the hub
@@ -660,6 +701,7 @@ func (f *Fleet) barrier(epoch int, epochEnd float64, sum *Summary) error {
 		}
 	}
 
+	f.opts.Obs.ObserveCells(epochEnd, epoch, samples)
 	f.trace.Emit(telemetry.FleetEpoch(epochEnd, epoch, placed, f.part.total()))
 	f.stats.epochs.Inc()
 	return nil

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"clite/internal/obs"
+)
+
+// runFleetObs executes one fleet with the SLO plane attached and
+// returns the store's three textual outputs plus the alert stream —
+// the byte surfaces the invariance contract covers.
+func runFleetObs(t *testing.T, opts Options) (ledger, slo, cells string, alerts []byte) {
+	t.Helper()
+	store := obs.NewStore(obs.Options{})
+	opts.Obs = store
+	f, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := f.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := store.WriteAlertsJSONL(&buf); err != nil {
+		t.Fatalf("WriteAlertsJSONL: %v", err)
+	}
+	return store.FormatLedger(), store.FormatSLO(), store.FormatCells(), buf.Bytes()
+}
+
+// TestObsSmoke: a seeded fleet feeds the SLO plane one ledger row per
+// epoch, with placement totals that match the fleet summary.
+func TestObsSmoke(t *testing.T) {
+	store := obs.NewStore(obs.Options{})
+	opts := smallOpts(42, 2)
+	opts.Obs = store
+	f, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sum, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	led := store.Ledger()
+	if len(led) != sum.Epochs {
+		t.Fatalf("ledger rows = %d, epochs = %d", len(led), sum.Epochs)
+	}
+	placed := 0
+	for _, r := range led {
+		placed += r.Placed
+	}
+	if placed != sum.Placements {
+		t.Fatalf("ledger placed %d, summary placed %d", placed, sum.Placements)
+	}
+	fs := store.FleetStatus()
+	if fs.Epochs != sum.Epochs || int(fs.Placed) != sum.Placements {
+		t.Fatalf("fleet status %+v disagrees with summary %+v", fs, sum)
+	}
+	if cs := store.CellStatuses(); len(cs) != sum.Cells {
+		t.Fatalf("cell statuses = %d, cells = %d", len(cs), sum.Cells)
+	}
+}
+
+// TestObsShardInvariance is the observability acceptance bar: the SLO
+// ledger, the alert stream, and the /slo and /cells views are
+// byte-identical whatever the shard count, because the barrier feeds
+// the store sequentially in cell order.
+func TestObsShardInvariance(t *testing.T) {
+	baseLedger, baseSLO, baseCells, baseAlerts := runFleetObs(t, smallOpts(7, 1))
+	if baseLedger == "" {
+		t.Fatal("baseline produced no ledger")
+	}
+	for _, shards := range []int{2, 4} {
+		ledger, slo, cells, alerts := runFleetObs(t, smallOpts(7, shards))
+		if ledger != baseLedger {
+			t.Errorf("%d-shard SLO ledger diverged:\n%s\nvs\n%s", shards, ledger, baseLedger)
+		}
+		if slo != baseSLO {
+			t.Errorf("%d-shard /slo view diverged:\n%s\nvs\n%s", shards, slo, baseSLO)
+		}
+		if cells != baseCells {
+			t.Errorf("%d-shard /cells view diverged:\n%s\nvs\n%s", shards, cells, baseCells)
+		}
+		if !bytes.Equal(alerts, baseAlerts) {
+			t.Errorf("%d-shard alert stream diverged:\n%s\nvs\n%s", shards, alerts, baseAlerts)
+		}
+	}
+}

@@ -102,7 +102,7 @@ func TestRegistryCoversEveryPaperExperiment(t *testing.T) {
 		"table1", "table2", "table3",
 		"fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16", "ablation", "doe",
-		"faultsweep", "placement", "fleetscale", "telemetry", "failover",
+		"faultsweep", "placement", "fleetscale", "sloburn", "telemetry", "failover",
 	}
 	exps := Experiments()
 	if len(exps) != len(want) {

@@ -53,6 +53,7 @@ func Experiments() []Experiment {
 		{"faultsweep", "QoS retention vs observation-fault rate (hardened controller)", single(FaultSweep)},
 		{"placement", "cluster placement pipeline: screening work per admitted job", single(Placement)},
 		{"fleetscale", "fleet streaming placement: traffic shapes over sharded cells", single(FleetScale)},
+		{"sloburn", "SLO burn-rate alerting: budget spend under faults × traffic shapes", single(SLOBurn)},
 		{"telemetry", "telemetry timelines: events emitted per scenario", single(Telemetry)},
 		{"failover", "replicated control plane: leader death, failover, quorum loss", single(Failover)},
 	}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+
+	"clite/internal/bo"
+	"clite/internal/core"
+	"clite/internal/faults"
+	"clite/internal/fleet"
+	"clite/internal/obs"
+	"clite/internal/server"
+	"clite/internal/telemetry"
+)
+
+// SLOBurn sweeps the SLO observability plane (DESIGN.md §15) across
+// fault rate × traffic shape, exercising both of the store's feeds in
+// one scenario per row. The serving plane: a hardened CLITE run under
+// observation-fault injection at the row's rate streams its window
+// timeline into the store through a tracer tap, with every LC job
+// registered as an SLO subject — faulted windows violate QoS, burn
+// error budget, and trip the multi-window alert machine. The
+// placement plane: a fleet under the row's traffic shape feeds the
+// same store per-cell rollups at its epoch barrier. The row reports
+// the budget consumed, the alerts fired, and the mean simulated time
+// from a bad episode's first violation to its alert.
+func SLOBurn(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "sloburn",
+		Title: "SLO burn-rate alerting: budget spend under faults × traffic shapes",
+		Header: []string{
+			"traffic", "fault rate", "windows", "bad", "consumed",
+			"burn fast/slow", "alerts", "mean time-to-alert", "fleet placed",
+		},
+		Notes: "Each row taps one hardened faulted CLITE run (serving windows, per-job SLO subjects) and " +
+			"one fleet run under the traffic shape (per-cell placement rollups) into a single SLO store. " +
+			"Windows/bad/consumed/burn read the machine-wide window subject (budget 0.1, window 60 s); " +
+			"alerts totals SLOBurnAlert and BudgetExhausted events across every subject; mean time-to-alert " +
+			"is simulated seconds from an episode's first bad window to its alert. Deterministic per seed.",
+	}
+	mix := Mix{
+		LC: []LCJob{{Name: "memcached", Load: 0.3}, {Name: "img-dnn", Load: 0.2}},
+		BG: []string{"swaptions"},
+	}
+	nodes, cellNodes, shards := 256, 64, 4
+	duration := 8.0
+	rates := []float64{0, 0.10, 0.25}
+	if cfg.Coarse {
+		nodes, cellNodes, shards = 128, 32, 2
+		duration = 4
+		rates = []float64{0, 0.25}
+	}
+	shapes := []fleet.Shape{fleet.ShapeDiurnal, fleet.ShapeBursty, fleet.ShapeHeavyTail}
+	for _, shape := range shapes {
+		for _, rate := range rates {
+			store := obs.NewStore(obs.Options{})
+
+			// Serving plane: hardened controller under observation
+			// faults, tapped into the store.
+			m, err := buildMachine(mix, cfg.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			for _, jt := range m.QoSTargets() {
+				store.RegisterJob(jt.Job, jt.Name, obs.SLO{Target: jt.Target})
+			}
+			tr := telemetry.NewTracer()
+			tr.SetTap(store.Sink())
+			var target server.Observer = m
+			copts := core.Options{BO: bo.Options{Seed: cfg.Seed}, Trace: tr}
+			if rate > 0 {
+				target, err = faults.Wrap(m, faults.Plan{
+					Seed: cfg.Seed, Transient: rate, Outlier: rate, PartialActuation: rate / 2,
+				})
+				if err != nil {
+					return Table{}, err
+				}
+				copts.Resilience = core.Resilience{Enabled: true}
+			}
+			if _, err := core.New(target, copts).Run(); err != nil &&
+				!errors.Is(err, server.ErrObservationFailed) && !errors.Is(err, server.ErrNodeFailed) {
+				return Table{}, fmt.Errorf("sloburn %s/%.2f: %w", shape, rate, err)
+			}
+
+			// Placement plane: a fleet under the traffic shape feeds the
+			// same store at its epoch barrier.
+			sum, err := runFleet(fleet.Options{
+				Nodes: nodes, CellNodes: cellNodes, Shards: shards,
+				Seed: cfg.Seed, Duration: duration,
+				Traffic: fleet.Traffic{Shape: shape},
+				Obs:     store,
+			})
+			if err != nil {
+				return Table{}, fmt.Errorf("sloburn %s/%.2f fleet: %w", shape, rate, err)
+			}
+
+			w := store.WindowsStatus()
+			tta := "-"
+			if mtta := meanTimeToAlert(store); mtta > 0 {
+				tta = fmt.Sprintf("%.1fs", mtta)
+			}
+			t.Rows = append(t.Rows, []string{
+				string(shape),
+				fmt.Sprintf("%.2f", rate),
+				fmt.Sprintf("%d", w.Windows),
+				fmt.Sprintf("%d", w.Violations),
+				fmt.Sprintf("%.2f", w.BudgetConsumed),
+				fmt.Sprintf("%.1f/%.1f", w.BurnFast, w.BurnSlow),
+				fmt.Sprintf("%d", store.AlertCount()),
+				tta,
+				fmt.Sprintf("%d", sum.Placements),
+			})
+		}
+	}
+	return t, nil
+}
+
+// meanTimeToAlert averages the per-subject mean time-to-alert over
+// the subjects that alerted (jobs and the machine-wide window
+// stream).
+func meanTimeToAlert(store *obs.Store) float64 {
+	var sum float64
+	var n int
+	for _, js := range store.JobStatuses() {
+		if js.MeanTimeToAlert > 0 {
+			sum += js.MeanTimeToAlert
+			n++
+		}
+	}
+	if w := store.WindowsStatus(); w.MeanTimeToAlert > 0 {
+		sum += w.MeanTimeToAlert
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSLOBurnCoarse(t *testing.T) {
+	tbl, err := SLOBurn(Config{Seed: 1, Coarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 3 shapes × 2 fault rates
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("row width %d != header width %d: %v", len(row), len(tbl.Header), row)
+		}
+		if row[2] == "0" {
+			t.Errorf("row %v observed no windows", row)
+		}
+	}
+	// The faulted rows must burn at least as much budget as clean ones
+	// for the same shape, measured by alert count.
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		clean, faulted := tbl.Rows[i], tbl.Rows[i+1]
+		if clean[6] > faulted[6] && len(clean[6]) >= len(faulted[6]) {
+			t.Errorf("faults reduced alerts: clean %v vs faulted %v", clean, faulted)
+		}
+	}
+	// Deterministic: the same seed replays the identical table.
+	again, err := SLOBurn(Config{Seed: 1, Coarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl, again) {
+		t.Error("sloburn table did not replay identically")
+	}
+}

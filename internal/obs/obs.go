@@ -1,0 +1,139 @@
+// Package obs is the SLO observability plane (DESIGN.md §15): a
+// deterministic, windowed view of "how close is each job to violating
+// its QoS target, and is it getting worse" layered on the raw
+// internal/telemetry streams.
+//
+// Three pieces:
+//
+//   - Store: a ring-buffered, simulated-time-bucketed time-series
+//     store. It subscribes to a Tracer via Tracer.SetTap (per-job
+//     violation and observation-window events), takes per-cell rollup
+//     samples from the fleet's epoch barrier (ObserveCells), and can
+//     bind a metrics Registry for latency/cache/BO rollups. Memory is
+//     allocation-bounded: every subject owns one fixed ring of
+//     Options.Buckets buckets and the ledger grows one small record
+//     per epoch.
+//
+//   - SLO engine: every subject carries an SLO{Target, Window,
+//     Budget}. The store computes error-budget consumption and
+//     multi-window burn rates (a fast window paired with the full SLO
+//     window, the classic 5m/1h shape scaled to simulated time) and
+//     emits typed SLOBurnAlert / BudgetExhausted telemetry events.
+//     Alerts fire at deterministic simulated times in deterministic
+//     order, so the alert stream is byte-identical under a fixed seed
+//     across fleet shard counts and cluster screen workers.
+//
+//   - Query: an indexed span model over recorded or tailed JSONL
+//     traces answering structural questions — per-placement critical
+//     paths, violation timelines, fault-to-recovery spans — surfaced
+//     by cmd/tsq.
+//
+// Determinism contract. The store derives everything from simulated
+// time and the tap's stream order, never wall clock. Because the
+// tracer tap sees events in final (merged) stream order, and the
+// fleet feeds ObserveCells at the sequential epoch barrier in cell
+// order, every store output — statuses, the epoch ledger, the alert
+// stream, the formatted /slo and /cells text — is a pure function of
+// the event stream and is therefore byte-identical whenever the
+// trace is.
+package obs
+
+// SLO is one subject's service-level objective: hold the job's p95 at
+// or under Target while spending at most a Budget fraction of
+// observation windows in violation, assessed over a sliding Window of
+// simulated seconds.
+type SLO struct {
+	// Target is the p95 latency objective in seconds. Informational
+	// for the burn math (the server already classifies each window
+	// against the job's QoS target); surfaced in statuses.
+	Target float64
+	// Window is the sliding assessment window in simulated seconds.
+	// Defaults to 60.
+	Window float64
+	// Budget is the allowed bad fraction of units inside Window — the
+	// error budget. Defaults to 0.1 (10% of windows may violate).
+	Budget float64
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (s SLO) withDefaults() SLO {
+	if s.Window <= 0 {
+		s.Window = 60
+	}
+	if s.Budget <= 0 {
+		s.Budget = 0.1
+	}
+	return s
+}
+
+// Options configures a Store. The zero value is usable: every field
+// defaults as documented.
+type Options struct {
+	// BucketSeconds is the ring bucket width in simulated seconds.
+	// Defaults to 1.
+	BucketSeconds float64
+	// Buckets is the ring capacity per subject — the longest lookback,
+	// in buckets, any SLO window may use. Defaults to 256.
+	Buckets int
+	// SLO is the default objective applied to subjects registered
+	// without their own (cells, the fleet aggregate, the machine-wide
+	// window stream).
+	SLO SLO
+	// BurnThreshold is the burn rate at or above which — in both the
+	// fast and the slow window — a subject alerts. Burn rate 1 spends
+	// the budget exactly at the window's end, so the default of 2
+	// alerts when the budget would be gone in half the window.
+	BurnThreshold float64
+	// FastFraction is the fast window's size as a fraction of the SLO
+	// window. Defaults to 1/12 — the 5m/1h pairing scaled to
+	// simulated time.
+	FastFraction float64
+	// MinSlowUnits is the minimum number of units the slow window must
+	// hold before a subject may alert, suppressing the startup regime
+	// where one bad unit out of two reads as a catastrophic burn rate.
+	// Defaults to 5.
+	MinSlowUnits int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BucketSeconds <= 0 {
+		o.BucketSeconds = 1
+	}
+	if o.Buckets <= 0 {
+		o.Buckets = 256
+	}
+	o.SLO = o.SLO.withDefaults()
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 2
+	}
+	if o.FastFraction <= 0 || o.FastFraction > 1 {
+		o.FastFraction = 1.0 / 12
+	}
+	if o.MinSlowUnits <= 0 {
+		o.MinSlowUnits = 5
+	}
+	return o
+}
+
+// CellSample is one cell's rollup delta for one fleet epoch, fed to
+// Store.ObserveCells at the sequential epoch barrier. Counts are
+// per-epoch deltas, not lifetime totals.
+type CellSample struct {
+	Cell         int
+	Placed       int // placements committed this epoch
+	Violations   int // placements whose screening verdict was not QoS-clean
+	Rejected     int // arrivals rejected by this cell
+	CacheHits    int // profile-cache hits (full + near)
+	CacheLookups int // profile-cache lookups
+	BOIterations int // optimizer iterations spent
+	Screens      int // screening runs executed
+}
+
+// Violation is one entry of a job's violation timeline (Query) — a
+// window in which the job's measured p95 exceeded its target.
+type Violation struct {
+	At     float64
+	Job    int
+	P95    float64
+	Target float64
+}

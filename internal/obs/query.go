@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"clite/internal/telemetry"
+)
+
+// Span is one matched span-begin/span-end pair in a loaded trace,
+// indexed into the nesting tree the step ordering implies: a span
+// begun while another is open is its child (merged streams append
+// whole cell timelines sequentially, so spans nest or are disjoint,
+// never interleaved).
+type Span struct {
+	ID        int64
+	Name      string
+	Node      int
+	BeginStep int64
+	EndStep   int64 // 0 while still open
+	N         int   // work units from the end event
+	OK        bool
+	Parent    int // index into Spans(); -1 for roots
+	Depth     int
+}
+
+// Steps is the span's step extent — the trace-structural analogue of
+// duration (the tracer records order, not wall time). Open spans
+// extend to the given horizon.
+func (s Span) Steps(horizon int64) int64 {
+	end := s.EndStep
+	if end == 0 {
+		end = horizon
+	}
+	return end - s.BeginStep
+}
+
+// FaultRecovery is one fault-to-recovery interval: a fault-injected
+// event paired with the first all-QoS-met observation window after
+// it, with the resilience actions and bad windows counted in between.
+// RecoveredAt is -1 when the trace ends before recovery.
+type FaultRecovery struct {
+	Kind        string
+	FaultAt     float64
+	RecoveredAt float64
+	BadWindows  int
+	Actions     int
+}
+
+// PlacementPath is one placement span with the pipeline-phase events
+// that fired inside it, in order — the per-placement critical path
+// through the admission pipeline.
+type PlacementPath struct {
+	Span   Span
+	Phases []telemetry.Event
+}
+
+// Query is the indexed span model over a recorded or tailed trace.
+// Load a whole stream with Load, or feed events incrementally with
+// Append (tail mode); queries may be run at any point.
+type Query struct {
+	events []telemetry.Event
+	spans  []Span
+	open   []int // indexes of currently-open spans, innermost last
+}
+
+// NewQuery returns an empty query engine.
+func NewQuery() *Query { return &Query{} }
+
+// Load reads a JSONL event stream (telemetry.WriteJSONL's encoding)
+// into a fresh query engine. Blank lines are skipped; a malformed
+// line fails the load.
+func Load(r io.Reader) (*Query, error) {
+	q := NewQuery()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev telemetry.Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		q.Append(ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read trace: %w", err)
+	}
+	return q, nil
+}
+
+// Append feeds one event, maintaining the span index — the tail-mode
+// entry point.
+func (q *Query) Append(ev telemetry.Event) {
+	q.events = append(q.events, ev)
+	switch ev.Kind {
+	case telemetry.KindSpanBegin:
+		parent := -1
+		if len(q.open) > 0 {
+			parent = q.open[len(q.open)-1]
+		}
+		q.spans = append(q.spans, Span{
+			ID: ev.Span, Name: ev.Name, Node: ev.Node,
+			BeginStep: ev.Step,
+			Parent:    parent, Depth: len(q.open),
+		})
+		q.open = append(q.open, len(q.spans)-1)
+	case telemetry.KindSpanEnd:
+		// Usually the innermost open span; scan outward to tolerate
+		// streams stitched from multiple tracers.
+		for i := len(q.open) - 1; i >= 0; i-- {
+			sp := &q.spans[q.open[i]]
+			if sp.ID != ev.Span {
+				continue
+			}
+			sp.EndStep = ev.Step
+			sp.N = ev.N
+			sp.OK = ev.OK
+			q.open = append(q.open[:i], q.open[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len returns the number of loaded events.
+func (q *Query) Len() int { return len(q.events) }
+
+// Events returns the loaded events (shared slice; do not mutate).
+func (q *Query) Events() []telemetry.Event { return q.events }
+
+// KindCount is one entry of the per-kind event tally.
+type KindCount struct {
+	Kind  string
+	Count int
+}
+
+// Kinds returns per-kind event counts, sorted by kind name.
+func (q *Query) Kinds() []KindCount {
+	counts := telemetry.CountKinds(q.events)
+	out := make([]KindCount, 0, len(counts))
+	for _, k := range telemetry.Kinds(q.events) {
+		out = append(out, KindCount{Kind: k, Count: counts[k]})
+	}
+	return out
+}
+
+// Spans returns the span index (shared slice; do not mutate).
+func (q *Query) Spans() []Span { return q.spans }
+
+// Horizon is the last step seen, used to extend open spans.
+func (q *Query) Horizon() int64 {
+	if len(q.events) == 0 {
+		return 0
+	}
+	return q.events[len(q.events)-1].Step
+}
+
+// Violations returns the violation timeline for one job (or every
+// job with job = -1), in stream order.
+func (q *Query) Violations(job int) []Violation {
+	var out []Violation
+	for _, ev := range q.events {
+		if ev.Kind != telemetry.KindQoSViolation {
+			continue
+		}
+		if job >= 0 && ev.Job != job {
+			continue
+		}
+		out = append(out, Violation{At: ev.At, Job: ev.Job, P95: ev.Value, Target: ev.Aux})
+	}
+	return out
+}
+
+// CriticalPath returns the root-to-leaf span chain with the largest
+// step extent at every level — the longest structural path through
+// the trace. Ties break toward the earlier span, so the result is
+// deterministic. Empty when the trace has no spans.
+func (q *Query) CriticalPath() []Span {
+	if len(q.spans) == 0 {
+		return nil
+	}
+	h := q.Horizon()
+	children := make([][]int, len(q.spans))
+	var roots []int
+	for i, sp := range q.spans {
+		if sp.Parent < 0 {
+			roots = append(roots, i)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		}
+	}
+	widest := func(idxs []int) int {
+		best, bestSteps := -1, int64(-1)
+		for _, i := range idxs {
+			if st := q.spans[i].Steps(h); st > bestSteps {
+				best, bestSteps = i, st
+			}
+		}
+		return best
+	}
+	var path []Span
+	for at := widest(roots); at >= 0; at = widest(children[at]) {
+		path = append(path, q.spans[at])
+	}
+	return path
+}
+
+// PlacementPaths returns, for every span named name (the cluster
+// pipeline uses "place"), the pipeline-phase events that fired inside
+// its step interval — the per-placement path through admission.
+func (q *Query) PlacementPaths(name string) []PlacementPath {
+	h := q.Horizon()
+	var out []PlacementPath
+	for _, sp := range q.spans {
+		if sp.Name != name {
+			continue
+		}
+		end := sp.EndStep
+		if end == 0 {
+			end = h
+		}
+		p := PlacementPath{Span: sp}
+		// Phase events sit between the span's begin and end steps;
+		// binary-search the first candidate since events are
+		// step-ordered.
+		lo := sort.Search(len(q.events), func(i int) bool { return q.events[i].Step > sp.BeginStep })
+		for i := lo; i < len(q.events) && q.events[i].Step < end; i++ {
+			if q.events[i].Kind == telemetry.KindPlacementPhase {
+				p.Phases = append(p.Phases, q.events[i])
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FaultRecoveries pairs each fault-injected event with the first
+// all-QoS-met observation window after it. Overlapping faults each
+// get their own record; a clean window closes all of them. Bad
+// windows and resilience actions between fault and recovery are
+// counted per record.
+func (q *Query) FaultRecoveries() []FaultRecovery {
+	var out []FaultRecovery
+	var open []int // indexes into out
+	for _, ev := range q.events {
+		switch ev.Kind {
+		case telemetry.KindFaultInjected:
+			out = append(out, FaultRecovery{Kind: ev.Name, FaultAt: ev.At, RecoveredAt: -1})
+			open = append(open, len(out)-1)
+		case telemetry.KindResilienceAction:
+			for _, i := range open {
+				out[i].Actions++
+			}
+		case telemetry.KindObservationWindow:
+			if ev.OK {
+				for _, i := range open {
+					out[i].RecoveredAt = ev.At
+				}
+				open = open[:0]
+			} else {
+				for _, i := range open {
+					out[i].BadWindows++
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clite/internal/telemetry"
+)
+
+// buildTrace records a small placement run: an outer place span
+// holding two phases and a nested screen span, a violation, and a
+// fault that recovers two windows later.
+func buildTrace() *telemetry.Tracer {
+	tr := telemetry.NewTracer()
+	place := tr.Begin("place", 0)
+	tr.Emit(telemetry.PlacementPhase("prefilter", 0, 1, true))
+	screen := tr.Begin("screen", 0)
+	tr.Emit(telemetry.BOIteration(0, 0.4, 0.2, 1))
+	tr.Emit(telemetry.BOIteration(1, 0.1, 0.6, 2))
+	tr.End("screen", 0, screen, 2, true)
+	tr.Emit(telemetry.PlacementPhase("commit", 0, 1, true))
+	tr.End("place", 0, place, 1, true)
+
+	tr.Emit(telemetry.FaultInjected(3.0, "transient"))
+	tr.Emit(telemetry.QoSViolation(3.5, 1, 0.0052, 0.0040))
+	tr.Emit(telemetry.ObservationWindow(3.5, 1, false))
+	tr.Emit(telemetry.ResilienceAction("retry", 1))
+	tr.Emit(telemetry.ObservationWindow(4.5, 0, true))
+	return tr
+}
+
+func loadTrace(t *testing.T, tr *telemetry.Tracer) *Query {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestLoadRoundTripAndSpans(t *testing.T) {
+	tr := buildTrace()
+	q := loadTrace(t, tr)
+	if q.Len() != tr.Len() {
+		t.Fatalf("loaded %d events, tracer has %d", q.Len(), tr.Len())
+	}
+	spans := q.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "place" || spans[0].Parent != -1 || spans[0].Depth != 0 {
+		t.Errorf("outer span: %+v", spans[0])
+	}
+	if spans[1].Name != "screen" || spans[1].Parent != 0 || spans[1].Depth != 1 {
+		t.Errorf("nested span: %+v", spans[1])
+	}
+	if spans[1].EndStep == 0 || spans[1].N != 2 || !spans[1].OK {
+		t.Errorf("screen end fields: %+v", spans[1])
+	}
+	if spans[0].Steps(q.Horizon()) <= spans[1].Steps(q.Horizon()) {
+		t.Errorf("outer span not wider: %d vs %d",
+			spans[0].Steps(q.Horizon()), spans[1].Steps(q.Horizon()))
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	q := loadTrace(t, buildTrace())
+	path := q.CriticalPath()
+	if len(path) != 2 || path[0].Name != "place" || path[1].Name != "screen" {
+		names := make([]string, len(path))
+		for i, sp := range path {
+			names[i] = sp.Name
+		}
+		t.Errorf("critical path = %v, want [place screen]", names)
+	}
+}
+
+func TestOpenSpanExtendsToHorizon(t *testing.T) {
+	tr := telemetry.NewTracer()
+	tr.Begin("place", 1)
+	tr.Emit(telemetry.BOIteration(0, 0.5, 0.1, 1))
+	q := loadTrace(t, tr)
+	sp := q.Spans()[0]
+	if sp.EndStep != 0 {
+		t.Fatalf("span closed unexpectedly: %+v", sp)
+	}
+	if got := sp.Steps(q.Horizon()); got != 1 {
+		t.Errorf("open span steps = %d, want 1", got)
+	}
+}
+
+func TestViolationsTimeline(t *testing.T) {
+	q := loadTrace(t, buildTrace())
+	all := q.Violations(-1)
+	if len(all) != 1 {
+		t.Fatalf("violations = %d, want 1", len(all))
+	}
+	v := all[0]
+	if v.Job != 1 || v.At != 3.5 || v.P95 != 0.0052 || v.Target != 0.0040 {
+		t.Errorf("violation = %+v", v)
+	}
+	if got := q.Violations(0); len(got) != 0 {
+		t.Errorf("job filter leaked: %v", got)
+	}
+	if got := q.Violations(1); len(got) != 1 {
+		t.Errorf("job filter dropped: %v", got)
+	}
+}
+
+func TestPlacementPaths(t *testing.T) {
+	q := loadTrace(t, buildTrace())
+	paths := q.PlacementPaths("place")
+	if len(paths) != 1 {
+		t.Fatalf("paths = %d, want 1", len(paths))
+	}
+	var names []string
+	for _, ph := range paths[0].Phases {
+		names = append(names, ph.Name)
+	}
+	if len(names) != 2 || names[0] != "prefilter" || names[1] != "commit" {
+		t.Errorf("phases = %v, want [prefilter commit]", names)
+	}
+}
+
+func TestFaultRecoveries(t *testing.T) {
+	q := loadTrace(t, buildTrace())
+	frs := q.FaultRecoveries()
+	if len(frs) != 1 {
+		t.Fatalf("recoveries = %d, want 1", len(frs))
+	}
+	fr := frs[0]
+	if fr.Kind != "transient" || fr.FaultAt != 3.0 {
+		t.Errorf("fault fields: %+v", fr)
+	}
+	if fr.RecoveredAt != 4.5 || fr.BadWindows != 1 || fr.Actions != 1 {
+		t.Errorf("recovery fields: %+v", fr)
+	}
+}
+
+func TestFaultUnrecovered(t *testing.T) {
+	tr := telemetry.NewTracer()
+	tr.Emit(telemetry.FaultInjected(1.0, "node-failure"))
+	tr.Emit(telemetry.ObservationWindow(2.0, 1, false))
+	q := loadTrace(t, tr)
+	frs := q.FaultRecoveries()
+	if len(frs) != 1 || frs[0].RecoveredAt != -1 || frs[0].BadWindows != 1 {
+		t.Errorf("unrecovered fault: %+v", frs)
+	}
+}
+
+func TestKindsSorted(t *testing.T) {
+	q := loadTrace(t, buildTrace())
+	kinds := q.Kinds()
+	if len(kinds) == 0 {
+		t.Fatal("no kinds")
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1].Kind >= kinds[i].Kind {
+			t.Errorf("kinds unsorted: %v", kinds)
+		}
+	}
+	total := 0
+	for _, kc := range kinds {
+		total += kc.Count
+	}
+	if total != q.Len() {
+		t.Errorf("kind counts total %d, events %d", total, q.Len())
+	}
+}
+
+func TestLoadRejectsMalformedLine(t *testing.T) {
+	_, err := Load(strings.NewReader("{\"kind\":\"bo-iteration\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line-2 parse failure", err)
+	}
+}
+
+// Append must keep queries usable mid-stream — the tsq -follow path.
+func TestAppendIncremental(t *testing.T) {
+	q := NewQuery()
+	q.Append(telemetry.Event{Kind: telemetry.KindSpanBegin, Name: "place", Span: 1, Step: 1, Node: 0})
+	if len(q.Spans()) != 1 || q.Spans()[0].EndStep != 0 {
+		t.Fatalf("open span not indexed: %+v", q.Spans())
+	}
+	q.Append(telemetry.Event{Kind: telemetry.KindSpanEnd, Name: "place", Span: 1, Step: 5, N: 1, OK: true, Node: 0})
+	if sp := q.Spans()[0]; sp.EndStep != 5 || !sp.OK {
+		t.Errorf("span not closed: %+v", sp)
+	}
+}

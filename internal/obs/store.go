@@ -1,0 +1,718 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"clite/internal/telemetry"
+)
+
+// bucket is one ring slot: the unit ("good window") and violation
+// counts observed during one BucketSeconds-wide slice of simulated
+// time. idx is the absolute bucket index (at / BucketSeconds); a slot
+// whose idx does not match the index being read is stale and counts
+// as empty, which is what lets one fixed ring serve an unbounded
+// timeline without ever reallocating.
+type bucket struct {
+	idx  int64
+	good int64
+	bad  int64
+}
+
+// series is one SLO subject's state: its ring of buckets, lifetime
+// totals, and the burn-alert machine.
+type series struct {
+	kind string // "job", "cell", "fleet", "windows"
+	id   int    // job or cell index; -1 for aggregates
+	name string // display label ("job:memcached", "cell:3", ...)
+	slo  SLO
+
+	ring  []bucket
+	width float64 // bucket seconds
+
+	units  int64 // lifetime good+bad
+	bad    int64 // lifetime bad
+	lastAt float64
+	maxIdx int64 // newest absolute bucket index written
+
+	// Per-cell rollup accumulators (fed by ObserveCells).
+	placed, rejected        int64
+	cacheHits, cacheLookups int64
+	boIterations, screens   int64
+
+	// Job-only: last violating p95 seen (0 until the first violation).
+	lastP95 float64
+
+	// Burn-alert machine.
+	alerts      int
+	lastAlertAt float64
+	burnActive  bool
+	exhausted   bool
+	firstBadAt  float64 // start of the current bad episode; -1 when clean
+	ttaSum      float64 // Σ (alert time − episode start), for mean time-to-alert
+	ttaN        int
+
+	// Last evaluation, surfaced in statuses.
+	burnFast, burnSlow, consumed float64
+}
+
+func newSeries(kind string, id int, name string, slo SLO, opts Options) *series {
+	return &series{
+		kind: kind, id: id, name: name,
+		slo:        slo.withDefaults(),
+		ring:       make([]bucket, opts.Buckets),
+		width:      opts.BucketSeconds,
+		maxIdx:     -1,
+		firstBadAt: -1,
+	}
+}
+
+// add credits good and bad units to the bucket containing simulated
+// time at. Times are clamped monotone: merged traces interleave
+// trial-machine clocks that restart at zero (cluster screening), so a
+// backwards at is pulled up to the newest time seen, keeping the ring
+// append-only and the stream's effect deterministic.
+func (s *series) add(at float64, good, bad int64) float64 {
+	if at < s.lastAt {
+		at = s.lastAt
+	}
+	s.lastAt = at
+	ib := int64(at / s.width)
+	if ib < s.maxIdx {
+		ib = s.maxIdx
+	}
+	s.maxIdx = ib
+	slot := &s.ring[int(ib%int64(len(s.ring)))]
+	if slot.idx != ib {
+		*slot = bucket{idx: ib}
+	}
+	slot.good += good
+	slot.bad += bad
+	s.units += good + bad
+	s.bad += bad
+	if bad > 0 && s.firstBadAt < 0 {
+		s.firstBadAt = at
+	}
+	return at
+}
+
+// window sums units and violations over the w simulated seconds
+// ending at the newest bucket. It walks only the buckets the window
+// spans, not the whole ring.
+func (s *series) window(w float64) (units, bad int64) {
+	if s.maxIdx < 0 {
+		return 0, 0
+	}
+	n := int64(w / s.width)
+	if n < 1 {
+		n = 1
+	}
+	if n > int64(len(s.ring)) {
+		n = int64(len(s.ring))
+	}
+	for i := s.maxIdx - n + 1; i <= s.maxIdx; i++ {
+		if i < 0 {
+			continue
+		}
+		b := s.ring[int(i%int64(len(s.ring)))]
+		if b.idx != i {
+			continue
+		}
+		units += b.good + b.bad
+		bad += b.bad
+	}
+	return units, bad
+}
+
+// evaluate recomputes the burn rates at simulated time at and runs
+// the alert machine, returning any alert events to record. A subject
+// alerts when both the fast and the slow window burn at or above
+// BurnThreshold (and the slow window holds at least MinSlowUnits
+// units); it re-arms when the fast window cools below the threshold,
+// the standard hysteresis so a sustained burn yields one alert, not
+// one per window.
+func (s *series) evaluate(at float64, opts Options) []telemetry.Event {
+	uFast, bFast := s.window(s.slo.Window * opts.FastFraction)
+	uSlow, bSlow := s.window(s.slo.Window)
+	s.burnFast = burnRate(bFast, uFast, s.slo.Budget)
+	s.burnSlow = burnRate(bSlow, uSlow, s.slo.Budget)
+	s.consumed = 0
+	if uSlow > 0 {
+		s.consumed = float64(bSlow) / (s.slo.Budget * float64(uSlow))
+	}
+
+	var evs []telemetry.Event
+	hot := uSlow >= int64(opts.MinSlowUnits) &&
+		s.burnFast >= opts.BurnThreshold && s.burnSlow >= opts.BurnThreshold
+	if hot {
+		if !s.burnActive {
+			s.burnActive = true
+			s.alerts++
+			s.lastAlertAt = at
+			if s.firstBadAt >= 0 {
+				s.ttaSum += at - s.firstBadAt
+				s.ttaN++
+			}
+			evs = append(evs, telemetry.SLOBurnAlert(at, s.name, s.id, s.burnFast, s.burnSlow))
+		}
+	} else if s.burnFast < opts.BurnThreshold {
+		s.burnActive = false
+		s.firstBadAt = -1
+	}
+	if s.consumed >= 1 {
+		if !s.exhausted {
+			s.exhausted = true
+			evs = append(evs, telemetry.BudgetExhausted(at, s.name, s.id, s.consumed))
+		}
+	} else {
+		s.exhausted = false
+	}
+	return evs
+}
+
+// burnRate is badFraction ÷ budget: 1 spends the budget exactly at
+// the window's end, >1 spends it early. Zero units burn nothing.
+func burnRate(bad, units int64, budget float64) float64 {
+	if units == 0 {
+		return 0
+	}
+	return float64(bad) / float64(units) / budget
+}
+
+// EpochRecord is one line of the fleet SLO ledger, appended per
+// ObserveCells call carrying a non-negative epoch.
+type EpochRecord struct {
+	Epoch          int
+	At             float64
+	Placed         int
+	Violations     int
+	Rejected       int
+	BurnFast       float64 // fleet-aggregate fast-window burn after this epoch
+	BurnSlow       float64
+	BudgetConsumed float64
+	Alerts         int // alerts fired (all subjects) at this barrier
+}
+
+// Store is the windowed time-series store at the center of the
+// observability plane. Feed it through Sink (hang it on a tracer with
+// SetTap), ObserveCells (fleet epoch barrier), and BindRegistry
+// (metrics rollups); read it through the status accessors, the epoch
+// ledger, the alert stream, and the Format* text renderers.
+//
+// The store locks itself; Sink runs under the tracer's lock and never
+// calls back into the tracer (alerts are recorded internally), so the
+// only lock order is tracer → store.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+
+	jobs     map[int]*series
+	jobOrder []int // registration order, the deterministic iteration order
+	cells    []*series
+	fleet    *series
+	windows  *series // machine-wide observation-window stream
+
+	pendingBad map[int]bool // jobs that violated in the window being measured
+
+	alerts     []telemetry.Event
+	ledger     []EpochRecord
+	epochs     int
+	lastAt     float64
+	reg        *telemetry.Registry
+	lastAlerts int // alerts emitted during the current ObserveCells call
+}
+
+// NewStore returns an empty store with opts' defaults applied.
+func NewStore(opts Options) *Store {
+	o := opts.withDefaults()
+	return &Store{
+		opts:       o,
+		jobs:       make(map[int]*series),
+		pendingBad: make(map[int]bool),
+		fleet:      newSeries("fleet", -1, "fleet", o.SLO, o),
+		windows:    newSeries("windows", -1, "windows", o.SLO, o),
+	}
+}
+
+// BindRegistry attaches a metrics registry for snapshot-derived
+// rollups (p95 latency via interpolated histogram quantiles, cache
+// hit rate, BO iterations per placement). Optional; nil detaches.
+func (s *Store) BindRegistry(reg *telemetry.Registry) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.reg = reg
+	s.mu.Unlock()
+}
+
+// RegisterJob declares an LC job as an SLO subject. Job registration
+// is for single-machine streams, where QoSViolation/ObservationWindow
+// events carry this machine's job indices; cluster and fleet streams
+// interleave trial-machine indices and should use ObserveCells
+// instead. Zero SLO fields default (Window 60s, Budget 0.1).
+func (s *Store) RegisterJob(job int, name string, slo SLO) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[job]; ok {
+		s.jobs[job].slo = slo.withDefaults()
+		if name != "" {
+			s.jobs[job].name = "job:" + name
+		}
+		return
+	}
+	label := fmt.Sprintf("job:%d", job)
+	if name != "" {
+		label = "job:" + name
+	}
+	s.jobs[job] = newSeries("job", job, label, slo, s.opts)
+	s.jobOrder = append(s.jobOrder, job)
+}
+
+// RegisterCells declares n cells (indices 0..n-1) as SLO subjects
+// with the default SLO. ObserveCells auto-grows past n, so this only
+// fixes the initial shape.
+func (s *Store) RegisterCells(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.growCells(n)
+	s.mu.Unlock()
+}
+
+func (s *Store) growCells(n int) {
+	for len(s.cells) < n {
+		i := len(s.cells)
+		s.cells = append(s.cells, newSeries("cell", i, fmt.Sprintf("cell:%d", i), s.opts.SLO, s.opts))
+	}
+}
+
+// Sink returns the event-ingestion function to hang on a tracer via
+// SetTap. It reacts to per-job QoS violations and observation
+// windows; every other kind passes through untouched. The server
+// emits a window's QoSViolation events before the ObservationWindow
+// event itself, so the sink buffers pending violations and settles
+// them — one unit per registered job, bad if pending — when the
+// window event arrives.
+func (s *Store) Sink() func(telemetry.Event) {
+	if s == nil {
+		return func(telemetry.Event) {}
+	}
+	return s.observe
+}
+
+func (s *Store) observe(ev telemetry.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev.Kind {
+	case telemetry.KindQoSViolation:
+		if js := s.jobs[ev.Job]; js != nil {
+			s.pendingBad[ev.Job] = true
+			js.lastP95 = ev.Value
+		}
+	case telemetry.KindObservationWindow:
+		for _, id := range s.jobOrder {
+			js := s.jobs[id]
+			var good, bad int64 = 1, 0
+			if s.pendingBad[id] {
+				good, bad = 0, 1
+				delete(s.pendingBad, id)
+			}
+			at := js.add(ev.At, good, bad)
+			s.record(js.evaluate(at, s.opts))
+		}
+		var good, bad int64 = 1, 0
+		if !ev.OK {
+			good, bad = 0, 1
+		}
+		at := s.windows.add(ev.At, good, bad)
+		s.record(s.windows.evaluate(at, s.opts))
+		if at > s.lastAt {
+			s.lastAt = at
+		}
+	}
+}
+
+// ObserveCells ingests one epoch's per-cell rollup deltas at the
+// fleet's sequential barrier (or a daemon's per-placement feed with
+// epoch -1, which skips the ledger). Samples must arrive in a
+// deterministic order; the fleet feeds them in cell order.
+func (s *Store) ObserveCells(at float64, epoch int, samples []CellSample) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastAlerts = 0
+	var placed, violations, rejected int64
+	for _, cs := range samples {
+		s.growCells(cs.Cell + 1)
+		c := s.cells[cs.Cell]
+		c.placed += int64(cs.Placed)
+		c.rejected += int64(cs.Rejected)
+		c.cacheHits += int64(cs.CacheHits)
+		c.cacheLookups += int64(cs.CacheLookups)
+		c.boIterations += int64(cs.BOIterations)
+		c.screens += int64(cs.Screens)
+		good := int64(cs.Placed - cs.Violations)
+		if good < 0 {
+			good = 0
+		}
+		cat := c.add(at, good, int64(cs.Violations))
+		s.record(c.evaluate(cat, s.opts))
+		placed += int64(cs.Placed)
+		violations += int64(cs.Violations)
+		rejected += int64(cs.Rejected)
+	}
+	s.fleet.placed += placed
+	s.fleet.rejected += rejected
+	good := placed - violations
+	if good < 0 {
+		good = 0
+	}
+	fat := s.fleet.add(at, good, violations)
+	s.record(s.fleet.evaluate(fat, s.opts))
+	if fat > s.lastAt {
+		s.lastAt = fat
+	}
+	if epoch >= 0 {
+		s.epochs++
+		s.ledger = append(s.ledger, EpochRecord{
+			Epoch: epoch, At: at,
+			Placed: int(placed), Violations: int(violations), Rejected: int(rejected),
+			BurnFast: s.fleet.burnFast, BurnSlow: s.fleet.burnSlow,
+			BudgetConsumed: s.fleet.consumed,
+			Alerts:         s.lastAlerts,
+		})
+	}
+}
+
+// record appends alert events to the store's alert stream, stamping
+// their Step with the stream's own sequence.
+func (s *Store) record(evs []telemetry.Event) {
+	for _, ev := range evs {
+		ev.Step = int64(len(s.alerts)) + 1
+		s.alerts = append(s.alerts, ev)
+		s.lastAlerts++
+	}
+}
+
+// JobStatus is one registered job's SLO standing.
+type JobStatus struct {
+	Job             int
+	Name            string
+	SLO             SLO
+	Windows         int64 // lifetime units
+	Violations      int64
+	ViolationRate   float64
+	LastP95         float64 // last violating p95 (0: never violated)
+	Headroom        float64 // Target − LastP95 (Target when never violated)
+	BurnFast        float64
+	BurnSlow        float64
+	BudgetConsumed  float64
+	Alerts          int
+	LastAlertAt     float64
+	MeanTimeToAlert float64 // mean simulated seconds from episode start to alert
+}
+
+// CellStatus is one cell's rollup and SLO standing.
+type CellStatus struct {
+	Cell                int
+	Placed              int64
+	Rejected            int64
+	Violations          int64
+	ViolationRate       float64
+	CacheHitRate        float64
+	BOItersPerPlacement float64
+	Screens             int64
+	BurnFast            float64
+	BurnSlow            float64
+	BudgetConsumed      float64
+	Alerts              int
+}
+
+// FleetStatus is the fleet-aggregate standing.
+type FleetStatus struct {
+	Epochs          int
+	Placed          int64
+	Rejected        int64
+	Violations      int64
+	ViolationRate   float64
+	BurnFast        float64
+	BurnSlow        float64
+	BudgetConsumed  float64
+	Alerts          int
+	LastAlertAt     float64
+	MeanTimeToAlert float64
+}
+
+func rate(bad, units int64) float64 {
+	if units == 0 {
+		return 0
+	}
+	return float64(bad) / float64(units)
+}
+
+// JobStatuses returns registered jobs' standings in registration
+// order.
+func (s *Store) JobStatuses() []JobStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobOrder))
+	for _, id := range s.jobOrder {
+		js := s.jobs[id]
+		st := JobStatus{
+			Job: id, Name: strings.TrimPrefix(js.name, "job:"), SLO: js.slo,
+			Windows: js.units, Violations: js.bad, ViolationRate: rate(js.bad, js.units),
+			LastP95: js.lastP95, Headroom: js.slo.Target,
+			BurnFast: js.burnFast, BurnSlow: js.burnSlow, BudgetConsumed: js.consumed,
+			Alerts: js.alerts, LastAlertAt: js.lastAlertAt,
+		}
+		if js.lastP95 > 0 {
+			st.Headroom = js.slo.Target - js.lastP95
+		}
+		if js.ttaN > 0 {
+			st.MeanTimeToAlert = js.ttaSum / float64(js.ttaN)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// CellStatuses returns cell standings in cell order.
+func (s *Store) CellStatuses() []CellStatus {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CellStatus, 0, len(s.cells))
+	for _, c := range s.cells {
+		st := CellStatus{
+			Cell: c.id, Placed: c.placed, Rejected: c.rejected,
+			Violations: c.bad, ViolationRate: rate(c.bad, c.units),
+			CacheHitRate: rate(c.cacheHits, c.cacheLookups),
+			Screens:      c.screens,
+			BurnFast:     c.burnFast, BurnSlow: c.burnSlow, BudgetConsumed: c.consumed,
+			Alerts: c.alerts,
+		}
+		if c.placed > 0 {
+			st.BOItersPerPlacement = float64(c.boIterations) / float64(c.placed)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// FleetStatus returns the fleet-aggregate standing.
+func (s *Store) FleetStatus() FleetStatus {
+	if s == nil {
+		return FleetStatus{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.fleet
+	st := FleetStatus{
+		Epochs: s.epochs, Placed: f.placed, Rejected: f.rejected,
+		Violations: f.bad, ViolationRate: rate(f.bad, f.units),
+		BurnFast: f.burnFast, BurnSlow: f.burnSlow, BudgetConsumed: f.consumed,
+		Alerts: f.alerts, LastAlertAt: f.lastAlertAt,
+	}
+	if f.ttaN > 0 {
+		st.MeanTimeToAlert = f.ttaSum / float64(f.ttaN)
+	}
+	return st
+}
+
+// WindowsStatus returns the machine-wide observation-window subject's
+// standing as a JobStatus with Job = -1.
+func (s *Store) WindowsStatus() JobStatus {
+	if s == nil {
+		return JobStatus{Job: -1}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.windows
+	st := JobStatus{
+		Job: -1, Name: "windows", SLO: w.slo,
+		Windows: w.units, Violations: w.bad, ViolationRate: rate(w.bad, w.units),
+		BurnFast: w.burnFast, BurnSlow: w.burnSlow, BudgetConsumed: w.consumed,
+		Alerts: w.alerts, LastAlertAt: w.lastAlertAt,
+	}
+	if w.ttaN > 0 {
+		st.MeanTimeToAlert = w.ttaSum / float64(w.ttaN)
+	}
+	return st
+}
+
+// Ledger returns a copy of the per-epoch SLO ledger.
+func (s *Store) Ledger() []EpochRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]EpochRecord(nil), s.ledger...)
+}
+
+// Alerts returns a copy of the typed alert stream (SLOBurnAlert and
+// BudgetExhausted events) in emission order.
+func (s *Store) Alerts() []telemetry.Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]telemetry.Event(nil), s.alerts...)
+}
+
+// AlertCount returns the number of alert events without copying.
+func (s *Store) AlertCount() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.alerts)
+}
+
+// WriteAlertsJSONL writes the alert stream as one JSON event per
+// line — the same encoding as telemetry.WriteJSONL, so tsq can load
+// it.
+func (s *Store) WriteAlertsJSONL(w io.Writer) error {
+	for _, ev := range s.Alerts() {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("obs: encode alert: %w", err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("obs: write alert: %w", err)
+		}
+	}
+	return nil
+}
+
+// RegistryRollup is the metrics-snapshot-derived view: what the bound
+// registry says about latency, caching, and optimizer effort. Fields
+// are zero when the registry lacks the metric.
+type RegistryRollup struct {
+	P95                 float64 // server_p95_seconds 95th percentile, interpolated
+	Windows             int64   // server_windows_total
+	Violations          int64   // server_qos_violations_total
+	CacheHitRate        float64 // cluster cache hits ÷ (hits + misses)
+	BOItersPerPlacement float64 // cluster_bo_iterations_total ÷ cluster_placements_total
+}
+
+// Rollup computes the registry-derived rollup (zero when no registry
+// is bound).
+func (s *Store) Rollup() RegistryRollup {
+	if s == nil {
+		return RegistryRollup{}
+	}
+	s.mu.Lock()
+	reg := s.reg
+	s.mu.Unlock()
+	if reg == nil {
+		return RegistryRollup{}
+	}
+	var r RegistryRollup
+	var hits, near, misses, placements, boIters float64
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "server_p95_seconds":
+			r.P95 = m.Quantile(0.95)
+		case "server_windows_total":
+			r.Windows = int64(m.Value)
+		case "server_qos_violations_total":
+			r.Violations = int64(m.Value)
+		case "cluster_cache_hits_total":
+			hits = m.Value
+		case "cluster_cache_near_hits_total":
+			near = m.Value
+		case "cluster_cache_misses_total":
+			misses = m.Value
+		case "cluster_placements_total":
+			placements = m.Value
+		case "cluster_bo_iterations_total":
+			boIters = m.Value
+		}
+	}
+	if hits+near+misses > 0 {
+		r.CacheHitRate = (hits + near) / (hits + near + misses)
+	}
+	if placements > 0 {
+		r.BOItersPerPlacement = boIters / placements
+	}
+	return r
+}
+
+// FormatSLO renders the /slo view: one line per registered job, the
+// machine-wide window subject, the fleet aggregate, the registry
+// rollup when bound, and the alert total. Deterministic: fixed
+// iteration orders, fixed float formatting.
+func (s *Store) FormatSLO() string {
+	var b strings.Builder
+	b.WriteString("slo\n")
+	for _, j := range s.JobStatuses() {
+		fmt.Fprintf(&b, "  job %d %-14s target=%.4fs window=%.0fs budget=%.2f windows=%d viol=%d rate=%.4f p95=%.4f headroom=%.4f burn=%.2f/%.2f consumed=%.3f alerts=%d\n",
+			j.Job, j.Name, j.SLO.Target, j.SLO.Window, j.SLO.Budget,
+			j.Windows, j.Violations, j.ViolationRate, j.LastP95, j.Headroom,
+			j.BurnFast, j.BurnSlow, j.BudgetConsumed, j.Alerts)
+	}
+	w := s.WindowsStatus()
+	fmt.Fprintf(&b, "  windows         units=%d viol=%d rate=%.4f burn=%.2f/%.2f consumed=%.3f alerts=%d\n",
+		w.Windows, w.Violations, w.ViolationRate, w.BurnFast, w.BurnSlow, w.BudgetConsumed, w.Alerts)
+	f := s.FleetStatus()
+	if f.Epochs > 0 || f.Placed > 0 {
+		fmt.Fprintf(&b, "  fleet           epochs=%d placed=%d rejected=%d viol=%d rate=%.4f burn=%.2f/%.2f consumed=%.3f alerts=%d tta=%.2fs\n",
+			f.Epochs, f.Placed, f.Rejected, f.Violations, f.ViolationRate,
+			f.BurnFast, f.BurnSlow, f.BudgetConsumed, f.Alerts, f.MeanTimeToAlert)
+	}
+	if r := s.Rollup(); r != (RegistryRollup{}) {
+		fmt.Fprintf(&b, "  rollup          p95=%.4fs windows=%d viol=%d cache-hit=%.3f bo-iters/placement=%.2f\n",
+			r.P95, r.Windows, r.Violations, r.CacheHitRate, r.BOItersPerPlacement)
+	}
+	fmt.Fprintf(&b, "  alerts          %d\n", s.AlertCount())
+	return b.String()
+}
+
+// FormatCells renders the /cells view: one line per cell plus the
+// fleet aggregate.
+func (s *Store) FormatCells() string {
+	var b strings.Builder
+	b.WriteString("cells\n")
+	for _, c := range s.CellStatuses() {
+		fmt.Fprintf(&b, "  cell %3d placed=%d rejected=%d viol=%d rate=%.4f cache-hit=%.3f bo-iters/placement=%.2f screens=%d burn=%.2f/%.2f consumed=%.3f alerts=%d\n",
+			c.Cell, c.Placed, c.Rejected, c.Violations, c.ViolationRate,
+			c.CacheHitRate, c.BOItersPerPlacement, c.Screens,
+			c.BurnFast, c.BurnSlow, c.BudgetConsumed, c.Alerts)
+	}
+	f := s.FleetStatus()
+	fmt.Fprintf(&b, "  fleet    placed=%d rejected=%d viol=%d rate=%.4f burn=%.2f/%.2f consumed=%.3f alerts=%d\n",
+		f.Placed, f.Rejected, f.Violations, f.ViolationRate,
+		f.BurnFast, f.BurnSlow, f.BudgetConsumed, f.Alerts)
+	return b.String()
+}
+
+// FormatLedger renders the per-epoch SLO ledger printed by
+// `clite -fleet`.
+func (s *Store) FormatLedger() string {
+	var b strings.Builder
+	b.WriteString("epoch      at  placed  viol  rej  burn-fast  burn-slow  consumed  alerts\n")
+	for _, r := range s.Ledger() {
+		fmt.Fprintf(&b, "%5d  %6.1f  %6d  %4d  %3d  %9.2f  %9.2f  %8.3f  %6d\n",
+			r.Epoch, r.At, r.Placed, r.Violations, r.Rejected,
+			r.BurnFast, r.BurnSlow, r.BudgetConsumed, r.Alerts)
+	}
+	return b.String()
+}

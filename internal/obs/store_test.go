@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clite/internal/telemetry"
+)
+
+// feedWindow pushes one observation window for the machine at time at,
+// preceded by violation events for the given jobs — the order the
+// server emits them.
+func feedWindow(sink func(telemetry.Event), at float64, badJobs ...int) {
+	for _, j := range badJobs {
+		sink(telemetry.QoSViolation(at, j, 0.005, 0.004))
+	}
+	sink(telemetry.ObservationWindow(at, 1, len(badJobs) == 0))
+}
+
+func TestSinkSettlesWindowsPerJob(t *testing.T) {
+	s := NewStore(Options{})
+	s.RegisterJob(0, "memcached", SLO{Target: 0.004})
+	s.RegisterJob(1, "img-dnn", SLO{Target: 0.038})
+	sink := s.Sink()
+
+	feedWindow(sink, 1.0, 0) // job 0 violates
+	feedWindow(sink, 2.0)    // clean
+	feedWindow(sink, 3.0, 0, 1)
+
+	js := s.JobStatuses()
+	if len(js) != 2 {
+		t.Fatalf("JobStatuses len = %d, want 2", len(js))
+	}
+	if js[0].Windows != 3 || js[0].Violations != 2 {
+		t.Errorf("job 0: windows=%d viol=%d, want 3/2", js[0].Windows, js[0].Violations)
+	}
+	if js[1].Windows != 3 || js[1].Violations != 1 {
+		t.Errorf("job 1: windows=%d viol=%d, want 3/1", js[1].Windows, js[1].Violations)
+	}
+	if js[0].Name != "memcached" || js[1].Name != "img-dnn" {
+		t.Errorf("names = %q, %q", js[0].Name, js[1].Name)
+	}
+	// The machine-wide windows subject counts whole windows, not jobs.
+	w := s.WindowsStatus()
+	if w.Windows != 3 || w.Violations != 2 {
+		t.Errorf("windows subject: units=%d viol=%d, want 3/2", w.Windows, w.Violations)
+	}
+	// Headroom reflects the last violating p95.
+	if js[0].LastP95 != 0.005 {
+		t.Errorf("job 0 LastP95 = %v", js[0].LastP95)
+	}
+	if got, want := js[0].Headroom, 0.004-0.005; got != want {
+		t.Errorf("job 0 headroom = %v, want %v", got, want)
+	}
+}
+
+// Violations for unregistered jobs must not leak into any subject —
+// cluster traces interleave trial-machine job indices.
+func TestSinkIgnoresUnregisteredJobs(t *testing.T) {
+	s := NewStore(Options{})
+	s.RegisterJob(0, "", SLO{})
+	sink := s.Sink()
+	feedWindow(sink, 1.0, 7) // job 7 never registered
+	js := s.JobStatuses()
+	if js[0].Violations != 0 || js[0].Windows != 1 {
+		t.Errorf("job 0: %+v", js[0])
+	}
+}
+
+// The burn machine: alert once MinSlowUnits units exist and both
+// windows burn hot, stay silent while the episode persists, re-arm
+// after the fast window cools, and alert again on the next episode.
+func TestBurnAlertHysteresis(t *testing.T) {
+	s := NewStore(Options{})
+	s.RegisterJob(0, "", SLO{Target: 0.004}) // window 60 → fast window 5
+	sink := s.Sink()
+
+	burnAlerts := func() int {
+		n := 0
+		for _, ev := range s.Alerts() {
+			if ev.Kind == telemetry.KindSLOBurnAlert && ev.Job == 0 {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Four bad windows: below MinSlowUnits (5), no alert yet.
+	for at := 1.0; at <= 4; at++ {
+		feedWindow(sink, at, 0)
+	}
+	if got := burnAlerts(); got != 0 {
+		t.Fatalf("alerts after 4 units = %d, want 0 (startup suppression)", got)
+	}
+	// Fifth bad window crosses MinSlowUnits: burn 10× in both windows.
+	feedWindow(sink, 5.0, 0)
+	if got := burnAlerts(); got != 1 {
+		t.Fatalf("alerts after 5 bad units = %d, want 1", got)
+	}
+	// Sustained burn: no re-fire.
+	for at := 6.0; at <= 8; at++ {
+		feedWindow(sink, at, 0)
+	}
+	if got := burnAlerts(); got != 1 {
+		t.Fatalf("alerts during sustained burn = %d, want 1", got)
+	}
+	// Six clean windows empty the fast window (last 5 buckets): re-arm.
+	for at := 9.0; at <= 14; at++ {
+		feedWindow(sink, at)
+	}
+	// One bad window re-heats the fast window (1/5 bad ÷ 0.1 = 2.0,
+	// at the threshold) while the slow window is still hot.
+	feedWindow(sink, 15.0, 0)
+	if got := burnAlerts(); got != 2 {
+		t.Errorf("alerts after second episode = %d, want 2", got)
+	}
+	st := s.JobStatuses()[0]
+	if st.Alerts != 2 || st.LastAlertAt != 15.0 {
+		t.Errorf("status alerts=%d lastAt=%v, want 2 at 15", st.Alerts, st.LastAlertAt)
+	}
+	// Both episodes alerted on their first bad window, so the mean
+	// time-to-alert collapses to the episode length so far: (4+0)/2.
+	if st.MeanTimeToAlert != 2.0 {
+		t.Errorf("mean time-to-alert = %v, want 2.0", st.MeanTimeToAlert)
+	}
+}
+
+// Budget exhaustion fires once per exhaustion episode and re-arms when
+// consumption drops back under 1.
+func TestBudgetExhaustedRearm(t *testing.T) {
+	s := NewStore(Options{})
+	s.RegisterJob(0, "", SLO{Target: 0.004, Window: 10, Budget: 0.5})
+	sink := s.Sink()
+
+	exhausted := func() int {
+		n := 0
+		for _, ev := range s.Alerts() {
+			if ev.Kind == telemetry.KindBudgetExhausted && ev.Job == 0 {
+				n++
+			}
+		}
+		return n
+	}
+
+	// 3 bad of 4 → consumed = 3/(0.5·4) = 1.5 ≥ 1: one event.
+	feedWindow(sink, 1.0, 0)
+	feedWindow(sink, 2.0, 0)
+	feedWindow(sink, 3.0, 0)
+	feedWindow(sink, 4.0)
+	if got := exhausted(); got != 1 {
+		t.Fatalf("exhaustions = %d, want 1", got)
+	}
+	// Still exhausted: no re-fire.
+	feedWindow(sink, 5.0, 0)
+	if got := exhausted(); got != 1 {
+		t.Fatalf("exhaustions during episode = %d, want 1", got)
+	}
+	// Clean windows push the bad units out of the 10 s window; once
+	// consumed < 1 the machine re-arms, and a fresh bad burst re-fires.
+	for at := 6.0; at <= 14; at++ {
+		feedWindow(sink, at)
+	}
+	for at := 15.0; at <= 20; at++ {
+		feedWindow(sink, at, 0)
+	}
+	if got := exhausted(); got != 2 {
+		t.Errorf("exhaustions after second episode = %d, want 2", got)
+	}
+}
+
+// Merged traces interleave trial-machine clocks that restart at zero;
+// a backwards timestamp must clamp to the newest time, never rewind
+// the ring.
+func TestMonotoneClampOnMergedClocks(t *testing.T) {
+	s := NewStore(Options{})
+	s.RegisterJob(0, "", SLO{})
+	sink := s.Sink()
+	feedWindow(sink, 10.0, 0)
+	feedWindow(sink, 0.5) // trial-machine clock restarted
+	feedWindow(sink, 11.0)
+	js := s.JobStatuses()[0]
+	if js.Windows != 3 || js.Violations != 1 {
+		t.Errorf("after clamp: windows=%d viol=%d, want 3/1", js.Windows, js.Violations)
+	}
+}
+
+// The ring is fixed-size: a window wider than the ring only sees the
+// newest Buckets buckets, and old slots are reused without growing.
+func TestRingBounded(t *testing.T) {
+	s := NewStore(Options{Buckets: 4})
+	s.RegisterJob(0, "", SLO{Window: 1000})
+	sink := s.Sink()
+	// 10 windows, the first 6 bad — only the last 4 (all clean) are
+	// still inside the ring.
+	for at := 1.0; at <= 6; at++ {
+		feedWindow(sink, at, 0)
+	}
+	for at := 7.0; at <= 10; at++ {
+		feedWindow(sink, at)
+	}
+	js := s.JobStatuses()[0]
+	if js.Windows != 10 || js.Violations != 6 {
+		t.Errorf("lifetime: windows=%d viol=%d, want 10/6", js.Windows, js.Violations)
+	}
+	if js.BurnSlow != 0 {
+		t.Errorf("slow burn = %v, want 0 (bad units aged out of the ring)", js.BurnSlow)
+	}
+}
+
+func TestObserveCellsLedgerAndStatuses(t *testing.T) {
+	s := NewStore(Options{})
+	s.RegisterCells(2)
+	s.ObserveCells(1.0, 0, []CellSample{
+		{Cell: 0, Placed: 3, Violations: 1, CacheHits: 2, CacheLookups: 4, BOIterations: 30, Screens: 2},
+		{Cell: 1, Placed: 2, Rejected: 1, CacheLookups: 1, BOIterations: 10, Screens: 1},
+	})
+	s.ObserveCells(2.0, 1, []CellSample{
+		{Cell: 2, Placed: 1}, // auto-grows past RegisterCells
+	})
+	// Daemon-style feed: epoch -1 updates series but skips the ledger.
+	s.ObserveCells(3.0, -1, []CellSample{{Cell: 0, Placed: 1}})
+
+	led := s.Ledger()
+	if len(led) != 2 {
+		t.Fatalf("ledger len = %d, want 2", len(led))
+	}
+	if led[0].Placed != 5 || led[0].Violations != 1 || led[0].Rejected != 1 {
+		t.Errorf("epoch 0 record: %+v", led[0])
+	}
+	if led[1].Epoch != 1 || led[1].Placed != 1 {
+		t.Errorf("epoch 1 record: %+v", led[1])
+	}
+
+	cs := s.CellStatuses()
+	if len(cs) != 3 {
+		t.Fatalf("cells = %d, want 3", len(cs))
+	}
+	if cs[0].Placed != 4 || cs[0].Violations != 1 || cs[0].CacheHitRate != 0.5 {
+		t.Errorf("cell 0: %+v", cs[0])
+	}
+	if got := cs[0].BOItersPerPlacement; got != 30.0/4 {
+		t.Errorf("cell 0 bo-iters/placement = %v", got)
+	}
+
+	f := s.FleetStatus()
+	if f.Epochs != 2 || f.Placed != 7 || f.Violations != 1 || f.Rejected != 1 {
+		t.Errorf("fleet: %+v", f)
+	}
+
+	out := s.FormatLedger()
+	if lines := strings.Count(out, "\n"); lines != 3 { // header + 2 rows
+		t.Errorf("ledger lines = %d, want 3:\n%s", lines, out)
+	}
+	if !strings.Contains(s.FormatCells(), "cell   2 placed=1") {
+		t.Errorf("FormatCells missing grown cell:\n%s", s.FormatCells())
+	}
+}
+
+// Identical feeds must render identical bytes — the property the
+// shard- and worker-invariance tests at higher layers lean on.
+func TestFormattersDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := NewStore(Options{})
+		s.RegisterJob(0, "memcached", SLO{Target: 0.004})
+		s.RegisterJob(1, "xapian", SLO{Target: 0.008})
+		sink := s.Sink()
+		for at := 1.0; at <= 12; at++ {
+			if int(at)%3 != 0 {
+				feedWindow(sink, at, 0)
+			} else {
+				feedWindow(sink, at, 1)
+			}
+		}
+		s.ObserveCells(12.5, 0, []CellSample{{Cell: 0, Placed: 2, Violations: 1}})
+		return s
+	}
+	a, b := build(), build()
+	if a.FormatSLO() != b.FormatSLO() {
+		t.Errorf("FormatSLO differs:\n%s\nvs\n%s", a.FormatSLO(), b.FormatSLO())
+	}
+	if a.FormatLedger() != b.FormatLedger() {
+		t.Errorf("FormatLedger differs")
+	}
+	var ja, jb bytes.Buffer
+	if err := a.WriteAlertsJSONL(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteAlertsJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Errorf("alert JSONL differs:\n%s\nvs\n%s", ja.String(), jb.String())
+	}
+	if a.AlertCount() == 0 {
+		t.Error("expected alerts from a 2/3-bad feed")
+	}
+	// Alert steps are the stream's own sequence, 1-based.
+	for i, ev := range a.Alerts() {
+		if ev.Step != int64(i)+1 {
+			t.Errorf("alert %d step = %d", i, ev.Step)
+		}
+	}
+}
+
+// A nil store must swallow every call — the fleet and the daemons
+// attach it optionally.
+func TestNilStoreSafe(t *testing.T) {
+	var s *Store
+	s.RegisterJob(0, "x", SLO{})
+	s.RegisterCells(4)
+	s.BindRegistry(nil)
+	s.ObserveCells(1, 0, []CellSample{{Cell: 0, Placed: 1}})
+	s.Sink()(telemetry.ObservationWindow(1, 1, true))
+	if s.JobStatuses() != nil || s.CellStatuses() != nil || s.Ledger() != nil || s.Alerts() != nil {
+		t.Error("nil store returned non-nil data")
+	}
+	if s.AlertCount() != 0 {
+		t.Error("nil store alert count")
+	}
+	_ = s.FleetStatus()
+	_ = s.WindowsStatus()
+	_ = s.Rollup()
+}
+
+// The registry rollup reads the server/cluster metrics by name and
+// interpolates the p95 from histogram buckets.
+func TestRegistryRollup(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("server_p95_seconds", []float64{0.001, 0.01, 0.1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	reg.Counter("server_windows_total").Add(100)
+	reg.Counter("server_qos_violations_total").Add(7)
+	reg.Counter("cluster_cache_hits_total").Add(6)
+	reg.Counter("cluster_cache_misses_total").Add(4)
+	reg.Counter("cluster_placements_total").Add(5)
+	reg.Counter("cluster_bo_iterations_total").Add(50)
+
+	s := NewStore(Options{})
+	s.BindRegistry(reg)
+	r := s.Rollup()
+	if r.Windows != 100 || r.Violations != 7 {
+		t.Errorf("rollup counters: %+v", r)
+	}
+	if r.CacheHitRate != 0.6 {
+		t.Errorf("cache hit rate = %v, want 0.6", r.CacheHitRate)
+	}
+	if r.BOItersPerPlacement != 10 {
+		t.Errorf("bo iters/placement = %v, want 10", r.BOItersPerPlacement)
+	}
+	// All observations sit in the (0.001, 0.01] bucket; the p95 must
+	// interpolate inside it, not snap to a bound.
+	if r.P95 <= 0.001 || r.P95 > 0.01 {
+		t.Errorf("p95 = %v, want within (0.001, 0.01]", r.P95)
+	}
+	if !strings.Contains(s.FormatSLO(), "rollup") {
+		t.Errorf("FormatSLO missing rollup line:\n%s", s.FormatSLO())
+	}
+}

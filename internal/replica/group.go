@@ -405,6 +405,16 @@ func (g *Group) Status() Status {
 	}
 }
 
+// Clock returns the group's simulated time in seconds — the timestamp
+// the daemon's observability feed stamps per-placement samples with,
+// so the SLO plane shares the replica log's clock rather than reading
+// wall time.
+func (g *Group) Clock() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.clock
+}
+
 // Snapshot returns the cluster state as of the last committed command.
 // It keeps serving after quorum loss — the graceful-degradation read
 // path — from the last-safe snapshot cached at commit time.

@@ -348,6 +348,29 @@ func (m *Machine) Jobs() []Job {
 // NumJobs returns the number of co-located jobs.
 func (m *Machine) NumJobs() int { return len(m.jobs) }
 
+// QoSTargets returns each LC job's p95 target in seconds, keyed by
+// job index (BG jobs are absent) — the SLO wiring hook: the obs plane
+// registers each entry as an SLO subject with Target set from here.
+// The slice of pairs is in job-index order, so iteration is
+// deterministic.
+func (m *Machine) QoSTargets() []JobTarget {
+	var out []JobTarget
+	for i, j := range m.jobs {
+		if !j.IsLC() {
+			continue
+		}
+		out = append(out, JobTarget{Job: i, Name: j.Workload.Name, Target: j.QoS})
+	}
+	return out
+}
+
+// JobTarget is one LC job's QoS target (see QoSTargets).
+type JobTarget struct {
+	Job    int
+	Name   string
+	Target float64
+}
+
 // SetLoad changes an LC job's offered load (the Fig. 16 dynamic-load
 // scenario).
 func (m *Machine) SetLoad(job int, load float64) error {

@@ -129,6 +129,92 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-th quantile (q clamped to [0,1]) of the
+// observed distribution from the bucket counts, interpolating linearly
+// within the target bucket rather than returning its upper bound —
+// at low counts the upper bound can overstate a p95 by a whole bucket
+// width (×3 in the latency layout). A bucket's observations are
+// assumed uniform over (lower, upper], where lower is the previous
+// bound (0 for the first bucket, matching the non-negative latency
+// and count layouts). Ranks landing in the +Inf overflow bucket
+// cannot be interpolated and return the highest finite bound. The
+// empty and nil Histogram return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileFromBuckets(h.bounds, counts, q)
+}
+
+// Quantile estimates a quantile from a histogram snapshot using the
+// same within-bucket interpolation as Histogram.Quantile. Non-histogram
+// and empty metrics return 0.
+func (m Metric) Quantile(q float64) float64 {
+	if m.Kind != "histogram" || len(m.Buckets) == 0 {
+		return 0
+	}
+	bounds := make([]float64, 0, len(m.Buckets)-1)
+	counts := make([]int64, 0, len(m.Buckets))
+	for _, b := range m.Buckets {
+		if !math.IsInf(b.UpperBound, 1) {
+			bounds = append(bounds, b.UpperBound)
+		}
+		counts = append(counts, b.Count)
+	}
+	return quantileFromBuckets(bounds, counts, q)
+}
+
+// quantileFromBuckets walks the per-bucket counts (len(bounds)+1, the
+// last being the +Inf overflow) to the bucket containing the q-th rank
+// and interpolates within it.
+func quantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return lo
+		}
+		hi := bounds[i]
+		if rank <= float64(cum+c) {
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
+	}
+	return 0
+}
+
 // LatencyBuckets is the fixed layout for second-denominated latencies
 // and durations: 100µs to ~100s, roughly ×3 per step.
 func LatencyBuckets() []float64 {

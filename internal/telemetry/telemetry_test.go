@@ -227,6 +227,91 @@ func TestSummaryFiltersAndAligns(t *testing.T) {
 	}
 }
 
+// Quantile interpolates within the bucket holding the rank instead of
+// snapping to a bound — the obs rollup's p95 depends on it.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_hist", []float64{1, 2, 4})
+	// 2 in (0,1], 2 in (1,2], 4 in (2,4], 2 in (4,+Inf).
+	for _, v := range []float64{0.5, 0.9, 1.5, 1.9, 2.5, 3, 3.5, 3.9, 5, 9} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 0},     // rank 0: bottom of the first bucket
+		{0.1, 0.5}, // rank 1: halfway through the first bucket
+		{0.2, 1},   // rank 2: exactly the first bound
+		{0.4, 2},   // rank 4: exactly the second bound
+		{0.5, 2.5}, // rank 5: a quarter into (2,4]
+		{0.8, 4},   // rank 8: the last finite bound
+		{0.95, 4},  // overflow bucket: clamp to the last finite bound
+		{1, 4},     // same
+		{-0.5, 0},  // q clamps to [0,1]
+		{1.5, 4},   // same
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// The snapshot view must agree with the live histogram.
+	for _, m := range reg.Snapshot() {
+		if m.Name == "q_hist" {
+			for _, c := range cases {
+				if got := m.Quantile(c.q); got != c.want {
+					t.Errorf("Metric.Quantile(%v) = %v, want %v", c.q, got, c.want)
+				}
+			}
+		}
+	}
+	// Empty and nil histograms answer 0.
+	if got := reg.Histogram("empty", nil).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %v", got)
+	}
+}
+
+// A tap must see every event exactly once, in final stream order,
+// including events re-stamped by Merge — the obs store's feed.
+func TestTapSeesFinalStreamOrder(t *testing.T) {
+	tr := NewTracer()
+	var tapped []Event
+	tr.SetTap(func(ev Event) { tapped = append(tapped, ev) })
+
+	tr.Emit(BOIteration(0, 0.3, 0.1, 1))
+	id := tr.Begin("place", 2)
+	src := NewTracer()
+	sid := src.Begin("screen", -1)
+	src.End("screen", -1, sid, 1, true)
+	tr.Merge(src, 2)
+	tr.End("place", 2, id, 1, true)
+
+	events := tr.Events()
+	if len(tapped) != len(events) {
+		t.Fatalf("tap saw %d events, tracer has %d", len(tapped), len(events))
+	}
+	for i := range events {
+		if tapped[i] != events[i] {
+			t.Errorf("tap event %d = %+v, tracer has %+v", i, tapped[i], events[i])
+		}
+	}
+	// Merged events reach the tap already re-stamped.
+	if tapped[2].Step != 3 || tapped[2].Node != 2 {
+		t.Errorf("merged event not re-stamped at tap: %+v", tapped[2])
+	}
+	// Detach: no further deliveries.
+	tr.SetTap(nil)
+	tr.Emit(Termination("done", 1, 0.5))
+	if len(tapped) != len(events) {
+		t.Errorf("tap fired after detach")
+	}
+}
+
 func TestCountKindsAndKinds(t *testing.T) {
 	events := []Event{
 		BOIteration(0, 1, 0, 1),

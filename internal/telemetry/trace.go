@@ -20,6 +20,8 @@ const (
 	KindJobArrival        = "job-arrival"        // fleet arrival assigned to a cell: At, Name=workload, Node=cell, N=attempt, Value=load
 	KindJobDeparture      = "job-departure"      // fleet job left its node: At, Name=workload, Node=global node
 	KindFleetEpoch        = "fleet-epoch"        // epoch barrier crossed: At, Iter=epoch, N=placements this epoch, Value=fleet demand estimate
+	KindSLOBurnAlert      = "slo-burn-alert"     // error budget burning too fast: At, Name=subject, Job=subject id, Value=fast-window burn rate, Aux=slow-window burn rate
+	KindBudgetExhausted   = "budget-exhausted"   // error budget fully spent: At, Name=subject, Job=subject id, Value=budget consumed (≥1)
 )
 
 // Event is one entry on a run's timeline. Events never carry
@@ -53,10 +55,31 @@ type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	spans  int64
+	tap    func(Event)
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// SetTap registers fn to observe every event as it lands on t's
+// timeline — the subscription hook the SLO observability plane
+// (internal/obs) hangs off. fn sees each event exactly once, fully
+// stamped, in final stream order: events merged from private tracers
+// (Merge, MergeDrain) reach the tap at merge time in merge order, so
+// for a deterministic stream the tap's view is deterministic too.
+//
+// fn runs under the tracer's lock. It must be fast and must not call
+// back into t (that would deadlock) or into any lock ordered before
+// the tracer's. Passing nil detaches. The nil Tracer discards the
+// call.
+func (t *Tracer) SetTap(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tap = fn
+	t.mu.Unlock()
+}
 
 // Emit appends ev, stamping its Step with the next sequence number.
 func (t *Tracer) Emit(ev Event) {
@@ -66,6 +89,9 @@ func (t *Tracer) Emit(ev Event) {
 	t.mu.Lock()
 	ev.Step = int64(len(t.events)) + 1
 	t.events = append(t.events, ev)
+	if t.tap != nil {
+		t.tap(ev)
+	}
 	t.mu.Unlock()
 }
 
@@ -77,11 +103,15 @@ func (t *Tracer) Begin(name string, node int) int64 {
 	t.mu.Lock()
 	t.spans++
 	id := t.spans
-	t.events = append(t.events, Event{
+	ev := Event{
 		Step: int64(len(t.events)) + 1,
 		Kind: KindSpanBegin, Name: name,
 		At: -1, Iter: -1, Job: -1, Node: node, Span: id,
-	})
+	}
+	t.events = append(t.events, ev)
+	if t.tap != nil {
+		t.tap(ev)
+	}
 	t.mu.Unlock()
 	return id
 }
@@ -93,11 +123,15 @@ func (t *Tracer) End(name string, node int, id int64, n int, ok bool) {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, Event{
+	ev := Event{
 		Step: int64(len(t.events)) + 1,
 		Kind: KindSpanEnd, Name: name,
 		At: -1, Iter: -1, Job: -1, Node: node, Span: id, N: n, OK: ok,
-	})
+	}
+	t.events = append(t.events, ev)
+	if t.tap != nil {
+		t.tap(ev)
+	}
 	t.mu.Unlock()
 }
 
@@ -145,6 +179,9 @@ func (t *Tracer) Merge(src *Tracer, node int) {
 			ev.Node = node
 		}
 		t.events = append(t.events, ev)
+		if t.tap != nil {
+			t.tap(ev)
+		}
 	}
 	src.mu.Lock()
 	t.spans = spanBase + src.spans
@@ -184,6 +221,9 @@ func (t *Tracer) MergeDrain(src *Tracer, nodeShift int) {
 			ev.Node += nodeShift
 		}
 		t.events = append(t.events, ev)
+		if t.tap != nil {
+			t.tap(ev)
+		}
 	}
 	t.spans = spanBase + srcSpans
 	t.mu.Unlock()
@@ -314,6 +354,33 @@ func FleetEpoch(at float64, epoch, placed int, demand float64) Event {
 		Kind: KindFleetEpoch, At: at,
 		Iter: epoch, Job: -1, Node: -1,
 		N: placed, Value: demand,
+	}
+}
+
+// SLOBurnAlert records an SLO subject (a job, a cell, the fleet, or
+// the machine-wide window stream) burning its error budget faster than
+// the alerting threshold in both the fast and slow windows at
+// simulated time at. subject names the series ("job:memcached",
+// "cell:3", "fleet", "windows"); id is the job or cell index (-1 for
+// aggregates); fast and slow are the two windows' burn rates
+// (bad-fraction ÷ budget, so 1.0 spends the budget exactly at the
+// window's end).
+func SLOBurnAlert(at float64, subject string, id int, fast, slow float64) Event {
+	return Event{
+		Kind: KindSLOBurnAlert, Name: subject, At: at,
+		Iter: -1, Job: id, Node: -1,
+		Value: fast, Aux: slow,
+	}
+}
+
+// BudgetExhausted records an SLO subject having spent its whole error
+// budget within the slow window at simulated time at: consumed is the
+// budget multiple (≥1 at emission).
+func BudgetExhausted(at float64, subject string, id int, consumed float64) Event {
+	return Event{
+		Kind: KindBudgetExhausted, Name: subject, At: at,
+		Iter: -1, Job: id, Node: -1,
+		Value: consumed,
 	}
 }
 

@@ -1,0 +1,44 @@
+package clite_test
+
+import (
+	"testing"
+
+	"clite/internal/benchmarks"
+)
+
+// TestObsOverhead is the observability plane's cost contract
+// (DESIGN.md §15): tapping the SLO store onto a telemetry-enabled
+// CLITERun must land within 5%, and feeding a fleet's epoch barrier
+// into a store must land within 10% of the detached run. Wall time is
+// wall time, so each gate retries before declaring a regression.
+func TestObsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement skipped in -short mode")
+	}
+	gates := []struct {
+		name      string
+		tolerance float64
+		measure   func(quick bool) (off, on benchmarks.Result)
+	}{
+		{"CLITERun", 0.05, benchmarks.ObsOverheadCLITE},
+		{"FleetPlace", 0.10, benchmarks.ObsOverheadFleet},
+	}
+	for _, g := range gates {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			var offNs, onNs float64
+			for attempt := 0; attempt < 3; attempt++ {
+				off, on := g.measure(true)
+				offNs, onNs = off.NsPerOp, on.NsPerOp
+				if offNs <= 0 {
+					t.Fatalf("bad detached measurement: %v ns/op", offNs)
+				}
+				if onNs <= offNs*(1+g.tolerance) {
+					return
+				}
+			}
+			t.Errorf("obs overhead on %s above %.0f%%: detached %.0f ns/op, attached %.0f ns/op (%+.1f%%)",
+				g.name, g.tolerance*100, offNs, onNs, 100*(onNs-offNs)/offNs)
+		})
+	}
+}

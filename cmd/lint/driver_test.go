@@ -1,0 +1,338 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// --- SARIF ---
+
+// TestSARIFShape pins the JSON shape code scanning ingests: schema,
+// version, driver name, full rule catalogue, and result locations.
+func TestSARIFShape(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-q", "-sarif", "../../internal/analysis/testdata/src/dettaint", "../../internal/analysis/testdata/src/dettaint/helper"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit: got %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &log); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema: %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs: got %d, want 1", len(log.Runs))
+	}
+	drv := log.Runs[0].Tool.Driver
+	if drv.Name != "clite-lint" {
+		t.Errorf("driver name %q", drv.Name)
+	}
+	ids := map[string]bool{}
+	for _, r := range drv.Rules {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"detrand", "dettaint", "maporder", "parcapture", "emitorder", "errwrap", "telnil", "floateq"} {
+		if !ids[want] {
+			t.Errorf("rule catalogue missing %q (have %v)", want, ids)
+		}
+	}
+	found := false
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID != "dettaint" {
+			continue
+		}
+		found = true
+		if r.Level != "error" {
+			t.Errorf("dettaint level %q, want error", r.Level)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if !strings.HasSuffix(loc.ArtifactLocation.URI, "dettaint/dettaint.go") || loc.Region.StartLine == 0 {
+			t.Errorf("location %+v", loc)
+		}
+	}
+	if !found {
+		t.Error("no dettaint result in SARIF output")
+	}
+}
+
+// --- scratch module helpers ---
+
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, body := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func git(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", args...)
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+// inDir runs fn with the working directory switched to dir (the
+// driver resolves patterns, git state, and caches relative to wd).
+func inDir(t *testing.T, dir string, fn func()) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	fn()
+}
+
+// --- -diff ---
+
+// TestDiffSelection builds a two-package git module where BOTH
+// packages carry findings, commits it, then regresses only one
+// package. -diff HEAD must report the changed package's finding and
+// stay silent about the unchanged one; the full run sees both. With a
+// warm fact cache, -diff must also surface a cross-package taint
+// regression landing in the UNCHANGED package.
+func TestDiffSelection(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module diffmod\n\ngo 1.22\n",
+		// internal/core is a deterministic-scope package calling
+		// profile.Scale: clean at commit time, the taint edge appears
+		// when profile regresses.
+		"internal/core/core.go": `package core
+
+import "diffmod/internal/profile"
+
+func Window(x int) int { return profile.Scale(x) }
+`,
+		"internal/profile/profile.go": `package profile
+
+func Scale(x int) int { return x * 2 }
+`,
+		// stale carries a finding from day one (unchanged by the edit).
+		"stale/stale.go": `package stale
+
+import "errors"
+
+var ErrOld = errors.New("old")
+
+func Check(err error) bool { return err == ErrOld }
+`,
+	})
+	git(t, dir, "init", "-q")
+	git(t, dir, "-c", "user.email=lint@test", "-c", "user.name=lint", "add", ".")
+	git(t, dir, "-c", "user.email=lint@test", "-c", "user.name=lint", "commit", "-q", "-m", "seed")
+
+	inDir(t, dir, func() {
+		// Full run warms the cache and sees the pre-existing finding.
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-q", "-cache", ".lintcache", "./..."}, &stdout, &stderr); code != 1 {
+			t.Fatalf("full run exit %d (stderr %q)", code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "stale/stale.go:7: [errwrap]") {
+			t.Fatalf("full run must see the stale finding:\n%s", stdout.String())
+		}
+
+		// Regress ONLY profile: Scale now reads the wall clock.
+		writeTree(t, dir, map[string]string{
+			"internal/profile/profile.go": `package profile
+
+import "time"
+
+func Scale(x int) int { return x * int(time.Now().Unix()) }
+`,
+		})
+
+		stdout.Reset()
+		stderr.Reset()
+		code := run([]string{"-q", "-diff", "HEAD", "-cache", ".lintcache", "./..."}, &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("-diff exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+		}
+		out := stdout.String()
+		if !strings.Contains(out, "internal/profile/profile.go:5: [detrand]") {
+			t.Errorf("-diff must lint the changed package:\n%s", out)
+		}
+		if strings.Contains(out, "stale/stale.go") {
+			t.Errorf("-diff must not re-report unchanged packages:\n%s", out)
+		}
+		// The taint edge lands in core — unchanged, reconstructed from
+		// cached facts.
+		if !strings.Contains(out, "internal/core/core.go:5: [dettaint]") {
+			t.Errorf("-diff must surface cross-package taint into the unchanged package:\n%s", out)
+		}
+	})
+}
+
+// --- -fix ---
+
+// TestFixFlag exercises the driver's -fix path on a scratch module:
+// first run rewrites the sources and exits clean (everything left is
+// suppressed), second run has nothing to do — idempotence at the
+// driver level.
+func TestFixFlag(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("..", "..", "internal", "analysis", "testdata", "src", "fixable", "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeTree(t, dir, map[string]string{
+		"go.mod":     "module fixmod\n\ngo 1.22\n",
+		"fixable.go": string(src),
+	})
+	inDir(t, dir, func() {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-fix", "."}, &stdout, &stderr); code != 0 {
+			t.Fatalf("-fix exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "fixed: fixable.go") {
+			t.Errorf("fixer should report the rewritten file, stderr %q", stderr.String())
+		}
+		after, err := os.ReadFile(filepath.Join(dir, "fixable.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(after), "errors.Is(err, ErrStale)") {
+			t.Errorf("fix not applied:\n%s", after)
+		}
+		stdout.Reset()
+		stderr.Reset()
+		if code := run([]string{"-fix", "."}, &stdout, &stderr); code != 0 {
+			t.Fatalf("second -fix exit %d (stderr %q)", code, stderr.String())
+		}
+		if strings.Contains(stderr.String(), "fixed:") {
+			t.Errorf("second -fix must be a no-op, stderr %q", stderr.String())
+		}
+	})
+}
+
+// --- -suppressions and -baseline ---
+
+// TestSuppressionLedger pins the ledger listing: every allow with its
+// reason, per-rule totals, exit 0 even though findings exist.
+func TestSuppressionLedger(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-q", "-suppressions", "../../internal/analysis/testdata/src/detrand"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("-suppressions exit %d (stderr %q)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "detrand/detrand.go:14: [detrand] fixture demonstrating a suppressed metrics-only clock read") {
+		t.Errorf("ledger missing the allow with its reason:\n%s", out)
+	}
+	if !strings.Contains(out, "total detrand 1") {
+		t.Errorf("ledger missing per-rule total:\n%s", out)
+	}
+}
+
+// TestBaselineBudget covers the budget gate: within budget passes,
+// over budget fails naming the rule, -write-baseline regenerates.
+func TestBaselineBudget(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "lint.baseline")
+
+	// detrand fixture: one finding (exit 1 regardless), one allow.
+	if err := os.WriteFile(base, []byte("detrand 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-q", "-baseline", base, "../../internal/analysis/testdata/src/detrand"}, &stdout, &stderr)
+	if code != 1 || strings.Contains(stdout.String(), "[budget]") {
+		t.Fatalf("within-budget run: exit %d, stdout %q", code, stdout.String())
+	}
+
+	// Budget zero: the same allow now blows the budget.
+	if err := os.WriteFile(base, []byte("detrand 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	code = run([]string{"-q", "-baseline", base, "../../internal/analysis/testdata/src/detrand"}, &stdout, &stderr)
+	if code != 1 || !strings.Contains(stdout.String(), "[budget] 1 detrand allows in tree, budget is 0") {
+		t.Fatalf("over-budget run: exit %d, stdout %q", code, stdout.String())
+	}
+
+	// A clean-of-allows package with an empty baseline passes.
+	if err := os.WriteFile(base, []byte("# nothing allowed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	code = run([]string{"-q", "-baseline", base, "../../internal/qos"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("clean package with empty baseline: exit %d, stdout %q stderr %q", code, stdout.String(), stderr.String())
+	}
+
+	// -write-baseline regenerates the counts.
+	stdout.Reset()
+	code = run([]string{"-q", "-baseline", base, "-write-baseline", "../../internal/analysis/testdata/src/detrand"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("-write-baseline exit %d", code)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "detrand 1") {
+		t.Errorf("regenerated baseline:\n%s", data)
+	}
+}
+
+// TestRepoBaselineCurrent keeps the checked-in budget honest: the
+// repo tree must fit inside lint.baseline exactly as CI enforces it.
+func TestRepoBaselineCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"-q", "-baseline", "../../lint.baseline", "../../..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("repo lint with baseline: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

@@ -1,11 +1,11 @@
 // Command lint is the repo's custom multichecker: it runs the
-// internal/analysis suite (detrand, maporder, errwrap, telnil,
-// floateq — see DESIGN.md §11) over the named package patterns and
-// fails on any unsuppressed finding.
+// internal/analysis suite (detrand, dettaint, maporder, parcapture,
+// emitorder, errwrap, telnil, floateq — see DESIGN.md §11, §16) over
+// the named package patterns and fails on any unsuppressed finding.
 //
 // Usage:
 //
-//	go run ./cmd/lint ./...
+//	go run ./cmd/lint [flags] <packages>
 //
 // Findings print one per line as
 //
@@ -19,6 +19,20 @@
 // The closing summary counts suppressions and calls out malformed
 // (reason-less) and unused directives; malformed directives fail the
 // run exactly like findings. make lint wires this into tier1.
+//
+// Flags beyond the basics:
+//
+//	-sarif          emit SARIF 2.1.0 on stdout instead of plain findings
+//	-fix            apply the mechanical errwrap rewrites, then re-lint
+//	-diff <ref>     lint only packages with files changed since the git
+//	                ref (plus untracked); unchanged packages join the
+//	                cross-package taint graph through cached facts
+//	-cache <dir>    per-package fact cache (content-hash keyed); full
+//	                runs warm it, -diff runs read it
+//	-suppressions   print the suppression ledger (every allow directive
+//	                with its reason) and exit
+//	-baseline <f>   enforce the per-rule allow-directive budget in f
+//	-write-baseline rewrite the baseline file from the current tree
 package main
 
 import (
@@ -26,7 +40,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"clite/internal/analysis"
 )
@@ -36,57 +53,308 @@ func main() {
 }
 
 // run is the testable driver body: 0 for a clean tree, 1 for
-// findings or malformed directives, 2 for usage/load errors.
+// findings, malformed directives, or a blown baseline budget, 2 for
+// usage/load errors.
 func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("lint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
-	quiet := flags.Bool("q", false, "suppress the summary line")
+	var (
+		quiet         = flags.Bool("q", false, "suppress the summary line")
+		sarifOut      = flags.Bool("sarif", false, "emit SARIF 2.1.0 on stdout")
+		fix           = flags.Bool("fix", false, "apply mechanical fixes, then re-lint")
+		diffRef       = flags.String("diff", "", "lint only packages changed since this git ref")
+		cacheDir      = flags.String("cache", "", "fact cache directory (empty disables caching)")
+		ledgerOut     = flags.Bool("suppressions", false, "print the suppression ledger and exit")
+		baselineFile  = flags.String("baseline", "", "per-rule suppression budget file to enforce")
+		writeBaseline = flags.Bool("write-baseline", false, "rewrite the baseline file from the current tree")
+	)
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
 	patterns := flags.Args()
 	if len(patterns) == 0 {
-		fmt.Fprintln(stderr, "usage: lint [-q] <packages>   (e.g. lint ./...)")
+		fmt.Fprintln(stderr, "usage: lint [-q] [-sarif] [-fix] [-diff ref] [-cache dir] [-suppressions] [-baseline file [-write-baseline]] <packages>")
 		return 2
 	}
-	pkgs, err := analysis.NewLoader().LoadPatterns(patterns)
-	if err != nil {
-		fmt.Fprintln(stderr, "lint:", err)
+	if *writeBaseline && *baselineFile == "" {
+		fmt.Fprintln(stderr, "lint: -write-baseline requires -baseline")
 		return 2
 	}
-	rep := analysis.Run(pkgs, analysis.Rules())
-	for _, f := range rep.Findings {
-		fmt.Fprintln(stdout, relativize(f).String())
+
+	var cache *analysis.FactCache
+	if *cacheDir != "" {
+		cache = &analysis.FactCache{Dir: *cacheDir}
 	}
-	for _, f := range rep.BadDirectives {
-		fmt.Fprintln(stdout, relativize(f).String())
+
+	// -diff never type-checks unchanged packages: patterns expand to
+	// bare (dir, path) refs first, changed dirs load, the rest join
+	// the taint graph as cached facts only.
+	var pkgs []*analysis.Package
+	var external []*analysis.PackageFact
+	loader := analysis.NewLoader()
+	if *diffRef != "" {
+		refs, err := analysis.ExpandPatterns(patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, "lint:", err)
+			return 2
+		}
+		changed, err := changedDirs(*diffRef)
+		if err != nil {
+			fmt.Fprintln(stderr, "lint:", err)
+			return 2
+		}
+		for _, ref := range refs {
+			if changed[filepath.Clean(ref.Dir)] {
+				pkg, err := loader.Load(ref.Dir, ref.Path)
+				if err != nil {
+					fmt.Fprintln(stderr, "lint:", err)
+					return 2
+				}
+				if pkg != nil {
+					pkgs = append(pkgs, pkg)
+				}
+				continue
+			}
+			if cache != nil {
+				if hash, err := analysis.HashPackageDir(ref.Dir); err == nil {
+					if pf := cache.Load(ref.Path, hash); pf != nil {
+						external = append(external, pf)
+					}
+				}
+			}
+		}
+	} else {
+		var err error
+		pkgs, err = loader.LoadPatterns(patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, "lint:", err)
+			return 2
+		}
 	}
+
+	if *fix {
+		edits := analysis.FixEdits(pkgs)
+		if len(edits) > 0 {
+			fixed, err := analysis.ApplyEdits(edits)
+			if err != nil {
+				fmt.Fprintln(stderr, "lint:", err)
+				return 2
+			}
+			if !*quiet {
+				for _, f := range fixed {
+					fmt.Fprintln(stderr, "fixed:", f)
+				}
+			}
+			// The fixed sources on disk are the ones to judge.
+			pkgs, err = analysis.NewLoader().LoadPatterns(patterns)
+			if err != nil {
+				fmt.Fprintln(stderr, "lint:", err)
+				return 2
+			}
+		}
+	}
+
+	rep, gr := analysis.RunGraph(pkgs, analysis.Rules(), external)
+	if *diffRef != "" {
+		// Cross-package taint findings landing in UNCHANGED packages:
+		// a changed helper can push entropy into a deterministic
+		// package this run never loaded.
+		loaded := make(map[string]bool, len(pkgs))
+		for _, p := range pkgs {
+			loaded[p.Path] = true
+		}
+		rep.Findings = append(rep.Findings, analysis.TaintFindingsOutside(gr.Graph, loaded)...)
+		analysis.SortFindings(rep.Findings)
+	}
+	if cache != nil {
+		for _, pf := range gr.Fresh {
+			if err := cache.Store(pf); err != nil {
+				fmt.Fprintln(stderr, "lint: warning: fact cache:", err)
+				break
+			}
+		}
+	}
+
+	if *ledgerOut {
+		printLedger(stdout, gr.Ledger)
+		return 0
+	}
+	if *sarifOut {
+		if err := writeSARIF(stdout, rep); err != nil {
+			fmt.Fprintln(stderr, "lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Fprintln(stdout, relativize(f).String())
+		}
+		for _, f := range rep.BadDirectives {
+			fmt.Fprintln(stdout, relativize(f).String())
+		}
+	}
+
+	failed := rep.Failed()
+	if *baselineFile != "" {
+		if *writeBaseline {
+			if err := writeBudget(*baselineFile, gr.Ledger); err != nil {
+				fmt.Fprintln(stderr, "lint:", err)
+				return 2
+			}
+		} else {
+			over, err := checkBudget(*baselineFile, gr.Ledger)
+			if err != nil {
+				fmt.Fprintln(stderr, "lint:", err)
+				return 2
+			}
+			for _, line := range over {
+				fmt.Fprintln(stdout, line)
+				failed = true
+			}
+		}
+	}
+
 	if !*quiet {
 		for _, f := range rep.UnusedDirectives {
 			fmt.Fprintln(stderr, "note:", relativize(f).String())
 		}
 		fmt.Fprintln(stderr, rep.Summary())
 	}
-	if rep.Failed() {
+	if failed {
 		return 1
 	}
 	return 0
+}
+
+// changedDirs asks git for the directories holding .go files changed
+// since ref, plus untracked ones — the -diff re-analysis set.
+func changedDirs(ref string) (map[string]bool, error) {
+	dirs := map[string]bool{}
+	for _, argv := range [][]string{
+		{"git", "diff", "--name-only", ref, "--", "*.go"},
+		{"git", "ls-files", "--others", "--exclude-standard", "--", "*.go"},
+	} {
+		out, err := exec.Command(argv[0], argv[1:]...).Output()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", strings.Join(argv, " "), err)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				dirs[filepath.Clean(filepath.Dir(line))] = true
+			}
+		}
+	}
+	return dirs, nil
+}
+
+// printLedger renders the suppression ledger: every allow directive
+// with its reason, then per-rule totals.
+func printLedger(w io.Writer, ledger []analysis.LedgerEntry) {
+	counts := map[string]int{}
+	for _, e := range ledger {
+		fmt.Fprintf(w, "%s:%d: [%s] %s\n", relPath(e.Pos.Filename), e.Pos.Line, e.Rule, e.Reason)
+		counts[e.Rule]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		fmt.Fprintf(w, "total %s %d\n", r, counts[r])
+	}
+}
+
+// checkBudget compares the ledger's per-rule directive counts against
+// the checked-in budget, returning one failure line per rule over
+// budget. Rules absent from the baseline have budget zero, so a new
+// rule cannot silently accrete allows.
+func checkBudget(file string, ledger []analysis.LedgerEntry) ([]string, error) {
+	budget, err := readBudget(file)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, e := range ledger {
+		counts[e.Rule]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	var over []string
+	for _, r := range rules {
+		if counts[r] > budget[r] {
+			over = append(over, fmt.Sprintf("%s: [budget] %d %s allows in tree, budget is %d; remove one or justify raising %s",
+				file, counts[r], r, budget[r], file))
+		}
+	}
+	return over, nil
+}
+
+// readBudget parses "rule count" lines; # comments and blanks skip.
+func readBudget(file string) (map[string]int, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	budget := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var rule string
+		var n int
+		if _, err := fmt.Sscanf(line, "%s %d", &rule, &n); err != nil {
+			return nil, fmt.Errorf("%s:%d: want \"rule count\", got %q", file, i+1, line)
+		}
+		budget[rule] = n
+	}
+	return budget, nil
+}
+
+// writeBudget rewrites the baseline from the current ledger.
+func writeBudget(file string, ledger []analysis.LedgerEntry) error {
+	counts := map[string]int{}
+	for _, e := range ledger {
+		counts[e.Rule]++
+	}
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	var b strings.Builder
+	b.WriteString("# lint.baseline — per-rule budget of //lint:allow directives.\n")
+	b.WriteString("# make lint fails when a rule's allow count in the tree exceeds its\n")
+	b.WriteString("# budget; shrinking is always free. Regenerate deliberately with\n")
+	b.WriteString("#   go run ./cmd/lint -baseline lint.baseline -write-baseline ./...\n")
+	for _, r := range rules {
+		fmt.Fprintf(&b, "%s %d\n", r, counts[r])
+	}
+	return os.WriteFile(file, []byte(b.String()), 0o644)
 }
 
 // relativize rewrites the finding's filename relative to the working
 // directory so output is stable and clickable regardless of how the
 // pattern was spelled.
 func relativize(f analysis.Finding) analysis.Finding {
+	f.Pos.Filename = relPath(f.Pos.Filename)
+	return f
+}
+
+func relPath(name string) string {
 	wd, err := os.Getwd()
 	if err != nil {
-		return f
+		return name
 	}
-	abs, err := filepath.Abs(f.Pos.Filename)
+	abs, err := filepath.Abs(name)
 	if err != nil {
-		return f
+		return name
 	}
 	if rel, err := filepath.Rel(wd, abs); err == nil && !filepath.IsAbs(rel) {
-		f.Pos.Filename = rel
+		return rel
 	}
-	return f
+	return name
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"clite/internal/analysis"
+)
+
+// SARIF 2.1.0 output, the shape GitHub code scanning ingests: one run,
+// the 8-rule driver catalogue, findings and malformed directives as
+// error-level results, stale allows as warnings. URIs are
+// wd-relative with %SRCROOT% as the base so upload works from any
+// checkout path.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+// writeSARIF renders the report as a SARIF 2.1.0 log on w.
+func writeSARIF(w io.Writer, rep analysis.Report) error {
+	driver := sarifDriver{
+		Name:           "clite-lint",
+		InformationURI: "https://github.com/clite/clite/blob/main/DESIGN.md",
+	}
+	for _, r := range analysis.Rules() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.Name,
+			ShortDescription: sarifText{Text: r.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(rep.Findings)+len(rep.BadDirectives)+len(rep.UnusedDirectives))
+	for _, f := range rep.Findings {
+		results = append(results, toResult(f, "error"))
+	}
+	for _, f := range rep.BadDirectives {
+		results = append(results, toResult(f, "error"))
+	}
+	for _, f := range rep.UnusedDirectives {
+		results = append(results, toResult(f, "warning"))
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+func toResult(f analysis.Finding, level string) sarifResult {
+	return sarifResult{
+		RuleID:  f.Rule,
+		Level:   level,
+		Message: sarifText{Text: f.Message},
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{
+					URI:       filepath.ToSlash(relPath(f.Pos.Filename)),
+					URIBaseID: "%SRCROOT%",
+				},
+				Region: sarifRegion{StartLine: f.Pos.Line},
+			},
+		}},
+	}
+}

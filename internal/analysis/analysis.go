@@ -7,14 +7,25 @@
 // `make tier1` instead of only when a runtime byte-identity test
 // happens to drive the offending path.
 //
-// The suite is catalogued in DESIGN.md §11. The rules:
+// The suite is catalogued in DESIGN.md §11 (intra-package rules) and
+// §16 (the fact/call-graph engine and flow-aware rules). The rules:
 //
 //   - detrand: no wall-clock or global math/rand in deterministic
 //     packages; internal/stats.RNG is the one sanctioned entropy
 //     source.
+//   - dettaint: the transitive completion of detrand over the fact
+//     call graph — a deterministic package may not reach a clock,
+//     global-rand, or order-sensitive map-iteration site through a
+//     helper in ANY other package.
 //   - maporder: no map iteration whose body appends to an outer
 //     slice, emits telemetry, or writes output without a sort —
 //     the classic byte-identity killer.
+//   - parcapture: closures handed to par.Go/par.ForEach write only
+//     slot-indexed state, capture only settled variables, and draw
+//     only from per-shard RNG streams.
+//   - emitorder: no trace emission (direct or transitive) from a par
+//     closure outside the private-tracer-merge-in-commit-order
+//     pattern.
 //   - errwrap: sentinel errors compared with errors.Is, never ==,
 //     and fmt.Errorf propagating an error must use %w.
 //   - telnil: telemetry handle calls whose arguments do work must be
@@ -54,9 +65,13 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
 }
 
-// Pass is one rule's view of one type-checked package.
+// Pass is one rule's view of one type-checked package. Graph carries
+// the module-wide fact call graph for the flow-aware rules; the
+// intra-package rules ignore it (and it may be nil when a rule is
+// driven standalone in tests).
 type Pass struct {
-	Pkg *Package
+	Pkg   *Package
+	Graph *FactGraph
 }
 
 // Rule is one analyzer. Run inspects the package and returns raw
@@ -77,7 +92,10 @@ type Rule struct {
 func Rules() []*Rule {
 	return []*Rule{
 		DetRand(),
+		DetTaint(),
 		MapOrder(),
+		ParCapture(),
+		EmitOrder(),
 		ErrWrap(),
 		TelNil(),
 		FloatEq(),
@@ -85,12 +103,17 @@ func Rules() []*Rule {
 }
 
 // detPackages are the packages whose seeded runs must replay
-// byte-identically (DESIGN.md §11). internal/stats is deliberately
-// absent: stats.RNG is the sanctioned seeded entropy source.
+// byte-identically (DESIGN.md §11, §16). internal/stats is
+// deliberately absent: stats.RNG is the sanctioned seeded entropy
+// source. The simulated-substrate packages (isolation, latsim,
+// workload, qos, resource, policies, doe) joined in PR 10: every
+// byte they produce feeds the deterministic decision paths.
 var detPackages = []string{
 	"core", "bo", "gp", "cluster", "server",
 	"telemetry", "profile", "linalg", "optimize",
 	"replica", "faults", "fleet", "obs",
+	"isolation", "latsim", "workload", "qos",
+	"resource", "policies", "doe",
 }
 
 // numericPackages are the floating-point kernels where exact ==
@@ -99,7 +122,9 @@ var numericPackages = []string{"linalg", "gp", "bo", "optimize"}
 
 // hotPathPackages run inside the per-window controller loop, where
 // the telemetry layer's disabled-means-free contract is load-bearing.
-var hotPathPackages = []string{"core", "bo", "server", "cluster", "faults", "obs"}
+// fleet and replica joined in PR 10: the epoch barrier and the
+// command-log fast path both sit on instrumented hot loops.
+var hotPathPackages = []string{"core", "bo", "server", "cluster", "faults", "obs", "fleet", "replica"}
 
 // scopeTo returns an InScope predicate matching the listed leaf
 // package names under internal/, plus every fixture tree.
@@ -155,17 +180,37 @@ func (r Report) Summary() string {
 }
 
 // Run executes every rule over every package, applies suppression
-// directives, and returns the sorted report.
+// directives, and returns the sorted report. The fact graph is built
+// from the loaded packages alone; see RunGraph for supplying cached
+// facts of packages outside the load set.
 func Run(pkgs []*Package, rules []*Rule) Report {
+	rep, _ := RunGraph(pkgs, rules, nil)
+	return rep
+}
+
+// RunGraph is Run with externally supplied fact sets (from the fact
+// cache) joined into the call graph after the loaded packages' own
+// freshly extracted facts, so the flow-aware rules reason about the
+// whole module while only the loaded packages are type-checked. It
+// returns the report plus the freshly extracted facts (hashless; the
+// driver stamps hashes before caching) and the graph.
+func RunGraph(pkgs []*Package, rules []*Rule, external []*PackageFact) (Report, *GraphResult) {
 	var rep Report
+	sups := make(map[*Package]*suppressions, len(pkgs))
+	fresh := make([]*PackageFact, 0, len(pkgs))
 	for _, pkg := range pkgs {
-		sup := collectDirectives(pkg)
+		sups[pkg] = collectDirectives(pkg)
+		fresh = append(fresh, ExtractFacts(pkg, sups[pkg]))
+	}
+	graph := NewGraph(append(append([]*PackageFact{}, fresh...), external...))
+	for _, pkg := range pkgs {
+		sup := sups[pkg]
 		rep.BadDirectives = append(rep.BadDirectives, sup.bad...)
 		for _, rule := range rules {
 			if rule.InScope != nil && !rule.InScope(pkg.Path) {
 				continue
 			}
-			for _, f := range rule.Run(&Pass{Pkg: pkg}) {
+			for _, f := range rule.Run(&Pass{Pkg: pkg, Graph: graph}) {
 				if sup.allows(f) {
 					rep.Suppressed = append(rep.Suppressed, f)
 				} else {
@@ -178,8 +223,32 @@ func Run(pkgs []*Package, rules []*Rule) Report {
 	for _, fs := range [][]Finding{rep.Findings, rep.Suppressed, rep.BadDirectives, rep.UnusedDirectives} {
 		sortFindings(fs)
 	}
-	return rep
+	var ledger []LedgerEntry
+	for _, pkg := range pkgs {
+		ledger = append(ledger, sups[pkg].ledger()...)
+	}
+	sort.Slice(ledger, func(i, j int) bool {
+		a, b := ledger[i], ledger[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return rep, &GraphResult{Graph: graph, Fresh: fresh, Ledger: ledger}
 }
+
+// GraphResult carries the engine artifacts a driver needs beyond the
+// report: the assembled graph, the freshly extracted facts (for the
+// cache), and the suppression ledger.
+type GraphResult struct {
+	Graph  *FactGraph
+	Fresh  []*PackageFact
+	Ledger []LedgerEntry
+}
+
+// SortFindings orders findings by file, line, column, rule — the
+// stable order every driver output mode relies on.
+func SortFindings(fs []Finding) { sortFindings(fs) }
 
 func sortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {

@@ -164,18 +164,26 @@ func TestSuppression(t *testing.T) {
 // refactor cannot silently drop a package out of the determinism set.
 func TestScope(t *testing.T) {
 	det := ruleByName(t, "detrand")
-	for _, p := range []string{"core", "bo", "gp", "cluster", "server", "telemetry", "profile", "linalg", "optimize", "replica", "faults", "fleet", "obs"} {
+	for _, p := range []string{"core", "bo", "gp", "cluster", "server", "telemetry", "profile", "linalg", "optimize", "replica", "faults", "fleet", "obs",
+		"isolation", "latsim", "workload", "qos", "resource", "policies", "doe"} {
 		if !det.InScope("clite/internal/" + p) {
 			t.Errorf("detrand must cover clite/internal/%s", p)
 		}
+	}
+	dt := ruleByName(t, "dettaint")
+	if !dt.InScope("clite/internal/policies") {
+		t.Error("dettaint must cover clite/internal/policies (placement decisions replay in tier-1)")
 	}
 	tn := ruleByName(t, "telnil")
 	if !tn.InScope("clite/internal/obs") {
 		t.Error("telnil must cover clite/internal/obs (the SLO plane rides the hot path)")
 	}
-	for _, p := range []string{"stats", "harness", "policies"} {
+	if !tn.InScope("clite/internal/fleet") {
+		t.Error("telnil must cover clite/internal/fleet")
+	}
+	for _, p := range []string{"stats", "harness"} {
 		if det.InScope("clite/internal/" + p) {
-			t.Errorf("detrand must not cover clite/internal/%s (stats owns the RNG; harness/policies are not replay-critical)", p)
+			t.Errorf("detrand must not cover clite/internal/%s (stats owns the RNG; the harness is not replay-critical)", p)
 		}
 	}
 	if !det.InScope("clite/internal/analysis/testdata/src/anything") {

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// DetTaint is the transitive completion of detrand: a function in a
+// deterministic package that calls into ANOTHER package whose callee
+// transitively reaches a wall-clock read, a global math/rand draw, or
+// order-sensitive map iteration is a finding — the cross-package
+// helper loophole the intra-package rules cannot see. The finding
+// lands on the outgoing call edge (the point where the deterministic
+// package takes the dependency), with the full laundering chain in
+// the message.
+//
+// Division of labour with detrand: a source inside a deterministic
+// package is detrand's finding at the source line; dettaint only
+// reports edges that LEAVE the function's package, so each package
+// sees its own entry point into the taint and nothing is double
+// reported within one package. A //lint:allow detrand (or dettaint)
+// on the source kills the taint at extraction, so a reasoned
+// metrics-only clock never cascades findings into its callers;
+// internal/stats never carries taint at all (stats.RNG is the
+// sanctioned seeded stream).
+func DetTaint() *Rule {
+	return &Rule{
+		Name:    "dettaint",
+		Doc:     "no transitive wall-clock/global-rand/map-order dependence from deterministic packages",
+		InScope: scopeTo(detPackages),
+		Run:     runDetTaint,
+	}
+}
+
+func runDetTaint(p *Pass) []Finding {
+	if p.Graph == nil {
+		return nil
+	}
+	pf := p.Graph.Package(p.Pkg.Path)
+	if pf == nil {
+		return nil
+	}
+	return taintFindingsFor(p.Graph, pf, false)
+}
+
+// taintFindingsFor computes the dettaint findings for one package's
+// fact set. skipAllowed drops edges carrying a dettaint allow flag —
+// the cached-fact path, where no directive machinery runs; the loaded
+// path keeps them so the normal suppression accounting applies.
+func taintFindingsFor(g *FactGraph, pf *PackageFact, skipAllowed bool) []Finding {
+	var out []Finding
+	for i := range pf.Funcs {
+		ff := &pf.Funcs[i]
+		for _, e := range ff.Calls {
+			if skipAllowed && e.Allowed {
+				continue
+			}
+			callee := g.Func(e.Callee)
+			if callee == nil || callee.Pkg == ff.Pkg || statsPackage(callee.Pkg) {
+				continue
+			}
+			tr := g.Taint(e.Callee)
+			if tr == nil {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:  token.Position{Filename: e.File, Line: e.Line},
+				Rule: "dettaint",
+				Message: fmt.Sprintf("call to %s transitively reaches %s at %s:%d (%s); deterministic package %s must use simulated time and stats.RNG",
+					shortFuncName(e.Callee), tr.Src.What, tr.Src.File, tr.Src.Line,
+					chainString(tr.Chain), leafName(ff.Pkg)),
+			})
+		}
+	}
+	return out
+}
+
+// TaintFindingsOutside computes dettaint findings from facts alone
+// for every in-scope package in the graph NOT in the loaded set — the
+// -diff path, where unchanged packages exist only as cached facts.
+// Allow-flagged edges (suppressed when the facts were built) are
+// skipped.
+func TaintFindingsOutside(g *FactGraph, loaded map[string]bool) []Finding {
+	inScope := scopeTo(detPackages)
+	var out []Finding
+	for _, path := range g.Packages() {
+		if loaded[path] || !inScope(path) {
+			continue
+		}
+		out = append(out, taintFindingsFor(g, g.Package(path), true)...)
+	}
+	sortFindings(out)
+	return out
+}

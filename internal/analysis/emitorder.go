@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EmitOrder guards the byte-identical trace contract inside the
+// worker pool: telemetry events appended to a SHARED tracer from a
+// par.Go/par.ForEach closure land in goroutine-schedule order, which
+// silently breaks the decision-log/trace byte-identity every tier-1
+// invariance test pins. The sanctioned pattern (DESIGN.md §10) is a
+// private tracer per unit of speculative work, merged into the shared
+// stream sequentially in commit order after the pool drains.
+//
+// Inside a closure passed to par.Go or par.ForEach:
+//
+//   - a Tracer emit (Emit/Begin/End/Merge/MergeDrain) is a finding
+//     unless the receiver is a tracer constructed inside the closure
+//     (telemetry.NewTracer — the private stream) or a slot-indexed
+//     element of a captured container (a per-slot tracer);
+//   - a call to a function that TRANSITIVELY emits onto a tracer it
+//     did not construct is a finding, resolved over the fact graph,
+//     with the chain in the message. Propagation stops at tracer
+//     boundaries: a callee that constructs a fresh tracer is assumed
+//     to implement the private-stream pattern.
+//
+// The analyzer cannot see that a captured scheduler's tracer is
+// itself private to the worker's cell (the fleet's cells-own-their-
+// scheduler design); such sites take a //lint:allow emitorder naming
+// the merge point.
+func EmitOrder() *Rule {
+	return &Rule{
+		Name: "emitorder",
+		Doc:  "par closures must trace into private tracers merged in commit order",
+		Run:  runEmitOrder,
+	}
+}
+
+func runEmitOrder(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		for _, pc := range p.parClosures(file) {
+			out = append(out, p.checkEmitOrder(pc)...)
+		}
+	}
+	return out
+}
+
+func (p *Pass) checkEmitOrder(pc parClosure) []Finding {
+	var out []Finding
+	slot := p.slotDerived(pc.fn)
+
+	// Tracers constructed inside the closure are private streams.
+	private := map[types.Object]bool{}
+	ast.Inspect(pc.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && p.isNewTracerCall(call) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := p.objectOf(id); obj != nil {
+						private[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(pc.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if handle, ok := telemetryHandle(p.typeOf(sel.X)); ok && handle == "Tracer" &&
+				tracerEmitMethods[sel.Sel.Name] {
+				if !p.privateOrSlotTracer(sel.X, private, slot, pc.fn) {
+					out = append(out, p.finding("emitorder", call.Pos(),
+						"Tracer.%s on shared tracer %s inside par.%s closure orders the trace by goroutine schedule; record into a private tracer and merge in commit order (DESIGN.md §10)",
+						sel.Sel.Name, types.ExprString(sel.X), pc.method))
+				}
+				return true
+			}
+		}
+		// Transitive emissions through the call graph.
+		if p.Graph == nil {
+			return true
+		}
+		callee := p.resolvedCallee(call)
+		if callee == nil || callee.Pkg() == nil ||
+			modRoot(callee.Pkg().Path()) != modRoot(p.Pkg.Path) {
+			return true
+		}
+		if tr := p.Graph.Emits(qualifiedFuncName(callee)); tr != nil {
+			out = append(out, p.finding("emitorder", call.Pos(),
+				"call to %s inside par.%s closure transitively emits %s at %s:%d (%s) onto a tracer it does not own; route speculative work through a private tracer merged in commit order",
+				shortFuncName(qualifiedFuncName(callee)), pc.method,
+				tr.What, tr.File, tr.Line, chainString(tr.Chain)))
+		}
+		return true
+	})
+	return out
+}
+
+// privateOrSlotTracer reports whether the tracer expression is a
+// sanctioned stream for a par worker: a closure-local private tracer,
+// or a slot-indexed element of a captured per-slot container.
+func (p *Pass) privateOrSlotTracer(e ast.Expr, private map[types.Object]bool, slot map[types.Object]bool, fn *ast.FuncLit) bool {
+	root, ok := rootIdent(e)
+	if !ok {
+		return false
+	}
+	obj := p.objectOf(root)
+	if obj == nil {
+		return false
+	}
+	if private[obj] || slot[obj] {
+		return true
+	}
+	// trs[i].… — any slot-derived index on the access path sanctions
+	// the emit as per-slot state.
+	return p.slotIndexedPath(e, slot)
+}

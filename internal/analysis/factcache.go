@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The fact cache persists one PackageFact per package, keyed by a
+// content hash of the package's non-test sources. Facts are a pure
+// function of those sources (resolved callee names are stable
+// symbols), so a hash hit means the cached entry is exact — no
+// staleness window, no invalidation protocol. The -diff driver leans
+// on this: it type-checks only the changed packages and reassembles
+// the rest of the module's call graph from cache, which is what keeps
+// a one-package lint under the 10-second PR budget while dettaint
+// still sees cross-package taint in both directions.
+
+// cacheFormatVersion is bumped whenever FuncFact gains fields, so old
+// entries miss instead of decoding partially.
+const cacheFormatVersion = 1
+
+// cacheEnvelope is the on-disk shape: a version gate around the fact
+// set.
+type cacheEnvelope struct {
+	Version int          `json:"version"`
+	Fact    *PackageFact `json:"fact"`
+}
+
+// EncodeFacts renders a fact set to its canonical cache bytes.
+func EncodeFacts(pf *PackageFact) ([]byte, error) {
+	return json.MarshalIndent(cacheEnvelope{Version: cacheFormatVersion, Fact: pf}, "", "\t")
+}
+
+// DecodeFacts parses cache bytes. A wrong version, malformed JSON, or
+// an empty fact is an error — callers treat any error as a cache miss.
+func DecodeFacts(data []byte) (*PackageFact, error) {
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("analysis: decoding facts: %w", err)
+	}
+	if env.Version != cacheFormatVersion {
+		return nil, fmt.Errorf("analysis: fact cache version %d, want %d", env.Version, cacheFormatVersion)
+	}
+	if env.Fact == nil || env.Fact.Path == "" {
+		return nil, fmt.Errorf("analysis: fact cache entry has no package")
+	}
+	return env.Fact, nil
+}
+
+// HashPackageDir hashes the non-test .go sources of dir: file names
+// and contents in sorted order. The hash keys the fact cache.
+func HashPackageDir(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s %d\n", n, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// FactCache is a directory of per-package fact files.
+type FactCache struct {
+	Dir string
+}
+
+// entryPath flattens an import path into a file name.
+func (c *FactCache) entryPath(pkgPath string) string {
+	return filepath.Join(c.Dir, strings.ReplaceAll(pkgPath, "/", "__")+".facts.json")
+}
+
+// Load returns the cached facts for pkgPath if present and still
+// matching wantHash; any miss (absent, stale, undecodable) returns
+// nil.
+func (c *FactCache) Load(pkgPath, wantHash string) *PackageFact {
+	if c == nil || c.Dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(c.entryPath(pkgPath))
+	if err != nil {
+		return nil
+	}
+	pf, err := DecodeFacts(data)
+	if err != nil || pf.Path != pkgPath || pf.Hash != wantHash {
+		return nil
+	}
+	return pf
+}
+
+// Store writes the fact set (pf.Hash must be set by the caller).
+func (c *FactCache) Store(pf *PackageFact) error {
+	if c == nil || c.Dir == "" || pf == nil {
+		return nil
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := EncodeFacts(pf)
+	if err != nil {
+		return err
+	}
+	tmp := c.entryPath(pf.Path) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.entryPath(pf.Path))
+}

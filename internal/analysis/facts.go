@@ -1,0 +1,547 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the second-generation engine's data layer: per-package
+// exported facts and the lightweight call graph over them
+// (DESIGN.md §16). A fact set is everything the flow-aware rules need
+// to know about a package without re-type-checking it:
+//
+//   - which functions directly read the wall clock, draw from global
+//     math/rand, or contain order-sensitive map iteration (the taint
+//     sources dettaint propagates);
+//   - the static intra-module call edges out of every function, with
+//     call-site positions (the graph dettaint and emitorder walk);
+//   - which functions emit onto a trace stream they did not create
+//     locally, and which construct a private tracer (the boundary of
+//     the private-tracer-merge-in-commit-order pattern).
+//
+// Facts are a pure function of a package's own source (callee names
+// are resolved symbols, but symbols are stable across dependency
+// edits), so they cache on a content hash and a -diff run can reason
+// about the whole module while type-checking only the changed
+// packages.
+
+// Taint source kinds.
+const (
+	TaintClock    = "clock"
+	TaintRand     = "rand"
+	TaintMapOrder = "map-order"
+)
+
+// Source is one direct determinism-taint site inside a function.
+type Source struct {
+	Kind string `json:"kind"` // clock | rand | map-order
+	What string `json:"what"` // e.g. "time.Now", "rand.Intn", "append inside map range"
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// CallEdge is one static call out of a function to another function
+// in the same module. Interface dispatch and function values cannot
+// be resolved statically and carry no edge (DESIGN.md §16 documents
+// the soundness bound).
+type CallEdge struct {
+	Callee  string `json:"callee"` // package-qualified name
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Allowed bool   `json:"allowed,omitempty"` // a dettaint allow covers the call site
+}
+
+// FuncFact is everything the flow-aware rules export about one
+// function.
+type FuncFact struct {
+	Name string `json:"name"` // qualified: pkgpath.Func or pkgpath.Recv.Method
+	Pkg  string `json:"pkg"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+
+	Sources []Source   `json:"sources,omitempty"`
+	Calls   []CallEdge `json:"calls,omitempty"`
+
+	// EmitsTrace: the body emits/merges onto a tracer it did not
+	// construct locally (the stream may be shared).
+	EmitsTrace bool   `json:"emits_trace,omitempty"`
+	EmitWhat   string `json:"emit_what,omitempty"`
+	EmitFile   string `json:"emit_file,omitempty"`
+	EmitLine   int    `json:"emit_line,omitempty"`
+
+	// TracerBoundary: the body constructs a fresh telemetry.NewTracer,
+	// the signature of the private-tracer pattern; emit taint from its
+	// callees is assumed contained and not propagated through it.
+	TracerBoundary bool `json:"tracer_boundary,omitempty"`
+}
+
+// PackageFact is one package's exported fact set.
+type PackageFact struct {
+	Path  string     `json:"path"`
+	Hash  string     `json:"hash"` // content hash of the non-test sources
+	Funcs []FuncFact `json:"funcs"`
+}
+
+// modRoot returns the first element of an import path — the module
+// root for intra-module paths.
+func modRoot(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// statsPackage reports whether path is the sanctioned entropy package:
+// taint never propagates out of internal/stats, because stats.RNG is
+// the seeded stream every deterministic component is told to use.
+func statsPackage(path string) bool {
+	return strings.HasSuffix(path, "/internal/stats")
+}
+
+// telemetryPackage reports whether path is the telemetry package
+// itself (its own internals manage the stream locks and are not
+// emit-taint carriers).
+func telemetryPackage(path string) bool {
+	return strings.HasSuffix(path, "/internal/telemetry")
+}
+
+// ExtractFacts computes the package's fact set. sup (may be nil)
+// supplies the suppression directives: sources and emit sites covered
+// by a matching allow are dropped at extraction so a reasoned
+// suppression kills taint at its origin instead of leaking findings
+// into every transitive caller; call edges covered by a dettaint
+// allow are kept but flagged, so the loaded-package rule path still
+// drives the normal directive accounting while cached-fact consumers
+// skip them.
+func ExtractFacts(pkg *Package, sup *suppressions) *PackageFact {
+	p := &Pass{Pkg: pkg}
+	pf := &PackageFact{Path: pkg.Path}
+	// Facts are a pure function of the package's own sources, so the
+	// content hash alone keys the cache — no invalidation protocol.
+	if hash, err := HashPackageDir(pkg.Dir); err == nil {
+		pf.Hash = hash
+	}
+	covered := func(rules []string, pos ast.Node) bool {
+		if sup == nil {
+			return false
+		}
+		position := p.position(pos.Pos())
+		for _, r := range rules {
+			if sup.covered(Finding{Pos: position, Rule: r}) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ff := FuncFact{
+				Name: p.declQualifiedName(fd),
+				Pkg:  pkg.Path,
+				File: p.position(fd.Pos()).Filename,
+				Line: p.position(fd.Pos()).Line,
+			}
+			p.extractBody(fd.Body, &ff, covered)
+			// Order-sensitive map iteration is a taint source of its
+			// own kind: reuse the maporder detector over the body.
+			for _, f := range p.mapRangesIn(fd.Body) {
+				if sup != nil && (sup.covered(Finding{Pos: f.Pos, Rule: "maporder"}) ||
+					sup.covered(Finding{Pos: f.Pos, Rule: "dettaint"})) {
+					continue
+				}
+				ff.Sources = append(ff.Sources, Source{
+					Kind: TaintMapOrder, What: "order-sensitive map iteration",
+					File: f.Pos.Filename, Line: f.Pos.Line,
+				})
+				break // one source per function is enough to taint it
+			}
+			pf.Funcs = append(pf.Funcs, ff)
+		}
+	}
+	sort.Slice(pf.Funcs, func(i, j int) bool { return pf.Funcs[i].Name < pf.Funcs[j].Name })
+	return pf
+}
+
+// extractBody walks one function body for direct taint sources, call
+// edges, and trace-emission facts.
+func (p *Pass) extractBody(body *ast.BlockStmt, ff *FuncFact, covered func([]string, ast.Node) bool) {
+	// Locals assigned from telemetry.NewTracer() are private streams;
+	// emitting on them is the sanctioned pattern, not an emit fact.
+	private := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && p.isNewTracerCall(call) {
+					if id, ok := as.Lhs[i].(*ast.Ident); ok {
+						if obj := p.objectOf(id); obj != nil {
+							private[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if p.isNewTracerCall(call) {
+			ff.TracerBoundary = true
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			// Direct clock / global-rand sources.
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pn := p.pkgNameOf(id); pn != nil {
+					switch path := pn.Imported().Path(); {
+					case path == "time" && clockFuncs[sel.Sel.Name]:
+						if !covered([]string{"detrand", "dettaint"}, sel) {
+							pos := p.position(sel.Pos())
+							ff.Sources = append(ff.Sources, Source{
+								Kind: TaintClock, What: "time." + sel.Sel.Name,
+								File: pos.Filename, Line: pos.Line,
+							})
+						}
+						return true
+					case path == "math/rand" || path == "math/rand/v2":
+						if !covered([]string{"detrand", "dettaint"}, sel) {
+							pos := p.position(sel.Pos())
+							ff.Sources = append(ff.Sources, Source{
+								Kind: TaintRand, What: "rand." + sel.Sel.Name,
+								File: pos.Filename, Line: pos.Line,
+							})
+						}
+						return true
+					}
+				}
+			}
+			// Trace emissions on a stream the function did not create.
+			if handle, ok := telemetryHandle(p.typeOf(sel.X)); ok && handle == "Tracer" &&
+				tracerEmitMethods[sel.Sel.Name] {
+				if !p.isPrivateTracerExpr(sel.X, private) && !ff.EmitsTrace &&
+					!covered([]string{"emitorder"}, sel) {
+					pos := p.position(sel.Pos())
+					ff.EmitsTrace = true
+					ff.EmitWhat = "Tracer." + sel.Sel.Name
+					ff.EmitFile = pos.Filename
+					ff.EmitLine = pos.Line
+				}
+				return true
+			}
+		}
+		// Static intra-module call edge.
+		callee := p.resolvedCallee(call)
+		if callee == nil {
+			return true
+		}
+		cPkg := callee.Pkg()
+		if cPkg == nil || modRoot(cPkg.Path()) != modRoot(p.Pkg.Path) {
+			return true
+		}
+		pos := p.position(call.Pos())
+		ff.Calls = append(ff.Calls, CallEdge{
+			Callee: qualifiedFuncName(callee),
+			File:   pos.Filename, Line: pos.Line,
+			Allowed: covered([]string{"dettaint"}, call),
+		})
+		return true
+	})
+}
+
+// tracerEmitMethods are the Tracer methods that append to the event
+// stream. Merge and MergeDrain count: they are emission points on the
+// destination stream.
+var tracerEmitMethods = map[string]bool{
+	"Emit": true, "Begin": true, "End": true, "Merge": true, "MergeDrain": true,
+}
+
+// isNewTracerCall reports whether call is telemetry.NewTracer(...).
+func (p *Pass) isNewTracerCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewTracer" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn := p.pkgNameOf(id)
+	return pn != nil && telemetryPackage(pn.Imported().Path())
+}
+
+// isPrivateTracerExpr reports whether the tracer expression's root is
+// a local known to hold a freshly constructed tracer.
+func (p *Pass) isPrivateTracerExpr(e ast.Expr, private map[types.Object]bool) bool {
+	if id, ok := rootIdent(e); ok {
+		if obj := p.objectOf(id); obj != nil {
+			return private[obj]
+		}
+	}
+	return false
+}
+
+// rootIdent peels selectors, indexes, parens, stars and type asserts
+// down to the base identifier of an expression chain.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v, true
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// objectOf resolves an identifier to its object via Uses or Defs.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj, ok := p.Pkg.Info.Uses[id]; ok {
+		return obj
+	}
+	if obj, ok := p.Pkg.Info.Defs[id]; ok {
+		return obj
+	}
+	return nil
+}
+
+// resolvedCallee returns the statically resolved *types.Func a call
+// targets, or nil for interface dispatch, function values, builtins
+// and conversions.
+func (p *Pass) resolvedCallee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Pkg.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		if types.IsInterface(recv.Type()) {
+			return nil // dynamic dispatch: no static edge
+		}
+	}
+	return fn
+}
+
+// qualifiedFuncName renders a *types.Func as pkgpath.Name or
+// pkgpath.Recv.Name.
+func qualifiedFuncName(f *types.Func) string {
+	name := f.Name()
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if pt, ok := t.(*types.Pointer); ok {
+			t = pt.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if f.Pkg() == nil {
+		return name
+	}
+	return f.Pkg().Path() + "." + name
+}
+
+// declQualifiedName renders a declaration's qualified name matching
+// qualifiedFuncName's spelling.
+func (p *Pass) declQualifiedName(fd *ast.FuncDecl) string {
+	if obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		return qualifiedFuncName(obj)
+	}
+	return p.Pkg.Path + "." + fd.Name.Name
+}
+
+// --- the call graph ---
+
+// FactGraph indexes fact sets by function for transitive queries.
+type FactGraph struct {
+	funcs map[string]*FuncFact
+	pkgs  map[string]*PackageFact
+
+	taintMemo map[string]*TaintTrace
+	emitMemo  map[string]*EmitTrace
+}
+
+// NewGraph builds a graph over the given fact sets. Later duplicates
+// of a package path are ignored (loaded facts win over cached ones
+// when the caller appends cache entries after fresh extractions).
+func NewGraph(facts []*PackageFact) *FactGraph {
+	g := &FactGraph{
+		funcs:     map[string]*FuncFact{},
+		pkgs:      map[string]*PackageFact{},
+		taintMemo: map[string]*TaintTrace{},
+		emitMemo:  map[string]*EmitTrace{},
+	}
+	for _, pf := range facts {
+		if pf == nil || g.pkgs[pf.Path] != nil {
+			continue
+		}
+		g.pkgs[pf.Path] = pf
+		for i := range pf.Funcs {
+			ff := &pf.Funcs[i]
+			if g.funcs[ff.Name] == nil {
+				g.funcs[ff.Name] = ff
+			}
+		}
+	}
+	return g
+}
+
+// Package returns the fact set for an import path, or nil.
+func (g *FactGraph) Package(path string) *PackageFact { return g.pkgs[path] }
+
+// Func returns the fact for a qualified function name, or nil.
+func (g *FactGraph) Func(name string) *FuncFact { return g.funcs[name] }
+
+// Packages returns every package path in the graph, sorted.
+func (g *FactGraph) Packages() []string {
+	out := make([]string, 0, len(g.pkgs))
+	for p := range g.pkgs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TaintTrace describes how a function transitively reaches a
+// determinism-taint source.
+type TaintTrace struct {
+	Chain []string // qualified names, queried function first
+	Src   Source
+}
+
+// Taint reports whether the named function transitively reaches a
+// clock/rand/map-order source, returning the (shortest-discovered)
+// chain, or nil when clean. internal/stats is exempt: it is the
+// sanctioned seeded entropy source.
+func (g *FactGraph) Taint(name string) *TaintTrace {
+	return g.taint(name, map[string]bool{})
+}
+
+func (g *FactGraph) taint(name string, onPath map[string]bool) *TaintTrace {
+	if tr, ok := g.taintMemo[name]; ok {
+		return tr
+	}
+	ff := g.funcs[name]
+	if ff == nil || statsPackage(ff.Pkg) || onPath[name] {
+		return nil
+	}
+	if len(ff.Sources) > 0 {
+		tr := &TaintTrace{Chain: []string{name}, Src: ff.Sources[0]}
+		g.taintMemo[name] = tr
+		return tr
+	}
+	onPath[name] = true
+	defer delete(onPath, name)
+	for _, e := range ff.Calls {
+		if sub := g.taint(e.Callee, onPath); sub != nil {
+			tr := &TaintTrace{Chain: append([]string{name}, sub.Chain...), Src: sub.Src}
+			g.taintMemo[name] = tr
+			return tr
+		}
+	}
+	g.taintMemo[name] = nil
+	return nil
+}
+
+// EmitTrace describes how a function transitively emits onto a trace
+// stream it does not own.
+type EmitTrace struct {
+	Chain []string
+	What  string
+	File  string
+	Line  int
+}
+
+// Emits reports whether the named function transitively emits trace
+// events outside the private-tracer pattern. Propagation stops at
+// tracer boundaries: a function that constructs a fresh tracer is
+// assumed to implement the private-stream half of the contract (the
+// merge-in-commit-order half stays a review/suppression concern).
+func (g *FactGraph) Emits(name string) *EmitTrace {
+	return g.emits(name, map[string]bool{})
+}
+
+func (g *FactGraph) emits(name string, onPath map[string]bool) *EmitTrace {
+	if tr, ok := g.emitMemo[name]; ok {
+		return tr
+	}
+	ff := g.funcs[name]
+	if ff == nil || telemetryPackage(ff.Pkg) || onPath[name] {
+		return nil
+	}
+	if ff.EmitsTrace {
+		tr := &EmitTrace{Chain: []string{name}, What: ff.EmitWhat, File: ff.EmitFile, Line: ff.EmitLine}
+		g.emitMemo[name] = tr
+		return tr
+	}
+	if ff.TracerBoundary {
+		g.emitMemo[name] = nil
+		return nil
+	}
+	onPath[name] = true
+	defer delete(onPath, name)
+	for _, e := range ff.Calls {
+		if sub := g.emits(e.Callee, onPath); sub != nil {
+			tr := &EmitTrace{Chain: append([]string{name}, sub.Chain...), What: sub.What, File: sub.File, Line: sub.Line}
+			g.emitMemo[name] = tr
+			return tr
+		}
+	}
+	g.emitMemo[name] = nil
+	return nil
+}
+
+// chainString renders a call chain for a finding message, eliding the
+// middle of very deep chains.
+func chainString(chain []string) string {
+	short := make([]string, len(chain))
+	for i, c := range chain {
+		short[i] = shortFuncName(c)
+	}
+	if len(short) > 6 {
+		short = append(short[:3], append([]string{"…"}, short[len(short)-2:]...)...)
+	}
+	return strings.Join(short, " → ")
+}
+
+// shortFuncName compresses pkgpath.Func to leafpkg.Func.
+func shortFuncName(q string) string {
+	i := strings.LastIndex(q, "/")
+	if i < 0 {
+		return q
+	}
+	return q[i+1:]
+}

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The -fix engine: mechanical rewrites for the errwrap rule's two
+// fully mechanical shapes —
+//
+//   - `err == ErrX` → `errors.Is(err, ErrX)` (and != → !errors.Is),
+//     adding the "errors" import when missing;
+//   - fmt.Errorf("... %v ...", err) → the error argument's verb
+//     rewritten to %w.
+//
+// Switch-case sentinels stay manual (turning a switch into an
+// if/else chain is a judgement call), and suppressed sites are never
+// touched: a reasoned //lint:allow is an explicit human decision the
+// fixer must not override. Fixing is idempotent — a second pass over
+// fixed sources produces zero edits — which the driver tests pin.
+
+// Edit is one byte-range replacement in a file.
+type Edit struct {
+	File     string
+	Off, End int // byte offsets into the original file
+	Text     string
+}
+
+// FixEdits computes the mechanical errwrap edits for the loaded
+// packages, skipping sites covered by an allow directive.
+func FixEdits(pkgs []*Package) []Edit {
+	var edits []Edit
+	for _, pkg := range pkgs {
+		p := &Pass{Pkg: pkg}
+		sup := collectDirectives(pkg)
+		needErrors := map[*ast.File]bool{}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if e, ok := p.sentinelCompareEdit(n, sup); ok {
+						edits = append(edits, e)
+						needErrors[file] = true
+					}
+				case *ast.CallExpr:
+					edits = append(edits, p.errorfVerbEdits(n, sup)...)
+				}
+				return true
+			})
+		}
+		for file, need := range needErrors {
+			if need && !importsPath(file, "errors") {
+				if e, ok := p.addImportEdit(file, "errors"); ok {
+					edits = append(edits, e)
+				}
+			}
+		}
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].File != edits[j].File {
+			return edits[i].File < edits[j].File
+		}
+		return edits[i].Off < edits[j].Off
+	})
+	return edits
+}
+
+// sentinelCompareEdit rewrites one `x ==/!= ErrX` comparison.
+func (p *Pass) sentinelCompareEdit(n *ast.BinaryExpr, sup *suppressions) (Edit, bool) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return Edit{}, false
+	}
+	if sup.covered(Finding{Pos: p.position(n.Pos()), Rule: "errwrap"}) {
+		return Edit{}, false
+	}
+	var sentinel, errExpr ast.Expr
+	for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+		if _, ok := p.sentinelError(pair[0]); ok && !isNilIdent(pair[1]) {
+			sentinel, errExpr = pair[0], pair[1]
+			break
+		}
+	}
+	if sentinel == nil {
+		return Edit{}, false
+	}
+	neg := ""
+	if n.Op == token.NEQ {
+		neg = "!"
+	}
+	pos, end := p.position(n.Pos()), p.position(n.End())
+	return Edit{
+		File: pos.Filename,
+		Off:  pos.Offset, End: end.Offset,
+		Text: fmt.Sprintf("%serrors.Is(%s, %s)", neg, exprText(errExpr), exprText(sentinel)),
+	}, true
+}
+
+// exprText renders an expression back to source.
+func exprText(e ast.Expr) string {
+	var b strings.Builder
+	// format.Node over a bare expression never fails for parsed input.
+	if err := format.Node(&b, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// errorfVerbEdits rewrites the verbs of error arguments in one
+// fmt.Errorf call from %v/%s to %w.
+func (p *Pass) errorfVerbEdits(call *ast.CallExpr, sup *suppressions) []Edit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return nil
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if pn := p.pkgNameOf(x); pn == nil || pn.Imported().Path() != "fmt" {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil // named constant / concatenation: not mechanical
+	}
+	tv, ok := p.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil
+	}
+	formatStr := constant.StringVal(tv.Value)
+	if strings.Contains(formatStr, "%w") || strings.Contains(formatStr, "*") {
+		return nil // already wrapping, or width/precision stars skew arg counting
+	}
+	verbs := formatVerbs(formatStr)
+	changed := false
+	for i, arg := range call.Args[1:] {
+		t := p.typeOf(arg)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		if tv, ok := p.Pkg.Info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		if sup.covered(Finding{Pos: p.position(arg.Pos()), Rule: "errwrap"}) {
+			continue
+		}
+		if i >= len(verbs) {
+			continue
+		}
+		if v := formatStr[verbs[i].start:verbs[i].end]; v == "%v" || v == "%s" {
+			formatStr = formatStr[:verbs[i].start] + "%w" + formatStr[verbs[i].end:]
+			changed = true
+		}
+	}
+	if !changed {
+		return nil
+	}
+	pos, end := p.position(lit.Pos()), p.position(lit.End())
+	return []Edit{{
+		File: pos.Filename,
+		Off:  pos.Offset, End: end.Offset,
+		Text: strconv.Quote(formatStr),
+	}}
+}
+
+// verbSpan is one argument-consuming verb's extent in a format string.
+type verbSpan struct{ start, end int }
+
+// formatVerbs locates the argument-consuming verbs of a format
+// string, in order. %% is skipped; flags and digits between % and the
+// verb letter are included in the span.
+func formatVerbs(s string) []verbSpan {
+	var out []verbSpan
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(s) && strings.ContainsRune("+-# 0123456789.", rune(s[j])) {
+			j++
+		}
+		if j >= len(s) {
+			break
+		}
+		if s[j] == '%' {
+			i = j
+			continue
+		}
+		out = append(out, verbSpan{start: i, end: j + 1})
+		i = j
+	}
+	return out
+}
+
+// importsPath reports whether the file imports the given path.
+func importsPath(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}
+
+// addImportEdit inserts an import into the file's first import
+// declaration (or a fresh one after the package clause).
+func (p *Pass) addImportEdit(file *ast.File, path string) (Edit, bool) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			pos := p.position(gd.Lparen)
+			return Edit{File: pos.Filename, Off: pos.Offset + 1, End: pos.Offset + 1,
+				Text: "\n\t" + strconv.Quote(path)}, true
+		}
+		// Single-import form: wrap it into a block.
+		if len(gd.Specs) == 1 {
+			spec := gd.Specs[0].(*ast.ImportSpec)
+			pos, end := p.position(gd.Pos()), p.position(spec.End())
+			return Edit{File: pos.Filename, Off: pos.Offset, End: end.Offset,
+				Text: fmt.Sprintf("import (\n\t%s\n\t%s\n)", strconv.Quote(path), spec.Path.Value)}, true
+		}
+	}
+	// No import declaration at all: add one after the package clause.
+	pos := p.position(file.Name.End())
+	return Edit{File: pos.Filename, Off: pos.Offset, End: pos.Offset,
+		Text: "\n\nimport " + strconv.Quote(path)}, true
+}
+
+// ApplyEdits applies the edits to disk, gofmt-ing each touched file,
+// and returns the list of files changed. Overlapping edits in one
+// file abort that file (they indicate a detector bug, not a fixable
+// tree).
+func ApplyEdits(edits []Edit) ([]string, error) {
+	byFile := map[string][]Edit{}
+	for _, e := range edits {
+		byFile[e.File] = append(byFile[e.File], e)
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var changed []string
+	for _, f := range files {
+		es := byFile[f]
+		sort.Slice(es, func(i, j int) bool { return es[i].Off < es[j].Off })
+		for i := 1; i < len(es); i++ {
+			if es[i].Off < es[i-1].End {
+				return changed, fmt.Errorf("analysis: overlapping fixes in %s at byte %d", f, es[i].Off)
+			}
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return changed, err
+		}
+		var b strings.Builder
+		last := 0
+		for _, e := range es {
+			if e.Off < last || e.End > len(src) {
+				return changed, fmt.Errorf("analysis: fix out of range in %s (byte %d of %d)", f, e.End, len(src))
+			}
+			b.Write(src[last:e.Off])
+			b.WriteString(e.Text)
+			last = e.End
+		}
+		b.Write(src[last:])
+		out, err := format.Source([]byte(b.String()))
+		if err != nil {
+			return changed, fmt.Errorf("analysis: fixed %s does not parse: %w", f, err)
+		}
+		if err := os.WriteFile(f, out, 0o644); err != nil {
+			return changed, err
+		}
+		changed = append(changed, f)
+	}
+	return changed, nil
+}

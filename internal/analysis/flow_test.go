@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// graphFixture loads the named fixture packages together and runs the
+// full suite over them with the shared fact graph, returning the
+// report and graph result.
+func graphFixture(t *testing.T, names ...string) (Report, *GraphResult) {
+	t.Helper()
+	var pkgs []*Package
+	for _, name := range names {
+		pkgs = append(pkgs, fixture(t, name))
+	}
+	rep, gr := RunGraph(pkgs, Rules(), nil)
+	return rep, gr
+}
+
+// byRule filters findings down to one rule.
+func byRule(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func checkExpect(t *testing.T, rule string, got []Finding, want []expect) {
+	t.Helper()
+	if len(got) != len(want) {
+		for _, f := range got {
+			t.Logf("got: %s", f)
+		}
+		t.Fatalf("%s: got %d findings, want %d", rule, len(got), len(want))
+	}
+	for i, w := range want {
+		f := got[i]
+		if f.Pos.Line != w.line || !strings.Contains(f.Message, w.frag) {
+			t.Errorf("%s finding %d: got line %d %q, want line %d containing %q",
+				rule, i, f.Pos.Line, f.Message, w.line, w.frag)
+		}
+	}
+}
+
+// TestDetTaintFixture pins the cross-package laundering detection:
+// clock one hop down, global rand two hops down, map order through a
+// helper — and that clean helpers and the suppressed edge stay quiet.
+func TestDetTaintFixture(t *testing.T) {
+	rep, _ := graphFixture(t, "dettaint", "dettaint/helper")
+	checkExpect(t, "dettaint", byRule(rep.Findings, "dettaint"), []expect{
+		{11, "transitively reaches time.Now"},
+		{16, "transitively reaches rand.Float64"},
+		{21, "order-sensitive map iteration"},
+	})
+	sup := byRule(rep.Suppressed, "dettaint")
+	if len(sup) != 1 || sup[0].Pos.Line != 31 {
+		t.Fatalf("suppressed dettaint: got %v, want one at line 31", sup)
+	}
+	// The chain in the two-hop message must name the intermediate hop.
+	for _, f := range byRule(rep.Findings, "dettaint") {
+		if f.Pos.Line == 16 && !strings.Contains(f.Message, "Jitter") {
+			t.Errorf("two-hop finding should show the chain through Jitter: %q", f.Message)
+		}
+	}
+	if len(byRule(rep.UnusedDirectives, "dettaint")) != 0 {
+		t.Error("the dettaint allow must count as used")
+	}
+}
+
+// TestDetTaintGraph exercises the fact graph directly: taint
+// propagation, memoization of the clean path, and the stats
+// exemption.
+func TestDetTaintGraph(t *testing.T) {
+	_, gr := graphFixture(t, "dettaint", "dettaint/helper")
+	g := gr.Graph
+	const helper = "clite/internal/analysis/testdata/src/dettaint/helper"
+	if tr := g.Taint(helper + ".Stamp"); tr == nil || tr.Src.Kind != TaintClock {
+		t.Fatalf("Stamp taint = %+v, want clock", tr)
+	}
+	if tr := g.Taint(helper + ".Jitter"); tr == nil || tr.Src.Kind != TaintRand || len(tr.Chain) < 2 {
+		t.Fatalf("Jitter taint = %+v, want rand through draw", tr)
+	}
+	if tr := g.Taint(helper + ".Pure"); tr != nil {
+		t.Fatalf("Pure must be taint-free, got %+v", tr)
+	}
+	if tr := g.Taint("clite/internal/stats.NewRNG"); tr != nil {
+		t.Fatalf("stats is the sanctioned entropy owner, got taint %+v", tr)
+	}
+}
+
+// TestParCaptureFixture pins the closure-capture findings and the
+// sanctioned shapes (slot-indexed writes, slot-derived loop index,
+// split per-shard RNGs).
+func TestParCaptureFixture(t *testing.T) {
+	rep, _ := graphFixture(t, "parcapture")
+	checkExpect(t, "parcapture", byRule(rep.Findings, "parcapture"), []expect{
+		{15, "write to captured total"},
+		{39, "write to captured map m"},
+		{53, "reads captured scale, which is reassigned outside the closure (line 49)"},
+		{62, "draw from shared RNG r"},
+	})
+	sup := byRule(rep.Suppressed, "parcapture")
+	if len(sup) != 1 || sup[0].Pos.Line != 85 {
+		t.Fatalf("suppressed parcapture: got %v, want one at line 85", sup)
+	}
+}
+
+// TestEmitOrderFixture pins the shared-tracer findings — direct and
+// laundered through a helper — and the two sanctioned patterns
+// (closure-private tracer, per-slot tracer).
+func TestEmitOrderFixture(t *testing.T) {
+	rep, _ := graphFixture(t, "emitorder")
+	checkExpect(t, "emitorder", byRule(rep.Findings, "emitorder"), []expect{
+		{15, "Tracer.Emit on shared tracer tr"},
+		{22, "transitively emits"},
+	})
+	sup := byRule(rep.Suppressed, "emitorder")
+	if len(sup) != 1 || sup[0].Pos.Line != 56 {
+		t.Fatalf("suppressed emitorder: got %v, want one at line 56", sup)
+	}
+}
+
+// TestFactCacheRoundTrip pins the cache contract: facts encode,
+// decode bit-identically, and the dettaint findings computed from
+// cached facts alone match the loaded-path findings (minus the
+// allow-flagged edge, which the cache path skips).
+func TestFactCacheRoundTrip(t *testing.T) {
+	rep, gr := graphFixture(t, "dettaint", "dettaint/helper")
+	dir := t.TempDir()
+	cache := &FactCache{Dir: dir}
+	var cached []*PackageFact
+	for _, pf := range gr.Fresh {
+		if err := cache.Store(pf); err != nil {
+			t.Fatal(err)
+		}
+		got := cache.Load(pf.Path, pf.Hash)
+		if got == nil {
+			t.Fatalf("cache miss for %s right after store", pf.Path)
+		}
+		if got.Hash != pf.Hash || len(got.Funcs) != len(pf.Funcs) {
+			t.Fatalf("cache round-trip mangled %s", pf.Path)
+		}
+		cached = append(cached, got)
+	}
+	if pf := cache.Load("clite/internal/nosuch", "feed"); pf != nil {
+		t.Fatal("stale hash must miss")
+	}
+	g := NewGraph(cached)
+	outside := TaintFindingsOutside(g, map[string]bool{})
+	want := byRule(rep.Findings, "dettaint")
+	if len(outside) != len(want) {
+		t.Fatalf("cached-path dettaint: got %d findings, want %d", len(outside), len(want))
+	}
+	for i := range want {
+		if outside[i].Pos.Line != want[i].Pos.Line {
+			t.Errorf("cached finding %d at line %d, want %d", i, outside[i].Pos.Line, want[i].Pos.Line)
+		}
+	}
+}
+
+// TestHashPackageDir pins that the hash tracks content, not mtimes.
+func TestHashPackageDir(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(file, []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := HashPackageDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashPackageDir(dir)
+	if err != nil || h1 != h2 {
+		t.Fatalf("hash not stable: %s vs %s (%v)", h1, h2, err)
+	}
+	if err := os.WriteFile(file, []byte("package a // changed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := HashPackageDir(dir)
+	if err != nil || h3 == h1 {
+		t.Fatalf("hash must change with content (%v)", err)
+	}
+	// Test files do not contribute: the rules never see them.
+	if err := os.WriteFile(filepath.Join(dir, "a_test.go"), []byte("package a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h4, err := HashPackageDir(dir)
+	if err != nil || h4 != h3 {
+		t.Fatalf("test files must not affect the hash (%v)", err)
+	}
+}
+
+// TestFixFixture copies the fixable tree into a scratch module, runs
+// the mechanical fixer, and asserts (a) the result is errwrap-clean
+// modulo the deliberately suppressed site, (b) the errors import was
+// inserted, and (c) a second fixer pass is a no-op — idempotence.
+func TestFixFixture(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "fixable", "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fixable.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load := func() *Package {
+		pkg, err := NewLoader().Load(dir, "fixmod")
+		if err != nil {
+			t.Fatalf("loading scratch module: %v", err)
+		}
+		return pkg
+	}
+
+	pkg := load()
+	edits := FixEdits([]*Package{pkg})
+	if len(edits) == 0 {
+		t.Fatal("fixer found nothing to fix in the fixable fixture")
+	}
+	changed, err := ApplyEdits(edits)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("changed files = %v, want just fixable.go", changed)
+	}
+
+	fixed := load()
+	rep := Run([]*Package{fixed}, Rules())
+	if got := byRule(rep.Findings, "errwrap"); len(got) != 0 {
+		for _, f := range got {
+			t.Logf("residual: %s", f)
+		}
+		t.Fatalf("fixed tree still has %d errwrap findings", len(got))
+	}
+	if len(rep.Suppressed) != 1 {
+		t.Fatalf("the suppressed site must survive the fixer untouched, got %d suppressed", len(rep.Suppressed))
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out)
+	for _, frag := range []string{`"errors"`, "errors.Is(err, ErrStale)", "!errors.Is(err, ErrStale)", "step %d failed: %w", "job %v: %w"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("fixed source missing %q", frag)
+		}
+	}
+	if again := FixEdits([]*Package{fixed}); len(again) != 0 {
+		t.Fatalf("fixer is not idempotent: second pass wants %d edits", len(again))
+	}
+}

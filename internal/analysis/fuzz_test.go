@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDirectiveParse hammers the //lint:allow grammar: for any body
+// the parser must classify it as exactly one of well-formed (rule and
+// reason both non-empty, rule free of whitespace) or malformed (a
+// non-empty diagnostic), and a well-formed parse must round-trip
+// through its canonical rendering.
+func FuzzDirectiveParse(f *testing.F) {
+	f.Add("detrand metrics-only clock read")
+	f.Add(" dettaint   reason with   runs of spaces ")
+	f.Add("floateq")
+	f.Add("")
+	f.Add("\t\n")
+	f.Add("rule nbsp-is-not-a-separator")
+	f.Fuzz(func(t *testing.T, body string) {
+		rule, reason, badMsg := parseAllowDirective(body)
+		if badMsg != "" {
+			if rule != "" || reason != "" {
+				t.Fatalf("malformed parse leaked rule=%q reason=%q", rule, reason)
+			}
+			return
+		}
+		if rule == "" || reason == "" {
+			t.Fatalf("well-formed parse with empty part: rule=%q reason=%q", rule, reason)
+		}
+		if strings.IndexFunc(rule, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' }) >= 0 {
+			t.Fatalf("rule %q contains whitespace", rule)
+		}
+		rule2, reason2, bad2 := parseAllowDirective(rule + " " + reason)
+		if bad2 != "" || rule2 != rule || reason2 != reason {
+			t.Fatalf("canonical rendering does not round-trip: %q %q %q", rule2, reason2, bad2)
+		}
+	})
+}
+
+// FuzzFactCacheRoundTrip feeds arbitrary bytes to the cache decoder:
+// it must never panic, and anything it accepts must survive an
+// encode/decode round trip with path, hash, and function set intact.
+func FuzzFactCacheRoundTrip(f *testing.F) {
+	seed, err := EncodeFacts(&PackageFact{
+		Path: "clite/internal/core",
+		Hash: "abc123",
+		Funcs: []FuncFact{{
+			Name: "clite/internal/core.Window",
+			Pkg:  "clite/internal/core",
+			File: "internal/core/core.go", Line: 10,
+			Sources: []Source{{Kind: TaintClock, What: "time.Now", File: "internal/core/core.go", Line: 11}},
+			Calls:   []CallEdge{{Callee: "clite/internal/profile.Scale", File: "internal/core/core.go", Line: 12}},
+		}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"fact":{"path":"p"}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pf, err := DecodeFacts(data)
+		if err != nil {
+			return // any malformed input is just a cache miss
+		}
+		out, err := EncodeFacts(pf)
+		if err != nil {
+			t.Fatalf("re-encoding accepted facts: %v", err)
+		}
+		pf2, err := DecodeFacts(out)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if pf2.Path != pf.Path || pf2.Hash != pf.Hash || len(pf2.Funcs) != len(pf.Funcs) {
+			t.Fatalf("round trip drifted: %+v vs %+v", pf, pf2)
+		}
+	})
+}

@@ -80,6 +80,13 @@ func (l *Loader) Load(dir, path string) (*Package, error) {
 	return &Package{Dir: dir, Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// PackageRef names a package on disk without loading it: the -diff
+// driver expands patterns first and type-checks only what changed.
+type PackageRef struct {
+	Dir  string
+	Path string // module-qualified import path
+}
+
 // LoadPatterns expands go-style package patterns (a directory, or a
 // directory suffixed with /... for a recursive walk) relative to the
 // working directory and loads every package they name. Like the go
@@ -88,6 +95,26 @@ func (l *Loader) Load(dir, path string) (*Package, error) {
 // explicitly (or walking a pattern rooted inside one) does load it,
 // which is how the driver's own tests lint the fixture trees.
 func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	refs, err := ExpandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, ref := range refs {
+		pkg, err := l.Load(ref.Dir, ref.Path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// ExpandPatterns resolves patterns to the package directories they
+// name, with module-qualified import paths, without parsing anything.
+func ExpandPatterns(patterns []string) ([]PackageRef, error) {
 	dirs := map[string]bool{}
 	for _, pat := range patterns {
 		rec := false
@@ -128,21 +155,15 @@ func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
 		sorted = append(sorted, d)
 	}
 	sort.Strings(sorted)
-	var pkgs []*Package
+	refs := make([]PackageRef, 0, len(sorted))
 	for _, dir := range sorted {
 		path, err := importPathFor(dir)
 		if err != nil {
 			return nil, err
 		}
-		pkg, err := l.Load(dir, path)
-		if err != nil {
-			return nil, err
-		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
-		}
+		refs = append(refs, PackageRef{Dir: dir, Path: path})
 	}
-	return pkgs, nil
+	return refs, nil
 }
 
 // hasGoFiles reports whether dir directly contains a buildable

@@ -1,0 +1,431 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ParCapture machine-checks the closure discipline every concurrency
+// PR hand-audits (internal/par's package doc, DESIGN.md §8): workers
+// fanned out by par.Go / par.ForEach may only write index-addressed
+// state they own, and may only read captured state that is immutable
+// for the pool's lifetime. Concretely, inside a function literal
+// passed to par.Go or par.ForEach:
+//
+//   - a write to a captured variable is a finding unless some index
+//     on the write path is derived from the worker/slot parameter
+//     (out[i] = …, results[i].field = …, and locals computed from the
+//     slot like `for j := s; …; j += k { res[j] = … }` are fine;
+//     total += x, out[0] = …, and writes through captured pointers
+//     are findings);
+//   - a write to a captured map is always a finding — concurrent map
+//     writes race whatever the key;
+//   - a read of a captured variable that the enclosing function
+//     REASSIGNS outside the closure is a finding: par closures
+//     capture configuration, and configuration must be settled at a
+//     single declaration before the pool starts, or the next refactor
+//     that moves the assignment below the pool launch silently races;
+//   - a draw from a captured *stats.RNG is a finding — shared streams
+//     make the draw sequence depend on goroutine schedule; split
+//     per-shard streams (RNG.Split) before the pool starts.
+//
+// The rule is syntactic over one closure: writes hidden behind method
+// calls on captured receivers are out of reach (and are exactly what
+// the byte-identity tier-1 tests exist for).
+func ParCapture() *Rule {
+	return &Rule{
+		Name: "parcapture",
+		Doc:  "par.Go/par.ForEach closures: slot-indexed writes only, immutable captures, per-shard RNGs",
+		Run:  runParCapture,
+	}
+}
+
+// parClosure is one function literal handed to par.Go or par.ForEach,
+// with the function body enclosing the call (for the reassigned-
+// capture scan).
+type parClosure struct {
+	call   *ast.CallExpr
+	method string // "Go" or "ForEach"
+	fn     *ast.FuncLit
+	encl   *ast.BlockStmt // innermost enclosing function body
+}
+
+// parClosures finds every par.Go/par.ForEach call in the file whose
+// final argument is a function literal.
+func (p *Pass) parClosures(file *ast.File) []parClosure {
+	var out []parClosure
+	var enclosing []*ast.BlockStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body == nil {
+				return true
+			}
+			enclosing = append(enclosing, v.Body)
+			ast.Inspect(v.Body, walk)
+			enclosing = enclosing[:len(enclosing)-1]
+			return false
+		case *ast.FuncLit:
+			enclosing = append(enclosing, v.Body)
+			ast.Inspect(v.Body, walk)
+			enclosing = enclosing[:len(enclosing)-1]
+			return false
+		case *ast.CallExpr:
+			sel, ok := v.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Go" && sel.Sel.Name != "ForEach") {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn := p.pkgNameOf(id)
+			if pn == nil || !strings.HasSuffix(pn.Imported().Path(), "internal/par") {
+				return true
+			}
+			if len(v.Args) == 0 || len(enclosing) == 0 {
+				return true
+			}
+			lit, ok := v.Args[len(v.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			out = append(out, parClosure{call: v, method: sel.Sel.Name, fn: lit, encl: enclosing[len(enclosing)-1]})
+			return true
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+	return out
+}
+
+func runParCapture(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Pkg.Files {
+		for _, pc := range p.parClosures(file) {
+			out = append(out, p.checkParClosure(pc)...)
+		}
+	}
+	return out
+}
+
+func (p *Pass) checkParClosure(pc parClosure) []Finding {
+	var out []Finding
+	slot := p.slotDerived(pc.fn)
+	capturedReads := map[types.Object]*ast.Ident{}
+
+	ast.Inspect(pc.fn.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				break
+			}
+			for _, lhs := range v.Lhs {
+				if f, bad := p.checkParWrite(pc, lhs, slot); bad {
+					out = append(out, f)
+				}
+			}
+		case *ast.IncDecStmt:
+			if f, bad := p.checkParWrite(pc, v.X, slot); bad {
+				out = append(out, f)
+			}
+		case *ast.CallExpr:
+			// delete(m, k) on a captured map.
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "delete" && len(v.Args) == 2 {
+				if _, ok := p.Pkg.Info.Uses[id].(*types.Builtin); ok {
+					if f, bad := p.checkParWrite(pc, v.Args[0], slot); bad {
+						out = append(out, f)
+					}
+				}
+			}
+			// Draws from a captured shared RNG. A slot-derived index
+			// anywhere on the receiver path (rngs[i].Float64()) marks a
+			// per-shard stream split before the pool, which is the
+			// sanctioned pattern.
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && p.isStatsRNG(p.typeOf(sel.X)) {
+				if root, ok := rootIdent(sel.X); ok {
+					obj := p.objectOf(root)
+					if obj != nil && p.capturedVar(obj, pc.fn) && !slot[obj] &&
+						!p.slotIndexedPath(sel.X, slot) {
+						out = append(out, p.finding("parcapture", v.Pos(),
+							"draw from shared RNG %s inside par.%s closure makes the stream depend on goroutine schedule; Split per-shard streams before the pool starts",
+							types.ExprString(sel.X), pc.method))
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := p.objectOf(v); obj != nil && p.capturedLocalVar(obj, pc) {
+				if capturedReads[obj] == nil {
+					capturedReads[obj] = v
+				}
+			}
+		}
+		return true
+	})
+
+	// Reads of captured locals the enclosing function reassigns.
+	// Source order, not map order, so finding order is reproducible.
+	reads := make([]*ast.Ident, 0, len(capturedReads))
+	for _, id := range capturedReads {
+		reads = append(reads, id)
+	}
+	sort.Slice(reads, func(i, j int) bool { return reads[i].Pos() < reads[j].Pos() })
+	for _, id := range reads {
+		obj := p.objectOf(id)
+		if line, ok := p.reassignedOutside(obj, pc); ok {
+			out = append(out, p.finding("parcapture", id.Pos(),
+				"par.%s closure reads captured %s, which is reassigned outside the closure (line %d); settle it in a single declaration before the pool starts",
+				pc.method, obj.Name(), line))
+		}
+	}
+	return out
+}
+
+// slotDerived computes the closure-local variables derived from the
+// worker/slot parameter: the parameters themselves, then (to a
+// fixpoint) any local defined or assigned from an expression that
+// mentions a slot-derived variable — `for j := s; …`, `c := cells[ci]`.
+func (p *Pass) slotDerived(fn *ast.FuncLit) map[types.Object]bool {
+	slot := map[types.Object]bool{}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.objectOf(name); obj != nil {
+				slot[obj] = true
+			}
+		}
+	}
+	usesSlot := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.objectOf(id); obj != nil && slot[obj] {
+					found = true
+					return false
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range v.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := p.objectOf(id)
+					if obj == nil || slot[obj] || !withinNode(obj.Pos(), fn) {
+						continue
+					}
+					rhs := v.Rhs[0]
+					if len(v.Rhs) == len(v.Lhs) {
+						rhs = v.Rhs[i]
+					}
+					if usesSlot(rhs) {
+						slot[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if v.X == nil || !usesSlot(v.X) {
+					return true
+				}
+				for _, e := range []ast.Expr{v.Key, v.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := p.objectOf(id); obj != nil && !slot[obj] && withinNode(obj.Pos(), fn) {
+							slot[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return slot
+}
+
+// checkParWrite classifies one write target inside a par closure.
+func (p *Pass) checkParWrite(pc parClosure, lhs ast.Expr, slot map[types.Object]bool) (Finding, bool) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return Finding{}, false
+	}
+	root, ok := rootIdent(lhs)
+	if !ok {
+		return Finding{}, false
+	}
+	obj := p.objectOf(root)
+	if obj == nil || !p.capturedVar(obj, pc.fn) || slot[obj] {
+		return Finding{}, false
+	}
+	// Walk the access path: a captured-map write is always a finding;
+	// a slice/array index derived from the slot sanctions the write.
+	slotIndexed := false
+	e := lhs
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			if t := p.typeOf(v.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return p.finding("parcapture", lhs.Pos(),
+						"write to captured map %s inside par.%s closure races whatever the key; collect into index-addressed slots and merge after the pool drains",
+						root.Name, pc.method), true
+				}
+			}
+			if p.exprUsesAny(v.Index, slot) {
+				slotIndexed = true
+			}
+			e = v.X
+			continue
+		case *ast.SelectorExpr:
+			e = v.X
+			continue
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.StarExpr:
+			e = v.X
+			continue
+		}
+		break
+	}
+	if slotIndexed {
+		return Finding{}, false
+	}
+	return p.finding("parcapture", lhs.Pos(),
+		"write to captured %s inside par.%s closure is not indexed by the worker/slot parameter; workers may only write slots they own (DESIGN.md §8)",
+		types.ExprString(lhs), pc.method), true
+}
+
+// slotIndexedPath reports whether any index on the access path of e
+// is derived from the worker/slot parameter.
+func (p *Pass) slotIndexedPath(e ast.Expr, slot map[types.Object]bool) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			if p.exprUsesAny(v.Index, slot) {
+				return true
+			}
+			e = v.X
+			continue
+		case *ast.SelectorExpr:
+			e = v.X
+			continue
+		case *ast.ParenExpr:
+			e = v.X
+			continue
+		case *ast.StarExpr:
+			e = v.X
+			continue
+		}
+		return false
+	}
+}
+
+// exprUsesAny reports whether e mentions any object in set.
+func (p *Pass) exprUsesAny(e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.objectOf(id); obj != nil && set[obj] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// capturedVar reports whether obj is a variable declared outside the
+// closure (captured), including package-level variables.
+func (p *Pass) capturedVar(obj types.Object, fn *ast.FuncLit) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return !withinNode(obj.Pos(), fn)
+}
+
+// capturedLocalVar reports whether obj is a function-scoped variable
+// of the enclosing function captured by the closure (package-level
+// vars are excluded from the reassignment scan: their writers live
+// anywhere and the scan would be meaningless).
+func (p *Pass) capturedLocalVar(obj types.Object, pc parClosure) bool {
+	if !p.capturedVar(obj, pc.fn) {
+		return false
+	}
+	return withinPos(obj.Pos(), pc.encl.Pos(), pc.encl.End())
+}
+
+// reassignedOutside reports whether the enclosing function reassigns
+// obj outside the closure: plain `=` assignment, ++/--, or a range
+// clause re-using the variable. Declarations (`:=`, var) do not
+// count — a single settled initialization is the sanctioned shape.
+func (p *Pass) reassignedOutside(obj types.Object, pc parClosure) (int, bool) {
+	line, found := 0, false
+	ast.Inspect(pc.encl, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if n == ast.Node(pc.fn) {
+			return false // the closure itself is exempt
+		}
+		hit := func(e ast.Expr) {
+			if id, ok := e.(*ast.Ident); ok && p.objectOf(id) == obj {
+				line, found = p.position(id.Pos()).Line, true
+			}
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range v.Lhs {
+				hit(lhs)
+			}
+		case *ast.IncDecStmt:
+			hit(v.X)
+		case *ast.RangeStmt:
+			if v.Tok == token.ASSIGN {
+				hit(v.Key)
+				hit(v.Value)
+			}
+		}
+		return !found
+	})
+	return line, found
+}
+
+// isStatsRNG reports whether t is (a pointer to) internal/stats.RNG.
+func (p *Pass) isStatsRNG(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil && statsPackage(obj.Pkg().Path())
+}
+
+// withinNode reports whether pos falls inside n's extent.
+func withinNode(pos token.Pos, n ast.Node) bool {
+	return withinPos(pos, n.Pos(), n.End())
+}
+
+func withinPos(pos, lo, hi token.Pos) bool {
+	return pos >= lo && pos <= hi
+}

@@ -43,20 +43,12 @@ func collectDirectives(pkg *Package) *suppressions {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(text)
-				if len(fields) == 0 {
-					s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive",
-						Message: "allow directive names no rule (want //lint:allow <rule> <reason>)"})
+				rule, reason, badMsg := parseAllowDirective(text)
+				if badMsg != "" {
+					s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive", Message: badMsg})
 					continue
 				}
-				if len(fields) < 2 {
-					s.bad = append(s.bad, Finding{Pos: pos, Rule: "directive",
-						Message: "allow directive for rule " + fields[0] +
-							" has no reason; the reason is mandatory"})
-					continue
-				}
-				d := &directive{pos: pos, rule: fields[0],
-					reason: strings.Join(fields[1:], " ")}
+				d := &directive{pos: pos, rule: rule, reason: reason}
 				if s.byLine[pos.Filename] == nil {
 					s.byLine[pos.Filename] = map[int]*directive{}
 				}
@@ -66,6 +58,22 @@ func collectDirectives(pkg *Package) *suppressions {
 		}
 	}
 	return s
+}
+
+// parseAllowDirective parses the directive body (the text after
+// //lint:allow): first field is the rule, the rest the mandatory
+// reason. badMsg is non-empty exactly when the directive is
+// malformed.
+func parseAllowDirective(body string) (rule, reason, badMsg string) {
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return "", "", "allow directive names no rule (want //lint:allow <rule> <reason>)"
+	}
+	if len(fields) < 2 {
+		return "", "", "allow directive for rule " + fields[0] +
+			" has no reason; the reason is mandatory"
+	}
+	return fields[0], strings.Join(fields[1:], " "), ""
 }
 
 // allows reports whether a directive covers the finding: same rule,
@@ -82,6 +90,39 @@ func (s *suppressions) allows(f Finding) bool {
 		}
 	}
 	return false
+}
+
+// covered reports whether a directive covers the finding without
+// marking it used — the fact extractor's probe, which must not eat
+// the unused-directive accounting the reporting path owns.
+func (s *suppressions) covered(f Finding) bool {
+	lines := s.byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if d := lines[line]; d != nil && d.rule == f.Rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Ledger renders every parsed directive as one rule/location/reason
+// entry, sorted by position — the cmd/lint -suppressions view.
+func (s *suppressions) ledger() []LedgerEntry {
+	var out []LedgerEntry
+	for _, d := range s.all {
+		out = append(out, LedgerEntry{Pos: d.pos, Rule: d.rule, Reason: d.reason})
+	}
+	return out
+}
+
+// LedgerEntry is one suppression directive in the ledger.
+type LedgerEntry struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
 }
 
 // unused returns findings describing directives that matched nothing.

@@ -1,0 +1,32 @@
+// Package dettaint is a lint fixture: a deterministic package
+// (fixture trees are always in scope) that launders wall-clock reads,
+// global math/rand draws, and map-iteration order through the helper
+// subpackage — edges only the cross-package taint rule can see.
+package dettaint
+
+import "clite/internal/analysis/testdata/src/dettaint/helper"
+
+// Window stamps itself via helper.Stamp: one-hop clock laundering.
+func Window() int64 {
+	return helper.Stamp()
+}
+
+// Sample draws entropy two hops down (helper.Jitter calls draw).
+func Sample() float64 {
+	return helper.Jitter()
+}
+
+// Keys depends on map iteration order through helper.Leak.
+func Keys(m map[string]int) []string {
+	return helper.Leak(m)
+}
+
+// Scale is clean: helper.Pure carries no taint.
+func Scale(x int) int {
+	return helper.Pure(x)
+}
+
+// Stamped is the reasoned escape hatch for a metrics-only clock.
+func Stamped() int64 {
+	return helper.Stamp() //lint:allow dettaint fixture demonstrating a reasoned cross-package clock read
+}

@@ -1,0 +1,39 @@
+// Package helper is the laundering layer of the dettaint fixture:
+// exported helpers that reach entropy the deterministic caller
+// package cannot see lexically. The direct sources here are detrand/
+// maporder findings in THIS package; dettaint reports the caller's
+// edge into them.
+package helper
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock directly: a one-hop laundering target.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter reaches the global math/rand stream two hops down.
+func Jitter() float64 {
+	return draw()
+}
+
+func draw() float64 {
+	return rand.Float64()
+}
+
+// Leak returns map keys in iteration order: order-sensitive output.
+func Leak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Pure carries no taint anywhere below it.
+func Pure(x int) int {
+	return x * 2
+}

@@ -1,0 +1,58 @@
+// Package emitorder is a lint fixture: telemetry emitted from par
+// worker pools onto shared tracers (schedule-ordered, breaks trace
+// byte-identity) versus the sanctioned private-tracer-merge-in-
+// commit-order pattern.
+package emitorder
+
+import (
+	"clite/internal/par"
+	"clite/internal/telemetry"
+)
+
+// Shared emits directly onto the captured shared tracer.
+func Shared(tr *telemetry.Tracer, n int) {
+	par.ForEach(2, n, func(i int) {
+		tr.Emit(telemetry.BOIteration(i, 0, 0, n))
+	})
+}
+
+// Laundered reaches the shared tracer through a helper call.
+func Laundered(tr *telemetry.Tracer, n int) {
+	par.Go(2, func(s int) {
+		stamp(tr, s)
+	})
+}
+
+func stamp(tr *telemetry.Tracer, node int) {
+	tr.Emit(telemetry.BOIteration(node, 0, 0, 0))
+}
+
+// Private is the sanctioned pattern: each worker records into a
+// tracer it constructs, merged into the shared stream in slot order
+// after the pool drains.
+func Private(tr *telemetry.Tracer, n int) {
+	locals := make([]*telemetry.Tracer, n)
+	par.ForEach(2, n, func(i int) {
+		t := telemetry.NewTracer()
+		t.Emit(telemetry.BOIteration(i, 0, 0, 0))
+		locals[i] = t
+	})
+	for i, lt := range locals {
+		tr.Merge(lt, i)
+	}
+}
+
+// Slotted emits into per-slot tracers allocated before the pool.
+func Slotted(trs []*telemetry.Tracer, n int) {
+	par.ForEach(2, n, func(i int) {
+		trs[i].Emit(telemetry.BOIteration(i, 0, 0, 0))
+	})
+}
+
+// Allowed is the reasoned escape hatch: a pool of one worker cannot
+// interleave.
+func Allowed(tr *telemetry.Tracer, n int) {
+	par.Go(1, func(s int) {
+		tr.Emit(telemetry.BOIteration(s, 0, 0, 0)) //lint:allow emitorder fixture demonstrating a reasoned single-worker emit
+	})
+}

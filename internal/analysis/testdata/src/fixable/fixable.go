@@ -1,0 +1,38 @@
+// Package fixable is the -fix fixture: every errwrap shape the
+// mechanical fixer rewrites, plus the shapes it must leave alone.
+// The fix driver test copies this tree, runs the fixer, and asserts
+// the rewritten source is errwrap-clean and a second pass is a no-op.
+package fixable
+
+import "fmt"
+
+// ErrStale is the fixture sentinel.
+var ErrStale = fmt.Errorf("stale window")
+
+// Check compares sentinels with == and !=: both rewrite to errors.Is.
+func Check(err error) (bool, bool) {
+	eq := err == ErrStale
+	ne := err != ErrStale
+	return eq, ne
+}
+
+// Wrap folds an error into fmt.Errorf with %v: rewrites to %w.
+func Wrap(err error, step int) error {
+	return fmt.Errorf("step %d failed: %v", step, err)
+}
+
+// Mixed has a non-error %v before the error %s: only the error verb
+// rewrites.
+func Mixed(err error, name string) error {
+	return fmt.Errorf("job %v: %s", name, err)
+}
+
+// Kept is already wrapping and must not change.
+func Kept(err error) error {
+	return fmt.Errorf("kept: %w", err)
+}
+
+// Suppressed carries a reasoned allow: the fixer must not touch it.
+func Suppressed(err error) bool {
+	return err == ErrStale //lint:allow errwrap fixture demonstrating a site the fixer must skip
+}

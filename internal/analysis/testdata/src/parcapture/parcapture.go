@@ -1,0 +1,89 @@
+// Package parcapture is a lint fixture: closure-capture discipline
+// violations in par.Go / par.ForEach worker pools, plus the
+// sanctioned shapes the rule must leave alone.
+package parcapture
+
+import (
+	"clite/internal/par"
+	"clite/internal/stats"
+)
+
+// Sum accumulates into a captured scalar: schedule-dependent.
+func Sum(xs []float64) float64 {
+	total := 0.0
+	par.ForEach(4, len(xs), func(i int) {
+		total += xs[i]
+	})
+	return total
+}
+
+// Index is clean: slot-indexed writes, including through a local loop
+// index derived from the shard parameter.
+func Index(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	par.ForEach(4, len(xs), func(i int) {
+		out[i] = 2 * xs[i]
+	})
+	par.Go(2, func(s int) {
+		for j := s; j < len(xs); j += 2 {
+			out[j] = xs[j]
+		}
+	})
+	return out
+}
+
+// Tally writes a captured map: races whatever the key.
+func Tally(keys []string) map[string]int {
+	m := map[string]int{}
+	par.ForEach(2, len(keys), func(i int) {
+		m[keys[i]] = i
+	})
+	return m
+}
+
+// Config reads a captured local the enclosing function reassigns
+// outside the closure.
+func Config(xs []float64, wide bool) []float64 {
+	scale := 1.0
+	if wide {
+		scale = 2.0
+	}
+	out := make([]float64, len(xs))
+	par.ForEach(2, len(xs), func(i int) {
+		out[i] = scale * xs[i]
+	})
+	return out
+}
+
+// Draw pulls from a captured shared RNG stream.
+func Draw(r *stats.RNG, n int) []float64 {
+	out := make([]float64, n)
+	par.ForEach(2, n, func(i int) {
+		out[i] = r.Float64()
+	})
+	return out
+}
+
+// DrawSplit splits per-shard streams before the pool: sanctioned.
+func DrawSplit(r *stats.RNG, n int) []float64 {
+	out := make([]float64, n)
+	rngs := make([]*stats.RNG, n)
+	for i := range rngs {
+		rngs[i] = r.Split(int64(i))
+	}
+	par.ForEach(2, n, func(i int) {
+		out[i] = rngs[i].Float64()
+	})
+	return out
+}
+
+// Allowed is the reasoned escape hatch: a pool of one worker.
+func Allowed(xs []float64) float64 {
+	total := 0.0
+	par.Go(1, func(s int) {
+		for _, x := range xs {
+			total += x //lint:allow parcapture fixture demonstrating a reasoned single-worker accumulator
+		}
+	})
+	return total
+}

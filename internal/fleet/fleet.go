@@ -587,6 +587,7 @@ func (f *Fleet) placeEpoch() {
 		for ci := s; ci < len(f.cells); ci += f.opts.Shards {
 			c := f.cells[ci]
 			for i := range c.queue {
+				//lint:allow emitorder each cell's scheduler traces into that cell's private tracer, MergeDrained at the barrier in cell index order
 				c.queue[i].p, c.queue[i].err = c.sched.Place(c.queue[i].job.request())
 			}
 		}
@@ -702,7 +703,9 @@ func (f *Fleet) barrier(epoch int, epochEnd float64, sum *Summary) error {
 	}
 
 	f.opts.Obs.ObserveCells(epochEnd, epoch, samples)
-	f.trace.Emit(telemetry.FleetEpoch(epochEnd, epoch, placed, f.part.total()))
+	if f.trace != nil {
+		f.trace.Emit(telemetry.FleetEpoch(epochEnd, epoch, placed, f.part.total()))
+	}
 	f.stats.epochs.Inc()
 	return nil
 }

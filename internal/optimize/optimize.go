@@ -177,13 +177,20 @@ type ascender struct {
 
 var ascenderPool = sync.Pool{New: func() any { return new(ascender) }}
 
+// scratchOrNew settles the scratch pointer in one declaration: the
+// par workers below capture it, so it must never be reassigned after
+// the pool launches.
+func scratchOrNew(s *Scratch) *Scratch {
+	if s == nil {
+		return &Scratch{}
+	}
+	return s
+}
+
 // Maximize runs multi-start projected gradient ascent and returns the
 // best feasible continuous vector found (job-major units).
 func Maximize(p Problem) []float64 {
-	s := p.Scratch
-	if s == nil {
-		s = &Scratch{}
-	}
+	s := scratchOrNew(p.Scratch)
 	dim := p.NJobs * len(p.Topo)
 	nStarts := len(p.Starts) + p.randomStarts()
 	if cap(s.startsBuf) < nStarts*dim {

@@ -107,6 +107,15 @@ func (t *measTable) lookup(j int, a resource.Allocation) (measEntry, bool) {
 	return t.entries[j][idx], true
 }
 
+// measTable resolves the sweep's shared table: nil in legacy mode
+// (shards memoize lazily), the dense precomputed table otherwise.
+func (o Oracle) measTable(m *server.Machine, topo resource.Topology, nJobs, stride int) (*measTable, error) {
+	if o.Legacy {
+		return nil, nil
+	}
+	return buildMeasTable(m, topo, nJobs, stride)
+}
+
 // buildMeasTable precomputes every per-job measurement the strided
 // grid can need. It returns nil when the space is degenerate or too
 // large to tabulate (the sweep then memoizes lazily instead).
@@ -416,15 +425,12 @@ func (o Oracle) Run(m *server.Machine) (Result, error) {
 	workers := par.Count(o.Workers)
 
 	// Precompute the dense measurement table the sweep reads (shared,
-	// immutable). Legacy mode and oversized spaces skip it and memoize
-	// lazily per shard instead.
-	var table *measTable
-	if !o.Legacy {
-		var err error
-		table, err = buildMeasTable(m, topo, nJobs, stride)
-		if err != nil {
-			return Result{}, err
-		}
+	// immutable, settled in one declaration: the par workers below
+	// capture it). Legacy mode and oversized spaces get a nil table and
+	// memoize lazily per shard instead.
+	table, err := o.measTable(m, topo, nJobs, stride)
+	if err != nil {
+		return Result{}, err
 	}
 
 	// Grid sweep: shard by enumeration index. Shards never coordinate

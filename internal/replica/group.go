@@ -214,7 +214,9 @@ func (g *Group) kill(id int, cause string) {
 	}
 	r.alive = false
 	g.counters.deaths.Inc()
-	g.trace.Emit(telemetry.ReplicaDied(g.clock, id, cause, g.alive()))
+	if g.trace != nil {
+		g.trace.Emit(telemetry.ReplicaDied(g.clock, id, cause, g.alive()))
+	}
 	if g.leader == id {
 		g.leader = -1
 		g.deathAt = g.clock
